@@ -1,0 +1,83 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+default campaign sizes keep the whole suite in the minutes range; set
+
+* ``REPRO_BENCH_FAULTS`` — fault count per campaign (paper: 9290 for
+  Algorithm I, 2372 for Algorithm II),
+* ``REPRO_BENCH_ITERATIONS`` — control iterations per experiment
+  (paper: 650)
+
+to scale up to paper-sized runs.  Campaign results are cached per
+(pytest session, workload, size, seed) so the comparison benches reuse
+the Table 2/3 runs, and every bench writes its rendered artifact under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.goofi import CampaignConfig, CampaignResult, ScifiCampaign
+from repro.workloads import compile_algorithm_i, compile_algorithm_ii
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Paper campaign sizes, for reference in printed headers.
+PAPER_FAULTS = {"Algorithm I": 9290, "Algorithm II": 2372}
+
+
+def bench_faults(default: int = 500) -> int:
+    """Fault count per campaign (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_FAULTS", default))
+
+
+def bench_iterations(default: int = 650) -> int:
+    """Control iterations per experiment (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_ITERATIONS", default))
+
+
+_CAMPAIGN_CACHE: Dict[Tuple[str, int, int, int], CampaignResult] = {}
+
+
+def run_cached_campaign(algorithm: str, seed: int = 2001) -> CampaignResult:
+    """Run (or reuse) a campaign for ``"I"`` or ``"II"``."""
+    faults = bench_faults()
+    iterations = bench_iterations()
+    key = (algorithm, faults, iterations, seed)
+    if key not in _CAMPAIGN_CACHE:
+        if algorithm == "I":
+            workload = compile_algorithm_i()
+            name = "Algorithm I"
+        elif algorithm == "II":
+            workload = compile_algorithm_ii()
+            name = "Algorithm II"
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        config = CampaignConfig(
+            workload=workload,
+            name=name,
+            faults=faults,
+            seed=seed,
+            iterations=iterations,
+        )
+        _CAMPAIGN_CACHE[key] = ScifiCampaign(config).run()
+    return _CAMPAIGN_CACHE[key]
+
+
+def write_artifact(name: str, content: str) -> Path:
+    """Persist a rendered table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(content + "\n")
+    return path
+
+
+def emit(name: str, content: str) -> None:
+    """Print an artifact and persist it."""
+    print()
+    print(content)
+    path = write_artifact(name, content)
+    print(f"[saved to {path}]")

@@ -1,0 +1,96 @@
+"""Ablation: how tight should the executable assertion be?
+
+The paper uses the physical throttle limits (0-70 deg) as the assertion
+bounds and notes (§4.4, Figure 10) that in-range corruption escapes.
+This bench sweeps the assertion design at model level:
+
+* physical range only (the paper's Algorithm II),
+* physical range + rate limit (the "more sophisticated assertion" the
+  paper calls for), at several rate thresholds.
+
+Expected shape: adding the rate limit removes most of the residual
+severe (semi-permanent) failures; an over-tight rate limit starts firing
+on healthy dynamics and disturbs fault-free behaviour, which we also
+measure.
+"""
+
+import numpy as np
+from _common import bench_faults, emit
+
+from repro.control import PIController
+from repro.core import (
+    CompositeAssertion,
+    ControllerGuard,
+    RateLimitAssertion,
+    throttle_range_assertion,
+)
+from repro.goofi import run_model_campaign
+from repro.plant import ClosedLoop
+
+ITERATIONS = 650
+
+
+def _guard_factory(rate_delta):
+    def build():
+        state_assertion = throttle_range_assertion()
+        if rate_delta is not None:
+            state_assertion = CompositeAssertion(
+                [state_assertion, RateLimitAssertion(max_delta=rate_delta)]
+            )
+        return ControllerGuard(
+            PIController(),
+            state_assertions=[state_assertion],
+            output_assertions=[throttle_range_assertion()],
+        )
+
+    return build
+
+
+def _fault_free_disturbance(factory) -> float:
+    """Max |deviation| of the guarded loop vs plain PI without faults."""
+    plain = ClosedLoop(PIController()).run(iterations=ITERATIONS)
+    guarded = ClosedLoop(factory()).run(iterations=ITERATIONS)
+    return float(np.max(np.abs(plain.throttle - guarded.throttle)))
+
+
+def _run_all():
+    faults = max(bench_faults(), 400)
+    rows = []
+    for label, rate in (
+        ("range only (paper)", None),
+        ("range + rate 10 deg/iter", 10.0),
+        ("range + rate 3 deg/iter", 3.0),
+        ("range + rate 0.5 deg/iter", 0.5),
+        ("range + rate 0.05 deg/iter", 0.05),
+    ):
+        factory = _guard_factory(rate)
+        summary = run_model_campaign(
+            factory, faults=faults, seed=31, iterations=ITERATIONS, name=label
+        ).summary()
+        rows.append((label, summary, _fault_free_disturbance(factory)))
+    return rows
+
+
+def test_ablation_assertion_tightness(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = ["Ablation: assertion tightness (model-level SWIFI on the state)"]
+    lines.append(
+        f"{'assertion':<30}{'severe':>8}{'minor':>8}{'fault-free disturbance':>25}"
+    )
+    for label, summary, disturbance in rows:
+        lines.append(
+            f"{label:<30}{summary.count_severe():>8d}{summary.count_minor():>8d}"
+            f"{disturbance:>22.4f} deg"
+        )
+    emit("ablation_assertion_tightness.txt", "\n".join(lines))
+
+    by_label = {label: (summary, dist) for label, summary, dist in rows}
+    range_only = by_label["range only (paper)"][0]
+    with_rate = by_label["range + rate 3 deg/iter"][0]
+    # The sophisticated assertion reduces residual severe failures.
+    assert with_rate.count_severe() <= range_only.count_severe()
+    # Sensible assertions never disturb the fault-free loop...
+    assert by_label["range only (paper)"][1] == 0.0
+    assert by_label["range + rate 3 deg/iter"][1] == 0.0
+    # ...but an absurdly tight one fires on healthy dynamics.
+    assert by_label["range + rate 0.05 deg/iter"][1] > 0.0

@@ -1,0 +1,60 @@
+"""Ablation: the early-exit optimisation in the experiment runner.
+
+The runner splices the reference output suffix as soon as the faulted
+run's full state hash matches the golden hash at an iteration boundary
+(provably behaviour-preserving; a test asserts identical outcomes).
+This bench quantifies the win and re-verifies equivalence on a sample.
+"""
+
+import time
+
+import numpy as np
+from _common import bench_faults, emit
+
+from repro.faults.models import sample_fault_plan
+from repro.goofi import TargetSystem
+from repro.workloads import compile_algorithm_i
+
+ITERATIONS = 300
+
+
+def _measure():
+    target = TargetSystem(compile_algorithm_i(), iterations=ITERATIONS)
+    reference = target.run_reference()
+    rng = np.random.default_rng(123)
+    plan = sample_fault_plan(
+        target.scan_chain.location_space(),
+        reference.total_instructions,
+        count=min(max(bench_faults() // 5, 40), 200),
+        rng=rng,
+    )
+    timings = {}
+    outcomes = {}
+    for early_exit in (True, False):
+        started = time.perf_counter()
+        runs = [target.run_experiment(fault, early_exit=early_exit) for fault in plan]
+        timings[early_exit] = time.perf_counter() - started
+        outcomes[early_exit] = [
+            (run.outputs == reference.outputs, run.final_state_differs,
+             None if run.detection is None else run.detection.mechanism)
+            for run in runs
+        ]
+    return timings, outcomes, len(plan)
+
+
+def test_ablation_early_exit(benchmark):
+    timings, outcomes, count = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    speedup = timings[False] / timings[True]
+    lines = [
+        "Ablation: early-exit equivalence optimisation",
+        f"experiments: {count} (300 iterations each)",
+        f"with early exit:    {timings[True]:8.2f} s",
+        f"without early exit: {timings[False]:8.2f} s",
+        f"speed-up:           {speedup:8.2f} x",
+        "outcome equivalence: "
+        + ("IDENTICAL" if outcomes[True] == outcomes[False] else "DIVERGED"),
+    ]
+    emit("ablation_early_exit.txt", "\n".join(lines))
+
+    assert outcomes[True] == outcomes[False]
+    assert speedup > 1.2

@@ -1,0 +1,99 @@
+"""The cost argument, measured: duplication & comparison vs assertions.
+
+The paper's introduction (§1): duplication and comparison gives strong
+failure semantics but "is an expensive solution since each node then
+consists of two computers", motivating the cheap software mechanisms
+the paper proposes.  This bench quantifies both sides on the same fault
+plan:
+
+* a plain node (Algorithm I) — delivers some wrong results;
+* a lockstep pair — catches everything that would have been delivered
+  wrong, but also turns benign upsets into comparator stops (an
+  availability cost) and doubles the hardware;
+* the software-protected node (Algorithm II) — no extra hardware,
+  permanent failures gone, residual minor failures tolerated by the
+  control loop.
+"""
+
+import numpy as np
+from _common import bench_faults, emit
+
+from repro.analysis.classify import classify_experiment
+from repro.faults.models import sample_fault_plan
+from repro.goofi import LockstepTarget, TargetSystem
+from repro.workloads import compile_algorithm_i, compile_algorithm_ii
+
+ITERATIONS = 300
+
+
+def _outcome(run, reference_outputs):
+    return classify_experiment(
+        observed=run.outputs,
+        reference=reference_outputs,
+        detected_by=run.detection.mechanism.value if run.detection else None,
+        final_state_differs=run.final_state_differs,
+    )
+
+
+def _run_all():
+    count = min(max(bench_faults() // 3, 100), 400)
+    plain = TargetSystem(compile_algorithm_i(), iterations=ITERATIONS)
+    plain_ref = plain.run_reference()
+    guarded = TargetSystem(compile_algorithm_ii(), iterations=ITERATIONS)
+    guarded_ref = guarded.run_reference()
+    lockstep = LockstepTarget(compile_algorithm_i(), iterations=ITERATIONS)
+    lockstep.run_reference()
+
+    rng = np.random.default_rng(23)
+    plan = sample_fault_plan(
+        plain.scan_chain.location_space(), plain_ref.total_instructions, count, rng
+    )
+    stats = {
+        name: {"delivered_wrong": 0, "severe": 0, "detected": 0, "benign_stops": 0}
+        for name in ("plain node", "lockstep pair", "software (Alg II)")
+    }
+    for fault in plan:
+        plain_run = plain.run_experiment(fault)
+        plain_outcome = _outcome(plain_run, plain_ref.outputs)
+        benign_on_plain = plain_outcome.category.is_non_effective
+
+        for name, run, reference in (
+            ("plain node", plain_run, plain_ref.outputs),
+            ("lockstep pair", lockstep.run_experiment(fault), plain_ref.outputs),
+            ("software (Alg II)", guarded.run_experiment(fault), guarded_ref.outputs),
+        ):
+            outcome = _outcome(run, reference)
+            row = stats[name]
+            if outcome.category.is_value_failure:
+                row["delivered_wrong"] += 1
+            if outcome.category.is_severe:
+                row["severe"] += 1
+            if run.detection is not None:
+                row["detected"] += 1
+                if benign_on_plain:
+                    row["benign_stops"] += 1
+    return stats, count
+
+
+def test_ablation_lockstep(benchmark):
+    stats, count = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = [
+        "The cost argument (paper §1): lockstep duplication vs software mechanisms",
+        f"({count} faults, same plan against all three configurations)",
+        f"{'configuration':<20}{'CPUs':>6}{'wrong delivered':>17}{'severe':>8}"
+        f"{'detected':>10}{'stops on benign faults':>24}",
+    ]
+    cpus = {"plain node": 1, "lockstep pair": 2, "software (Alg II)": 1}
+    for name, row in stats.items():
+        lines.append(
+            f"{name:<20}{cpus[name]:>6d}{row['delivered_wrong']:>17d}"
+            f"{row['severe']:>8d}{row['detected']:>10d}{row['benign_stops']:>24d}"
+        )
+    emit("ablation_lockstep.txt", "\n".join(lines))
+
+    # Lockstep must not deliver severe results at all.
+    assert stats["lockstep pair"]["severe"] == 0
+    # ...but it stops on faults the plain node would absorb silently.
+    assert stats["lockstep pair"]["benign_stops"] > 0
+    # The software mechanism holds severe at-or-below the plain node's.
+    assert stats["software (Alg II)"]["severe"] <= stats["plain node"]["severe"]

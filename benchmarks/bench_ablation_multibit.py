@@ -1,0 +1,89 @@
+"""Extension study: single vs multi-bit upsets.
+
+The paper models single bit-flips; multi-cell upsets (one particle
+flipping adjacent bits) have since become common in dense SRAM.  This
+bench compares campaigns at burst widths 1, 2 and 4 against Algorithm II
+and reports how the outcome mix shifts — wider bursts produce larger
+value jumps, which the range assertion catches *more* often (out-of-range
+values become more likely), while detected errors rise too.
+"""
+
+import numpy as np
+from _common import bench_faults, bench_iterations, emit
+
+from repro.analysis.classify import classify_experiment
+from repro.analysis.report import CampaignSummary, ClassifiedExperiment
+from repro.faults import sample_fault_plan, sample_multibit_plan
+from repro.goofi import TargetSystem
+from repro.workloads import compile_algorithm_ii
+
+
+def _run_width(target, width, count, seed):
+    reference = target.reference
+    chain = target.scan_chain
+    rng = np.random.default_rng(seed)
+    if width == 1:
+        plan = sample_fault_plan(
+            chain.location_space(), reference.total_instructions, count, rng
+        )
+    else:
+        plan = sample_multibit_plan(
+            chain.location_space(),
+            chain.element_width,
+            reference.total_instructions,
+            count,
+            width,
+            rng,
+        )
+    records = []
+    for fault in plan:
+        run = target.run_experiment(fault)
+        outcome = classify_experiment(
+            observed=run.outputs,
+            reference=reference.outputs,
+            detected_by=(
+                run.detection.mechanism.value if run.detection else None
+            ),
+            final_state_differs=run.final_state_differs,
+        )
+        records.append(
+            ClassifiedExperiment(partition=fault.target.partition, outcome=outcome)
+        )
+    return CampaignSummary(
+        records,
+        partition_sizes={"cache": 1824, "registers": 426},
+        name=f"width {width}",
+    )
+
+
+def _run_all():
+    count = max(bench_faults() // 3, 120)
+    target = TargetSystem(compile_algorithm_ii(), iterations=bench_iterations())
+    target.run_reference()
+    return {width: _run_width(target, width, count, 40 + width) for width in (1, 2, 4)}
+
+
+def test_ablation_multibit(benchmark):
+    summaries = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = ["Extension: burst-width sweep (Algorithm II under SCIFI)"]
+    lines.append(
+        f"{'burst width':<14}{'n':>6}{'non-eff%':>10}{'detected%':>11}"
+        f"{'VF%':>8}{'severe%':>9}"
+    )
+    for width, summary in summaries.items():
+        n = summary.total()
+        lines.append(
+            f"{width:<14d}{n:>6d}"
+            f"{100.0 * summary.count_non_effective() / n:>9.1f}%"
+            f"{100.0 * summary.count_detected() / n:>10.1f}%"
+            f"{100.0 * summary.count_value_failures() / n:>7.1f}%"
+            f"{100.0 * summary.count_severe() / n:>8.2f}%"
+        )
+    emit("ablation_multibit.txt", "\n".join(lines))
+
+    # Wider bursts must not be *less* effective than single flips.
+    single = summaries[1]
+    quad = summaries[4]
+    single_effective = single.count_effective() / single.total()
+    quad_effective = quad.count_effective() / quad.total()
+    assert quad_effective >= single_effective * 0.8

@@ -1,0 +1,84 @@
+"""Ablation: what does each half of the mechanism contribute?
+
+The paper's mechanism couples an executable assertion with best-effort
+recovery from the previous iteration's backup.  This bench ablates the
+recovery policy at model level (fast, state-targeted SWIFI):
+
+* unprotected — plain PI (Algorithm I),
+* reset-to-safe — assertion + reset the state to a fixed safe value,
+* hold-last-good — assertion + the paper's backup recovery (Algorithm II).
+
+Expected shape: both protected variants eliminate permanent failures;
+hold-last-good converts severe failures into *smaller* minor ones than
+reset-to-safe (which discards the learned operating point).
+"""
+
+from _common import bench_faults, emit
+
+from repro.analysis import OutcomeCategory
+from repro.control import PIController
+from repro.core import ControllerGuard, ResetToInitialPolicy, throttle_range_assertion
+from repro.goofi import run_model_campaign
+
+ITERATIONS = 650
+
+
+def _variants():
+    def unprotected():
+        return PIController()
+
+    def reset_to_safe():
+        return ControllerGuard(
+            PIController(),
+            state_assertions=[throttle_range_assertion()],
+            output_assertions=[throttle_range_assertion()],
+            policy=ResetToInitialPolicy([12.0]),
+        )
+
+    def hold_last_good():
+        return ControllerGuard(
+            PIController(),
+            state_assertions=[throttle_range_assertion()],
+            output_assertions=[throttle_range_assertion()],
+        )
+
+    return {
+        "unprotected (Algorithm I)": unprotected,
+        "assert + reset-to-safe": reset_to_safe,
+        "assert + hold-last-good (paper)": hold_last_good,
+    }
+
+
+def _run_all():
+    faults = max(bench_faults(), 400)
+    results = {}
+    for name, factory in _variants().items():
+        results[name] = run_model_campaign(
+            factory, faults=faults, seed=77, iterations=ITERATIONS, name=name
+        ).summary()
+    return results
+
+
+def test_ablation_recovery_policy(benchmark):
+    summaries = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = ["Ablation: recovery policy (model-level SWIFI on the state vector)"]
+    lines.append(
+        f"{'variant':<34}{'severe':>8}{'permanent':>11}{'minor':>8}{'VFs':>6}{'n':>7}"
+    )
+    for name, summary in summaries.items():
+        lines.append(
+            f"{name:<34}"
+            f"{summary.count_severe():>8d}"
+            f"{summary.count_category(OutcomeCategory.SEVERE_PERMANENT):>11d}"
+            f"{summary.count_minor():>8d}"
+            f"{summary.count_value_failures():>6d}"
+            f"{summary.total():>7d}"
+        )
+    emit("ablation_recovery_policy.txt", "\n".join(lines))
+
+    unprotected = summaries["unprotected (Algorithm I)"]
+    paper = summaries["assert + hold-last-good (paper)"]
+    reset = summaries["assert + reset-to-safe"]
+    assert paper.count_severe() < unprotected.count_severe()
+    assert paper.count_category(OutcomeCategory.SEVERE_PERMANENT) == 0
+    assert reset.count_category(OutcomeCategory.SEVERE_PERMANENT) == 0

@@ -1,0 +1,99 @@
+"""Ablation: model-level SWIFI vs CPU-level SCIFI on the state variable.
+
+GOOFI supports both techniques.  For faults targeting the controller
+*state*, the cheap model-level injector should agree with the full
+CPU-level campaign on the qualitative outcome mix: the same split
+between insignificant (low mantissa bits), severe (high/exponent bits)
+and recovered/minor behaviour under Algorithm II.  This cross-validates
+the fast path used by the other ablations.
+"""
+
+import numpy as np
+from _common import bench_faults, emit
+
+from repro.analysis import OutcomeCategory, classify_outputs
+from repro.control import GuardedPIController, PIController
+from repro.faults.models import FaultDescriptor, FaultTarget
+from repro.goofi import TargetSystem, run_model_campaign
+from repro.thor.cache import split_address
+from repro.thor.scanchain import CACHE_PARTITION
+from repro.workloads import compile_algorithm_i, compile_algorithm_ii
+
+ITERATIONS = 400
+
+
+def _scifi_state_faults(workload, count, seed):
+    """CPU-level campaign restricted to x's cache-line data bits."""
+    target = TargetSystem(workload, iterations=ITERATIONS)
+    reference = target.run_reference()
+    _, x_line = split_address(workload.address_of("x"))
+    rng = np.random.default_rng(seed)
+    outcomes = []
+    for _ in range(count):
+        bit = int(rng.integers(0, 32))
+        time = int(rng.integers(0, reference.total_instructions))
+        fault = FaultDescriptor(
+            FaultTarget(CACHE_PARTITION, f"line{x_line}.data", bit), time
+        )
+        run = target.run_experiment(fault)
+        if run.detection is not None:
+            outcomes.append(OutcomeCategory.DETECTED)
+        else:
+            outcomes.append(
+                classify_outputs(run.outputs, reference.outputs).category
+            )
+    return outcomes
+
+
+def _swifi_state_faults(controller_factory, count, seed):
+    """Model-level campaign on state index 0 (x)."""
+    result = run_model_campaign(
+        controller_factory, faults=count, seed=seed, iterations=ITERATIONS
+    )
+    return [e.outcome.category for e in result.experiments if e.fault.state_index == 0]
+
+
+def _severe_fraction(categories):
+    effective = [c for c in categories if c.is_value_failure]
+    if not effective:
+        return 0.0
+    return sum(1 for c in effective if c.is_severe) / len(effective)
+
+
+def _run_all():
+    count = min(max(bench_faults() // 4, 60), 250)
+    return {
+        "SCIFI x-line (Algorithm I)": _scifi_state_faults(
+            compile_algorithm_i(), count, 5
+        ),
+        "SCIFI x-line (Algorithm II)": _scifi_state_faults(
+            compile_algorithm_ii(), count, 6
+        ),
+        "SWIFI state (plain PI)": _swifi_state_faults(PIController, count * 3, 5),
+        "SWIFI state (guarded PI)": _swifi_state_faults(
+            GuardedPIController, count * 3, 6
+        ),
+    }
+
+
+def test_ablation_swifi_vs_scifi(benchmark):
+    results = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    lines = ["Ablation: SWIFI (model) vs SCIFI (CPU) on state-variable faults"]
+    lines.append(f"{'technique / workload':<32}{'n':>6}{'VF%':>8}{'severe share':>14}")
+    for name, categories in results.items():
+        n = len(categories)
+        vf = sum(1 for c in categories if c.is_value_failure)
+        lines.append(
+            f"{name:<32}{n:>6d}{100.0 * vf / max(n, 1):>7.1f}%"
+            f"{100.0 * _severe_fraction(categories):>13.1f}%"
+        )
+    emit("ablation_swifi_vs_scifi.txt", "\n".join(lines))
+
+    # Both techniques must agree on the protection effect: the guarded
+    # variant has a lower severe share of value failures.
+    assert _severe_fraction(results["SCIFI x-line (Algorithm II)"]) <= _severe_fraction(
+        results["SCIFI x-line (Algorithm I)"]
+    )
+    assert _severe_fraction(results["SWIFI state (guarded PI)"]) <= _severe_fraction(
+        results["SWIFI state (plain PI)"]
+    )

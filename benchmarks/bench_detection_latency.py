@@ -1,0 +1,50 @@
+"""Detection latency: how long errors stay live before being caught.
+
+Coverage alone (Tables 2/3) does not say how quickly a mechanism fires;
+latency bounds the window during which a corrupted value could still
+reach the actuators.  This bench extracts the per-mechanism latency
+distribution from the Algorithm I campaign: decode-path checks fire
+within a few instructions, while cache-resident corruption waits for the
+next access to the poisoned line (up to a full iteration).
+"""
+
+from _common import emit, run_cached_campaign
+
+from repro.analysis import latency_histogram, latency_table, render_latency_table
+from repro.goofi import TargetSystem
+from repro.workloads import compile_algorithm_i
+
+
+def _analyse():
+    result = run_cached_campaign("I")
+    # Per-iteration instruction count for the iteration-scale column.
+    target = TargetSystem(compile_algorithm_i(), iterations=5)
+    reference = target.run_reference()
+    per_iteration = reference.total_instructions / 5
+    return latency_table(result), latency_histogram(result), per_iteration
+
+
+def test_detection_latency(benchmark):
+    rows, histogram, per_iteration = benchmark.pedantic(
+        _analyse, rounds=1, iterations=1
+    )
+    text = render_latency_table(
+        rows,
+        iteration_instructions=per_iteration,
+        title="Detection latency by mechanism (Algorithm I campaign)",
+    )
+    histogram_lines = ["", "all-mechanism latency histogram (instructions):"]
+    for label, count in histogram:
+        histogram_lines.append(f"  {label:<18}{count:>6d}  {'#' * min(count, 60)}")
+    emit("detection_latency.txt", text + "\n".join(histogram_lines))
+
+    assert rows, "the campaign produced detections"
+    total = sum(count for _, count in histogram)
+    assert total == sum(row.count for row in rows)
+    # Most detections fire within one control iteration.
+    fast = sum(
+        count
+        for label, count in histogram
+        if not label.endswith("inf)") and int(label.split(",")[1][:-1]) <= 1000
+    )
+    assert fast / total > 0.5

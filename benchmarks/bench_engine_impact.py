@@ -1,0 +1,77 @@
+"""Physical-impact study: what the failure classes do to the engine.
+
+The paper grades failures by output deviation, with the headline hazard
+being "permanently locking the engine's throttle at full speed".  This
+bench closes the loop on that claim: it takes the Algorithm I campaign's
+value failures, replays each delivered throttle sequence against the
+engine, and reports the physical consequences per §4.1 class — showing
+that *severe* classes are exactly the ones that overspeed the engine or
+leave it off-speed, while minor classes barely move it.
+"""
+
+from collections import defaultdict
+
+from _common import emit, run_cached_campaign
+
+from repro.analysis import OutcomeCategory, engine_impact, render_impact
+
+
+def _analyse():
+    result = run_cached_campaign("I")
+    golden = result.reference_outputs
+    baseline = engine_impact(golden)
+    per_class = defaultdict(list)
+    for run, outcome in zip(result.experiments, result.outcomes):
+        if not outcome.category.is_value_failure:
+            continue
+        per_class[outcome.category].append(engine_impact(run.outputs))
+    return baseline, per_class
+
+
+def test_engine_impact(benchmark):
+    baseline, per_class = benchmark.pedantic(_analyse, rounds=1, iterations=1)
+    lines = ["Physical impact on the engine per failure class (Algorithm I)"]
+    lines.append(render_impact(baseline, label="fault-free baseline"))
+    order = (
+        OutcomeCategory.SEVERE_PERMANENT,
+        OutcomeCategory.SEVERE_SEMI_PERMANENT,
+        OutcomeCategory.MINOR_TRANSIENT,
+        OutcomeCategory.MINOR_INSIGNIFICANT,
+    )
+    worst_by_class = {}
+    for category in order:
+        impacts = per_class.get(category, [])
+        if not impacts:
+            lines.append(f"{category.value:<24} (no instances at this campaign size)")
+            continue
+        worst = max(impacts, key=lambda i: max(i.peak_overspeed, i.peak_droop))
+        worst_by_class[category] = worst
+        lines.append(render_impact(worst, label=f"worst {category.value}"))
+        hazardous = sum(1 for i in impacts if i.is_hazardous())
+        lines.append(
+            f"{'':<24} {len(impacts)} instances, {hazardous} hazardous "
+            f"(red-line or large final error)"
+        )
+    emit("engine_impact.txt", "\n".join(lines))
+
+    # Severe classes must hit the engine harder than minor ones.
+    severe = [
+        impact
+        for category in order[:2]
+        for impact in per_class.get(category, [])
+    ]
+    minor = [
+        impact
+        for category in order[2:]
+        for impact in per_class.get(category, [])
+    ]
+    if severe and minor:
+        worst_severe = max(
+            max(i.peak_overspeed, i.peak_droop) for i in severe
+        )
+        worst_minor = max(max(i.peak_overspeed, i.peak_droop) for i in minor)
+        assert worst_severe >= worst_minor
+    # A permanently-railed throttle must register as hazardous.
+    permanent = per_class.get(OutcomeCategory.SEVERE_PERMANENT, [])
+    for impact in permanent:
+        assert impact.is_hazardous()

@@ -1,0 +1,37 @@
+"""Figure 3: reference speed vs actual engine speed (fault-free).
+
+Regenerates the paper's Figure 3 — the 2000 rpm -> 3000 rpm reference
+step at t = 5 s and the engine's tracking response, with the deviations
+caused by the load bumps in 3 < t < 4 and 7 < t < 8.
+"""
+
+from _common import bench_iterations, emit
+
+from repro.analysis.asciiplot import ascii_chart, series_csv
+from repro.control import PIController
+from repro.plant import ClosedLoop
+
+
+def _run_fault_free():
+    return ClosedLoop(PIController()).run(iterations=bench_iterations())
+
+
+def test_fig03_speed_tracking(benchmark):
+    trace = benchmark.pedantic(_run_fault_free, rounds=1, iterations=1)
+    chart = ascii_chart(
+        trace.times,
+        [trace.reference, trace.speed],
+        labels=["reference speed r (rpm)", "actual engine speed y (rpm)"],
+        title="Figure 3: reference vs actual engine speed",
+        y_min=1500.0,
+        y_max=3500.0,
+    )
+    csv = series_csv(trace.times, [trace.reference, trace.speed], ["r", "y"])
+    emit("fig03_speed_tracking.txt", chart + "\n\n" + csv)
+
+    # Shape checks mirroring the paper's figure.
+    assert abs(trace.speed[:60] - 2000.0).max() < 5.0, "starts on the reference"
+    assert abs(trace.speed[-30:] - 3000.0).max() < 25.0, "settles on 3000 rpm"
+    dip_one = 2000.0 - trace.speed[195:285].min()
+    dip_two = 3000.0 - trace.speed[455:545].min()
+    assert dip_one > 50.0 and dip_two > 50.0, "load bumps visibly disturb y"

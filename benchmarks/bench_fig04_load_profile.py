@@ -1,0 +1,34 @@
+"""Figure 4: the engine load torque over the 10-second window."""
+
+import numpy as np
+from _common import bench_iterations, emit
+
+from repro.analysis.asciiplot import ascii_chart, series_csv
+from repro.plant import SAMPLE_TIME, paper_load_profile
+
+
+def _sample_load():
+    load = paper_load_profile()
+    steps = bench_iterations()
+    times = np.arange(steps) * SAMPLE_TIME
+    return times, np.asarray(load.samples(steps=steps))
+
+
+def test_fig04_load_profile(benchmark):
+    times, load = benchmark.pedantic(_sample_load, rounds=1, iterations=1)
+    chart = ascii_chart(
+        times,
+        [load],
+        labels=["engine load torque"],
+        title="Figure 4: engine load",
+        y_min=0.0,
+    )
+    emit(
+        "fig04_load_profile.txt",
+        chart + "\n\n" + series_csv(times, [load], ["load"]),
+    )
+
+    base = load[0]
+    assert np.isclose(load[(times < 3.0) | ((times > 4.2) & (times < 6.8))], base).all()
+    assert load[(times > 3.4) & (times < 3.6)].max() > base + 30.0
+    assert load[(times > 7.4) & (times < 7.6)].max() > base + 30.0

@@ -1,0 +1,46 @@
+"""Figure 5: the fault-free controller output u_lim.
+
+Regenerated from the *target system itself*: the compiled Algorithm I
+workload running on the simulated CPU in the closed loop (this is also
+every campaign's golden run).
+"""
+
+import numpy as np
+from _common import bench_iterations, emit
+
+from repro.analysis.asciiplot import ascii_chart, series_csv
+from repro.goofi import TargetSystem
+from repro.plant import SAMPLE_TIME
+from repro.workloads import compile_algorithm_i
+
+
+def _golden_run():
+    target = TargetSystem(compile_algorithm_i(), iterations=bench_iterations())
+    reference = target.run_reference()
+    times = np.arange(len(reference.outputs)) * SAMPLE_TIME
+    return times, np.asarray(reference.outputs)
+
+
+def test_fig05_controller_output(benchmark):
+    times, output = benchmark.pedantic(_golden_run, rounds=1, iterations=1)
+    chart = ascii_chart(
+        times,
+        [output],
+        labels=["u_lim (degrees)"],
+        title="Figure 5: fault-free output u_lim from the PI controller",
+        y_min=0.0,
+        y_max=70.0,
+    )
+    emit(
+        "fig05_controller_output.txt",
+        chart + "\n\n" + series_csv(times, [output], ["u_lim"]),
+    )
+
+    # Shape checks: output stays well inside the 0-70 range, sits near
+    # the 2000-rpm operating point (~12 deg) initially and near the
+    # 3000-rpm point (~17 deg) at the end, with bumps during the load
+    # disturbances.
+    assert output.min() >= 0.0 and output.max() <= 70.0
+    assert 8.0 < output[:60].mean() < 16.0
+    assert 13.0 < output[-30:].mean() < 22.0
+    assert output[(times > 3.2) & (times < 3.8)].max() > output[:60].mean() + 2.0

@@ -1,0 +1,94 @@
+"""Figure 10: an in-range state corruption that escapes the assertions.
+
+The paper explains Algorithm II's residual severe failures with
+Figure 10: the state variable ``x`` changes to a wrong but *in-range*
+value, so the range assertion cannot fire; the output deviates strongly
+until the integral action re-learns the state (a semi-permanent value
+failure).  This bench reproduces the scenario on the CPU target running
+Algorithm II and verifies that (a) no assertion fires, (b) the outcome
+is still a severe value failure — and shows that the rate-limit
+assertion proposed as future work would have caught it at model level.
+"""
+
+import numpy as np
+from _common import bench_iterations, emit
+
+from repro.analysis import OutcomeCategory, classify_outputs
+from repro.analysis.asciiplot import ascii_chart
+from repro.control import PIController
+from repro.core import CompositeAssertion, ControllerGuard, RateLimitAssertion, throttle_range_assertion
+from repro.faults.models import FaultDescriptor, FaultTarget
+from repro.goofi import TargetSystem
+from repro.plant import SAMPLE_TIME, ClosedLoop
+from repro.thor.cache import split_address
+from repro.thor.scanchain import CACHE_PARTITION
+from repro.workloads import compile_algorithm_ii
+
+
+def _provoke_escape():
+    workload = compile_algorithm_ii()
+    target = TargetSystem(workload, iterations=bench_iterations())
+    reference = target.run_reference()
+    _, x_line = split_address(workload.address_of("x"))
+
+    # Exponent bits 24/23 of x ~ 12-17 degrees produce in-range wrong
+    # values (x/4, x*1.5, ...) the range assertion accepts.
+    for bit in (24, 23, 22, 21):
+        for iteration in (360, 362):
+            for offset in range(10, 160, 13):
+                time = reference.instructions_at[iteration] + offset
+                fault = FaultDescriptor(
+                    FaultTarget(CACHE_PARTITION, f"line{x_line}.data", bit), time
+                )
+                run = target.run_experiment(fault)
+                if run.detection is not None:
+                    continue
+                outcome = classify_outputs(run.outputs, reference.outputs)
+                if outcome.category is OutcomeCategory.SEVERE_SEMI_PERMANENT:
+                    return reference, fault, run, outcome
+    raise AssertionError("no in-range escape provoked")
+
+
+def test_fig10_assertion_escape(benchmark):
+    reference, fault, run, outcome = benchmark.pedantic(
+        _provoke_escape, rounds=1, iterations=1
+    )
+    times = np.arange(len(reference.outputs)) * SAMPLE_TIME
+    chart = ascii_chart(
+        times,
+        [np.asarray(reference.outputs), np.asarray(run.outputs)],
+        labels=["fault-free output", "undetected wrong output"],
+        title=(
+            "Figure 10: in-range state corruption escaping the assertions\n"
+            f"(fault: {fault.label()}; severe semi-permanent, max deviation "
+            f"{outcome.max_deviation:.2f} deg)"
+        ),
+        y_min=0.0,
+        y_max=70.0,
+    )
+
+    # Future-work check at model level: a rate-limit assertion catches
+    # the same in-range jump that the range assertion accepts.
+    guard = ControllerGuard(
+        PIController(),
+        state_assertions=[
+            CompositeAssertion(
+                [throttle_range_assertion(), RateLimitAssertion(max_delta=3.0)]
+            )
+        ],
+        output_assertions=[throttle_range_assertion()],
+    )
+    loop = ClosedLoop(guard)
+    loop.run(iterations=10)  # settle + fill the rate history
+    guard.controller.x = 69.0  # the paper's example: ~10 -> 69 degrees
+    guard.step(2000.0, 2000.0)
+    caught = guard.monitor.count("state") == 1
+    footer = (
+        "Rate-limit assertion (future work, max_delta=3 deg/iteration) "
+        + ("CATCHES" if caught else "misses")
+        + " the same in-range jump at model level."
+    )
+    emit("fig10_assertion_escape.txt", chart + "\n\n" + footer)
+
+    assert outcome.category is OutcomeCategory.SEVERE_SEMI_PERMANENT
+    assert caught

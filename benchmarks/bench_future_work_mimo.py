@@ -1,0 +1,112 @@
+"""Future work (paper §5), measured: assertions + BER on a MIMO controller.
+
+The paper closes announcing research on protecting "multiple input and
+multiple output control algorithms such as jet-engine controllers".
+This bench runs a SWIFI state-fault campaign against a 2-state/2-output
+controller regulating the two-spool plant — unprotected vs wrapped in
+the generic :class:`repro.core.ControllerGuard` — and reports the same
+severity reduction the paper demonstrates for the SISO case.
+"""
+
+import numpy as np
+from _common import bench_faults, emit
+
+from repro.analysis import OutcomeCategory, classify_outputs
+from repro.analysis.report import CampaignSummary, ClassifiedExperiment
+from repro.control import Limiter, StateSpaceController
+from repro.core import ControllerGuard, RangeAssertion
+from repro.faults import flip_float_bit
+from repro.plant import TwoSpoolEngine, run_mimo_loop
+
+ITERATIONS = 650
+REFERENCES = [2000.0, 1500.0]
+
+
+def _controller():
+    t = 0.0154
+    return StateSpaceController(
+        a=[[1.0, 0.0], [0.0, 1.0]],
+        b=[[t * 0.012, 0.0], [0.0, t * 0.01]],
+        c=[[1.0, 0.0], [0.0, 1.0]],
+        d=[[0.004, 0.0], [0.0, 0.003]],
+        limiters=[Limiter(0.0, 70.0), Limiter(0.0, 70.0)],
+    )
+
+
+def _guarded():
+    return ControllerGuard(
+        _controller(),
+        state_assertions=[RangeAssertion(0.0, 70.0)] * 2,
+        output_assertions=[RangeAssertion(0.0, 70.0)] * 2,
+    )
+
+
+def _run(factory, fault=None):
+    controller = factory()
+
+    def hook(k, ctrl):
+        if fault is not None and k == fault[0]:
+            inner = getattr(ctrl, "controller", ctrl)
+            state = inner.state_vector()
+            state[fault[1]] = flip_float_bit(state[fault[1]], fault[2])
+            inner.set_state_vector(state)
+
+    outputs, _ = run_mimo_loop(
+        controller,
+        references=REFERENCES,
+        iterations=ITERATIONS,
+        engine=TwoSpoolEngine(),
+        fault_hook=hook,
+    )
+    return np.asarray(outputs)
+
+
+def _campaign(factory, golden, count, seed, name):
+    rng = np.random.default_rng(seed)
+    records = []
+    for _ in range(count):
+        fault = (
+            int(rng.integers(0, ITERATIONS)),
+            int(rng.integers(0, 2)),
+            int(rng.integers(0, 32)),
+        )
+        outputs = _run(factory, fault)
+        worst = None
+        for channel in range(2):
+            outcome = classify_outputs(outputs[:, channel], golden[:, channel])
+            if worst is None or (
+                outcome.category.is_severe and not worst.category.is_severe
+            ) or outcome.max_deviation > worst.max_deviation:
+                worst = outcome
+        records.append(ClassifiedExperiment(partition="state", outcome=worst))
+    return CampaignSummary(records, partition_sizes={"state": 128}, name=name)
+
+
+def _run_both():
+    count = min(max(bench_faults() // 3, 100), 400)
+    golden = _run(_controller)
+    golden_guarded = _run(_guarded)
+    assert np.array_equal(golden, golden_guarded), "guard must be transparent"
+    plain = _campaign(_controller, golden, count, 19, "MIMO unprotected")
+    guarded = _campaign(_guarded, golden, count, 19, "MIMO guarded")
+    return plain, guarded
+
+
+def test_future_work_mimo(benchmark):
+    plain, guarded = benchmark.pedantic(_run_both, rounds=1, iterations=1)
+    lines = ["Future work (paper §5): guarding a MIMO two-spool controller"]
+    lines.append(
+        f"{'variant':<22}{'n':>6}{'VFs':>6}{'severe':>8}{'permanent':>11}{'minor':>7}"
+    )
+    for summary in (plain, guarded):
+        lines.append(
+            f"{summary.name:<22}{summary.total():>6d}"
+            f"{summary.count_value_failures():>6d}"
+            f"{summary.count_severe():>8d}"
+            f"{summary.count_category(OutcomeCategory.SEVERE_PERMANENT):>11d}"
+            f"{summary.count_minor():>7d}"
+        )
+    emit("future_work_mimo.txt", "\n".join(lines))
+
+    assert guarded.count_severe() < plain.count_severe()
+    assert guarded.count_category(OutcomeCategory.SEVERE_PERMANENT) == 0

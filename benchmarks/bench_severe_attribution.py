@@ -1,0 +1,53 @@
+"""§4.2's detailed investigation: which elements cause the severe failures?
+
+The paper: "A detailed investigation revealed that most of the severe
+undetected wrong results were caused by faults injected into the cache
+lines where the global variable x representing the state is stored."
+
+This bench runs the Algorithm I campaign, builds the per-element
+vulnerability ranking, and checks that the value-failure attribution
+concentrates on the data-cache line holding ``x``.
+"""
+
+from _common import emit, run_cached_campaign
+
+from repro.analysis import VulnerabilityAnalysis, render_vulnerability_table
+from repro.thor.cache import split_address
+from repro.workloads import compile_algorithm_i
+
+
+def _analyse():
+    result = run_cached_campaign("I")
+    return VulnerabilityAnalysis.from_campaign(result)
+
+
+def test_severe_attribution(benchmark):
+    analysis = benchmark.pedantic(_analyse, rounds=1, iterations=1)
+    _, x_line = split_address(compile_algorithm_i().address_of("x"))
+    x_element = f"cache/line{x_line}.data"
+
+    severe_table = render_vulnerability_table(
+        analysis, title="Severe value failures by element (Algorithm I)"
+    )
+    vf_table = render_vulnerability_table(
+        analysis,
+        title="All value failures by element (Algorithm I)",
+        predicate=lambda o: o.category.is_value_failure,
+    )
+    attribution = analysis.attribution()
+    x_share = attribution.get(x_element, 0.0)
+    footer = (
+        f"state variable x lives in cache line {x_line}; its share of all "
+        f"severe failures: {100.0 * x_share:.0f}% "
+        "(paper: 'most of the severe undetected wrong results')"
+    )
+    emit(
+        "severe_attribution.txt",
+        severe_table + "\n\n" + vf_table + "\n\n" + footer,
+    )
+
+    severe_ranking = [row for row in analysis.ranking() if row.hits]
+    if severe_ranking:
+        # x's line must be the single largest severe contributor.
+        top_share = max(attribution.values())
+        assert attribution.get(x_element, 0.0) == top_share

@@ -1,0 +1,109 @@
+"""Table 1: the error-detection mechanisms of the simulated CPU.
+
+The paper's Table 1 lists Thor's mechanisms; this bench *exercises* each
+one with a dedicated trigger scenario and regenerates the table with a
+demonstrated/description column — showing that every mechanism exists
+and fires in this implementation.
+"""
+
+from _common import emit
+
+from repro.thor.assembler import assemble
+from repro.thor.comparator import MasterSlavePair
+from repro.thor.cpu import CPU, StepResult
+from repro.thor.edm import Mechanism
+from repro.thor.memory import EXTERNAL_BUS_BASE
+
+_DESCRIPTIONS = {
+    Mechanism.BUS_ERROR: "Bus time-out on external memory access",
+    Mechanism.ADDRESS_ERROR: "Access to non-existing or protected memory",
+    Mechanism.INSTRUCTION_ERROR: "Illegal or privileged-in-user-mode instruction",
+    Mechanism.JUMP_ERROR: "Jump/call/return target outside the code space",
+    Mechanism.CONSTRAINT_ERROR: "A run-time assertion (CHK) failed",
+    Mechanism.ACCESS_CHECK: "Attempt to follow a null pointer",
+    Mechanism.STORAGE_ERROR: "Stack access outside the task's stack",
+    Mechanism.OVERFLOW_CHECK: "Signed integer / float overflow",
+    Mechanism.UNDERFLOW_CHECK: "Float underflow or denormalised result",
+    Mechanism.DIVISION_CHECK: "Divide by zero (integer or float)",
+    Mechanism.ILLEGAL_OPERATION: "Float operation involving NaN / 0 x inf",
+    Mechanism.DATA_ERROR: "Uncorrectable error in data read from memory",
+    Mechanism.CONTROL_FLOW_ERROR: "Wrong sequence of basic-block signatures",
+    Mechanism.COMPARATOR_ERROR: "Master/slave lockstep divergence",
+}
+
+
+def _run_expect(source: str, poke=None) -> Mechanism:
+    cpu = CPU()
+    cpu.load(assemble(source))
+    if poke is not None:
+        poke(cpu)
+    cpu.run(10000)
+    assert cpu.detection is not None, "scenario did not trigger a detection"
+    return cpu.detection.mechanism
+
+
+def _trigger_all():
+    observed = {}
+    base = EXTERNAL_BUS_BASE + 0x40
+    observed[Mechanism.BUS_ERROR] = _run_expect(
+        f"lui r1, {base >> 16:#x}\nori r1, {base & 0xFFFF:#x}\nld r2, [r1]"
+    )
+    observed[Mechanism.ADDRESS_ERROR] = _run_expect("lui r1, 0x10\nld r2, [r1]")
+    observed[Mechanism.INSTRUCTION_ERROR] = _run_expect("wfi")
+    observed[Mechanism.JUMP_ERROR] = _run_expect("ldi r1, 16\njr r1")
+    observed[Mechanism.CONSTRAINT_ERROR] = _run_expect(
+        ".rodata\nlo: .float 0.0\nhi: .float 70.0\nbad: .float 90.0\n.text\n"
+        "lui r7, %hi(lo)\nori r7, %lo(lo)\n"
+        "ld r1, [r7+0]\nld r2, [r7+4]\nld r3, [r7+8]\nchk r1, r3, r2"
+    )
+    observed[Mechanism.ACCESS_CHECK] = _run_expect("ldi r1, 0\nld r2, [r1+8]")
+    observed[Mechanism.STORAGE_ERROR] = _run_expect("pop r1")
+    observed[Mechanism.OVERFLOW_CHECK] = _run_expect(
+        "lui r1, 0x7FFF\nori r1, 0xFFFF\nldi r2, 1\nadd r3, r1, r2"
+    )
+    observed[Mechanism.UNDERFLOW_CHECK] = _run_expect(
+        ".rodata\na: .float 1e-30\nb: .float 1e-30\n.text\n"
+        "lui r7, %hi(a)\nori r7, %lo(a)\nld r1, [r7+0]\nld r2, [r7+4]\nfmul r3, r1, r2"
+    )
+    observed[Mechanism.DIVISION_CHECK] = _run_expect(
+        "ldi r1, 4\nldi r2, 0\ndiv r3, r1, r2"
+    )
+    observed[Mechanism.ILLEGAL_OPERATION] = _run_expect(
+        ".rodata\nn: .word 0x7FC00000\none: .float 1.0\n.text\n"
+        "lui r7, %hi(n)\nori r7, %lo(n)\nld r1, [r7+0]\nld r2, [r7+4]\nfadd r3, r1, r2"
+    )
+    observed[Mechanism.DATA_ERROR] = _run_expect(
+        "lui r7, 0x0\nori r7, 0x2000\nld r1, [r7]\nsvc 0",
+        poke=lambda cpu: cpu.memory.corrupt_word_bit(cpu.layout.data_base, 9),
+    )
+
+    # Control-flow error: corrupt a branch so execution enters the wrong
+    # signature block.
+    cpu = CPU()
+    program = assemble("sig 0\nbr skip\nsig 1\nskip: sig 2\nsvc 0")
+    cpu.load(program)
+    cpu.step()
+    cpu.pc = cpu.layout.code_base + 8
+    cpu.ir = cpu.memory.fetch_word(cpu.pc)
+    cpu.run(10)
+    observed[Mechanism.CONTROL_FLOW_ERROR] = cpu.detection.mechanism
+
+    pair = MasterSlavePair(CPU(), CPU())
+    pair.load(assemble("ldi r1, 1\nsvc 0"))
+    pair.slave.regs[3] = 0xBAD
+    while pair.step() not in (StepResult.DETECTED,):
+        pass
+    observed[Mechanism.COMPARATOR_ERROR] = pair.master.detection.mechanism
+    return observed
+
+
+def test_table1_edm_coverage(benchmark):
+    observed = benchmark.pedantic(_trigger_all, rounds=1, iterations=1)
+    lines = ["Table 1: error detection mechanisms (each demonstrated by a trigger)"]
+    lines.append(f"{'Mechanism':<32}{'Fired':<8}Description")
+    for mechanism, description in _DESCRIPTIONS.items():
+        fired = "yes" if observed.get(mechanism) is mechanism else "NO"
+        lines.append(f"{mechanism.value:<32}{fired:<8}{description}")
+    emit("table1_edm_coverage.txt", "\n".join(lines))
+    for mechanism in _DESCRIPTIONS:
+        assert observed[mechanism] is mechanism

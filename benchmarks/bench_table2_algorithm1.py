@@ -1,0 +1,48 @@
+"""Table 2: fault-injection results for Algorithm I (plain PI).
+
+Runs a SCIFI campaign against the compiled Algorithm I workload and
+renders the paper's Table 2 layout (cache / registers / total columns,
+per-mechanism rows, 95% confidence intervals).  The paper injected 9290
+faults; the default bench size is smaller — scale with
+``REPRO_BENCH_FAULTS=9290`` for a paper-sized run.
+"""
+
+from _common import PAPER_FAULTS, bench_faults, emit, run_cached_campaign
+
+from repro.analysis import render_outcome_table
+
+
+def test_table2_algorithm1(benchmark):
+    result = benchmark.pedantic(
+        run_cached_campaign, args=("I",), rounds=1, iterations=1
+    )
+    summary = result.summary()
+    header = (
+        f"(reproduction: {bench_faults()} faults; paper: "
+        f"{PAPER_FAULTS['Algorithm I']} faults)"
+    )
+    table = render_outcome_table(summary, title="Table 2: Results for Algorithm I")
+    severe_share = summary.severe_share_of_value_failures()
+    footer = (
+        f"Severe share of value failures: {severe_share.format()} "
+        "(paper: 10.73%)"
+    )
+    emit("table2_algorithm1.txt", "\n".join([header, table, footer]))
+
+    # Shape assertions against the paper's Table 2.
+    total = summary.total()
+    assert summary.count_non_effective() / total > 0.45, "most faults non-effective"
+    assert summary.count_detected() / total > 0.10, "substantial detected fraction"
+    assert 0.005 < summary.count_value_failures() / total < 0.15, (
+        "a few percent of faults become value failures"
+    )
+    # Cache faults dominate the value failures (paper: 449 of 466).
+    assert summary.count_value_failures("cache") >= summary.count_value_failures(
+        "registers"
+    )
+    # ADDRESS ERROR is the dominant detection for cache faults.
+    cache_detected = summary.count_detected("cache")
+    if cache_detected:
+        assert (
+            summary.count_mechanism("ADDRESS ERROR", "cache") / cache_detected > 0.4
+        )

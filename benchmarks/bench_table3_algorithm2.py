@@ -1,0 +1,35 @@
+"""Table 3: fault-injection results for Algorithm II (assertions + BER).
+
+Same campaign as Table 2 but against the Algorithm II workload (the PI
+controller with executable assertions and best-effort recovery).  The
+paper injected 2372 faults.
+"""
+
+from _common import PAPER_FAULTS, bench_faults, emit, run_cached_campaign
+
+from repro.analysis import OutcomeCategory, render_outcome_table
+
+
+def test_table3_algorithm2(benchmark):
+    result = benchmark.pedantic(
+        run_cached_campaign, args=("II",), rounds=1, iterations=1
+    )
+    summary = result.summary()
+    header = (
+        f"(reproduction: {bench_faults()} faults; paper: "
+        f"{PAPER_FAULTS['Algorithm II']} faults)"
+    )
+    table = render_outcome_table(summary, title="Table 3: Results for Algorithm II")
+    severe_share = summary.severe_share_of_value_failures()
+    footer = (
+        f"Severe share of value failures: {severe_share.format()} "
+        "(paper: 3.23%)"
+    )
+    emit("table3_algorithm2.txt", "\n".join([header, table, footer]))
+
+    total = summary.total()
+    assert summary.count_non_effective() / total > 0.45
+    # The paper's headline for Algorithm II: no permanent failures at all.
+    assert summary.count_category(OutcomeCategory.SEVERE_PERMANENT) == 0
+    # Minor failures remain (recovery converts severe into minor).
+    assert summary.count_minor() >= summary.count_severe()

@@ -1,0 +1,54 @@
+"""Table 4: comparison of Algorithm I and Algorithm II.
+
+Reuses the Table 2 and Table 3 campaigns and renders the paper's Table 4
+breakdown (permanent / semi-permanent / transient / insignificant), then
+checks the paper's headline claims: permanent failures eliminated and
+the severe share of value failures reduced (10.73% -> 3.23% in the
+paper), while total value failures stay roughly unchanged (recoveries
+become minor failures instead).
+"""
+
+from _common import emit, run_cached_campaign
+
+from repro.analysis import OutcomeCategory, compare_campaigns, render_comparison_table
+
+
+def _both():
+    return run_cached_campaign("I"), run_cached_campaign("II")
+
+
+def test_table4_comparison(benchmark):
+    result_i, result_ii = benchmark.pedantic(_both, rounds=1, iterations=1)
+    summary_i = result_i.summary()
+    summary_ii = result_ii.summary()
+    table = render_comparison_table(
+        summary_i,
+        summary_ii,
+        title="Table 4: Comparison of results for Algorithm I and II",
+    )
+    share_i = summary_i.severe_share_of_value_failures()
+    share_ii = summary_ii.severe_share_of_value_failures()
+    footer = (
+        f"Severe share of value failures: {share_i.percent:.2f}% -> "
+        f"{share_ii.percent:.2f}%  (paper: 10.73% -> 3.23%)"
+    )
+    emit("table4_comparison.txt", table + "\n" + footer)
+
+    # Paper claims (Table 4):
+    # 1. Permanent value failures disappear entirely.
+    assert summary_ii.count_category(OutcomeCategory.SEVERE_PERMANENT) == 0
+    # 2. Severe failures do not increase; the rate drops.
+    assert summary_ii.count_severe() / summary_ii.total() <= (
+        summary_i.count_severe() / summary_i.total()
+    )
+    # 3. The severe *share* of value failures is reduced.
+    if summary_i.count_value_failures() and summary_ii.count_value_failures():
+        assert share_ii.estimate <= share_i.estimate
+    # 4. Total undetected wrong results stay in the same ballpark
+    #    (5.02% vs 5.23% in the paper): within a factor of two here.
+    rate_i = summary_i.count_value_failures() / summary_i.total()
+    rate_ii = summary_ii.count_value_failures() / summary_ii.total()
+    assert 0.4 < (rate_ii + 1e-9) / (rate_i + 1e-9) < 2.5
+
+    rows = compare_campaigns(summary_i, summary_ii)
+    assert any(row.label == "Undetected Wrong Results (Permanent)" for row in rows)

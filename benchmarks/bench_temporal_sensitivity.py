@@ -1,0 +1,41 @@
+"""When the fault lands matters: outcome mix by injection time.
+
+The paper samples injection times uniformly over the run; this bench
+slices that axis and shows the structure inside: severe failures need
+remaining observation time to manifest (late faults run out of window),
+and detection rates stay flat — the hardware checks don't care when the
+particle strikes.
+"""
+
+from _common import emit, run_cached_campaign
+
+from repro.analysis.sensitivity import render_temporal_profile, temporal_profile
+
+
+def _profile():
+    result = run_cached_campaign("I")
+    return temporal_profile(result, bins=10)
+
+
+def test_temporal_sensitivity(benchmark):
+    profile = benchmark.pedantic(_profile, rounds=1, iterations=1)
+    text = render_temporal_profile(
+        profile, title="Algorithm I outcomes by injection time (10 slices)"
+    )
+    emit("temporal_sensitivity.txt", text)
+
+    total = sum(tbin.total for tbin in profile)
+    assert total > 0
+    # Uniform sampling: no slice should be wildly over/under-populated.
+    expected = total / len(profile)
+    for tbin in profile:
+        assert 0.4 * expected <= tbin.total <= 1.8 * expected
+    # Detection has no strong time preference: the first and last halves
+    # detect within a factor of two of each other (rate-wise).
+    first = sum(t.detected for t in profile[:5]) / max(
+        sum(t.total for t in profile[:5]), 1
+    )
+    second = sum(t.detected for t in profile[5:]) / max(
+        sum(t.total for t in profile[5:]), 1
+    )
+    assert 0.5 <= (first + 0.01) / (second + 0.01) <= 2.0

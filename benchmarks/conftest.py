@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+Benchmarks are regular pytest-benchmark tests; each runs its campaign or
+simulation exactly once (``pedantic`` mode) because a fault-injection
+campaign is a long deterministic job, not a microbenchmark.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling ``_common`` module importable when pytest is invoked
+# from the repository root.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,22 @@
+-- A PI speed controller in the tcc mini-language (Algorithm I).
+-- Run with:  python -m repro run --source examples/minilang_controller.ctl
+program minilang_pi
+inputs r, y
+outputs u_lim
+var x := 0.0
+var u_lim
+local e
+local u
+local ki := 0.03
+begin
+  e := r - y;
+  u := e * 0.01 + x;
+  u_lim := u;
+  if u_lim > 70.0 then u_lim := 70.0; end if;
+  if u_lim < 0.0 then u_lim := 0.0; end if;
+  ki := 0.03;
+  if (u > 70.0 and e > 0.0) or (u < 0.0 and e < 0.0) then
+    ki := 0.0;
+  end if;
+  x := x + 0.0154 * e * ki;
+end

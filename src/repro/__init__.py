@@ -1,0 +1,59 @@
+"""Reproduction of Vinter et al., "Reducing Critical Failures for Control
+Algorithms Using Executable Assertions and Best Effort Recovery" (DSN 2001).
+
+Top-level re-exports cover the everyday API: the PI controllers
+(Algorithms I and II), the generic controller guard, the engine plant,
+the Thor-like CPU simulator, and the GOOFI fault-injection campaign
+machinery.  See DESIGN.md for the full system inventory.
+"""
+
+from repro.version import __version__
+
+from repro.control import (
+    ControllerGains,
+    GuardedPIController,
+    PIController,
+    PIDController,
+    StateSpaceController,
+)
+from repro.core import (
+    AssertionMonitor,
+    ControllerGuard,
+    RangeAssertion,
+    RateLimitAssertion,
+    throttle_range_assertion,
+)
+from repro.plant import (
+    ClosedLoop,
+    EngineModel,
+    EngineParameters,
+    ITERATIONS,
+    SAMPLE_TIME,
+    THROTTLE_MAX,
+    THROTTLE_MIN,
+    paper_load_profile,
+    paper_reference_profile,
+)
+
+__all__ = [
+    "__version__",
+    "ControllerGains",
+    "PIController",
+    "GuardedPIController",
+    "PIDController",
+    "StateSpaceController",
+    "ControllerGuard",
+    "RangeAssertion",
+    "RateLimitAssertion",
+    "AssertionMonitor",
+    "throttle_range_assertion",
+    "ClosedLoop",
+    "EngineModel",
+    "EngineParameters",
+    "paper_reference_profile",
+    "paper_load_profile",
+    "SAMPLE_TIME",
+    "ITERATIONS",
+    "THROTTLE_MIN",
+    "THROTTLE_MAX",
+]

@@ -1,0 +1,82 @@
+"""Campaign analysis: outcome classification, statistics and reports.
+
+Implements the paper's §4.1 error and failure classification scheme, the
+95% confidence intervals printed in Tables 2–4, and renderers producing
+the same table layouts.
+"""
+
+from repro.analysis.classify import (
+    FailureClass,
+    Outcome,
+    OutcomeCategory,
+    STRONG_DEVIATION_THRESHOLD,
+    classify_outputs,
+    classify_experiment,
+)
+from repro.analysis.asciiplot import ascii_chart, series_csv
+from repro.analysis.impact import (
+    EngineImpact,
+    engine_impact,
+    impact_comparison,
+    render_impact,
+)
+from repro.analysis.stats import (
+    Proportion,
+    TwoProportionTest,
+    faults_for_half_width,
+    proportion_confidence,
+    two_proportion_z_test,
+    wald_interval,
+    wilson_interval,
+)
+from repro.analysis.dossier import campaign_dossier
+from repro.analysis.latency import (
+    LatencyStats,
+    detection_latencies,
+    latency_histogram,
+    latency_table,
+    render_latency_table,
+)
+from repro.analysis.report import CampaignSummary, render_outcome_table
+from repro.analysis.sensitivity import (
+    ElementVulnerability,
+    VulnerabilityAnalysis,
+    render_vulnerability_table,
+)
+from repro.analysis.compare import ComparisonRow, compare_campaigns, render_comparison_table
+
+__all__ = [
+    "FailureClass",
+    "Outcome",
+    "OutcomeCategory",
+    "STRONG_DEVIATION_THRESHOLD",
+    "classify_outputs",
+    "classify_experiment",
+    "Proportion",
+    "TwoProportionTest",
+    "proportion_confidence",
+    "two_proportion_z_test",
+    "faults_for_half_width",
+    "wald_interval",
+    "wilson_interval",
+    "ascii_chart",
+    "series_csv",
+    "EngineImpact",
+    "engine_impact",
+    "impact_comparison",
+    "render_impact",
+    "CampaignSummary",
+    "render_outcome_table",
+    "ElementVulnerability",
+    "VulnerabilityAnalysis",
+    "render_vulnerability_table",
+    "LatencyStats",
+    "detection_latencies",
+    "latency_table",
+    "latency_histogram",
+    "render_latency_table",
+    "campaign_dossier",
+    "ComparisonRow",
+    "compare_campaigns",
+    "render_comparison_table",
+]

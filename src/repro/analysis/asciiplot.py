@@ -1,0 +1,101 @@
+"""Text rendering of time-series figures.
+
+The paper's figures are line plots (speed/load/output vs time).  The
+benchmark harness regenerates each figure's series and renders it as an
+ASCII chart plus a CSV block, so results are inspectable without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_MARKS = "*o+x#@"
+
+
+def ascii_chart(
+    times: Sequence[float],
+    series: Sequence[Sequence[float]],
+    labels: Sequence[str],
+    title: str = "",
+    height: int = 18,
+    width: int = 72,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render one or more series over a shared time axis.
+
+    Args:
+        times: sample instants (all series share them).
+        series: one or more value sequences, each as long as ``times``.
+        labels: one legend label per series.
+        title: chart heading.
+        height/width: plot raster size in characters.
+        y_min/y_max: fixed y-axis range; inferred from the data if omitted.
+    """
+    if not series or len(series) != len(labels):
+        raise ConfigurationError("series and labels must match and be non-empty")
+    t = np.asarray(times, dtype=float)
+    data = [np.asarray(s, dtype=float) for s in series]
+    for s in data:
+        if s.shape != t.shape:
+            raise ConfigurationError("every series must match the time vector")
+    finite = np.concatenate([s[np.isfinite(s)] for s in data])
+    if finite.size == 0:
+        raise ConfigurationError("nothing finite to plot")
+    lo = y_min if y_min is not None else float(finite.min())
+    hi = y_max if y_max is not None else float(finite.max())
+    if hi <= lo:
+        hi = lo + 1.0
+
+    raster = [[" "] * width for _ in range(height)]
+    t_lo, t_hi = float(t.min()), float(t.max())
+    t_span = (t_hi - t_lo) or 1.0
+    for series_index, s in enumerate(data):
+        mark = _MARKS[series_index % len(_MARKS)]
+        for time, value in zip(t, s):
+            if not np.isfinite(value):
+                continue
+            col = int((time - t_lo) / t_span * (width - 1))
+            clipped = min(max(value, lo), hi)
+            row = height - 1 - int((clipped - lo) / (hi - lo) * (height - 1))
+            raster[row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {label}" for i, label in enumerate(labels)
+    )
+    lines.append(legend)
+    for row_index, row in enumerate(raster):
+        if row_index == 0:
+            axis_label = f"{hi:10.2f} |"
+        elif row_index == height - 1:
+            axis_label = f"{lo:10.2f} |"
+        else:
+            axis_label = " " * 10 + " |"
+        lines.append(axis_label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * (width - 1))
+    lines.append(f"{'':11}{t_lo:<10.2f}{'time (s)':^{max(width - 30, 8)}}{t_hi:>10.2f}")
+    return "\n".join(lines)
+
+
+def series_csv(
+    times: Sequence[float],
+    series: Sequence[Sequence[float]],
+    labels: Sequence[str],
+    max_rows: int = 80,
+) -> str:
+    """A decimated CSV block of the plotted series (for EXPERIMENTS.md)."""
+    t = np.asarray(times, dtype=float)
+    step = max(1, len(t) // max_rows)
+    lines = ["time," + ",".join(labels)]
+    for i in range(0, len(t), step):
+        row = [f"{t[i]:.4f}"] + [f"{np.asarray(s)[i]:.4f}" for s in series]
+        lines.append(",".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,231 @@
+"""Error and failure classification (paper §4.1).
+
+Every fault-injection experiment ends in exactly one outcome:
+
+* **Detected error** — a hardware error-detection mechanism fired; the
+  mechanism's name is recorded (the per-mechanism rows of Tables 2–3).
+* **Undetected wrong result** (value failure) — the controller delivered
+  at least one output differing from the fault-free sequence:
+
+  - *severe / permanent*: from the first strong deviation the output sits
+    at the maximum (70°) or minimum (0°) rail until the end of the
+    observed window (Figure 7);
+  - *severe / semi-permanent*: strong deviation (> 0.1°) sustained over
+    several iterations before the output starts converging back toward
+    the fault-free sequence (Figure 8);
+  - *minor / transient*: strong deviation during one iteration, after
+    which the output "rapidly starts to converge" (Figure 9);
+  - *minor / insignificant*: all deviations below 0.1°.
+
+Operationalising transient vs semi-permanent: in a closed loop, even a
+single-iteration output spike leaves a small correction echo (> 0.1°)
+while the plant recovers, and the paper's Figure 9 still counts that as
+transient.  The discriminator is whether convergence begins immediately:
+we count the iterations spent in the *strong phase* — deviations above
+half the peak deviation — and call the failure transient when that phase
+lasts at most :data:`TRANSIENT_PHASE_LIMIT` iterations (a spike peaks at
+the fault and collapses immediately), semi-permanent when the deviation
+plateaus near its peak for longer (a corrupted state variable holds the
+output wrong until the integral action re-learns, Figures 8 and 10).
+
+* **Non-effective error** — outputs identical to the fault-free run:
+
+  - *latent*: the final system state still differs from the reference
+    execution's final state;
+  - *overwritten*: no difference remains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.constants import THROTTLE_MAX, THROTTLE_MIN
+
+#: Deviation from the fault-free output counting as a *strong* difference
+#: (paper: "differs strongly (more than 0.1 degrees)").
+STRONG_DEVIATION_THRESHOLD = 0.1
+
+#: Maximum length (iterations) of the strong phase — deviations above
+#: half the peak — for a failure to count as transient.
+TRANSIENT_PHASE_LIMIT = 2
+
+#: Fraction of the peak deviation separating the strong phase from the
+#: convergence tail.
+CONVERGENCE_FRACTION = 0.5
+
+
+class OutcomeCategory(enum.Enum):
+    """Top-level §4.1 categories."""
+
+    DETECTED = "detected"
+    SEVERE_PERMANENT = "severe-permanent"
+    SEVERE_SEMI_PERMANENT = "severe-semi-permanent"
+    MINOR_TRANSIENT = "minor-transient"
+    MINOR_INSIGNIFICANT = "minor-insignificant"
+    LATENT = "latent"
+    OVERWRITTEN = "overwritten"
+
+    @property
+    def is_value_failure(self) -> bool:
+        """True for the four undetected-wrong-result classes."""
+        return self in _VALUE_FAILURES
+
+    @property
+    def is_severe(self) -> bool:
+        """True for permanent and semi-permanent value failures."""
+        return self in (
+            OutcomeCategory.SEVERE_PERMANENT,
+            OutcomeCategory.SEVERE_SEMI_PERMANENT,
+        )
+
+    @property
+    def is_effective(self) -> bool:
+        """True for detected errors and value failures."""
+        return self is OutcomeCategory.DETECTED or self.is_value_failure
+
+    @property
+    def is_non_effective(self) -> bool:
+        """True for latent and overwritten errors."""
+        return not self.is_effective
+
+
+_VALUE_FAILURES = frozenset(
+    {
+        OutcomeCategory.SEVERE_PERMANENT,
+        OutcomeCategory.SEVERE_SEMI_PERMANENT,
+        OutcomeCategory.MINOR_TRANSIENT,
+        OutcomeCategory.MINOR_INSIGNIFICANT,
+    }
+)
+
+
+class FailureClass(enum.Enum):
+    """Severity grouping of a value failure."""
+
+    SEVERE = "severe"
+    MINOR = "minor"
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """The classified outcome of one fault-injection experiment.
+
+    Attributes:
+        category: the §4.1 class.
+        mechanism: detecting mechanism name for DETECTED outcomes.
+        first_failure_iteration: index of the first strong deviation, if
+            the outputs ever deviated strongly.
+        max_deviation: largest absolute output deviation observed.
+    """
+
+    category: OutcomeCategory
+    mechanism: Optional[str] = None
+    first_failure_iteration: Optional[int] = None
+    max_deviation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if (self.category is OutcomeCategory.DETECTED) != (self.mechanism is not None):
+            raise ConfigurationError(
+                "mechanism must be given exactly for DETECTED outcomes"
+            )
+
+
+def _railed(value: float) -> bool:
+    """Output at the physical rails (paper: 0.0 or 70.0 degrees)."""
+    return value <= THROTTLE_MIN or value >= THROTTLE_MAX
+
+
+def classify_outputs(
+    observed: Sequence[float],
+    reference: Sequence[float],
+    threshold: float = STRONG_DEVIATION_THRESHOLD,
+) -> Outcome:
+    """Classify an undetected run from its output sequence.
+
+    Both sequences must have equal length (the observed window: 650
+    iterations in the paper).  The caller has already established that no
+    hardware detection fired; this function distinguishes the value
+    failure classes and returns OVERWRITTEN for bitwise-identical outputs
+    (the latent/overwritten split additionally needs the final-state
+    comparison and is handled by :func:`classify_experiment`).
+    """
+    obs = np.asarray(observed, dtype=float)
+    ref = np.asarray(reference, dtype=float)
+    if obs.shape != ref.shape or obs.ndim != 1 or obs.size == 0:
+        raise ConfigurationError("observed/reference must be equal-length 1-D")
+    # NaN/inf outputs deviate by definition; replace them with a huge
+    # finite sentinel so peak-relative phase logic stays well-defined.
+    deviation = np.abs(obs - ref)
+    deviation = np.where(np.isfinite(deviation), deviation, 1e30)
+    if not deviation.any():
+        return Outcome(category=OutcomeCategory.OVERWRITTEN)
+    strong = deviation > threshold
+    strong_count = int(strong.sum())
+    max_dev = float(deviation.max())
+    if strong_count == 0:
+        return Outcome(
+            category=OutcomeCategory.MINOR_INSIGNIFICANT, max_deviation=max_dev
+        )
+    first = int(np.argmax(strong))
+    # Permanent: pinned at a physical rail from the first failure to the
+    # end of the window, never converging back.
+    tail = obs[first:]
+    still_wrong_at_end = bool(strong[-1])
+    pinned_high = bool(np.all(tail >= THROTTLE_MAX))
+    pinned_low = bool(np.all(tail <= THROTTLE_MIN))
+    if still_wrong_at_end and (pinned_high or pinned_low):
+        return Outcome(
+            category=OutcomeCategory.SEVERE_PERMANENT,
+            first_failure_iteration=first,
+            max_deviation=max_dev,
+        )
+    # Transient vs semi-permanent: how long does the deviation stay in
+    # its strong phase (above half the peak) before convergence begins?
+    phase_floor = max(threshold, CONVERGENCE_FRACTION * max_dev)
+    strong_phase = int((deviation > phase_floor).sum())
+    if strong_phase <= TRANSIENT_PHASE_LIMIT and strong_count < len(obs):
+        category = OutcomeCategory.MINOR_TRANSIENT
+    else:
+        category = OutcomeCategory.SEVERE_SEMI_PERMANENT
+    return Outcome(
+        category=category,
+        first_failure_iteration=first,
+        max_deviation=max_dev,
+    )
+
+
+def classify_experiment(
+    observed: Sequence[float],
+    reference: Sequence[float],
+    detected_by: Optional[str],
+    final_state_differs: bool,
+    threshold: float = STRONG_DEVIATION_THRESHOLD,
+) -> Outcome:
+    """Full §4.1 classification of one experiment.
+
+    Args:
+        observed: output sequence delivered by the faulted run (truncated
+            sequences are allowed for detected runs).
+        reference: fault-free output sequence.
+        detected_by: name of the hardware mechanism that terminated the
+            run, or ``None``.
+        final_state_differs: whether the logged final system state differs
+            from the reference execution's (latent vs overwritten).
+        threshold: strong-deviation threshold in degrees.
+    """
+    if detected_by is not None:
+        # Precedence follows the experiment's termination condition: a
+        # detection ends the run, so outputs after it don't exist.  Wrong
+        # outputs delivered *before* the detection would have been value
+        # failures, but the paper terminates on the detection event and
+        # counts the experiment as detected.
+        return Outcome(category=OutcomeCategory.DETECTED, mechanism=detected_by)
+    outcome = classify_outputs(observed, reference, threshold)
+    if outcome.category is OutcomeCategory.OVERWRITTEN and final_state_differs:
+        return Outcome(category=OutcomeCategory.LATENT)
+    return outcome

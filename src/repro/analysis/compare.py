@@ -1,0 +1,109 @@
+"""Algorithm I vs Algorithm II comparison (the paper's Table 4).
+
+Table 4 breaks the undetected wrong results of both campaigns into the
+four value-failure classes (permanent, semi-permanent, transient,
+insignificant) next to the non-effective / detected / effective totals,
+with 95% confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.analysis.classify import OutcomeCategory
+from repro.analysis.report import CampaignSummary
+from repro.analysis.stats import Proportion
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One Table 4 row: a label and a proportion per campaign."""
+
+    label: str
+    left: Proportion
+    right: Proportion
+
+    @property
+    def reduced(self) -> bool:
+        """True if the right campaign's point estimate is lower."""
+        return self.right.estimate < self.left.estimate
+
+    @property
+    def significant(self) -> bool:
+        """True if the 95% confidence intervals do not overlap."""
+        return not self.left.overlaps(self.right)
+
+
+_ROWS: Tuple[Tuple[str, Callable[[CampaignSummary], int]], ...] = (
+    ("Total (Non Effective Errors)", lambda s: s.count_non_effective()),
+    ("Total (Detected Errors)", lambda s: s.count_detected()),
+    (
+        "Undetected Wrong Results (Permanent)",
+        lambda s: s.count_category(OutcomeCategory.SEVERE_PERMANENT),
+    ),
+    (
+        "Undetected Wrong Results (Semi-Permanent)",
+        lambda s: s.count_category(OutcomeCategory.SEVERE_SEMI_PERMANENT),
+    ),
+    (
+        "Undetected Wrong Results (Transient)",
+        lambda s: s.count_category(OutcomeCategory.MINOR_TRANSIENT),
+    ),
+    (
+        "Undetected Wrong Results (Insignificant)",
+        lambda s: s.count_category(OutcomeCategory.MINOR_INSIGNIFICANT),
+    ),
+    ("Total (Undetected Wrong Results)", lambda s: s.count_value_failures()),
+    ("Total (Effective Errors)", lambda s: s.count_effective()),
+)
+
+
+def compare_campaigns(
+    left: CampaignSummary, right: CampaignSummary
+) -> List[ComparisonRow]:
+    """Build the Table 4 rows for two campaigns (Algorithm I vs II)."""
+    rows = []
+    for label, counter in _ROWS:
+        rows.append(
+            ComparisonRow(
+                label=label,
+                left=left.proportion(counter(left)),
+                right=right.proportion(counter(right)),
+            )
+        )
+    return rows
+
+
+def render_comparison_table(
+    left: CampaignSummary,
+    right: CampaignSummary,
+    title: Optional[str] = None,
+) -> str:
+    """Render the Table 4 layout as fixed-width text."""
+    label_width = 44
+    lines = [title or "Comparison of results"]
+    lines.append(
+        " " * label_width
+        + f"{'Results for ' + left.name:>30}"
+        + f"{'Results for ' + right.name:>30}"
+    )
+    for row in compare_campaigns(left, right):
+        lines.append(
+            f"{row.label:<{label_width}}"
+            f"{row.left.format():>30}"
+            f"{row.right.format():>30}"
+        )
+    lines.append(
+        f"{'Total (Faults Injected)':<{label_width}}"
+        + f"{'100.00%':>16}{left.total():>8d}{'':>6}"
+        + f"{'100.00%':>16}{right.total():>8d}"
+    )
+    severe_left = left.severe_share_of_value_failures()
+    severe_right = right.severe_share_of_value_failures()
+    lines.append(
+        f"{'Severe share of value failures':<{label_width}}"
+        f"{severe_left.format():>30}"
+        f"{severe_right.format():>30}"
+    )
+    return "\n".join(lines)

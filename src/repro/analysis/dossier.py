@@ -1,0 +1,101 @@
+"""Campaign dossiers: one document with every analysis of a campaign.
+
+GOOFI's analysis phase required "tailor made scripts that query the
+database" (§3.3.4); :func:`campaign_dossier` is that script, written
+once: given a campaign result it assembles the outcome table, the
+severity attribution, the detection-latency table, the temporal profile
+and the headline statistics into a single text report.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.latency import latency_table, render_latency_table
+from repro.analysis.report import render_outcome_table
+from repro.analysis.sensitivity import (
+    VulnerabilityAnalysis,
+    render_temporal_profile,
+    render_vulnerability_table,
+    temporal_profile,
+)
+from repro.analysis.stats import proportion_confidence
+
+
+def campaign_dossier(
+    result,
+    title: Optional[str] = None,
+    temporal_bins: int = 8,
+    top_elements: int = 12,
+) -> str:
+    """The complete analysis of one campaign as a text document.
+
+    Args:
+        result: a :class:`~repro.goofi.campaign.CampaignResult` (or any
+            object with ``experiments``, ``outcomes``, ``summary()``).
+        title: document heading (defaults to the campaign name).
+        temporal_bins: slices for the injection-time profile.
+        top_elements: rows in the attribution tables.
+    """
+    summary = result.summary()
+    heading = title or f"Campaign dossier: {summary.name}"
+    rule = "=" * len(heading)
+    sections: List[str] = [heading, rule, ""]
+
+    # 1. Headline numbers.
+    total = summary.total()
+    sections.append("Headline")
+    sections.append("-" * 8)
+    severe = summary.severe_share_of_value_failures()
+    lines = [
+        f"faults injected:          {total}",
+        f"non-effective:            {summary.proportion(summary.count_non_effective()).format()}",
+        f"detected:                 {summary.proportion(summary.count_detected()).format()}",
+        f"undetected wrong results: {summary.proportion(summary.count_value_failures()).format()}",
+        f"  of which severe:        {summary.proportion(summary.count_severe()).format()}",
+        f"severe share of VFs:      {severe.format()}",
+        f"coverage:                 {summary.coverage().format()}",
+    ]
+    sections.extend(lines)
+    sections.append("")
+
+    # 2. The full outcome table.
+    sections.append(render_outcome_table(summary))
+    sections.append("")
+
+    # 3. Element attribution (severe and all value failures).
+    analysis = VulnerabilityAnalysis.from_campaign(result)
+    if summary.count_severe():
+        sections.append(
+            render_vulnerability_table(
+                analysis,
+                title="Severe value failures by element",
+                top=top_elements,
+            )
+        )
+        sections.append("")
+    if summary.count_value_failures():
+        sections.append(
+            render_vulnerability_table(
+                analysis,
+                title="All value failures by element",
+                predicate=lambda o: o.category.is_value_failure,
+                top=top_elements,
+            )
+        )
+        sections.append("")
+
+    # 4. Detection latency.
+    rows = latency_table(result)
+    if rows:
+        sections.append(render_latency_table(rows))
+        sections.append("")
+
+    # 5. Temporal profile.
+    sections.append(
+        render_temporal_profile(
+            temporal_profile(result, bins=temporal_bins),
+            title=f"Outcomes by injection time ({temporal_bins} slices)",
+        )
+    )
+    return "\n".join(sections)

@@ -1,0 +1,130 @@
+"""Controlled-object impact analysis.
+
+The §4.1 classes grade failures by the *output sequence*; severity,
+though, is ultimately about the engine — the paper's motivating failure
+is "permanently locking the engine's throttle at full speed".  This
+module replays a faulted throttle sequence against the engine model and
+quantifies the physical consequences: peak overspeed, peak droop, time
+spent outside a speed tolerance, and whether an overspeed limit was hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.plant.engine import EngineModel
+from repro.plant.profiles import (
+    LoadProfile,
+    ReferenceProfile,
+    paper_load_profile,
+    paper_reference_profile,
+)
+
+
+@dataclass(frozen=True)
+class EngineImpact:
+    """Physical consequences of one faulted run on the engine.
+
+    Attributes:
+        peak_overspeed: largest rpm excess over the reference.
+        peak_droop: largest rpm shortfall below the reference.
+        seconds_outside_tolerance: time with |speed - reference| above
+            the tolerance.
+        overspeed_limit_exceeded: the speed crossed the hard limit
+            (mechanical red-line) at least once.
+        final_speed_error: |speed - reference| at the window's end.
+    """
+
+    peak_overspeed: float
+    peak_droop: float
+    seconds_outside_tolerance: float
+    overspeed_limit_exceeded: bool
+    final_speed_error: float
+
+    def is_hazardous(self) -> bool:
+        """Red-line crossed or the window ends far off the reference."""
+        return self.overspeed_limit_exceeded or self.final_speed_error > 500.0
+
+
+def engine_impact(
+    throttle_sequence: Sequence[float],
+    reference: Optional[ReferenceProfile] = None,
+    load: Optional[LoadProfile] = None,
+    engine: Optional[EngineModel] = None,
+    tolerance: float = 150.0,
+    overspeed_limit: float = 4500.0,
+    warm_start: bool = True,
+) -> EngineImpact:
+    """Drive the engine with a recorded throttle sequence and measure it.
+
+    Args:
+        throttle_sequence: the delivered commands (a faulted run's
+            outputs, or the golden outputs for a baseline).
+        reference / load: experiment profiles (paper defaults).
+        engine: plant instance (fresh default engine otherwise).
+        tolerance: rpm band counted as "on speed".
+        overspeed_limit: mechanical red-line in rpm.
+        warm_start: start at the 2000 rpm operating point.
+    """
+    if len(throttle_sequence) == 0:
+        raise ConfigurationError("empty throttle sequence")
+    reference = reference if reference is not None else paper_reference_profile()
+    load = load if load is not None else paper_load_profile()
+    engine = engine if engine is not None else EngineModel()
+    if warm_start:
+        engine.reset(speed=reference.value(0.0), load=load.base)
+    else:
+        engine.reset()
+
+    sample_time = engine.params.sample_time
+    overspeed = 0.0
+    droop = 0.0
+    outside = 0
+    limit_hit = False
+    speed = engine.speed
+    target = reference.value(0.0)
+    for k, throttle in enumerate(throttle_sequence):
+        t = k * sample_time
+        target = reference.value(t)
+        speed = engine.speed
+        error = speed - target
+        overspeed = max(overspeed, error)
+        droop = max(droop, -error)
+        if abs(error) > tolerance:
+            outside += 1
+        if speed > overspeed_limit:
+            limit_hit = True
+        engine.step(throttle, load.value(t))
+    return EngineImpact(
+        peak_overspeed=overspeed,
+        peak_droop=droop,
+        seconds_outside_tolerance=outside * sample_time,
+        overspeed_limit_exceeded=limit_hit,
+        final_speed_error=abs(engine.speed - target),
+    )
+
+
+def impact_comparison(
+    observed: Sequence[float],
+    golden: Sequence[float],
+    **kwargs,
+) -> "tuple[EngineImpact, EngineImpact]":
+    """Impacts of a faulted run and its golden baseline, side by side."""
+    if len(observed) != len(golden):
+        raise ConfigurationError("sequences must have equal length")
+    return engine_impact(observed, **kwargs), engine_impact(golden, **kwargs)
+
+
+def render_impact(impact: EngineImpact, label: str = "run") -> str:
+    """One-line physical summary for reports."""
+    flag = " !! red-line" if impact.overspeed_limit_exceeded else ""
+    return (
+        f"{label:<24} overspeed {impact.peak_overspeed:7.0f} rpm | "
+        f"droop {impact.peak_droop:7.0f} rpm | "
+        f"off-speed {impact.seconds_outside_tolerance:5.2f} s | "
+        f"final error {impact.final_speed_error:6.0f} rpm{flag}"
+    )

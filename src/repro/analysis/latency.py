@@ -1,0 +1,113 @@
+"""Detection latency: how long errors stay live before a mechanism fires.
+
+Error-detection *coverage* says whether an error is caught; *latency*
+says how fast — the window during which a wrong value could propagate to
+the actuators.  This module extracts per-mechanism latency distributions
+(in dynamic instructions and in control iterations) from campaign
+results and renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Latency distribution summary for one mechanism.
+
+    Attributes:
+        mechanism: Table 1 mechanism name.
+        count: detections observed.
+        median / p90 / maximum: latency quantiles in dynamic
+            instructions between injection and detection.
+    """
+
+    mechanism: str
+    count: int
+    median: float
+    p90: float
+    maximum: int
+
+
+def detection_latencies(result) -> Dict[str, List[int]]:
+    """Raw per-mechanism latencies from a campaign result.
+
+    Latency = the detection's dynamic instruction index minus the
+    injection time.  Only experiments terminated by a detection
+    contribute.
+    """
+    latencies: Dict[str, List[int]] = {}
+    for run in result.experiments:
+        if run.detection is None:
+            continue
+        delta = run.detection.instruction_index - run.fault.time
+        if delta < 0:
+            # A detection during the pre-injection replay cannot happen;
+            # guard against inconsistent inputs.
+            raise ConfigurationError("detection precedes the injection")
+        latencies.setdefault(run.detection.mechanism.value, []).append(delta)
+    return latencies
+
+
+def latency_table(result) -> List[LatencyStats]:
+    """Per-mechanism latency summaries, slowest median first."""
+    rows = []
+    for mechanism, values in detection_latencies(result).items():
+        data = np.asarray(values)
+        rows.append(
+            LatencyStats(
+                mechanism=mechanism,
+                count=len(values),
+                median=float(np.median(data)),
+                p90=float(np.percentile(data, 90)),
+                maximum=int(data.max()),
+            )
+        )
+    rows.sort(key=lambda row: row.median, reverse=True)
+    return rows
+
+
+def render_latency_table(
+    rows: Sequence[LatencyStats],
+    iteration_instructions: Optional[float] = None,
+    title: str = "Detection latency by mechanism",
+) -> str:
+    """Fixed-width rendering; optionally also in control iterations."""
+    lines = [title]
+    header = f"{'mechanism':<24}{'n':>6}{'median':>10}{'p90':>10}{'max':>10}"
+    if iteration_instructions:
+        header += f"{'median (iters)':>16}"
+    lines.append(header + "   (instructions)")
+    for row in rows:
+        line = (
+            f"{row.mechanism:<24}{row.count:>6d}"
+            f"{row.median:>10.0f}{row.p90:>10.0f}{row.maximum:>10d}"
+        )
+        if iteration_instructions:
+            line += f"{row.median / iteration_instructions:>16.2f}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def latency_histogram(
+    result, bins: Sequence[int] = (1, 10, 100, 1000, 10000, 100000)
+) -> List["tuple[str, int]"]:
+    """All-mechanism latency histogram over logarithmic bins.
+
+    Returns ``(label, count)`` pairs; the last bucket is open-ended.
+    """
+    values = [v for vs in detection_latencies(result).values() for v in vs]
+    out = []
+    previous = 0
+    for edge in bins:
+        count = sum(1 for v in values if previous <= v < edge)
+        out.append((f"[{previous}, {edge})", count))
+        previous = edge
+    out.append((f"[{previous}, inf)", sum(1 for v in values if v >= previous)))
+    return out

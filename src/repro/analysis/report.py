@@ -1,0 +1,240 @@
+"""Campaign summaries and paper-style result tables (Tables 2 and 3).
+
+A :class:`CampaignSummary` aggregates classified experiments and renders
+the exact row structure of the paper's Tables 2/3: non-effective errors
+(latent / overwritten), one row per detection mechanism, undetected wrong
+results (severe / minor), the effective/injected totals, and the
+value-failure total with the resulting error-detection coverage —
+each as ``% (± 95% conf) #`` per partition (Cache / Registers / Total).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.classify import Outcome, OutcomeCategory
+from repro.analysis.stats import Proportion, proportion_confidence
+from repro.errors import ConfigurationError
+
+#: Mechanism row order used by the paper's tables.  Mechanisms observed in
+#: a campaign but missing here are appended before "Other Errors".
+DEFAULT_MECHANISM_ROWS: Tuple[str, ...] = (
+    "BUS ERROR",
+    "ADDRESS ERROR",
+    "DATA ERROR",
+    "INSTRUCTION ERROR",
+    "JUMP ERROR",
+    "CONSTRAINT ERROR",
+    "ACCESS CHECK",
+    "STORAGE ERROR",
+    "OVERFLOW CHECK",
+    "UNDERFLOW CHECK",
+    "DIVISION CHECK",
+    "ILLEGAL OPERATION",
+    "CONTROL FLOW ERROR",
+    "OTHER",
+)
+
+
+@dataclass(frozen=True)
+class ClassifiedExperiment:
+    """One experiment's partition label and classified outcome."""
+
+    partition: str
+    outcome: Outcome
+
+
+class CampaignSummary:
+    """Aggregated outcome counts for one fault-injection campaign.
+
+    Args:
+        records: classified experiments.
+        partition_sizes: number of injectable state elements per
+            partition, printed in the table header (e.g. cache: 1824).
+        name: campaign label used as the table title.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[ClassifiedExperiment],
+        partition_sizes: Optional[Dict[str, int]] = None,
+        name: str = "campaign",
+    ):
+        self.records: Tuple[ClassifiedExperiment, ...] = tuple(records)
+        if not self.records:
+            raise ConfigurationError("campaign summary needs at least one record")
+        self.partition_sizes = dict(partition_sizes or {})
+        self.name = name
+
+    # -- partitions ---------------------------------------------------------
+    @property
+    def partitions(self) -> Tuple[str, ...]:
+        """Partition names: ``partition_sizes`` order first (a stable
+        column layout across campaigns), then any extra partitions in
+        first-appearance order."""
+        seen: List[str] = [
+            name for name in self.partition_sizes
+            if any(r.partition == name for r in self.records)
+        ]
+        for record in self.records:
+            if record.partition not in seen:
+                seen.append(record.partition)
+        return tuple(seen)
+
+    def _select(self, partition: Optional[str]) -> List[ClassifiedExperiment]:
+        if partition is None:
+            return list(self.records)
+        return [r for r in self.records if r.partition == partition]
+
+    # -- counting -------------------------------------------------------------
+    def total(self, partition: Optional[str] = None) -> int:
+        """Number of injected faults (in one partition or overall)."""
+        return len(self._select(partition))
+
+    def count_category(
+        self, category: OutcomeCategory, partition: Optional[str] = None
+    ) -> int:
+        """Number of experiments in one §4.1 category."""
+        return sum(
+            1 for r in self._select(partition) if r.outcome.category is category
+        )
+
+    def count_mechanism(self, mechanism: str, partition: Optional[str] = None) -> int:
+        """Number of detections attributed to ``mechanism``."""
+        return sum(
+            1
+            for r in self._select(partition)
+            if r.outcome.category is OutcomeCategory.DETECTED
+            and r.outcome.mechanism == mechanism
+        )
+
+    def count_detected(self, partition: Optional[str] = None) -> int:
+        """Total detected errors."""
+        return self.count_category(OutcomeCategory.DETECTED, partition)
+
+    def count_value_failures(self, partition: Optional[str] = None) -> int:
+        """Total undetected wrong results."""
+        return sum(
+            1 for r in self._select(partition) if r.outcome.category.is_value_failure
+        )
+
+    def count_severe(self, partition: Optional[str] = None) -> int:
+        """Severe undetected wrong results."""
+        return sum(1 for r in self._select(partition) if r.outcome.category.is_severe)
+
+    def count_minor(self, partition: Optional[str] = None) -> int:
+        """Minor undetected wrong results."""
+        return self.count_value_failures(partition) - self.count_severe(partition)
+
+    def count_non_effective(self, partition: Optional[str] = None) -> int:
+        """Latent plus overwritten errors."""
+        return sum(
+            1 for r in self._select(partition) if r.outcome.category.is_non_effective
+        )
+
+    def count_effective(self, partition: Optional[str] = None) -> int:
+        """Detected errors plus value failures."""
+        return self.total(partition) - self.count_non_effective(partition)
+
+    def mechanisms(self) -> Tuple[str, ...]:
+        """All detecting mechanisms observed, in table row order."""
+        observed = []
+        for record in self.records:
+            mech = record.outcome.mechanism
+            if mech is not None and mech not in observed:
+                observed.append(mech)
+        ordered = [m for m in DEFAULT_MECHANISM_ROWS if m in observed]
+        extras = [m for m in observed if m not in DEFAULT_MECHANISM_ROWS]
+        return tuple(ordered + extras)
+
+    # -- headline statistics ------------------------------------------------
+    def proportion(self, count: int, partition: Optional[str] = None) -> Proportion:
+        """``count`` as a proportion of the partition's injected faults."""
+        return proportion_confidence(count, self.total(partition))
+
+    def severe_share_of_value_failures(self) -> Proportion:
+        """Severe failures as a share of all value failures.
+
+        This is the paper's headline number: 10.7% for Algorithm I,
+        3.2% for Algorithm II.
+        """
+        failures = self.count_value_failures()
+        if failures == 0:
+            return proportion_confidence(0, 1)
+        return proportion_confidence(self.count_severe(), failures)
+
+    def coverage(self, partition: Optional[str] = None) -> Proportion:
+        """Error-detection coverage: 1 - value failures / faults injected."""
+        total = self.total(partition)
+        covered = total - self.count_value_failures(partition)
+        return proportion_confidence(covered, total)
+
+
+def _header(summary: CampaignSummary, partitions: Sequence[Optional[str]]) -> List[str]:
+    cells = []
+    for partition in partitions:
+        if partition is None:
+            size = sum(summary.partition_sizes.values()) or None
+            label = "Total"
+        else:
+            size = summary.partition_sizes.get(partition)
+            label = partition
+        cells.append(f"{label} ({size})" if size else f"{label}")
+    return cells
+
+
+def render_outcome_table(summary: CampaignSummary, title: Optional[str] = None) -> str:
+    """Render the paper's Table 2/3 layout as fixed-width text."""
+    partitions: List[Optional[str]] = list(summary.partitions) + [None]
+    label_width = 42
+    lines: List[str] = []
+    lines.append(title or f"Results for {summary.name}")
+    header = _header(summary, partitions)
+    lines.append(
+        " " * label_width + "".join(f"{cell:>28}" for cell in header)
+    )
+
+    def row(label: str, counts: List[int]) -> str:
+        cells = []
+        for partition, count in zip(partitions, counts):
+            cells.append(f"{summary.proportion(count, partition).format():>28}")
+        return f"{label:<{label_width}}" + "".join(cells)
+
+    def counts_for(fn) -> List[int]:
+        return [fn(p) for p in partitions]
+
+    lines.append(
+        row("Latent Errors", counts_for(
+            lambda p: summary.count_category(OutcomeCategory.LATENT, p)))
+    )
+    lines.append(
+        row("Overwritten Errors", counts_for(
+            lambda p: summary.count_category(OutcomeCategory.OVERWRITTEN, p)))
+    )
+    lines.append(row("Total (Non Effective Errors)", counts_for(summary.count_non_effective)))
+    for mechanism in summary.mechanisms():
+        lines.append(
+            row(mechanism.title(), counts_for(
+                lambda p, m=mechanism: summary.count_mechanism(m, p)))
+        )
+    lines.append(
+        row("Undetected Wrong Results (Severe)", counts_for(summary.count_severe))
+    )
+    lines.append(
+        row("Undetected Wrong Results (Minor)", counts_for(summary.count_minor))
+    )
+    lines.append(row("Total (Effective Errors)", counts_for(summary.count_effective)))
+    totals = [summary.total(p) for p in partitions]
+    lines.append(
+        f"{'Total (Faults Injected)':<{label_width}}"
+        + "".join(f"{'100.00%':>14}{count:>14d}" for count in totals)
+    )
+    lines.append(
+        row("Total (Undetected Wrong Results)", counts_for(summary.count_value_failures))
+    )
+    coverage_cells = []
+    for partition in partitions:
+        coverage_cells.append(f"{summary.coverage(partition).format():>28}")
+    lines.append(f"{'Coverage':<{label_width}}" + "".join(coverage_cells))
+    return "\n".join(lines)

@@ -1,0 +1,233 @@
+"""Per-element vulnerability analysis (the paper's §4.2 investigation).
+
+The paper's analysis phase drilled into *which* state elements caused
+the severe failures: "a detailed investigation revealed that most of the
+severe undetected wrong results were caused by faults injected into the
+cache lines where the global variable x ... is stored."  This module
+performs that investigation on campaign results: it aggregates outcomes
+per state element, ranks elements by their rate of a chosen outcome
+class, and renders the attribution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.classify import Outcome, OutcomeCategory
+from repro.analysis.stats import Proportion, proportion_confidence
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ElementVulnerability:
+    """Outcome statistics for one state element.
+
+    Attributes:
+        partition: scan-chain partition of the element.
+        element: element name (e.g. ``line3.data``).
+        injections: faults injected into this element.
+        hits: faults whose outcome matched the studied predicate.
+    """
+
+    partition: str
+    element: str
+    injections: int
+    hits: int
+
+    @property
+    def rate(self) -> float:
+        """Hit rate among this element's injections."""
+        return self.hits / self.injections if self.injections else 0.0
+
+    def proportion(self) -> Proportion:
+        """The hit rate with its 95% confidence half-width."""
+        return proportion_confidence(self.hits, max(self.injections, 1))
+
+
+class VulnerabilityAnalysis:
+    """Aggregate (fault, outcome) pairs per state element."""
+
+    def __init__(self) -> None:
+        self._injections: Dict[Tuple[str, str], int] = {}
+        self._outcomes: Dict[Tuple[str, str], List[Outcome]] = {}
+
+    @classmethod
+    def from_campaign(cls, result) -> "VulnerabilityAnalysis":
+        """Build from a :class:`~repro.goofi.campaign.CampaignResult`."""
+        analysis = cls()
+        for run, outcome in zip(result.experiments, result.outcomes):
+            analysis.record(
+                run.fault.target.partition, run.fault.target.element, outcome
+            )
+        return analysis
+
+    def record(self, partition: str, element: str, outcome: Outcome) -> None:
+        """Add one experiment's outcome."""
+        key = (partition, element)
+        self._injections[key] = self._injections.get(key, 0) + 1
+        self._outcomes.setdefault(key, []).append(outcome)
+
+    def total_injections(self) -> int:
+        """All recorded experiments."""
+        return sum(self._injections.values())
+
+    def ranking(
+        self,
+        predicate: Optional[Callable[[Outcome], bool]] = None,
+        minimum_injections: int = 1,
+    ) -> List[ElementVulnerability]:
+        """Elements ranked by hit rate (ties broken by hit count).
+
+        Args:
+            predicate: which outcomes count as hits (default: severe
+                value failures — the paper's investigation).
+            minimum_injections: drop elements with fewer samples.
+        """
+        if predicate is None:
+            predicate = lambda outcome: outcome.category.is_severe  # noqa: E731
+        rows = []
+        for (partition, element), outcomes in self._outcomes.items():
+            injections = self._injections[(partition, element)]
+            if injections < minimum_injections:
+                continue
+            hits = sum(1 for outcome in outcomes if predicate(outcome))
+            rows.append(
+                ElementVulnerability(
+                    partition=partition,
+                    element=element,
+                    injections=injections,
+                    hits=hits,
+                )
+            )
+        rows.sort(key=lambda row: (row.rate, row.hits), reverse=True)
+        return rows
+
+    def attribution(
+        self, predicate: Optional[Callable[[Outcome], bool]] = None
+    ) -> Dict[str, float]:
+        """Share of all hits contributed by each element.
+
+        The paper's statement "most severe failures came from x's cache
+        lines" is exactly this distribution concentrated on one element.
+        """
+        ranking = self.ranking(predicate)
+        total_hits = sum(row.hits for row in ranking)
+        if total_hits == 0:
+            return {}
+        return {
+            f"{row.partition}/{row.element}": row.hits / total_hits
+            for row in ranking
+            if row.hits
+        }
+
+    def concentration(
+        self,
+        top: int = 1,
+        predicate: Optional[Callable[[Outcome], bool]] = None,
+    ) -> float:
+        """Fraction of hits carried by the ``top`` most vulnerable elements."""
+        if top < 1:
+            raise ConfigurationError("top must be at least 1")
+        shares = sorted(self.attribution(predicate).values(), reverse=True)
+        return sum(shares[:top])
+
+
+@dataclass(frozen=True)
+class TemporalBin:
+    """Outcome counts for one injection-time slice of a campaign.
+
+    Attributes:
+        start_fraction / end_fraction: the slice of the observation
+            window (fractions of the total dynamic instruction count).
+        total: experiments whose injection time fell in the slice.
+        detected / value_failures / severe: outcome counts.
+    """
+
+    start_fraction: float
+    end_fraction: float
+    total: int
+    detected: int
+    value_failures: int
+    severe: int
+
+
+def temporal_profile(result, bins: int = 10) -> List[TemporalBin]:
+    """Outcome mix by *when* the fault was injected.
+
+    Injection times are uniform over the run's dynamic instructions
+    (§3.3.2); slicing the window shows how outcome severity depends on
+    the remaining observation time and on what the loop was doing
+    (steady state vs the reference step vs the load bumps).
+    """
+    if bins < 1:
+        raise ConfigurationError("bins must be positive")
+    times = [run.fault.time for run in result.experiments]
+    if not times:
+        raise ConfigurationError("no experiments to profile")
+    horizon = max(times) + 1
+    table: List[TemporalBin] = []
+    for b in range(bins):
+        lo = b * horizon // bins
+        hi = (b + 1) * horizon // bins
+        members = [
+            outcome
+            for run, outcome in zip(result.experiments, result.outcomes)
+            if lo <= run.fault.time < hi
+        ]
+        table.append(
+            TemporalBin(
+                start_fraction=lo / horizon,
+                end_fraction=hi / horizon,
+                total=len(members),
+                detected=sum(
+                    1 for o in members if o.category is OutcomeCategory.DETECTED
+                ),
+                value_failures=sum(
+                    1 for o in members if o.category.is_value_failure
+                ),
+                severe=sum(1 for o in members if o.category.is_severe),
+            )
+        )
+    return table
+
+
+def render_temporal_profile(
+    profile: Sequence[TemporalBin],
+    title: str = "Outcomes by injection time",
+) -> str:
+    """Render a temporal profile as fixed-width text."""
+    lines = [title]
+    lines.append(
+        f"{'window slice':<16}{'n':>6}{'detected':>10}{'VFs':>6}{'severe':>8}"
+    )
+    for tbin in profile:
+        label = f"{tbin.start_fraction:4.0%} – {tbin.end_fraction:4.0%}"
+        lines.append(
+            f"{label:<16}{tbin.total:>6d}{tbin.detected:>10d}"
+            f"{tbin.value_failures:>6d}{tbin.severe:>8d}"
+        )
+    return "\n".join(lines)
+
+
+def render_vulnerability_table(
+    analysis: VulnerabilityAnalysis,
+    title: str = "Element vulnerability (severe value failures)",
+    predicate: Optional[Callable[[Outcome], bool]] = None,
+    top: int = 15,
+) -> str:
+    """A ranked per-element attribution table."""
+    lines = [title]
+    lines.append(f"{'element':<28}{'injections':>11}{'hits':>6}{'rate':>9}{'share':>8}")
+    ranking = analysis.ranking(predicate)
+    total_hits = sum(row.hits for row in ranking) or 1
+    for row in ranking[:top]:
+        if row.hits == 0:
+            continue
+        lines.append(
+            f"{row.partition + '/' + row.element:<28}"
+            f"{row.injections:>11d}{row.hits:>6d}"
+            f"{100.0 * row.rate:>8.1f}%"
+            f"{100.0 * row.hits / total_hits:>7.1f}%"
+        )
+    return "\n".join(lines)

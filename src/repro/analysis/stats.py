@@ -1,0 +1,178 @@
+"""Proportion statistics with the paper's 95% confidence intervals.
+
+Tables 2–4 print each category as ``p% (± c%) #``.  The half-width ``c``
+is the normal-approximation (Wald) interval the paper uses; a Wilson
+score interval is provided as a better-behaved alternative for small
+counts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Two-sided 95% normal quantile.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class Proportion:
+    """A sample proportion with its confidence half-width.
+
+    Attributes:
+        count: number of observations in the category.
+        total: number of experiments.
+        estimate: ``count / total``.
+        half_width: half-width of the 95% confidence interval (same
+            scale as ``estimate``, i.e. a fraction, not a percentage).
+    """
+
+    count: int
+    total: int
+    estimate: float
+    half_width: float
+
+    @property
+    def percent(self) -> float:
+        """The estimate as a percentage."""
+        return 100.0 * self.estimate
+
+    @property
+    def percent_half_width(self) -> float:
+        """The confidence half-width as a percentage."""
+        return 100.0 * self.half_width
+
+    @property
+    def lower(self) -> float:
+        """Lower confidence bound, clipped to 0."""
+        return max(0.0, self.estimate - self.half_width)
+
+    @property
+    def upper(self) -> float:
+        """Upper confidence bound, clipped to 1."""
+        return min(1.0, self.estimate + self.half_width)
+
+    def overlaps(self, other: "Proportion") -> bool:
+        """True if the two confidence intervals overlap."""
+        return self.lower <= other.upper and other.lower <= self.upper
+
+    def format(self) -> str:
+        """Paper-style ``'p,pp% (± c,cc%) #'`` cell text."""
+        return (
+            f"{self.percent:6.2f}% (±{self.percent_half_width:5.2f}%) {self.count:5d}"
+        )
+
+
+def _check_counts(count: int, total: int) -> None:
+    if total <= 0:
+        raise ConfigurationError("total must be positive")
+    if not 0 <= count <= total:
+        raise ConfigurationError(f"count {count} outside [0, {total}]")
+
+
+def wald_interval(count: int, total: int, z: float = Z_95) -> float:
+    """Half-width of the normal-approximation interval (the paper's)."""
+    _check_counts(count, total)
+    p = count / total
+    return z * math.sqrt(p * (1.0 - p) / total)
+
+
+def wilson_interval(count: int, total: int, z: float = Z_95) -> "tuple[float, float]":
+    """Wilson score interval ``(lower, upper)`` for ``count / total``.
+
+    Unlike Wald, the Wilson interval stays inside [0, 1] and has sane
+    width at 0 or ``total`` observations.
+    """
+    _check_counts(count, total)
+    p = count / total
+    z2 = z * z
+    denom = 1.0 + z2 / total
+    centre = (p + z2 / (2.0 * total)) / denom
+    spread = (z / denom) * math.sqrt(p * (1.0 - p) / total + z2 / (4.0 * total * total))
+    return max(0.0, centre - spread), min(1.0, centre + spread)
+
+
+def proportion_confidence(count: int, total: int, z: float = Z_95) -> Proportion:
+    """A :class:`Proportion` with the paper's Wald 95% half-width."""
+    _check_counts(count, total)
+    return Proportion(
+        count=count,
+        total=total,
+        estimate=count / total,
+        half_width=wald_interval(count, total, z),
+    )
+
+
+@dataclass(frozen=True)
+class TwoProportionTest:
+    """A two-sided two-proportion z-test result.
+
+    Used to back the paper's §4.5 claim that the severe-failure rate is
+    *significantly* lower for Algorithm II, beyond the eyeball overlap
+    of the printed confidence intervals.
+
+    Attributes:
+        statistic: the z statistic (pooled standard error).
+        p_value: two-sided p-value under the normal approximation.
+        difference: ``p1 - p2`` (left minus right).
+    """
+
+    statistic: float
+    p_value: float
+    difference: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True if the difference is significant at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def _normal_sf(x: float) -> float:
+    """Survival function of the standard normal (via erfc)."""
+    return 0.5 * math.erfc(x / math.sqrt(2.0))
+
+
+def two_proportion_z_test(
+    count1: int, total1: int, count2: int, total2: int
+) -> TwoProportionTest:
+    """Two-sided z-test for ``count1/total1`` vs ``count2/total2``.
+
+    Uses the pooled-proportion standard error.  With a zero pooled
+    variance (both proportions 0 or both 1) the statistic is 0 and the
+    p-value 1.
+    """
+    _check_counts(count1, total1)
+    _check_counts(count2, total2)
+    p1 = count1 / total1
+    p2 = count2 / total2
+    pooled = (count1 + count2) / (total1 + total2)
+    variance = pooled * (1.0 - pooled) * (1.0 / total1 + 1.0 / total2)
+    if variance <= 0.0:
+        return TwoProportionTest(statistic=0.0, p_value=1.0, difference=p1 - p2)
+    z = (p1 - p2) / math.sqrt(variance)
+    return TwoProportionTest(
+        statistic=z,
+        p_value=2.0 * _normal_sf(abs(z)),
+        difference=p1 - p2,
+    )
+
+
+def faults_for_half_width(
+    expected_proportion: float, half_width: float, z: float = Z_95
+) -> int:
+    """Campaign planning: experiments needed for a CI half-width.
+
+    How many faults must be injected so the Wald 95% half-width around
+    an expected proportion shrinks to ``half_width``?  (E.g. resolving a
+    ~0.5% severe-failure rate to ±0.15% — the paper's Table 2 precision —
+    needs roughly 9000 experiments.)
+    """
+    if not 0.0 < expected_proportion < 1.0:
+        raise ConfigurationError("expected_proportion must be in (0, 1)")
+    if half_width <= 0.0:
+        raise ConfigurationError("half_width must be positive")
+    n = (z * z) * expected_proportion * (1.0 - expected_proportion) / (
+        half_width * half_width
+    )
+    return max(1, math.ceil(n))

@@ -1,0 +1,68 @@
+"""A small Simulink-like block-diagram library.
+
+The paper's engine model (Figure 1) is a Simulink block diagram; everything
+except the PI controller block runs on the host as the *environment
+simulator*.  This package provides the substrate to express such models:
+
+* :class:`Block` — base class with named input/output ports,
+* a block library (:mod:`repro.blocks.library`): Constant, Step, Gain, Sum,
+  Saturation, UnitDelay, DiscreteIntegrator, DiscreteTransferFunction,
+  Lookup1D, Product, Scope, Inport, Outport,
+* :class:`Diagram` — wiring, validation and topological scheduling with
+  algebraic-loop detection (delays and integrators break loops),
+* :func:`simulate` — a fixed-step simulation engine.
+"""
+
+from repro.blocks.block import Block, Port
+from repro.blocks.diagram import Diagram
+from repro.blocks.library import (
+    Constant,
+    DeadZone,
+    DiscreteIntegrator,
+    DiscreteTransferFunction,
+    Gain,
+    Inport,
+    LogicalOperator,
+    Lookup1D,
+    Outport,
+    Product,
+    Quantizer,
+    RateLimiterBlock,
+    RelationalOperator,
+    Saturation,
+    Scope,
+    SourceFunction,
+    Step,
+    Sum,
+    Switch,
+    UnitDelay,
+)
+from repro.blocks.simulate import SimulationResult, simulate
+
+__all__ = [
+    "Block",
+    "Port",
+    "Diagram",
+    "Constant",
+    "Step",
+    "Gain",
+    "Sum",
+    "Product",
+    "RelationalOperator",
+    "LogicalOperator",
+    "Switch",
+    "SourceFunction",
+    "DeadZone",
+    "RateLimiterBlock",
+    "Quantizer",
+    "Saturation",
+    "UnitDelay",
+    "DiscreteIntegrator",
+    "DiscreteTransferFunction",
+    "Lookup1D",
+    "Scope",
+    "Inport",
+    "Outport",
+    "SimulationResult",
+    "simulate",
+]

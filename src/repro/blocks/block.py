@@ -1,0 +1,88 @@
+"""Block and port primitives for the block-diagram substrate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import DiagramError
+
+
+@dataclass(frozen=True)
+class Port:
+    """One port of a block, identified by ``(block name, port name)``."""
+
+    block: str
+    name: str
+
+    def label(self) -> str:
+        """``block.port`` label used in error messages."""
+        return f"{self.block}.{self.name}"
+
+
+class Block:
+    """Base class for diagram blocks.
+
+    A block has named input and output ports and two evaluation hooks:
+
+    * :meth:`output` computes the outputs for the current step from the
+      current inputs and the block's state (before the state is advanced);
+    * :meth:`update` advances the internal state to the next step.
+
+    A block is *direct feedthrough* if its output at step ``k`` depends on
+    its input at step ``k``.  Non-feedthrough blocks (delays, integrators
+    in forward-Euler form) may appear inside loops; feedthrough blocks may
+    not, which is how algebraic loops are detected.
+    """
+
+    #: Override in subclasses without input-to-output feedthrough.
+    direct_feedthrough: bool = True
+
+    def __init__(self, name: str, inputs: Tuple[str, ...], outputs: Tuple[str, ...]):
+        if not name:
+            raise DiagramError("block name must be non-empty")
+        self.name = name
+        self.input_names = inputs
+        self.output_names = outputs
+
+    # -- evaluation hooks -------------------------------------------------
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        """Compute output port values for time ``t``.
+
+        Args:
+            inputs: value per input port name; non-feedthrough blocks are
+                evaluated before their inputs are known and receive ``{}``.
+            t: current simulation time in seconds.
+        """
+        raise NotImplementedError
+
+    def update(self, inputs: Dict[str, float], t: float) -> None:
+        """Advance internal state after all outputs of step ``t`` are known."""
+
+    def reset(self) -> None:
+        """Restore the block's state to its initial condition."""
+
+    # -- introspection ----------------------------------------------------
+    def in_port(self, name: str = "in") -> Port:
+        """The :class:`Port` handle for input ``name``."""
+        if name not in self.input_names:
+            raise DiagramError(f"{self.name} has no input port {name!r}")
+        return Port(self.name, name)
+
+    def out_port(self, name: str = "out") -> Port:
+        """The :class:`Port` handle for output ``name``."""
+        if name not in self.output_names:
+            raise DiagramError(f"{self.name} has no output port {name!r}")
+        return Port(self.name, name)
+
+    def state_vector(self) -> List[float]:
+        """The block's internal state as a flat list (empty if stateless)."""
+        return []
+
+    def set_state_vector(self, state: List[float]) -> None:
+        """Restore internal state from :meth:`state_vector` output."""
+        if state:
+            raise DiagramError(f"{self.name} is stateless, cannot set state")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

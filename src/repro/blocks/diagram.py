@@ -1,0 +1,179 @@
+"""Diagram wiring, validation and topological scheduling.
+
+A :class:`Diagram` owns a set of blocks and the wires between their ports.
+Before simulation the diagram is *scheduled*: blocks are ordered so every
+direct-feedthrough block is evaluated after all its input producers.  A
+cycle consisting solely of feedthrough blocks is an algebraic loop and is
+rejected, mirroring Simulink's behaviour for fixed-step discrete models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.blocks.block import Block, Port
+from repro.errors import DiagramError
+
+
+class Diagram:
+    """A wired set of blocks forming an executable model."""
+
+    def __init__(self) -> None:
+        self._blocks: Dict[str, Block] = {}
+        #: destination input port -> source output port
+        self._wires: Dict[Port, Port] = {}
+        self._order: List[str] = []
+        self._scheduled = False
+
+    # -- construction ------------------------------------------------------
+    def add(self, block: Block) -> Block:
+        """Add ``block`` to the diagram; names must be unique."""
+        if block.name in self._blocks:
+            raise DiagramError(f"duplicate block name {block.name!r}")
+        self._blocks[block.name] = block
+        self._scheduled = False
+        return block
+
+    def connect(self, source: Port, destination: Port) -> None:
+        """Wire an output port to an input port (one driver per input)."""
+        self._require_port(source, is_output=True)
+        self._require_port(destination, is_output=False)
+        if destination in self._wires:
+            raise DiagramError(f"input {destination.label()} already driven")
+        self._wires[destination] = source
+        self._scheduled = False
+
+    def block(self, name: str) -> Block:
+        """Look up a block by name."""
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise DiagramError(f"no block named {name!r}") from None
+
+    @property
+    def blocks(self) -> Tuple[Block, ...]:
+        """All blocks, in insertion order."""
+        return tuple(self._blocks.values())
+
+    def _require_port(self, port: Port, is_output: bool) -> None:
+        block = self.block(port.block)
+        names = block.output_names if is_output else block.input_names
+        kind = "output" if is_output else "input"
+        if port.name not in names:
+            raise DiagramError(f"{port.block} has no {kind} port {port.name!r}")
+
+    # -- validation and scheduling ------------------------------------------
+    def schedule(self) -> List[str]:
+        """Validate wiring and compute the evaluation order.
+
+        Returns the block names in evaluation order.  Raises
+        :class:`DiagramError` on unconnected inputs or algebraic loops.
+        """
+        self._check_all_inputs_wired()
+        order = self._topological_order()
+        self._order = order
+        self._scheduled = True
+        return list(order)
+
+    def _check_all_inputs_wired(self) -> None:
+        for block in self._blocks.values():
+            for input_name in block.input_names:
+                if Port(block.name, input_name) not in self._wires:
+                    raise DiagramError(
+                        f"input {block.name}.{input_name} is not connected"
+                    )
+
+    def _feedthrough_edges(self) -> Dict[str, Set[str]]:
+        """Dependency edges source->dest restricted to feedthrough sinks.
+
+        Only direct-feedthrough blocks need their inputs before producing
+        outputs, so only wires into them constrain the evaluation order.
+        """
+        edges: Dict[str, Set[str]] = {name: set() for name in self._blocks}
+        for destination, source in self._wires.items():
+            sink = self._blocks[destination.block]
+            if sink.direct_feedthrough:
+                edges[source.block].add(destination.block)
+        return edges
+
+    def _topological_order(self) -> List[str]:
+        edges = self._feedthrough_edges()
+        indegree = {name: 0 for name in self._blocks}
+        for successors in edges.values():
+            for succ in successors:
+                indegree[succ] += 1
+        ready = [name for name in self._blocks if indegree[name] == 0]
+        order: List[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for succ in sorted(edges[name]):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._blocks):
+            looped = sorted(name for name in self._blocks if name not in order)
+            raise DiagramError(
+                "algebraic loop through feedthrough blocks: " + ", ".join(looped)
+            )
+        return order
+
+    # -- execution -----------------------------------------------------------
+    def step(self, t: float) -> Dict[str, Dict[str, float]]:
+        """Execute one fixed step at time ``t``.
+
+        Returns the computed output values per block, for observation.
+        """
+        if not self._scheduled:
+            self.schedule()
+        outputs: Dict[str, Dict[str, float]] = {}
+        inputs_by_block: Dict[str, Dict[str, float]] = {
+            name: {} for name in self._blocks
+        }
+        # Phase 1: compute outputs in dependency order; non-feedthrough
+        # blocks appear before their producers and read only their state.
+        for name in self._order:
+            block = self._blocks[name]
+            block_inputs = inputs_by_block[name] if block.direct_feedthrough else {}
+            out = block.output(block_inputs, t)
+            outputs[name] = out
+            self._propagate(name, out, inputs_by_block)
+        # Phase 2: with every wire value known, advance all states.
+        for name in self._order:
+            block = self._blocks[name]
+            block.update(inputs_by_block[name], t)
+        return outputs
+
+    def _propagate(
+        self,
+        source_block: str,
+        out: Dict[str, float],
+        inputs_by_block: Dict[str, Dict[str, float]],
+    ) -> None:
+        for destination, source in self._wires.items():
+            if source.block == source_block and source.name in out:
+                inputs_by_block[destination.block][destination.name] = out[source.name]
+
+    def reset(self) -> None:
+        """Reset every block to its initial state."""
+        for block in self._blocks.values():
+            block.reset()
+
+    # -- state access (used by checkpointing) ---------------------------------
+    def state_vector(self) -> List[float]:
+        """Concatenated state of all blocks, in insertion order."""
+        state: List[float] = []
+        for block in self._blocks.values():
+            state.extend(block.state_vector())
+        return state
+
+    def set_state_vector(self, state: Iterable[float]) -> None:
+        """Restore the diagram state from :meth:`state_vector` output."""
+        values = list(state)
+        offset = 0
+        for block in self._blocks.values():
+            width = len(block.state_vector())
+            block.set_state_vector(values[offset : offset + width])
+            offset += width
+        if offset != len(values):
+            raise DiagramError("state vector length mismatch")

@@ -1,0 +1,438 @@
+"""Standard block library for the block-diagram substrate.
+
+The blocks mirror the Simulink primitives the paper's engine model is built
+from.  All discrete blocks use a fixed sample interval supplied by the
+simulation engine through the time argument; stateful blocks advance in
+:meth:`~repro.blocks.block.Block.update`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Sequence, Tuple
+
+from repro.blocks.block import Block
+from repro.errors import DiagramError
+
+
+class Constant(Block):
+    """A constant source: ``out = value``."""
+
+    def __init__(self, name: str, value: float):
+        super().__init__(name, inputs=(), outputs=("out",))
+        self.value = float(value)
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        return {"out": self.value}
+
+
+class Step(Block):
+    """A step source: ``before`` until ``step_time``, then ``after``."""
+
+    def __init__(self, name: str, step_time: float, before: float, after: float):
+        super().__init__(name, inputs=(), outputs=("out",))
+        self.step_time = float(step_time)
+        self.before = float(before)
+        self.after = float(after)
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        return {"out": self.after if t >= self.step_time else self.before}
+
+
+class Gain(Block):
+    """``out = gain * in``."""
+
+    def __init__(self, name: str, gain: float):
+        super().__init__(name, inputs=("in",), outputs=("out",))
+        self.gain = float(gain)
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        return {"out": self.gain * inputs["in"]}
+
+
+class Sum(Block):
+    """Signed sum of its inputs, e.g. ``signs="+-"`` computes ``a - b``.
+
+    Input ports are named ``in1 .. inN`` matching the sign string.
+    """
+
+    def __init__(self, name: str, signs: str = "++"):
+        if not signs or any(s not in "+-" for s in signs):
+            raise DiagramError(f"invalid sign string {signs!r}")
+        inputs = tuple(f"in{i + 1}" for i in range(len(signs)))
+        super().__init__(name, inputs=inputs, outputs=("out",))
+        self.signs = signs
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        total = 0.0
+        for i, sign in enumerate(self.signs):
+            value = inputs[f"in{i + 1}"]
+            total += value if sign == "+" else -value
+        return {"out": total}
+
+
+class Product(Block):
+    """``out = in1 * in2``."""
+
+    def __init__(self, name: str):
+        super().__init__(name, inputs=("in1", "in2"), outputs=("out",))
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        return {"out": inputs["in1"] * inputs["in2"]}
+
+
+class Saturation(Block):
+    """Clamp the input to ``[lower, upper]``."""
+
+    def __init__(self, name: str, lower: float, upper: float):
+        if lower > upper:
+            raise DiagramError(f"saturation bounds inverted: {lower} > {upper}")
+        super().__init__(name, inputs=("in",), outputs=("out",))
+        self.lower = float(lower)
+        self.upper = float(upper)
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        return {"out": min(max(inputs["in"], self.lower), self.upper)}
+
+
+class UnitDelay(Block):
+    """One-sample delay: ``out(k) = in(k-1)``; breaks algebraic loops."""
+
+    direct_feedthrough = False
+
+    def __init__(self, name: str, initial: float = 0.0):
+        super().__init__(name, inputs=("in",), outputs=("out",))
+        self.initial = float(initial)
+        self._state = self.initial
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        return {"out": self._state}
+
+    def update(self, inputs: Dict[str, float], t: float) -> None:
+        self._state = inputs["in"]
+
+    def reset(self) -> None:
+        self._state = self.initial
+
+    def state_vector(self) -> List[float]:
+        return [self._state]
+
+    def set_state_vector(self, state: List[float]) -> None:
+        (self._state,) = state
+
+
+class DiscreteIntegrator(Block):
+    """Forward-Euler discrete integrator: ``x(k+1) = x(k) + T * in(k)``.
+
+    The output is the current state, so the block has no direct
+    feedthrough and may close feedback loops.
+    """
+
+    direct_feedthrough = False
+
+    def __init__(self, name: str, sample_time: float, initial: float = 0.0):
+        if sample_time <= 0:
+            raise DiagramError("sample_time must be positive")
+        super().__init__(name, inputs=("in",), outputs=("out",))
+        self.sample_time = float(sample_time)
+        self.initial = float(initial)
+        self._state = self.initial
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        return {"out": self._state}
+
+    def update(self, inputs: Dict[str, float], t: float) -> None:
+        self._state += self.sample_time * inputs["in"]
+
+    def reset(self) -> None:
+        self._state = self.initial
+
+    def state_vector(self) -> List[float]:
+        return [self._state]
+
+    def set_state_vector(self, state: List[float]) -> None:
+        (self._state,) = state
+
+
+class DiscreteTransferFunction(Block):
+    """A discrete transfer function ``B(z) / A(z)`` in direct form II.
+
+    ``num`` and ``den`` are coefficient sequences in descending powers of
+    ``z`` with ``len(num) <= len(den)`` and ``den[0] != 0``.  When the
+    numerator order is strictly lower than the denominator order the block
+    has no direct feedthrough.
+    """
+
+    def __init__(self, name: str, num: Sequence[float], den: Sequence[float]):
+        if not den or den[0] == 0:
+            raise DiagramError("denominator must have a non-zero leading term")
+        if len(num) > len(den):
+            raise DiagramError("transfer function must be proper (len(num) <= len(den))")
+        super().__init__(name, inputs=("in",), outputs=("out",))
+        a0 = float(den[0])
+        # Normalise and left-pad the numerator to the denominator's length.
+        self._den = [float(c) / a0 for c in den]
+        padded = [0.0] * (len(den) - len(num)) + [float(c) / a0 for c in num]
+        self._num = padded
+        self.direct_feedthrough = self._num[0] != 0.0
+        self._delays = [0.0] * (len(self._den) - 1)
+
+    def _filter_step(self, u: float) -> Tuple[float, float]:
+        """One direct-form-II step: returns (output, new first delay value)."""
+        w = u - sum(a * d for a, d in zip(self._den[1:], self._delays))
+        y = self._num[0] * w + sum(b * d for b, d in zip(self._num[1:], self._delays))
+        return y, w
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        if self.direct_feedthrough:
+            y, _ = self._filter_step(inputs["in"])
+            return {"out": y}
+        # Without feedthrough the output depends only on the delay line.
+        y = sum(b * d for b, d in zip(self._num[1:], self._delays))
+        return {"out": y}
+
+    def update(self, inputs: Dict[str, float], t: float) -> None:
+        _, w = self._filter_step(inputs["in"])
+        if self._delays:
+            self._delays = [w] + self._delays[:-1]
+
+    def reset(self) -> None:
+        self._delays = [0.0] * len(self._delays)
+
+    def state_vector(self) -> List[float]:
+        return list(self._delays)
+
+    def set_state_vector(self, state: List[float]) -> None:
+        if len(state) != len(self._delays):
+            raise DiagramError(f"{self.name}: state length mismatch")
+        self._delays = list(state)
+
+
+class Lookup1D(Block):
+    """Piecewise-linear interpolation table with end-point clamping."""
+
+    def __init__(self, name: str, x: Sequence[float], y: Sequence[float]):
+        if len(x) != len(y) or len(x) < 2:
+            raise DiagramError("lookup table needs >= 2 matching x/y points")
+        if any(b <= a for a, b in zip(x, x[1:])):
+            raise DiagramError("lookup x points must be strictly increasing")
+        super().__init__(name, inputs=("in",), outputs=("out",))
+        self._x = [float(v) for v in x]
+        self._y = [float(v) for v in y]
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        u = inputs["in"]
+        if u <= self._x[0]:
+            return {"out": self._y[0]}
+        if u >= self._x[-1]:
+            return {"out": self._y[-1]}
+        i = bisect.bisect_right(self._x, u) - 1
+        x0, x1 = self._x[i], self._x[i + 1]
+        y0, y1 = self._y[i], self._y[i + 1]
+        return {"out": y0 + (y1 - y0) * (u - x0) / (x1 - x0)}
+
+
+class DeadZone(Block):
+    """Zero output inside ``[-width, width]``; shifted linear outside.
+
+    The standard actuator dead-band model: small inputs produce no
+    motion, larger inputs act relative to the band edge.
+    """
+
+    def __init__(self, name: str, width: float):
+        if width < 0:
+            raise DiagramError("dead-zone width must be non-negative")
+        super().__init__(name, inputs=("in",), outputs=("out",))
+        self.width = float(width)
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        u = inputs["in"]
+        if u > self.width:
+            return {"out": u - self.width}
+        if u < -self.width:
+            return {"out": u + self.width}
+        return {"out": 0.0}
+
+
+class RateLimiterBlock(Block):
+    """Limit the output's change per step to ``rising`` / ``falling``.
+
+    Simulink's Rate Limiter: the output follows the input but moves at
+    most ``rising`` upward and ``falling`` downward per sample.
+    """
+
+    direct_feedthrough = True
+
+    def __init__(self, name: str, rising: float, falling: float = None, initial: float = 0.0):
+        if rising <= 0:
+            raise DiagramError("rising rate must be positive")
+        falling = rising if falling is None else falling
+        if falling <= 0:
+            raise DiagramError("falling rate must be positive")
+        super().__init__(name, inputs=("in",), outputs=("out",))
+        self.rising = float(rising)
+        self.falling = float(falling)
+        self.initial = float(initial)
+        self._state = self.initial
+
+    def _limited(self, u: float) -> float:
+        delta = u - self._state
+        if delta > self.rising:
+            delta = self.rising
+        elif delta < -self.falling:
+            delta = -self.falling
+        return self._state + delta
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        return {"out": self._limited(inputs["in"])}
+
+    def update(self, inputs: Dict[str, float], t: float) -> None:
+        self._state = self._limited(inputs["in"])
+
+    def reset(self) -> None:
+        self._state = self.initial
+
+    def state_vector(self) -> List[float]:
+        return [self._state]
+
+    def set_state_vector(self, state: List[float]) -> None:
+        (self._state,) = state
+
+
+class Quantizer(Block):
+    """Round the input to the nearest multiple of ``interval``.
+
+    Models ADC/DAC resolution; ``interval`` is the quantum.
+    """
+
+    def __init__(self, name: str, interval: float):
+        if interval <= 0:
+            raise DiagramError("quantisation interval must be positive")
+        super().__init__(name, inputs=("in",), outputs=("out",))
+        self.interval = float(interval)
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        q = self.interval
+        return {"out": round(inputs["in"] / q) * q}
+
+
+class RelationalOperator(Block):
+    """``out = 1.0 if in1 <op> in2 else 0.0``; op in ``< <= > >= == !=``."""
+
+    _OPS = {
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+    }
+
+    def __init__(self, name: str, op: str):
+        if op not in self._OPS:
+            raise DiagramError(f"unknown relational operator {op!r}")
+        super().__init__(name, inputs=("in1", "in2"), outputs=("out",))
+        self.op = op
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        return {"out": 1.0 if self._OPS[self.op](inputs["in1"], inputs["in2"]) else 0.0}
+
+
+class LogicalOperator(Block):
+    """Boolean combination of inputs (non-zero = true): and/or/not.
+
+    ``not`` takes one input; ``and``/``or`` take ``arity`` inputs named
+    ``in1..inN``.
+    """
+
+    def __init__(self, name: str, op: str, arity: int = 2):
+        if op not in ("and", "or", "not"):
+            raise DiagramError(f"unknown logical operator {op!r}")
+        if op == "not":
+            arity = 1
+        if arity < 1:
+            raise DiagramError("arity must be positive")
+        inputs = tuple(f"in{i + 1}" for i in range(arity))
+        super().__init__(name, inputs=inputs, outputs=("out",))
+        self.op = op
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        values = [inputs[name] != 0.0 for name in self.input_names]
+        if self.op == "not":
+            result = not values[0]
+        elif self.op == "and":
+            result = all(values)
+        else:
+            result = any(values)
+        return {"out": 1.0 if result else 0.0}
+
+
+class Switch(Block):
+    """``out = in1`` when the control input exceeds ``threshold``, else ``in3``.
+
+    Port layout follows Simulink's Switch: data, control, data.
+    """
+
+    def __init__(self, name: str, threshold: float = 0.5):
+        super().__init__(name, inputs=("in1", "in2", "in3"), outputs=("out",))
+        self.threshold = float(threshold)
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        chosen = inputs["in1"] if inputs["in2"] > self.threshold else inputs["in3"]
+        return {"out": chosen}
+
+
+class SourceFunction(Block):
+    """A time-function source: ``out = fn(t)`` (Simulink's MATLAB Fcn)."""
+
+    def __init__(self, name: str, fn):
+        super().__init__(name, inputs=(), outputs=("out",))
+        self.fn = fn
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        return {"out": float(self.fn(t))}
+
+
+class Scope(Block):
+    """A sink that records its input sequence; read it via ``samples``."""
+
+    def __init__(self, name: str):
+        super().__init__(name, inputs=("in",), outputs=())
+        self.samples: List[float] = []
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        return {}
+
+    def update(self, inputs: Dict[str, float], t: float) -> None:
+        self.samples.append(inputs["in"])
+
+    def reset(self) -> None:
+        self.samples = []
+
+
+class Inport(Block):
+    """An externally driven input; set ``value`` before each step."""
+
+    def __init__(self, name: str, initial: float = 0.0):
+        super().__init__(name, inputs=(), outputs=("out",))
+        self.value = float(initial)
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        return {"out": self.value}
+
+
+class Outport(Block):
+    """An externally observed output; read ``value`` after each step."""
+
+    def __init__(self, name: str):
+        super().__init__(name, inputs=("in",), outputs=())
+        self.value = 0.0
+
+    def output(self, inputs: Dict[str, float], t: float) -> Dict[str, float]:
+        return {}
+
+    def update(self, inputs: Dict[str, float], t: float) -> None:
+        self.value = inputs["in"]
+
+    def reset(self) -> None:
+        self.value = 0.0

@@ -1,0 +1,71 @@
+"""Fixed-step simulation engine for block diagrams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.blocks.diagram import Diagram
+from repro.blocks.library import Scope
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SimulationResult:
+    """The outcome of a fixed-step simulation run.
+
+    Attributes:
+        times: sample instants, one per executed step.
+        scopes: recorded samples per :class:`Scope` block name.
+    """
+
+    times: np.ndarray
+    scopes: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def scope(self, name: str) -> np.ndarray:
+        """Samples recorded by scope ``name``."""
+        try:
+            return self.scopes[name]
+        except KeyError:
+            raise ConfigurationError(f"no scope named {name!r}") from None
+
+
+def simulate(
+    diagram: Diagram,
+    sample_time: float,
+    steps: int,
+    reset: bool = True,
+) -> SimulationResult:
+    """Run ``diagram`` for ``steps`` fixed steps of ``sample_time`` seconds.
+
+    Args:
+        diagram: the model to execute; scheduled automatically.
+        sample_time: fixed step length in seconds (must be positive).
+        steps: number of steps to execute (must be positive).
+        reset: reset all block states before running (default) — pass
+            ``False`` to continue from the current state.
+
+    Returns:
+        A :class:`SimulationResult` with the time vector and all scope
+        recordings.
+    """
+    if sample_time <= 0:
+        raise ConfigurationError("sample_time must be positive")
+    if steps <= 0:
+        raise ConfigurationError("steps must be positive")
+    if reset:
+        diagram.reset()
+    diagram.schedule()
+    times: List[float] = []
+    for k in range(steps):
+        t = k * sample_time
+        times.append(t)
+        diagram.step(t)
+    scopes = {
+        block.name: np.asarray(block.samples, dtype=float)
+        for block in diagram.blocks
+        if isinstance(block, Scope)
+    }
+    return SimulationResult(times=np.asarray(times), scopes=scopes)

@@ -1,0 +1,255 @@
+"""Command-line interface: campaigns, figures, listings, propagation.
+
+Usage (also available as ``python -m repro``):
+
+.. code-block:: none
+
+    repro campaign  --algorithm II --faults 500 [--database results.db]
+    repro compare   --faults 500
+    repro figure    --name fig03|fig04|fig05
+    repro listing   --algorithm I
+    repro propagate --element line3.data --bit 30 --time 12000
+
+Every command is deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis import render_comparison_table, render_outcome_table
+from repro.analysis.asciiplot import ascii_chart
+from repro.control import PIController
+from repro.faults.models import FaultDescriptor, FaultTarget
+from repro.goofi import (
+    CampaignConfig,
+    CampaignDatabase,
+    ScifiCampaign,
+    TargetSystem,
+    trace_propagation,
+)
+from repro.plant import ClosedLoop, SAMPLE_TIME, paper_load_profile
+from repro.thor.disassembler import disassemble_program
+from repro.thor.scanchain import CACHE_PARTITION, REGISTER_PARTITION
+from repro.workloads import compile_algorithm_i, compile_algorithm_ii
+
+
+def _workload(algorithm: str):
+    if algorithm.upper() in ("I", "1"):
+        return compile_algorithm_i(), "Algorithm I"
+    if algorithm.upper() in ("II", "2"):
+        return compile_algorithm_ii(), "Algorithm II"
+    raise SystemExit(f"unknown algorithm {algorithm!r} (use I or II)")
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    workload, name = _workload(args.algorithm)
+    config = CampaignConfig(
+        workload=workload,
+        name=name,
+        faults=args.faults,
+        seed=args.seed,
+        iterations=args.iterations,
+        partitions=args.partitions,
+    )
+    database = CampaignDatabase(args.database) if args.database else None
+
+    def progress(done, total, outcome):
+        if args.verbose and (done % 50 == 0 or done == total):
+            print(f"  {done}/{total} ({outcome.category.value})", file=sys.stderr)
+
+    campaign = ScifiCampaign(config, database=database)
+    result = campaign.run(progress=progress)
+    if args.dossier:
+        from repro.analysis import campaign_dossier
+
+        print(campaign_dossier(result))
+    else:
+        print(render_outcome_table(result.summary()))
+        severe = result.summary().severe_share_of_value_failures()
+        print(f"severe share of value failures: {severe.format()}")
+    if database is not None:
+        database.close()
+        print(f"stored in {args.database}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    summaries = []
+    for algorithm in ("I", "II"):
+        workload, name = _workload(algorithm)
+        config = CampaignConfig(
+            workload=workload,
+            name=name,
+            faults=args.faults,
+            seed=args.seed,
+            iterations=args.iterations,
+        )
+        summaries.append(ScifiCampaign(config).run().summary())
+    print(render_comparison_table(summaries[0], summaries[1]))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    trace = ClosedLoop(PIController()).run()
+    if args.name == "fig03":
+        chart = ascii_chart(
+            trace.times,
+            [trace.reference, trace.speed],
+            ["reference r (rpm)", "actual speed y (rpm)"],
+            title="Figure 3: reference vs actual engine speed",
+            y_min=1500.0,
+            y_max=3500.0,
+        )
+    elif args.name == "fig04":
+        load = paper_load_profile()
+        times = np.arange(650) * SAMPLE_TIME
+        chart = ascii_chart(
+            times,
+            [np.asarray(load.samples())],
+            ["engine load torque"],
+            title="Figure 4: engine load",
+            y_min=0.0,
+        )
+    elif args.name == "fig05":
+        chart = ascii_chart(
+            trace.times,
+            [trace.throttle],
+            ["u_lim (degrees)"],
+            title="Figure 5: fault-free controller output",
+            y_min=0.0,
+            y_max=70.0,
+        )
+    else:
+        raise SystemExit(f"unknown figure {args.name!r} (fig03/fig04/fig05)")
+    print(chart)
+    return 0
+
+
+def _cmd_listing(args: argparse.Namespace) -> int:
+    workload, name = _workload(args.algorithm)
+    print(f"; {name} — {len(workload.program.code)} instructions")
+    for line in disassemble_program(workload.program):
+        print(line)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.tcc import compile_program, parse_program
+
+    source = Path(args.source).read_text()
+    program = parse_program(source)
+    if len(program.inputs) != 2 or len(program.outputs) != 1:
+        raise SystemExit(
+            "the engine loop drives programs with two inputs (r, y) and "
+            f"one output; {program.name!r} has {len(program.inputs)}/"
+            f"{len(program.outputs)}"
+        )
+    compiled = compile_program(program)
+    target = TargetSystem(compiled, iterations=args.iterations)
+    reference = target.run_reference()
+    outputs = np.asarray(reference.outputs)
+    times = np.arange(len(outputs)) * SAMPLE_TIME
+    print(
+        ascii_chart(
+            times,
+            [outputs],
+            [f"{program.name} output"],
+            title=f"{args.source}: closed-loop output on the simulated CPU",
+        )
+    )
+    print(
+        f"{len(compiled.program.code)} instructions, "
+        f"{reference.total_instructions} executed over "
+        f"{args.iterations} iterations"
+    )
+    return 0
+
+
+def _cmd_propagate(args: argparse.Namespace) -> int:
+    workload, _name = _workload(args.algorithm)
+    target = TargetSystem(workload, iterations=args.iterations)
+    target.run_reference()
+    partition = (
+        CACHE_PARTITION if args.element.startswith("line") else REGISTER_PARTITION
+    )
+    fault = FaultDescriptor(
+        FaultTarget(partition, args.element, args.bit), args.time
+    )
+    report = trace_propagation(target, fault, max_instructions=args.max_instructions)
+    for line in report.summary_lines():
+        print(line)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-injection experiments on the simulated control system",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    campaign = sub.add_parser("campaign", help="run one SCIFI campaign")
+    campaign.add_argument("--algorithm", default="I")
+    campaign.add_argument("--faults", type=int, default=200)
+    campaign.add_argument("--seed", type=int, default=2001)
+    campaign.add_argument("--iterations", type=int, default=650)
+    campaign.add_argument("--partitions", nargs="*", default=None)
+    campaign.add_argument("--database", default=None)
+    campaign.add_argument(
+        "--dossier",
+        action="store_true",
+        help="print the full analysis dossier instead of the plain table",
+    )
+    campaign.add_argument("--verbose", action="store_true")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    compare = sub.add_parser("compare", help="Algorithm I vs II (Table 4)")
+    compare.add_argument("--faults", type=int, default=200)
+    compare.add_argument("--seed", type=int, default=2001)
+    compare.add_argument("--iterations", type=int, default=650)
+    compare.set_defaults(func=_cmd_compare)
+
+    figure = sub.add_parser("figure", help="render a fault-free figure")
+    figure.add_argument("--name", required=True, choices=["fig03", "fig04", "fig05"])
+    figure.set_defaults(func=_cmd_figure)
+
+    listing = sub.add_parser("listing", help="disassemble a workload")
+    listing.add_argument("--algorithm", default="I")
+    listing.set_defaults(func=_cmd_listing)
+
+    run = sub.add_parser(
+        "run", help="compile a mini-language program and run it in the loop"
+    )
+    run.add_argument("--source", required=True)
+    run.add_argument("--iterations", type=int, default=650)
+    run.set_defaults(func=_cmd_run)
+
+    propagate = sub.add_parser(
+        "propagate", help="detail-mode propagation of one fault"
+    )
+    propagate.add_argument("--algorithm", default="I")
+    propagate.add_argument("--element", required=True)
+    propagate.add_argument("--bit", type=int, required=True)
+    propagate.add_argument("--time", type=int, required=True)
+    propagate.add_argument("--iterations", type=int, default=120)
+    propagate.add_argument("--max-instructions", type=int, default=2000)
+    propagate.set_defaults(func=_cmd_propagate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Shared experiment constants (paper §2).
+
+Kept in a dependency-free module so that both the plant package and the
+controller/assertion layers can import them without cycles; the public
+home remains :mod:`repro.plant.profiles`, which re-exports them.
+"""
+
+#: Sample interval T in seconds (paper: 15.4 ms).
+SAMPLE_TIME = 0.0154
+
+#: Loop iterations per experiment (paper: 650 iterations = 10 s).
+ITERATIONS = 650
+
+#: Throttle angle limits in degrees.
+THROTTLE_MIN = 0.0
+THROTTLE_MAX = 70.0

@@ -1,0 +1,32 @@
+"""Control algorithms: the paper's PI controller and extensions.
+
+* :class:`PIController` — Algorithm I: proportional-integral control with
+  output limiting and anti-windup, exactly as in the paper's §2 listing.
+* :class:`GuardedPIController` — Algorithm II: the same controller with
+  executable assertions and best-effort recovery (§4.3).
+* :class:`PIDController` and :class:`StateSpaceController` — extensions,
+  covering the paper's future-work direction of multiple-input
+  multiple-output controllers; both compose with the generic
+  :class:`repro.core.ControllerGuard`.
+"""
+
+from repro.control.base import ControllerGains, FloatController
+from repro.control.limits import Limiter, limit_output
+from repro.control.pi import PIController
+from repro.control.guarded_pi import GuardedPIController
+from repro.control.observer import LuenbergerObserver, SensorGuard
+from repro.control.pid import PIDController
+from repro.control.statespace import StateSpaceController
+
+__all__ = [
+    "ControllerGains",
+    "FloatController",
+    "Limiter",
+    "limit_output",
+    "PIController",
+    "GuardedPIController",
+    "PIDController",
+    "StateSpaceController",
+    "LuenbergerObserver",
+    "SensorGuard",
+]

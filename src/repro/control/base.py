@@ -1,0 +1,71 @@
+"""Controller base types shared by the concrete algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.constants import SAMPLE_TIME
+
+
+@dataclass(frozen=True)
+class ControllerGains:
+    """PI(D) tuning constants.
+
+    The defaults are tuned for :class:`repro.plant.EngineModel` (DC gain
+    200 rpm/degree) to give the fast, lightly damped tracking of the
+    paper's Figure 3: a crossover near 2–3 rad/s with ample phase margin.
+
+    Attributes:
+        kp: proportional gain (degrees per rpm of error).
+        ki: integral gain (degrees per rpm-second of error).
+        kd: derivative gain (degrees per rpm/s) — used only by the PID
+            extension; the paper's controller is pure PI.
+        sample_time: controller sample interval T in seconds.
+    """
+
+    kp: float = 0.01
+    ki: float = 0.03
+    kd: float = 0.0
+    sample_time: float = SAMPLE_TIME
+
+    def __post_init__(self) -> None:
+        if self.sample_time <= 0:
+            raise ConfigurationError("sample_time must be positive")
+        if self.kp < 0 or self.ki < 0 or self.kd < 0:
+            raise ConfigurationError("gains must be non-negative")
+
+
+class FloatController:
+    """Base class for scalar controllers with a flat float state vector.
+
+    Subclasses implement :meth:`step` and :meth:`reset` and expose their
+    internal state through :meth:`state_vector` / :meth:`set_state_vector`
+    so that fault injectors and checkpointing can reach it uniformly.
+    """
+
+    def step(self, reference: float, measured: float) -> float:
+        """One control iteration: returns the actuator command."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore the initial state."""
+        raise NotImplementedError
+
+    def state_vector(self) -> List[float]:
+        """The controller's internal state as a flat list."""
+        raise NotImplementedError
+
+    def set_state_vector(self, state: List[float]) -> None:
+        """Restore internal state from :meth:`state_vector` output."""
+        raise NotImplementedError
+
+    def warm_start(self, reference: float, measured: float, steady_output: float) -> None:
+        """Initialise the state for an already-settled operating point.
+
+        Called by :class:`repro.plant.ClosedLoop` when the run begins at
+        steady state (the paper's Figure 3 starts with the engine already
+        tracking 2000 rpm).  The default is a no-op; controllers with
+        integral state override it.
+        """

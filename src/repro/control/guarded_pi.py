@@ -1,0 +1,136 @@
+"""Algorithm II: the PI controller with assertions and best effort recovery.
+
+A direct transcription of the paper's Algorithm II listing (changes from
+Algorithm I in the paper are marked **bold** there; here they are the
+``in_range`` checks and the ``x_old`` / ``u_old`` backups):
+
+.. code-block:: none
+
+    e = r - y                      -- calculate control error
+    if not in_range(x) then
+        x = x_old                  -- ERROR! recover state x
+    else
+        x_old = x                  -- save state x
+    end if
+    u = e * Kp + x                 -- calculate output signal
+    u_lim = limit_output(u)        -- range check of u
+    if anti_windup_activated then
+        Ki = 0.0                   -- disable integration
+    else
+        Ki = integral_gain         -- enable integration
+    end if
+    x = x + T * e * Ki             -- integrate, update x
+    if not in_range(u_lim) then
+        u_lim = u_old              -- ERROR! get last output
+        x = x_old                  -- and corresponding state
+    end if
+    u_old = u_lim                  -- save output
+    return u_lim
+
+The equivalent generic formulation is
+``ControllerGuard(PIController(), ...)``; a test verifies both produce
+identical output sequences under identical injected corruptions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.control.base import ControllerGains, FloatController
+from repro.control.limits import Limiter
+from repro.core.monitors import AssertionEvent, AssertionMonitor
+
+
+class GuardedPIController(FloatController):
+    """PI controller protected by executable assertions + best effort recovery.
+
+    The state ``x`` and the limited output ``u_lim`` are both asserted
+    against the throttle's physical range; failures are recovered from the
+    previous iteration's backups ``x_old`` / ``u_old``.
+    """
+
+    def __init__(
+        self,
+        gains: ControllerGains = ControllerGains(),
+        limiter: Optional[Limiter] = None,
+        initial_state: float = 0.0,
+        monitor: Optional[AssertionMonitor] = None,
+    ):
+        self.gains = gains
+        self.limiter = limiter if limiter is not None else Limiter()
+        self.initial_state = float(initial_state)
+        self.monitor = monitor if monitor is not None else AssertionMonitor()
+        self.x = self.initial_state
+        self.x_old = self.initial_state
+        self.u_old = self.limiter.clamp(self.initial_state)
+        self._iteration = 0
+
+    def reset(self) -> None:
+        """Restore state and both backups to their initial values."""
+        self.x = self.initial_state
+        self.x_old = self.initial_state
+        self.u_old = self.limiter.clamp(self.initial_state)
+        self._iteration = 0
+
+    def warm_start(self, reference: float, measured: float, steady_output: float) -> None:
+        """Set the state and both backups to the steady operating point."""
+        self.x = float(steady_output)
+        self.x_old = float(steady_output)
+        self.u_old = self.limiter.clamp(float(steady_output))
+
+    def in_range(self, value: float) -> bool:
+        """The paper's executable assertion: within the throttle limits."""
+        return self.limiter.in_range(value)
+
+    def anti_windup_activated(self, u: float, e: float) -> bool:
+        """Same anti-windup condition as Algorithm I."""
+        return (self.limiter.saturates_high(u) and e > 0.0) or (
+            self.limiter.saturates_low(u) and e < 0.0
+        )
+
+    def step(self, reference: float, measured: float) -> float:
+        """One guarded PI iteration; returns the limited throttle command."""
+        g = self.gains
+        e = reference - measured
+
+        if not self.in_range(self.x):
+            self.monitor.record(
+                AssertionEvent(
+                    iteration=self._iteration,
+                    kind="state",
+                    index=0,
+                    value=self.x,
+                    recovered_to=self.x_old,
+                )
+            )
+            self.x = self.x_old
+        else:
+            self.x_old = self.x
+
+        u = e * g.kp + self.x
+        u_lim = self.limiter.clamp(u)
+        ki = 0.0 if self.anti_windup_activated(u, e) else g.ki
+        self.x = self.x + g.sample_time * e * ki
+
+        if not self.in_range(u_lim):
+            self.monitor.record(
+                AssertionEvent(
+                    iteration=self._iteration,
+                    kind="output",
+                    index=0,
+                    value=u_lim,
+                    recovered_to=self.u_old,
+                )
+            )
+            u_lim = self.u_old
+            self.x = self.x_old
+        self.u_old = u_lim
+        self._iteration += 1
+        return u_lim
+
+    def state_vector(self) -> List[float]:
+        """``[x, x_old, u_old]`` — state plus both backups."""
+        return [self.x, self.x_old, self.u_old]
+
+    def set_state_vector(self, state: List[float]) -> None:
+        self.x, self.x_old, self.u_old = state

@@ -1,0 +1,47 @@
+"""Output limiting (the paper's ``limit_output`` function)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.constants import THROTTLE_MAX, THROTTLE_MIN
+
+
+def limit_output(value: float, lower: float = THROTTLE_MIN, upper: float = THROTTLE_MAX) -> float:
+    """Clamp ``value`` into ``[lower, upper]`` (paper: 0.0–70.0 degrees)."""
+    if lower > upper:
+        raise ConfigurationError(f"limit bounds inverted: {lower} > {upper}")
+    return min(max(value, lower), upper)
+
+
+@dataclass(frozen=True)
+class Limiter:
+    """A reusable saturation with fixed bounds.
+
+    Provides :meth:`clamp` plus the saturation predicates the anti-windup
+    logic needs.
+    """
+
+    lower: float = THROTTLE_MIN
+    upper: float = THROTTLE_MAX
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ConfigurationError(f"limit bounds inverted: {self.lower} > {self.upper}")
+
+    def clamp(self, value: float) -> float:
+        """``value`` clamped into the bounds."""
+        return min(max(value, self.lower), self.upper)
+
+    def saturates_high(self, value: float) -> bool:
+        """True if ``value`` exceeds the upper bound."""
+        return value > self.upper
+
+    def saturates_low(self, value: float) -> bool:
+        """True if ``value`` falls below the lower bound."""
+        return value < self.lower
+
+    def in_range(self, value: float) -> bool:
+        """True if ``value`` lies within the bounds (inclusive)."""
+        return self.lower <= value <= self.upper

@@ -1,0 +1,83 @@
+"""Algorithm I: the paper's PI controller with limiting and anti-windup.
+
+This is a line-for-line implementation of the paper's Algorithm I listing:
+
+.. code-block:: none
+
+    e = r - y                     -- calculate control error
+    u = e * Kp + x                -- calculate output signal
+    u_lim = limit_output(u)       -- range check of u
+    if anti_windup_activated then
+        Ki = 0.0                  -- disable integration
+    else
+        Ki = integral_gain
+    end if
+    x = x + T * e * Ki            -- integrate, update x
+    return u_lim
+
+Anti-windup activates when the unlimited output ``u`` is outside the
+throttle range *and* the error drives it further out, i.e. the engine is
+not responding to a saturated command (§2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.control.base import ControllerGains, FloatController
+from repro.control.limits import Limiter
+
+
+class PIController(FloatController):
+    """Proportional-integral engine-speed controller (Algorithm I).
+
+    The single state variable ``x`` is the integral part, which is also
+    the paper's critical variable: any corruption of ``x`` propagates to
+    every subsequent iteration.
+    """
+
+    def __init__(
+        self,
+        gains: ControllerGains = ControllerGains(),
+        limiter: Optional[Limiter] = None,
+        initial_state: float = 0.0,
+    ):
+        self.gains = gains
+        self.limiter = limiter if limiter is not None else Limiter()
+        self.initial_state = float(initial_state)
+        self.x = self.initial_state
+
+    def reset(self) -> None:
+        """Restore the integral state to its initial value."""
+        self.x = self.initial_state
+
+    def warm_start(self, reference: float, measured: float, steady_output: float) -> None:
+        """Set the integral part to the steady-state actuator command."""
+        self.x = float(steady_output)
+
+    def anti_windup_activated(self, u: float, e: float) -> bool:
+        """True when integration must stop to avoid windup.
+
+        The output is saturated and the current error would push the
+        integral further beyond the limit.
+        """
+        return (self.limiter.saturates_high(u) and e > 0.0) or (
+            self.limiter.saturates_low(u) and e < 0.0
+        )
+
+    def step(self, reference: float, measured: float) -> float:
+        """One PI iteration; returns the limited throttle command."""
+        g = self.gains
+        e = reference - measured
+        u = e * g.kp + self.x
+        u_lim = self.limiter.clamp(u)
+        ki = 0.0 if self.anti_windup_activated(u, e) else g.ki
+        self.x = self.x + g.sample_time * e * ki
+        return u_lim
+
+    def state_vector(self) -> List[float]:
+        """``[x]`` — the integral state."""
+        return [self.x]
+
+    def set_state_vector(self, state: List[float]) -> None:
+        (self.x,) = state

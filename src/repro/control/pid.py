@@ -1,0 +1,71 @@
+"""PID extension of the paper's PI controller.
+
+The paper's controller is pure PI; a derivative term is the obvious next
+step for faster plants, and it adds a second state variable (the filtered
+previous measurement), making it a useful multi-state test case for the
+generic :class:`repro.core.ControllerGuard`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.control.base import ControllerGains, FloatController
+from repro.control.limits import Limiter
+
+
+class PIDController(FloatController):
+    """PID controller with output limiting and anti-windup.
+
+    States: the integral part ``x`` and the previous measurement ``y_prev``
+    used by the (measurement-based) derivative term, which avoids
+    derivative kick on reference steps.
+    """
+
+    def __init__(
+        self,
+        gains: ControllerGains = ControllerGains(kd=0.0005),
+        limiter: Optional[Limiter] = None,
+        initial_state: float = 0.0,
+        initial_measurement: float = 0.0,
+    ):
+        self.gains = gains
+        self.limiter = limiter if limiter is not None else Limiter()
+        self.initial_state = float(initial_state)
+        self.initial_measurement = float(initial_measurement)
+        self.x = self.initial_state
+        self.y_prev = self.initial_measurement
+
+    def reset(self) -> None:
+        self.x = self.initial_state
+        self.y_prev = self.initial_measurement
+
+    def warm_start(self, reference: float, measured: float, steady_output: float) -> None:
+        """Set the integral part and derivative history for steady state."""
+        self.x = float(steady_output)
+        self.y_prev = float(measured)
+
+    def anti_windup_activated(self, u: float, e: float) -> bool:
+        """Stop integrating when saturated and the error pushes further out."""
+        return (self.limiter.saturates_high(u) and e > 0.0) or (
+            self.limiter.saturates_low(u) and e < 0.0
+        )
+
+    def step(self, reference: float, measured: float) -> float:
+        """One PID iteration; returns the limited actuator command."""
+        g = self.gains
+        e = reference - measured
+        derivative = -(measured - self.y_prev) / g.sample_time
+        u = e * g.kp + self.x + g.kd * derivative
+        u_lim = self.limiter.clamp(u)
+        ki = 0.0 if self.anti_windup_activated(u, e) else g.ki
+        self.x = self.x + g.sample_time * e * ki
+        self.y_prev = measured
+        return u_lim
+
+    def state_vector(self) -> List[float]:
+        """``[x, y_prev]``."""
+        return [self.x, self.y_prev]
+
+    def set_state_vector(self, state: List[float]) -> None:
+        self.x, self.y_prev = state

@@ -1,0 +1,114 @@
+"""MIMO state-space controller — the paper's future-work direction.
+
+The conclusions announce work on "multiple input and multiple output
+control algorithms such as jet-engine controllers".  This module provides
+a discrete linear state-space controller
+
+.. code-block:: none
+
+    x(k+1) = A x(k) + B e(k)
+    u(k)   = C x(k) + D e(k)        e(k) = r(k) - y(k)
+
+with per-output saturation.  Its flat state vector makes it directly
+guardable by :class:`repro.core.ControllerGuard`, which implements the
+paper's general N-state / M-output procedure; the ``guarded_mimo``
+example exercises exactly that combination.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.control.limits import Limiter
+from repro.errors import ConfigurationError
+
+
+class StateSpaceController:
+    """Discrete LTI controller acting on the vector error ``r - y``.
+
+    Args:
+        a, b, c, d: state-space matrices with consistent shapes
+            (``a``: n×n, ``b``: n×m, ``c``: p×n, ``d``: p×m for n states,
+            m error inputs, p outputs).
+        limiters: optional per-output saturation; defaults to the
+            throttle limiter for every output.
+        initial_state: initial state vector (defaults to zeros).
+    """
+
+    def __init__(
+        self,
+        a: Sequence[Sequence[float]],
+        b: Sequence[Sequence[float]],
+        c: Sequence[Sequence[float]],
+        d: Sequence[Sequence[float]],
+        limiters: Optional[Sequence[Limiter]] = None,
+        initial_state: Optional[Sequence[float]] = None,
+    ):
+        self.a = np.atleast_2d(np.asarray(a, dtype=float))
+        self.b = np.atleast_2d(np.asarray(b, dtype=float))
+        self.c = np.atleast_2d(np.asarray(c, dtype=float))
+        self.d = np.atleast_2d(np.asarray(d, dtype=float))
+        n = self.a.shape[0]
+        if self.a.shape != (n, n):
+            raise ConfigurationError("A must be square")
+        if self.b.shape[0] != n:
+            raise ConfigurationError("B row count must match A")
+        if self.c.shape[1] != n:
+            raise ConfigurationError("C column count must match A")
+        m = self.b.shape[1]
+        p = self.c.shape[0]
+        if self.d.shape != (p, m):
+            raise ConfigurationError(f"D must be {p}x{m}")
+        if limiters is None:
+            limiters = [Limiter() for _ in range(p)]
+        if len(limiters) != p:
+            raise ConfigurationError(f"need {p} limiters, got {len(limiters)}")
+        self.limiters = tuple(limiters)
+        if initial_state is None:
+            initial_state = np.zeros(n)
+        self._initial = np.asarray(initial_state, dtype=float).reshape(n)
+        self.x = self._initial.copy()
+
+    @property
+    def n_states(self) -> int:
+        """Number of controller states."""
+        return self.a.shape[0]
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of error inputs (reference/measurement pairs)."""
+        return self.b.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of actuator outputs."""
+        return self.c.shape[0]
+
+    def reset(self) -> None:
+        """Restore the initial state vector."""
+        self.x = self._initial.copy()
+
+    def step_vector(
+        self, references: Sequence[float], measurements: Sequence[float]
+    ) -> List[float]:
+        """One MIMO iteration; returns the saturated output vector."""
+        if len(references) != self.n_inputs or len(measurements) != self.n_inputs:
+            raise ConfigurationError(
+                f"expected {self.n_inputs} references and measurements"
+            )
+        e = np.asarray(references, dtype=float) - np.asarray(measurements, dtype=float)
+        u = self.c @ self.x + self.d @ e
+        self.x = self.a @ self.x + self.b @ e
+        return [lim.clamp(float(v)) for lim, v in zip(self.limiters, u)]
+
+    def state_vector(self) -> List[float]:
+        """The state as a flat list."""
+        return [float(v) for v in self.x]
+
+    def set_state_vector(self, state: List[float]) -> None:
+        """Restore the state from a flat list."""
+        if len(state) != self.n_states:
+            raise ConfigurationError(f"expected {self.n_states} state values")
+        self.x = np.asarray(state, dtype=float)

@@ -1,0 +1,51 @@
+"""The paper's contribution: executable assertions + best effort recovery.
+
+An *executable assertion* is a software check verifying that a variable
+fulfils limitations given by a specification — here, the physical
+constraints of the controlled object (a throttle moves between 0 and 70
+degrees).  *Best effort recovery* replaces a value that fails its
+assertion with the value backed up in the previous iteration; it is "best
+effort" because the controller input may have changed since, so the
+recovered output can differ slightly from the fault-free one.
+
+* :mod:`repro.core.assertions` — assertion types (range, rate-limit,
+  composite, predicate),
+* :mod:`repro.core.recovery` — backup storage and recovery policies,
+* :mod:`repro.core.guard` — :class:`ControllerGuard`, the generic N-state /
+  M-output protection procedure of §4.3,
+* :mod:`repro.core.monitors` — assertion-event recording.
+"""
+
+from repro.core.assertions import (
+    Assertion,
+    CompositeAssertion,
+    PredicateAssertion,
+    RangeAssertion,
+    RateLimitAssertion,
+    throttle_range_assertion,
+)
+from repro.core.guard import ControllerGuard, GuardedStep
+from repro.core.monitors import AssertionEvent, AssertionMonitor
+from repro.core.recovery import (
+    BackupStore,
+    HoldLastGoodPolicy,
+    RecoveryPolicy,
+    ResetToInitialPolicy,
+)
+
+__all__ = [
+    "Assertion",
+    "RangeAssertion",
+    "RateLimitAssertion",
+    "PredicateAssertion",
+    "CompositeAssertion",
+    "throttle_range_assertion",
+    "BackupStore",
+    "RecoveryPolicy",
+    "HoldLastGoodPolicy",
+    "ResetToInitialPolicy",
+    "ControllerGuard",
+    "GuardedStep",
+    "AssertionEvent",
+    "AssertionMonitor",
+]

@@ -1,0 +1,134 @@
+"""Executable assertions on controller variables.
+
+Assertions are pure predicates over a single float.  They must *never*
+raise on unusual inputs (NaN, infinities): a corrupted value is exactly
+what they exist to judge, and a corrupted value fails the check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.constants import THROTTLE_MAX, THROTTLE_MIN
+
+
+class Assertion:
+    """Base class: an executable check on one controller variable."""
+
+    #: Short name used in assertion-event logs.
+    name: str = "assertion"
+
+    def holds(self, value: float) -> bool:
+        """True if ``value`` satisfies the specification."""
+        raise NotImplementedError
+
+    def observe(self, value: float) -> None:
+        """Record an *accepted* value (hook for stateful assertions).
+
+        Called by the guard after a value passes (or is recovered), so
+        history-based assertions such as :class:`RateLimitAssertion` track
+        the validated sequence rather than raw corrupted values.
+        """
+
+    def reset(self) -> None:
+        """Clear any internal history."""
+
+
+@dataclass
+class RangeAssertion(Assertion):
+    """``lower <= value <= upper``; NaN always fails.
+
+    This is the paper's assertion: the physical limits of the engine
+    throttle bound both the controller state and the output.
+    """
+
+    lower: float
+    upper: float
+    name: str = "range"
+
+    def __post_init__(self) -> None:
+        if not self.lower <= self.upper:
+            raise ConfigurationError(f"range bounds inverted: {self.lower} > {self.upper}")
+
+    def holds(self, value: float) -> bool:
+        # Comparisons with NaN are false, so NaN correctly fails here.
+        return self.lower <= value <= self.upper
+
+
+@dataclass
+class RateLimitAssertion(Assertion):
+    """The value may move at most ``max_delta`` per iteration.
+
+    A *more sophisticated* assertion in the sense of the paper's §4.4
+    discussion: it catches in-range jumps (Figure 10's 10° -> 69° state
+    corruption) that a pure range check accepts.  The first checked value
+    is always accepted (there is no history yet).
+    """
+
+    max_delta: float
+    name: str = "rate-limit"
+    _last: float = field(default=math.nan, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_delta <= 0:
+            raise ConfigurationError("max_delta must be positive")
+
+    def holds(self, value: float) -> bool:
+        if math.isnan(value):
+            return False
+        if math.isnan(self._last):
+            return True
+        return abs(value - self._last) <= self.max_delta
+
+    def observe(self, value: float) -> None:
+        self._last = value
+
+    def reset(self) -> None:
+        self._last = math.nan
+
+
+@dataclass
+class PredicateAssertion(Assertion):
+    """Wrap an arbitrary predicate as an assertion.
+
+    The predicate is guarded: any exception it raises counts as a failed
+    check (a corrupted value must not crash the checker).
+    """
+
+    predicate: Callable[[float], bool]
+    name: str = "predicate"
+
+    def holds(self, value: float) -> bool:
+        try:
+            return bool(self.predicate(value))
+        except Exception:
+            return False
+
+
+class CompositeAssertion(Assertion):
+    """All member assertions must hold (logical AND)."""
+
+    def __init__(self, members: Sequence[Assertion], name: str = "composite"):
+        if not members:
+            raise ConfigurationError("composite assertion needs members")
+        self.members: Tuple[Assertion, ...] = tuple(members)
+        self.name = name
+
+    def holds(self, value: float) -> bool:
+        return all(member.holds(value) for member in self.members)
+
+    def observe(self, value: float) -> None:
+        for member in self.members:
+            member.observe(value)
+
+    def reset(self) -> None:
+        for member in self.members:
+            member.reset()
+
+
+def throttle_range_assertion() -> RangeAssertion:
+    """The paper's assertion: value within the 0.0–70.0 degree throttle range."""
+    return RangeAssertion(lower=THROTTLE_MIN, upper=THROTTLE_MAX, name="throttle-range")

@@ -1,0 +1,239 @@
+"""The generic controller guard (§4.3 of the paper).
+
+:class:`ControllerGuard` wraps any controller that exposes its state as a
+flat float vector and applies the paper's general procedure for an
+arbitrary number of state variables and output signals:
+
+1. Before backing up any state ``x_i(k)``, assert its correctness.  On
+   failure, best-effort recover ``x_i(k) = x_i(k-1)``; otherwise back it
+   up: ``x_i(k-1) = x_i(k)``.
+2. Run the wrapped controller to produce the outputs ``u_j(k)``.
+3. Before returning, assert every output.  If any fails, recover
+   ``u_j(k) = u_j(k-1)`` for all outputs and roll the state back to the
+   backed-up ``x_i(k-1)``.
+4. Back up the outputs and return them.
+
+:class:`repro.control.GuardedPIController` (Algorithm II) is the
+single-state, single-output instance of this procedure; a test asserts
+the two produce identical outputs step for step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from repro.core.assertions import Assertion
+from repro.core.monitors import AssertionEvent, AssertionMonitor
+from repro.core.recovery import BackupStore, HoldLastGoodPolicy, RecoveryPolicy
+from repro.errors import ConfigurationError
+
+
+class VectorController(Protocol):
+    """A controller with vector I/O and an exposable flat state."""
+
+    def step_vector(
+        self, references: Sequence[float], measurements: Sequence[float]
+    ) -> List[float]:
+        """One iteration over vector references/measurements."""
+        ...
+
+    def reset(self) -> None:
+        """Restore the initial state."""
+        ...
+
+    def state_vector(self) -> List[float]:
+        """Internal state as a flat list."""
+        ...
+
+    def set_state_vector(self, state: List[float]) -> None:
+        """Restore internal state."""
+        ...
+
+
+@dataclass(frozen=True)
+class GuardedStep:
+    """Result of one guarded iteration.
+
+    Attributes:
+        outputs: the delivered (possibly recovered) output vector.
+        recovered_states: indices of state variables that were recovered.
+        recovered_outputs: True if the output assertion fired and the
+            previous iteration's outputs were delivered instead.
+    """
+
+    outputs: Tuple[float, ...]
+    recovered_states: Tuple[int, ...]
+    recovered_outputs: bool
+
+
+class ControllerGuard:
+    """Wrap a controller with executable assertions + best effort recovery.
+
+    Args:
+        controller: the wrapped controller.  Either a vector controller
+            (with ``step_vector``) or a scalar
+            :class:`repro.control.FloatController`; scalar controllers are
+            treated as 1-reference/1-output vector controllers.
+        state_assertions: one assertion per state variable.
+        output_assertions: one assertion per output signal.
+        initial_outputs: output backup used if the very first iteration
+            already fails its output assertion; defaults to zeros.
+        policy: recovery policy (default: the paper's hold-last-good).
+        monitor: optional event sink; one is created if not given.
+    """
+
+    def __init__(
+        self,
+        controller,
+        state_assertions: Sequence[Assertion],
+        output_assertions: Sequence[Assertion],
+        initial_outputs: Optional[Sequence[float]] = None,
+        policy: Optional[RecoveryPolicy] = None,
+        monitor: Optional[AssertionMonitor] = None,
+    ):
+        self.controller = controller
+        self.state_assertions = tuple(state_assertions)
+        self.output_assertions = tuple(output_assertions)
+        if not self.state_assertions:
+            raise ConfigurationError("need at least one state assertion")
+        if not self.output_assertions:
+            raise ConfigurationError("need at least one output assertion")
+        width = len(controller.state_vector())
+        if width != len(self.state_assertions):
+            raise ConfigurationError(
+                f"{len(self.state_assertions)} state assertions for "
+                f"{width}-element state vector"
+            )
+        if initial_outputs is None:
+            initial_outputs = [0.0] * len(self.output_assertions)
+        if len(initial_outputs) != len(self.output_assertions):
+            raise ConfigurationError("initial_outputs width mismatch")
+        self.policy = policy if policy is not None else HoldLastGoodPolicy()
+        self.monitor = monitor if monitor is not None else AssertionMonitor()
+        self._state_backup = BackupStore(controller.state_vector())
+        self._output_backup = BackupStore(initial_outputs)
+        self._iteration = 0
+
+    # -- the §4.3 procedure -------------------------------------------------
+    def guarded_step(
+        self, references: Sequence[float], measurements: Sequence[float]
+    ) -> GuardedStep:
+        """One guarded control iteration with full recovery detail."""
+        recovered_states = self._validate_and_backup_state()
+        outputs = self._run_controller(references, measurements)
+        recovered_outputs = self._validate_outputs(outputs)
+        if recovered_outputs:
+            outputs = self._output_backup.snapshot()
+            self.controller.set_state_vector(self._state_backup.snapshot())
+        else:
+            self._output_backup.restore_all(outputs)
+        for assertion, value in zip(self.output_assertions, outputs):
+            assertion.observe(value)
+        self._iteration += 1
+        return GuardedStep(
+            outputs=tuple(outputs),
+            recovered_states=tuple(recovered_states),
+            recovered_outputs=recovered_outputs,
+        )
+
+    def _validate_and_backup_state(self) -> List[int]:
+        state = self.controller.state_vector()
+        recovered: List[int] = []
+        for i, (assertion, value) in enumerate(zip(self.state_assertions, state)):
+            if assertion.holds(value):
+                self._state_backup.put(i, value)
+            else:
+                substitute = self.policy.recover(i, value, self._state_backup)
+                self.monitor.record(
+                    AssertionEvent(
+                        iteration=self._iteration,
+                        kind="state",
+                        index=i,
+                        value=value,
+                        recovered_to=substitute,
+                    )
+                )
+                state[i] = substitute
+                recovered.append(i)
+            assertion.observe(state[i])
+        if recovered:
+            self.controller.set_state_vector(state)
+        return recovered
+
+    def _run_controller(
+        self, references: Sequence[float], measurements: Sequence[float]
+    ) -> List[float]:
+        if hasattr(self.controller, "step_vector"):
+            outputs = list(self.controller.step_vector(references, measurements))
+        else:
+            if len(references) != 1 or len(measurements) != 1:
+                raise ConfigurationError(
+                    "scalar controller takes exactly one reference and one measurement"
+                )
+            outputs = [self.controller.step(references[0], measurements[0])]
+        if len(outputs) != len(self.output_assertions):
+            raise ConfigurationError(
+                f"controller produced {len(outputs)} outputs, "
+                f"expected {len(self.output_assertions)}"
+            )
+        return outputs
+
+    def _validate_outputs(self, outputs: Sequence[float]) -> bool:
+        failed = False
+        for j, (assertion, value) in enumerate(zip(self.output_assertions, outputs)):
+            if not assertion.holds(value):
+                self.monitor.record(
+                    AssertionEvent(
+                        iteration=self._iteration,
+                        kind="output",
+                        index=j,
+                        value=value,
+                        recovered_to=self._output_backup.get(j),
+                    )
+                )
+                failed = True
+        return failed
+
+    # -- SpeedController compatibility ---------------------------------------
+    def step(self, reference: float, measured: float) -> float:
+        """Scalar convenience wrapper around :meth:`guarded_step`."""
+        return self.guarded_step([reference], [measured]).outputs[0]
+
+    def warm_start(self, reference: float, measured: float, steady_output: float) -> None:
+        """Warm-start the wrapped controller and refresh all backups."""
+        if hasattr(self.controller, "warm_start"):
+            self.controller.warm_start(reference, measured, steady_output)
+        self._state_backup.restore_all(self.controller.state_vector())
+        self._output_backup.restore_all(
+            [float(steady_output)] * len(self._output_backup.snapshot())
+        )
+
+    def reset(self) -> None:
+        """Reset the wrapped controller, backups, assertions and counter."""
+        self.controller.reset()
+        self._state_backup.restore_all(self.controller.state_vector())
+        self._output_backup.reset()
+        for assertion in self.state_assertions + self.output_assertions:
+            assertion.reset()
+        self._iteration = 0
+
+    # -- state access (checkpointing) ------------------------------------------
+    def state_vector(self) -> List[float]:
+        """Controller state followed by both backup vectors."""
+        return (
+            self.controller.state_vector()
+            + self._state_backup.snapshot()
+            + self._output_backup.snapshot()
+        )
+
+    def set_state_vector(self, state: List[float]) -> None:
+        """Restore state captured by :meth:`state_vector`."""
+        n_state = len(self.controller.state_vector())
+        n_out = len(self._output_backup.snapshot())
+        expected = 2 * n_state + n_out
+        if len(state) != expected:
+            raise ConfigurationError(f"expected {expected} state values")
+        self.controller.set_state_vector(list(state[:n_state]))
+        self._state_backup.restore_all(state[n_state : 2 * n_state])
+        self._output_backup.restore_all(state[2 * n_state :])

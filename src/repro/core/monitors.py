@@ -1,0 +1,56 @@
+"""Recording of assertion firings.
+
+The guard reports every assertion failure (and the recovery taken) to an
+:class:`AssertionMonitor`; analysis code uses the events to attribute
+failure-mode changes to the protection mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class AssertionEvent:
+    """One assertion failure.
+
+    Attributes:
+        iteration: control iteration index at which the check fired.
+        kind: ``"state"`` or ``"output"``.
+        index: position within the state or output vector.
+        value: the rejected value.
+        recovered_to: the substitute delivered by the recovery policy.
+    """
+
+    iteration: int
+    kind: str
+    index: int
+    value: float
+    recovered_to: float
+
+
+class AssertionMonitor:
+    """Collects :class:`AssertionEvent` records for one run."""
+
+    def __init__(self) -> None:
+        self._events: List[AssertionEvent] = []
+
+    def record(self, event: AssertionEvent) -> None:
+        """Append one event."""
+        self._events.append(event)
+
+    @property
+    def events(self) -> Tuple[AssertionEvent, ...]:
+        """All recorded events, in firing order."""
+        return tuple(self._events)
+
+    def count(self, kind: str = "") -> int:
+        """Number of events, optionally restricted to one kind."""
+        if not kind:
+            return len(self._events)
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def reset(self) -> None:
+        """Discard all recorded events."""
+        self._events = []

@@ -1,0 +1,88 @@
+"""Backup storage and best-effort recovery policies.
+
+The paper's recovery replaces a failed value with the copy backed up in
+the previous iteration.  The :class:`BackupStore` holds those copies; a
+:class:`RecoveryPolicy` decides what to substitute when an assertion
+fails.  ``HoldLastGoodPolicy`` is the paper's mechanism;
+``ResetToInitialPolicy`` is an ablation alternative (benchmarked in
+``bench_ablation_recovery_policy``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class BackupStore:
+    """Previous-iteration copies of a fixed-width float vector."""
+
+    def __init__(self, initial: Sequence[float]):
+        if len(initial) == 0:
+            raise ConfigurationError("backup store must hold at least one value")
+        self._initial = [float(v) for v in initial]
+        self._values = list(self._initial)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def get(self, index: int) -> float:
+        """The backed-up value at ``index``."""
+        return self._values[index]
+
+    def put(self, index: int, value: float) -> None:
+        """Back up ``value`` at ``index``."""
+        self._values[index] = float(value)
+
+    def snapshot(self) -> List[float]:
+        """A copy of all backed-up values."""
+        return list(self._values)
+
+    def restore_all(self, values: Sequence[float]) -> None:
+        """Replace the whole backup vector (width must match)."""
+        if len(values) != len(self._values):
+            raise ConfigurationError("backup width mismatch")
+        self._values = [float(v) for v in values]
+
+    def reset(self) -> None:
+        """Return to the initial backup values."""
+        self._values = list(self._initial)
+
+
+class RecoveryPolicy:
+    """Strategy for replacing a value that failed its assertion."""
+
+    name: str = "recovery"
+
+    def recover(self, index: int, failed_value: float, backups: BackupStore) -> float:
+        """The substitute value for position ``index``."""
+        raise NotImplementedError
+
+
+class HoldLastGoodPolicy(RecoveryPolicy):
+    """The paper's best effort recovery: use the previous iteration's value."""
+
+    name = "hold-last-good"
+
+    def recover(self, index: int, failed_value: float, backups: BackupStore) -> float:
+        return backups.get(index)
+
+
+class ResetToInitialPolicy(RecoveryPolicy):
+    """Ablation policy: reset the failed value to a fixed safe value.
+
+    Simpler than backup-based recovery (no per-iteration copying) but
+    discards all accumulated control state, so it trades a guaranteed
+    in-range value for a larger transient.
+    """
+
+    name = "reset-to-initial"
+
+    def __init__(self, safe_values: Sequence[float]):
+        if len(safe_values) == 0:
+            raise ConfigurationError("need at least one safe value")
+        self._safe = [float(v) for v in safe_values]
+
+    def recover(self, index: int, failed_value: float, backups: BackupStore) -> float:
+        return self._safe[index % len(self._safe)]

@@ -1,0 +1,50 @@
+"""Exception hierarchy shared across the reproduction library.
+
+Every exception raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A campaign, diagram or controller was configured inconsistently."""
+
+
+class DiagramError(ReproError):
+    """A block diagram is malformed (bad wiring, algebraic loop, ...)."""
+
+
+class AssemblyError(ReproError):
+    """The assembler rejected a source program."""
+
+
+class CompileError(ReproError):
+    """The tiny control compiler rejected an AST."""
+
+
+class MachineError(ReproError):
+    """The CPU simulator was driven into an unrepresentable situation.
+
+    This signals a *simulator usage* problem (e.g. loading a program larger
+    than memory), not a detected hardware error.  Hardware error detections
+    are reported as :class:`repro.thor.edm.DetectionEvent` values, never as
+    Python exceptions, because they are observed results of an experiment.
+    """
+
+
+class ScanChainError(ReproError):
+    """An invalid scan-chain access (bad bit index, closed chain...)."""
+
+
+class CampaignError(ReproError):
+    """A GOOFI campaign could not be executed as configured."""
+
+
+class DatabaseError(ReproError):
+    """The results database rejected an operation."""

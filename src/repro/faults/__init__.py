@@ -1,0 +1,55 @@
+"""Fault models: single bit-flips in integer and floating-point data.
+
+The paper's fault model is the *single bit-flip*: the effect of a particle
+strike on one state element of a VLSI circuit.  This package provides
+
+* :func:`flip_int_bit` / :func:`flip_float_bit` — pure bit-flip primitives
+  on 32-bit integers and IEEE-754 single/double precision floats,
+* :class:`FaultDescriptor` — a fully specified fault (where, when, what),
+* :class:`LocationSpace` and sampling helpers used by GOOFI to draw
+  uniform samples over fault locations and injection times.
+"""
+
+from repro.faults.bitflip import (
+    FLOAT32_BITS,
+    FLOAT64_BITS,
+    INT32_BITS,
+    flip_float_bit,
+    flip_float64_bit,
+    flip_int_bit,
+    float_to_bits,
+    bits_to_float,
+    float64_to_bits,
+    bits_to_float64,
+)
+from repro.faults.models import (
+    FaultDescriptor,
+    FaultTarget,
+    LocationSpace,
+    sample_fault_plan,
+)
+from repro.faults.multibit import (
+    MultiBitFault,
+    burst_targets,
+    sample_multibit_plan,
+)
+
+__all__ = [
+    "FLOAT32_BITS",
+    "FLOAT64_BITS",
+    "INT32_BITS",
+    "flip_float_bit",
+    "flip_float64_bit",
+    "flip_int_bit",
+    "float_to_bits",
+    "bits_to_float",
+    "float64_to_bits",
+    "bits_to_float64",
+    "FaultDescriptor",
+    "FaultTarget",
+    "LocationSpace",
+    "sample_fault_plan",
+    "MultiBitFault",
+    "burst_targets",
+    "sample_multibit_plan",
+]

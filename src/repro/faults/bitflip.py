@@ -1,0 +1,82 @@
+"""Bit-flip primitives on integers and IEEE-754 floating point values.
+
+These are the lowest-level operations of the fault injector: given a value
+and a bit position, return the value with exactly that bit inverted.  Floats
+are reinterpreted through their IEEE-754 bit pattern using :mod:`struct`,
+which is the standard way to model a hardware transient in a register or
+cache word holding floating-point data.
+
+Bit numbering is *little-endian within the word*: bit 0 is the least
+significant bit of the binary representation, bit 31 (or 63) the sign bit.
+"""
+
+from __future__ import annotations
+
+import struct
+
+INT32_BITS = 32
+FLOAT32_BITS = 32
+FLOAT64_BITS = 64
+
+_INT32_MASK = 0xFFFFFFFF
+_INT64_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _check_bit(bit: int, width: int) -> None:
+    if not 0 <= bit < width:
+        raise ValueError(f"bit index {bit} outside [0, {width})")
+
+
+def flip_int_bit(value: int, bit: int, width: int = INT32_BITS) -> int:
+    """Return ``value`` with bit ``bit`` inverted, as an unsigned integer.
+
+    ``value`` may be given signed or unsigned; the result is always the
+    unsigned representation modulo ``2**width``.
+    """
+    _check_bit(bit, width)
+    mask = (1 << width) - 1
+    return (value ^ (1 << bit)) & mask
+
+
+def float_to_bits(value: float) -> int:
+    """IEEE-754 single-precision bit pattern of ``value`` (unsigned 32-bit).
+
+    The value is first rounded to single precision, as a 32-bit register
+    would store it.
+    """
+    (bits,) = struct.unpack("<I", struct.pack("<f", value))
+    return bits
+
+
+def bits_to_float(bits: int) -> float:
+    """Interpret an unsigned 32-bit pattern as an IEEE-754 single float."""
+    (value,) = struct.unpack("<f", struct.pack("<I", bits & _INT32_MASK))
+    return value
+
+
+def float64_to_bits(value: float) -> int:
+    """IEEE-754 double-precision bit pattern of ``value`` (unsigned 64-bit)."""
+    (bits,) = struct.unpack("<Q", struct.pack("<d", value))
+    return bits
+
+
+def bits_to_float64(bits: int) -> float:
+    """Interpret an unsigned 64-bit pattern as an IEEE-754 double float."""
+    (value,) = struct.unpack("<d", struct.pack("<Q", bits & _INT64_MASK))
+    return value
+
+
+def flip_float_bit(value: float, bit: int) -> float:
+    """Flip one bit of the single-precision representation of ``value``.
+
+    The value is rounded to single precision first (a 32-bit datapath holds
+    no more), then the requested bit of the bit pattern is inverted.
+    """
+    _check_bit(bit, FLOAT32_BITS)
+    return bits_to_float(float_to_bits(value) ^ (1 << bit))
+
+
+def flip_float64_bit(value: float, bit: int) -> float:
+    """Flip one bit of the double-precision representation of ``value``."""
+    _check_bit(bit, FLOAT64_BITS)
+    return bits_to_float64(float64_to_bits(value) ^ (1 << bit))

@@ -1,0 +1,68 @@
+"""GOOFI — the fault-injection tool (generic, object-oriented, §3).
+
+The tool runs campaigns in the paper's four phases:
+
+1. **configuration** — choose the fault-injection technique and target:
+   :class:`ScifiCampaign` (scan-chain injection into the simulated CPU)
+   or :func:`repro.goofi.swifi.run_model_campaign` (model-level software
+   injection into Python controllers);
+2. **set-up** — choose fault locations, fault model, injection times and
+   the number of faults (uniform sampling, seeded);
+3. **fault injection** — reference execution first, then one experiment
+   per fault: restore the pre-fault checkpoint, replay to the injection
+   instruction, flip the bit through the scan chain, and run to the
+   termination condition (detection, 650 iterations, or watchdog);
+4. **analysis** — §4.1 classification and Tables 2–4 style summaries,
+   optionally persisted to a SQLite database.
+"""
+
+from repro.goofi.campaign import CampaignConfig, CampaignResult, ScifiCampaign
+from repro.goofi.database import CampaignDatabase
+from repro.goofi.detail import PropagationReport, trace_propagation
+from repro.goofi.environment import EngineEnvironment
+from repro.goofi.lockstep import LockstepTarget
+from repro.goofi.memfault import (
+    MemoryFault,
+    run_memory_campaign,
+    run_memory_experiment,
+    sample_memory_faults,
+)
+from repro.goofi.prerun import (
+    ImageFault,
+    PreRuntimeCampaign,
+    PreRuntimeResult,
+    sample_image_faults,
+)
+from repro.goofi.swifi import (
+    ModelFault,
+    ModelExperiment,
+    run_model_campaign,
+    sample_model_faults,
+)
+from repro.goofi.target import ExperimentRun, ReferenceRun, TargetSystem
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "ScifiCampaign",
+    "CampaignDatabase",
+    "EngineEnvironment",
+    "PropagationReport",
+    "trace_propagation",
+    "LockstepTarget",
+    "MemoryFault",
+    "run_memory_campaign",
+    "run_memory_experiment",
+    "sample_memory_faults",
+    "ImageFault",
+    "PreRuntimeCampaign",
+    "PreRuntimeResult",
+    "sample_image_faults",
+    "TargetSystem",
+    "ReferenceRun",
+    "ExperimentRun",
+    "ModelFault",
+    "ModelExperiment",
+    "run_model_campaign",
+    "sample_model_faults",
+]

@@ -1,0 +1,248 @@
+"""Campaign orchestration: configuration, set-up, injection, analysis.
+
+:class:`ScifiCampaign` drives a full scan-chain fault-injection campaign
+against the simulated CPU, following the paper's §3.3 flow and producing
+a Tables 2/3-ready :class:`~repro.analysis.report.CampaignSummary`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.analysis.classify import Outcome, classify_experiment
+from repro.analysis.report import CampaignSummary, ClassifiedExperiment
+from repro.errors import CampaignError
+from repro.faults.models import FaultDescriptor, LocationSpace, sample_fault_plan
+from repro.goofi.database import CampaignDatabase
+from repro.goofi.environment import EngineEnvironment
+from repro.goofi.target import ExperimentRun, TargetSystem
+from repro.plant.profiles import ITERATIONS
+from repro.tcc.codegen import CompiledProgram
+
+
+@dataclass
+class CampaignConfig:
+    """Set-up phase parameters (§3.3.2).
+
+    Attributes:
+        workload: the compiled workload to inject into.
+        name: campaign label used in summaries and the database.
+        faults: number of fault-injection experiments.
+        seed: RNG seed for the uniform location/time sampling.
+        iterations: loop iterations per experiment (paper: 650).
+        partitions: restrict injection to these scan-chain partitions
+            (default: all — ``cache`` and ``registers``).
+        watchdog_factor: experiment watchdog as a multiple of the longest
+            fault-free iteration.
+        early_exit: enable the provably-safe early termination when the
+            faulted state re-converges to the reference.
+        environment_factory: builds the environment simulator.
+    """
+
+    workload: CompiledProgram
+    name: str = "campaign"
+    faults: int = 500
+    seed: int = 2001
+    iterations: int = ITERATIONS
+    partitions: Optional[List[str]] = None
+    watchdog_factor: float = 10.0
+    early_exit: bool = True
+    environment_factory: Callable[[], EngineEnvironment] = EngineEnvironment
+
+    def __post_init__(self) -> None:
+        if self.faults <= 0:
+            raise CampaignError("faults must be positive")
+        if self.iterations <= 0:
+            raise CampaignError("iterations must be positive")
+
+
+@dataclass
+class CampaignResult:
+    """All experiments of one campaign, classified.
+
+    Attributes:
+        config: the campaign configuration.
+        experiments: raw per-experiment observations.
+        outcomes: §4.1 classification per experiment (same order).
+        reference_outputs: the golden output sequence.
+        partition_sizes: injectable bits per partition.
+        wall_seconds: total injection-phase wall time.
+    """
+
+    config: CampaignConfig
+    experiments: List[ExperimentRun]
+    outcomes: List[Outcome]
+    reference_outputs: List[float]
+    partition_sizes: dict
+    wall_seconds: float = 0.0
+
+    def summary(self) -> CampaignSummary:
+        """Aggregate into a Tables 2/3-ready summary."""
+        records = [
+            ClassifiedExperiment(partition=run.fault.target.partition, outcome=outcome)
+            for run, outcome in zip(self.experiments, self.outcomes)
+        ]
+        return CampaignSummary(
+            records=records,
+            partition_sizes=self.partition_sizes,
+            name=self.config.name,
+        )
+
+
+def _run_chunk(args):
+    """Worker entry point: run one slice of a fault plan.
+
+    Top-level (picklable) by necessity; builds its own target system,
+    repeats the golden run (deterministic, so identical across workers)
+    and executes its chunk.  Returns ``(fault label, run, outcome)``
+    triples.
+    """
+    workload, iterations, watchdog_factor, early_exit, environment_factory, chunk = args
+    target = TargetSystem(
+        workload=workload,
+        environment=environment_factory(),
+        iterations=iterations,
+        watchdog_factor=watchdog_factor,
+    )
+    reference = target.run_reference()
+    results = []
+    for fault in chunk:
+        run = target.run_experiment(fault, early_exit=early_exit)
+        outcome = ScifiCampaign._classify(run, reference.outputs)
+        results.append((fault.label(), run, outcome))
+    return results
+
+
+class ScifiCampaign:
+    """A scan-chain implemented fault-injection campaign (§3.3.1 SCIFI)."""
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        database: Optional[CampaignDatabase] = None,
+    ):
+        self.config = config
+        self.database = database
+        self.target = TargetSystem(
+            workload=config.workload,
+            environment=config.environment_factory(),
+            iterations=config.iterations,
+            watchdog_factor=config.watchdog_factor,
+        )
+
+    def location_space(self) -> LocationSpace:
+        """The injectable locations after partition restriction."""
+        space = self.target.scan_chain.location_space()
+        if self.config.partitions:
+            targets = [t for t in space if t.partition in self.config.partitions]
+            if not targets:
+                raise CampaignError(
+                    f"no targets in partitions {self.config.partitions!r}"
+                )
+            space = LocationSpace(targets)
+        return space
+
+    def run(
+        self,
+        progress: Optional[Callable[[int, int, Outcome], None]] = None,
+        workers: int = 1,
+    ) -> CampaignResult:
+        """Execute the campaign: reference run, sampling, injection, analysis.
+
+        Args:
+            progress: optional callback ``(done, total, outcome)`` invoked
+                after each experiment (serial execution only).
+            workers: number of worker processes.  ``1`` (default) runs
+                serially in this process; ``N > 1`` splits the fault plan
+                into N contiguous slices executed in parallel — results
+                are bit-identical to the serial run (every experiment is
+                independent and fully determined by its fault), just
+                reordered back into plan order.
+        """
+        config = self.config
+        reference = self.target.run_reference()
+        space = self.location_space()
+        rng = np.random.default_rng(config.seed)
+        plan = sample_fault_plan(
+            space=space,
+            total_instructions=reference.total_instructions,
+            count=config.faults,
+            rng=rng,
+        )
+        partition_sizes = {
+            partition: space.partition_size(partition)
+            for partition in space.partitions
+        }
+
+        started = time.perf_counter()
+        if workers <= 1:
+            experiments: List[ExperimentRun] = []
+            outcomes: List[Outcome] = []
+            for i, fault in enumerate(plan):
+                run = self.target.run_experiment(fault, early_exit=config.early_exit)
+                outcome = self._classify(run, reference.outputs)
+                experiments.append(run)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(i + 1, len(plan), outcome)
+        else:
+            experiments, outcomes = self._run_parallel(plan, workers)
+        wall = time.perf_counter() - started
+
+        result = CampaignResult(
+            config=config,
+            experiments=experiments,
+            outcomes=outcomes,
+            reference_outputs=list(reference.outputs),
+            partition_sizes=partition_sizes,
+            wall_seconds=wall,
+        )
+        if self.database is not None:
+            self.database.store_campaign(result)
+        return result
+
+    def _run_parallel(self, plan, workers):
+        """Fan the plan out over worker processes, preserving plan order."""
+        import concurrent.futures
+
+        slices = [plan[i::workers] for i in range(workers)]
+        args = [
+            (
+                self.config.workload,
+                self.config.iterations,
+                self.config.watchdog_factor,
+                self.config.early_exit,
+                self.config.environment_factory,
+                chunk,
+            )
+            for chunk in slices
+            if chunk
+        ]
+        by_fault = {}
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            for chunk_result in pool.map(_run_chunk, args):
+                for fault_label, run, outcome in chunk_result:
+                    by_fault[fault_label] = (run, outcome)
+        experiments = []
+        outcomes = []
+        for fault in plan:
+            run, outcome = by_fault[fault.label()]
+            experiments.append(run)
+            outcomes.append(outcome)
+        return experiments, outcomes
+
+    @staticmethod
+    def _classify(run: ExperimentRun, reference_outputs: List[float]) -> Outcome:
+        detected_by = (
+            run.detection.mechanism.value if run.detection is not None else None
+        )
+        return classify_experiment(
+            observed=run.outputs,
+            reference=reference_outputs,
+            detected_by=detected_by,
+            final_state_differs=run.final_state_differs,
+        )

@@ -1,0 +1,161 @@
+"""SQLite persistence for campaign results.
+
+GOOFI stores all set-up and experiment data in a SQL database (§3.2);
+here it is SQLite (standard library), with one row per campaign and one
+per experiment.  The analysis phase can re-load stored campaigns into
+:class:`~repro.analysis.report.CampaignSummary` objects without re-running
+anything.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from typing import List, Optional, Tuple
+
+from repro.analysis.classify import Outcome, OutcomeCategory
+from repro.analysis.report import CampaignSummary, ClassifiedExperiment
+from repro.errors import DatabaseError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    name TEXT NOT NULL,
+    faults INTEGER NOT NULL,
+    seed INTEGER NOT NULL,
+    iterations INTEGER NOT NULL,
+    partition_sizes TEXT NOT NULL,
+    wall_seconds REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS experiments (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    partition TEXT NOT NULL,
+    element TEXT NOT NULL,
+    bit INTEGER NOT NULL,
+    time INTEGER NOT NULL,
+    category TEXT NOT NULL,
+    mechanism TEXT,
+    first_failure_iteration INTEGER,
+    max_deviation REAL NOT NULL,
+    early_exit_iteration INTEGER,
+    timed_out INTEGER NOT NULL,
+    instructions_executed INTEGER NOT NULL
+);
+"""
+
+
+class CampaignDatabase:
+    """A SQLite-backed store for campaign results."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    def __enter__(self) -> "CampaignDatabase":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- writing ---------------------------------------------------------------
+    def store_campaign(self, result) -> int:
+        """Persist a :class:`~repro.goofi.campaign.CampaignResult`.
+
+        Returns the new campaign's database id.
+        """
+        config = result.config
+        cursor = self._conn.execute(
+            "INSERT INTO campaigns (name, faults, seed, iterations,"
+            " partition_sizes, wall_seconds) VALUES (?, ?, ?, ?, ?, ?)",
+            (
+                config.name,
+                config.faults,
+                config.seed,
+                config.iterations,
+                json.dumps(result.partition_sizes),
+                result.wall_seconds,
+            ),
+        )
+        campaign_id = cursor.lastrowid
+        rows = []
+        for run, outcome in zip(result.experiments, result.outcomes):
+            rows.append(
+                (
+                    campaign_id,
+                    run.fault.target.partition,
+                    run.fault.target.element,
+                    run.fault.target.bit,
+                    run.fault.time,
+                    outcome.category.value,
+                    outcome.mechanism,
+                    outcome.first_failure_iteration,
+                    outcome.max_deviation,
+                    run.early_exit_iteration,
+                    1 if run.timed_out else 0,
+                    run.instructions_executed,
+                )
+            )
+        self._conn.executemany(
+            "INSERT INTO experiments (campaign_id, partition, element, bit,"
+            " time, category, mechanism, first_failure_iteration,"
+            " max_deviation, early_exit_iteration, timed_out,"
+            " instructions_executed)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self._conn.commit()
+        return int(campaign_id)
+
+    # -- reading ------------------------------------------------------------------
+    def list_campaigns(self) -> List[Tuple[int, str, int]]:
+        """All stored campaigns as ``(id, name, faults)`` tuples."""
+        cursor = self._conn.execute("SELECT id, name, faults FROM campaigns")
+        return [(int(i), str(n), int(f)) for i, n, f in cursor.fetchall()]
+
+    def load_summary(self, campaign_id: int) -> CampaignSummary:
+        """Rebuild a :class:`CampaignSummary` from stored rows."""
+        row = self._conn.execute(
+            "SELECT name, partition_sizes FROM campaigns WHERE id = ?",
+            (campaign_id,),
+        ).fetchone()
+        if row is None:
+            raise DatabaseError(f"no campaign with id {campaign_id}")
+        name, partition_sizes_json = row
+        cursor = self._conn.execute(
+            "SELECT partition, category, mechanism, first_failure_iteration,"
+            " max_deviation FROM experiments WHERE campaign_id = ?",
+            (campaign_id,),
+        )
+        records = []
+        for partition, category, mechanism, first_fail, max_dev in cursor.fetchall():
+            outcome = Outcome(
+                category=OutcomeCategory(category),
+                mechanism=mechanism,
+                first_failure_iteration=first_fail,
+                max_deviation=max_dev,
+            )
+            records.append(ClassifiedExperiment(partition=partition, outcome=outcome))
+        if not records:
+            raise DatabaseError(f"campaign {campaign_id} has no experiments")
+        return CampaignSummary(
+            records=records,
+            partition_sizes=json.loads(partition_sizes_json),
+            name=name,
+        )
+
+    def mechanism_counts(self, campaign_id: int) -> List[Tuple[str, int]]:
+        """Detected-error counts per mechanism (analysis-phase query)."""
+        cursor = self._conn.execute(
+            "SELECT mechanism, COUNT(*) FROM experiments"
+            " WHERE campaign_id = ? AND mechanism IS NOT NULL"
+            " GROUP BY mechanism ORDER BY COUNT(*) DESC",
+            (campaign_id,),
+        )
+        return [(str(m), int(c)) for m, c in cursor.fetchall()]

@@ -1,0 +1,139 @@
+"""The environment simulator: the engine model driven from the host.
+
+In the paper, the Simulink-generated engine model runs on the UNIX
+workstation and exchanges data with the target each loop iteration
+(§3.3.2).  :class:`EngineEnvironment` plays that role: it writes the
+reference speed ``r(k)`` and measured speed ``y(k)`` into the target's
+MMIO registers, reads back the commanded throttle ``u_lim(k)`` at each
+yield, and advances the engine one sample.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional
+
+from repro.plant.engine import EngineModel
+from repro.plant.profiles import (
+    LoadProfile,
+    ReferenceProfile,
+    paper_load_profile,
+    paper_reference_profile,
+)
+from repro.thor.memory import MMIODevice
+
+
+def _f32_bits(value: float) -> int:
+    try:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    except OverflowError:
+        inf = float("inf") if value > 0 else float("-inf")
+        return struct.unpack("<I", struct.pack("<f", inf))[0]
+
+
+def _bits_f32(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+class EngineEnvironment:
+    """Host-side engine simulation exchanging data over MMIO.
+
+    The exchange protocol per control iteration ``k``:
+
+    1. before the iteration starts, ``r(k)`` and ``y(k)`` are present in
+       the MMIO input registers;
+    2. the target computes and stores ``u_lim(k)`` in the MMIO output
+       register, then yields (``SVC 0``);
+    3. :meth:`exchange` reads ``u_lim(k)``, steps the engine under the
+       load profile, and writes ``r(k+1)``, ``y(k+1)``.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[EngineModel] = None,
+        reference: Optional[ReferenceProfile] = None,
+        load: Optional[LoadProfile] = None,
+        warm_start: bool = True,
+    ):
+        self.engine = engine if engine is not None else EngineModel()
+        self.reference = reference if reference is not None else paper_reference_profile()
+        self.load = load if load is not None else paper_load_profile()
+        self.warm_start = warm_start
+        self.iteration = 0
+
+    # -- lifecycle ---------------------------------------------------------
+    def reset(self) -> None:
+        """Reset the engine to the run's initial state and iteration 0."""
+        initial_reference = self.reference.value(0.0)
+        if self.warm_start:
+            self.engine.reset(speed=initial_reference, load=self.load.base)
+        else:
+            self.engine.reset()
+        self.iteration = 0
+
+    def initial_throttle(self) -> float:
+        """Steady-state throttle matching the warm-started engine."""
+        return self.engine.params.steady_state_throttle(
+            self.reference.value(0.0), self.load.base
+        )
+
+    def write_inputs(self, mmio: MMIODevice) -> None:
+        """Write r(k) and y(k) for the current iteration into MMIO."""
+        t = self.iteration * self.engine.params.sample_time
+        mmio.write(MMIODevice.REFERENCE, _f32_bits(self.reference.value(t)))
+        mmio.write(MMIODevice.SPEED, _f32_bits(self.engine.speed))
+
+    def exchange(self, mmio: MMIODevice) -> float:
+        """Complete iteration ``k``: read the output, step, write inputs.
+
+        Returns the throttle command the target delivered.
+        """
+        throttle = _bits_f32(mmio.read(MMIODevice.THROTTLE))
+        t = self.iteration * self.engine.params.sample_time
+        self.engine.step(throttle, self.load.value(t))
+        self.iteration += 1
+        self.write_inputs(mmio)
+        return throttle
+
+    def hold_output_step(self, throttle: float) -> None:
+        """Advance the engine one sample with a held actuator command.
+
+        Used when the target stopped delivering outputs (watchdog): a
+        real actuator holds its last command.
+        """
+        t = self.iteration * self.engine.params.sample_time
+        self.engine.step(throttle, self.load.value(t))
+        self.iteration += 1
+
+    # -- state access -----------------------------------------------------------
+    def state_bytes(self) -> bytes:
+        """Engine state + iteration index, for run-state hashing."""
+        return (
+            struct.pack("<dd", self.engine.airflow, self.engine.speed)
+            + self.iteration.to_bytes(4, "little")
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """A restorable copy of the environment state."""
+        return {
+            "engine": list(self.engine.state_vector()),
+            "iteration": self.iteration,
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        self.engine.set_state_vector(list(snapshot["engine"]))  # type: ignore[arg-type]
+        self.iteration = snapshot["iteration"]  # type: ignore[assignment]
+
+    def fault_free_outputs(self, iterations: int) -> List[float]:
+        """Model-level fault-free throttle sequence (diagnostics only)."""
+        from repro.control.pi import PIController
+        from repro.plant.loop import ClosedLoop
+
+        loop = ClosedLoop(
+            PIController(),
+            engine=EngineModel(self.engine.params),
+            reference=self.reference,
+            load=self.load,
+        )
+        return list(loop.run(iterations).throttle)

@@ -1,0 +1,181 @@
+"""Memory fault injection: bit-flips in stored RAM words.
+
+The CPU campaigns flip *processor* state; this injector flips bits in
+main-memory words mid-run without updating the stored parity — the
+fault the DATA ERROR mechanism ("uncorrectable error in data read from
+memory") exists for.  It completes the fault-model inventory: every
+Table 1 mechanism now has a campaign-grade injection path.
+
+Outcomes split three ways:
+
+* the corrupted word is *read* before being overwritten → DATA ERROR
+  (parity mismatch) terminates the run;
+* the word is *overwritten* first (parity recomputed) → non-effective;
+* the word is never touched again → latent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis.classify import Outcome, classify_experiment
+from repro.analysis.report import CampaignSummary, ClassifiedExperiment
+from repro.errors import CampaignError
+from repro.faults.models import FaultDescriptor, FaultTarget
+from repro.goofi.target import ExperimentRun, TargetSystem
+from repro.thor.cpu import StepResult
+from repro.thor.memory import WORD
+
+#: Partition label for RAM faults.
+MEMORY_PARTITION = "memory"
+
+
+@dataclass(frozen=True)
+class MemoryFault:
+    """One stored-RAM bit flipped at an iteration boundary.
+
+    Attributes:
+        address: word address in data or stack RAM.
+        bit: bit position within the word.
+        iteration: boundary before which the flip is applied.
+    """
+
+    address: int
+    bit: int
+    iteration: int
+
+    def label(self) -> str:
+        """Human-readable description."""
+        return f"memory@{self.address:#x}[{self.bit}]@iter={self.iteration}"
+
+
+def sample_memory_faults(
+    target: TargetSystem,
+    count: int,
+    rng: np.random.Generator,
+) -> List[MemoryFault]:
+    """Uniformly sample RAM faults over data+stack words and iterations."""
+    if count <= 0:
+        raise CampaignError("count must be positive")
+    layout = target.cpu.layout
+    words: List[int] = []
+    for base, size in (
+        (layout.data_base, layout.data_size),
+        (layout.stack_base, layout.stack_size),
+    ):
+        words.extend(range(base, base + size, WORD))
+    return [
+        MemoryFault(
+            address=int(words[int(rng.integers(0, len(words)))]),
+            bit=int(rng.integers(0, 32)),
+            iteration=int(rng.integers(0, target.iterations)),
+        )
+        for _ in range(count)
+    ]
+
+
+def run_memory_experiment(
+    target: TargetSystem, fault: MemoryFault
+) -> ExperimentRun:
+    """Inject one RAM fault at an iteration boundary and run to the end."""
+    reference = target.reference
+    if reference is None:
+        raise CampaignError("run_reference() must come first")
+    if not 0 <= fault.iteration < target.iterations:
+        raise CampaignError("fault iteration outside the run")
+    snapshot = reference.snapshots[fault.iteration]
+    target.cpu.restore(snapshot["cpu"])  # type: ignore[arg-type]
+    target.environment.restore(snapshot["env"])  # type: ignore[arg-type]
+    target.cpu.memory.corrupt_word_bit(fault.address, fault.bit)
+
+    descriptor = FaultDescriptor(
+        FaultTarget(MEMORY_PARTITION, f"{fault.address:#x}", fault.bit),
+        reference.instructions_at[fault.iteration],
+    )
+    outputs: List[float] = list(reference.outputs[: fault.iteration])
+    run = ExperimentRun(fault=descriptor, outputs=outputs)
+    cpu = target.cpu
+    env = target.environment
+    watchdog = (
+        int(reference.max_iteration_instructions * target.watchdog_factor) + 500
+    )
+    for k in range(fault.iteration, target.iterations):
+        result = cpu.run(watchdog)
+        run.instructions_executed = cpu.instruction_index
+        if result is StepResult.DETECTED:
+            run.detection = cpu.detection
+            run.detected_iteration = k
+            return run
+        if result is not StepResult.YIELD:
+            run.timed_out = True
+            held = outputs[-1] if outputs else env.initial_throttle()
+            while len(outputs) < target.iterations:
+                outputs.append(held)
+            run.final_state_differs = True
+            return run
+        outputs.append(env.exchange(cpu.memory.mmio))
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(cpu.state_bytes())
+        digest.update(env.state_bytes())
+        if digest.digest() == reference.hashes[k + 1]:
+            outputs.extend(reference.outputs[k + 1 :])
+            run.early_exit_iteration = k + 1
+            run.final_state_differs = False
+            return run
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(cpu.state_bytes())
+    digest.update(env.state_bytes())
+    run.final_state_differs = digest.digest() != reference.hashes[-1]
+    return run
+
+
+def run_memory_campaign(
+    target: TargetSystem,
+    faults: int,
+    seed: int = 2001,
+    name: str = "memory faults",
+) -> "MemoryCampaignResult":
+    """A complete RAM-fault campaign against a prepared target."""
+    if target.reference is None:
+        target.run_reference()
+    rng = np.random.default_rng(seed)
+    plan = sample_memory_faults(target, faults, rng)
+    experiments: List[ExperimentRun] = []
+    outcomes: List[Outcome] = []
+    for fault in plan:
+        run = run_memory_experiment(target, fault)
+        outcomes.append(
+            classify_experiment(
+                observed=run.outputs,
+                reference=target.reference.outputs,
+                detected_by=(
+                    run.detection.mechanism.value if run.detection else None
+                ),
+                final_state_differs=run.final_state_differs,
+            )
+        )
+        experiments.append(run)
+    return MemoryCampaignResult(
+        name=name, experiments=experiments, outcomes=outcomes
+    )
+
+
+@dataclass
+class MemoryCampaignResult:
+    """All experiments of a RAM-fault campaign."""
+
+    name: str
+    experiments: List[ExperimentRun]
+    outcomes: List[Outcome]
+
+    def summary(self) -> CampaignSummary:
+        """Aggregate into a table-ready summary."""
+        records = [
+            ClassifiedExperiment(partition=MEMORY_PARTITION, outcome=outcome)
+            for outcome in self.outcomes
+        ]
+        return CampaignSummary(records, partition_sizes={}, name=self.name)

@@ -1,0 +1,213 @@
+"""Model-level software-implemented fault injection (SWIFI).
+
+GOOFI supports multiple injection techniques (§3.3.1).  Next to the
+scan-chain technique, this module injects bit-flips directly into the
+*state variables* of model-level Python controllers running in the
+closed loop — the fast path used for large state-corruption studies
+(Figures 7–10 shapes, assertion/recovery ablations).
+
+There are no hardware detection mechanisms at this level, so every
+experiment is classified among the undetected-wrong-result and
+non-effective categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.analysis.classify import Outcome, classify_experiment
+from repro.analysis.report import CampaignSummary, ClassifiedExperiment
+from repro.errors import CampaignError
+from repro.faults.bitflip import flip_float64_bit, flip_float_bit
+from repro.goofi.environment import EngineEnvironment
+from repro.plant.engine import EngineModel
+from repro.plant.profiles import ITERATIONS
+
+#: Partition label used for model-level campaigns.
+STATE_PARTITION = "state"
+
+
+@dataclass(frozen=True)
+class ModelFault:
+    """A bit-flip in one controller state variable at one iteration.
+
+    Attributes:
+        state_index: position within ``controller.state_vector()``.
+        bit: bit position within the chosen representation.
+        iteration: control iteration before which the flip is applied.
+        representation: ``"float32"`` (value is rounded to single
+            precision first, matching a 32-bit datapath) or ``"float64"``.
+    """
+
+    state_index: int
+    bit: int
+    iteration: int
+    representation: str = "float32"
+
+    def apply(self, value: float) -> float:
+        """The flipped value."""
+        if self.representation == "float32":
+            return flip_float_bit(value, self.bit)
+        if self.representation == "float64":
+            return flip_float64_bit(value, self.bit)
+        raise CampaignError(f"unknown representation {self.representation!r}")
+
+    def label(self) -> str:
+        """Human-readable description."""
+        return f"state[{self.state_index}] bit {self.bit} @ iter {self.iteration}"
+
+
+@dataclass
+class ModelExperiment:
+    """One model-level experiment: the fault, its outputs and outcome."""
+
+    fault: ModelFault
+    outputs: List[float]
+    outcome: Outcome
+    assertion_events: int = 0
+
+
+def sample_model_faults(
+    state_width: int,
+    count: int,
+    rng: np.random.Generator,
+    iterations: int = ITERATIONS,
+    representation: str = "float32",
+) -> List[ModelFault]:
+    """Uniformly sample model-level faults over (state, bit, iteration)."""
+    if state_width <= 0 or count <= 0:
+        raise CampaignError("state_width and count must be positive")
+    bits = 32 if representation == "float32" else 64
+    return [
+        ModelFault(
+            state_index=int(rng.integers(0, state_width)),
+            bit=int(rng.integers(0, bits)),
+            iteration=int(rng.integers(0, iterations)),
+            representation=representation,
+        )
+        for _ in range(count)
+    ]
+
+
+def _run_loop(
+    controller,
+    environment: EngineEnvironment,
+    iterations: int,
+    fault: Optional[ModelFault],
+) -> List[float]:
+    """Run the closed loop, optionally injecting one fault."""
+    controller.reset()
+    environment.reset()
+    if environment.warm_start and hasattr(controller, "warm_start"):
+        reference0 = environment.reference.value(0.0)
+        controller.warm_start(reference0, reference0, environment.initial_throttle())
+    engine = environment.engine
+    outputs: List[float] = []
+    for k in range(iterations):
+        if fault is not None and fault.iteration == k:
+            state = controller.state_vector()
+            state[fault.state_index] = fault.apply(state[fault.state_index])
+            controller.set_state_vector(state)
+        t = k * engine.params.sample_time
+        reference = environment.reference.value(t)
+        measured = engine.speed
+        command = controller.step(reference, measured)
+        engine.step(command, environment.load.value(t))
+        outputs.append(command)
+    return outputs
+
+
+def run_model_campaign(
+    controller_factory: Callable[[], object],
+    faults: int = 1000,
+    seed: int = 2001,
+    iterations: int = ITERATIONS,
+    representation: str = "float32",
+    environment_factory: Callable[[], EngineEnvironment] = EngineEnvironment,
+    name: str = "model campaign",
+) -> "ModelCampaignResult":
+    """Run a model-level SWIFI campaign against a controller.
+
+    Args:
+        controller_factory: builds a fresh controller exposing ``step``,
+            ``reset``, ``state_vector`` and ``set_state_vector``.
+        faults: number of experiments.
+        seed: sampling seed.
+        iterations: loop iterations per experiment.
+        representation: bit-flip representation (see :class:`ModelFault`).
+        environment_factory: builds the engine environment.
+        name: campaign label for summaries.
+    """
+    rng = np.random.default_rng(seed)
+    golden_controller = controller_factory()
+    environment = environment_factory()
+    golden = _run_loop(golden_controller, environment, iterations, fault=None)
+    golden_final = (
+        list(golden_controller.state_vector()),
+        list(environment.engine.state_vector()),
+    )
+    state_width = len(golden_controller.state_vector())
+    plan = sample_model_faults(
+        state_width=state_width,
+        count=faults,
+        rng=rng,
+        iterations=iterations,
+        representation=representation,
+    )
+    experiments: List[ModelExperiment] = []
+    for fault in plan:
+        controller = controller_factory()
+        env = environment_factory()
+        outputs = _run_loop(controller, env, iterations, fault=fault)
+        final_differs = (
+            list(controller.state_vector()) != golden_final[0]
+            or list(env.engine.state_vector()) != golden_final[1]
+        )
+        outcome = classify_experiment(
+            observed=outputs,
+            reference=golden,
+            detected_by=None,
+            final_state_differs=final_differs,
+        )
+        monitor = getattr(controller, "monitor", None)
+        events = monitor.count() if monitor is not None else 0
+        experiments.append(
+            ModelExperiment(
+                fault=fault, outputs=outputs, outcome=outcome,
+                assertion_events=events,
+            )
+        )
+    return ModelCampaignResult(
+        name=name,
+        golden_outputs=golden,
+        experiments=experiments,
+        state_width=state_width,
+        representation=representation,
+    )
+
+
+@dataclass
+class ModelCampaignResult:
+    """All experiments of a model-level campaign."""
+
+    name: str
+    golden_outputs: List[float]
+    experiments: List[ModelExperiment]
+    state_width: int
+    representation: str
+
+    def summary(self) -> CampaignSummary:
+        """Aggregate into a table-ready summary (one partition)."""
+        bits = 32 if self.representation == "float32" else 64
+        records = [
+            ClassifiedExperiment(partition=STATE_PARTITION, outcome=e.outcome)
+            for e in self.experiments
+        ]
+        return CampaignSummary(
+            records=records,
+            partition_sizes={STATE_PARTITION: self.state_width * bits},
+            name=self.name,
+        )

@@ -1,0 +1,266 @@
+"""The target system: CPU + workload + environment, with checkpointing.
+
+:class:`TargetSystem` executes the closed loop the paper describes: the
+workload runs on the simulated CPU, exchanging reference/speed/throttle
+with the :class:`~repro.goofi.environment.EngineEnvironment` at every
+yield.  It provides
+
+* :meth:`run_reference` — the fault-free golden execution, recording the
+  output sequence, a full restorable snapshot at every iteration
+  boundary, a state hash per boundary and the dynamic instruction count
+  (used to map sampled injection times to boundaries);
+* :meth:`run_experiment` — one fault-injection experiment: restore the
+  boundary checkpoint, replay to the injection instruction, flip the bit
+  through the scan chain, then run to the termination condition.
+
+Early exit: when the faulted run's full state hash equals the reference
+hash at the same boundary, every subsequent instruction is determined to
+be identical, so the reference output suffix is spliced in.  A test
+verifies that disabling this optimisation yields identical outcomes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import CampaignError
+from repro.faults.models import FaultDescriptor
+from repro.goofi.environment import EngineEnvironment
+from repro.tcc.codegen import CompiledProgram
+from repro.thor.cpu import CPU, StepResult
+from repro.thor.edm import DetectionEvent
+from repro.thor.scanchain import ScanChain
+
+
+def _hash_state(cpu: CPU, environment: EngineEnvironment) -> bytes:
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(cpu.state_bytes())
+    digest.update(environment.state_bytes())
+    return digest.digest()
+
+
+@dataclass
+class ReferenceRun:
+    """The golden execution of the workload.
+
+    Attributes:
+        outputs: delivered throttle per iteration.
+        hashes: full-state hash at every iteration boundary
+            (``hashes[k]`` is the state before iteration ``k`` executes;
+            there are ``iterations + 1`` entries).
+        snapshots: restorable state per boundary (same indexing).
+        instructions_at: dynamic instruction count at each boundary.
+        total_instructions: instruction count of the whole run.
+        max_iteration_instructions: the longest iteration, used to size
+            the experiment watchdog.
+    """
+
+    outputs: List[float]
+    hashes: List[bytes]
+    snapshots: List[Dict[str, object]]
+    instructions_at: List[int]
+    total_instructions: int
+    max_iteration_instructions: int
+
+    def locate(self, instruction_time: int) -> int:
+        """Boundary index whose iteration contains ``instruction_time``."""
+        if not 0 <= instruction_time < self.total_instructions:
+            raise CampaignError(
+                f"injection time {instruction_time} outside the run "
+                f"(0..{self.total_instructions - 1})"
+            )
+        # instructions_at is sorted; linear scan from a bisect would be
+        # fine too, but the list is small (651 entries).
+        low, high = 0, len(self.instructions_at) - 1
+        while low < high:
+            mid = (low + high + 1) // 2
+            if self.instructions_at[mid] <= instruction_time:
+                low = mid
+            else:
+                high = mid - 1
+        return low
+
+
+@dataclass
+class ExperimentRun:
+    """Raw observations of one fault-injection experiment.
+
+    Attributes:
+        fault: the injected fault.
+        outputs: the delivered output sequence (spliced/held as needed so
+            its length always equals the reference's, except for detected
+            experiments, where delivery stopped at the detection).
+        detection: the hardware detection that terminated the run, if any.
+        detected_iteration: iteration during which the detection fired.
+        final_state_differs: final state differs from the reference's.
+        early_exit_iteration: boundary at which the state re-converged to
+            the reference (None if it never did).
+        timed_out: the workload stopped yielding and the watchdog expired.
+        instructions_executed: dynamic instructions actually simulated.
+    """
+
+    fault: FaultDescriptor
+    outputs: List[float]
+    detection: Optional[DetectionEvent] = None
+    detected_iteration: Optional[int] = None
+    final_state_differs: bool = False
+    early_exit_iteration: Optional[int] = None
+    timed_out: bool = False
+    instructions_executed: int = 0
+
+
+#: Workload variables primed when the run starts at an operating point
+#: (Figure 3 begins already tracking 2000 rpm).  Actuator-valued state
+#: (the integral part and its backups) is set to the steady throttle;
+#: measurement-valued state (a PID's previous-measurement and backup) is
+#: set to the initial reference speed.
+WARM_STATE_NAMES = ("x", "x_old", "u_old")
+WARM_MEASUREMENT_NAMES = ("y_prev", "yp_old")
+
+
+class TargetSystem:
+    """The complete fault-injection target."""
+
+    def __init__(
+        self,
+        workload: CompiledProgram,
+        environment: Optional[EngineEnvironment] = None,
+        iterations: int = 650,
+        watchdog_factor: float = 10.0,
+        warm_start: bool = True,
+    ):
+        if iterations <= 0:
+            raise CampaignError("iterations must be positive")
+        self.workload = workload
+        self.environment = environment if environment is not None else EngineEnvironment()
+        self.iterations = iterations
+        self.watchdog_factor = watchdog_factor
+        self.warm_start = warm_start
+        self.cpu = CPU()
+        self.scan_chain = ScanChain(self.cpu)
+        self.reference: Optional[ReferenceRun] = None
+
+    def _warm_start_workload(self) -> None:
+        """Prime the controller-state globals to the steady operating point."""
+        addresses = self.workload.variable_addresses
+        values = {name: self.environment.initial_throttle() for name in WARM_STATE_NAMES}
+        initial_speed = self.environment.reference.value(0.0)
+        values.update({name: initial_speed for name in WARM_MEASUREMENT_NAMES})
+        for name, value in values.items():
+            if name in addresses:
+                bits = struct.unpack("<I", struct.pack("<f", value))[0]
+                self.cpu.memory.poke(addresses[name], bits)
+
+    # -- golden execution ------------------------------------------------------
+    def run_reference(self) -> ReferenceRun:
+        """Execute the workload fault-free and record all checkpoints."""
+        cpu = self.cpu
+        env = self.environment
+        cpu.load(self.workload.program)
+        env.reset()
+        if self.warm_start:
+            self._warm_start_workload()
+        env.write_inputs(cpu.memory.mmio)
+
+        outputs: List[float] = []
+        hashes: List[bytes] = [_hash_state(cpu, env)]
+        snapshots: List[Dict[str, object]] = [self._snapshot()]
+        instructions_at: List[int] = [0]
+        max_iteration = 0
+        # Generous budget for the golden run; it must always yield.
+        budget = 1_000_000
+        for k in range(self.iterations):
+            before = cpu.instruction_index
+            result = cpu.run(budget)
+            if result is not StepResult.YIELD:
+                raise CampaignError(
+                    f"reference run failed at iteration {k}: {result} "
+                    f"{cpu.detection}"
+                )
+            iteration_cost = cpu.instruction_index - before
+            max_iteration = max(max_iteration, iteration_cost)
+            outputs.append(env.exchange(cpu.memory.mmio))
+            hashes.append(_hash_state(cpu, env))
+            snapshots.append(self._snapshot())
+            instructions_at.append(cpu.instruction_index)
+        self.reference = ReferenceRun(
+            outputs=outputs,
+            hashes=hashes,
+            snapshots=snapshots,
+            instructions_at=instructions_at,
+            total_instructions=cpu.instruction_index,
+            max_iteration_instructions=max_iteration,
+        )
+        return self.reference
+
+    def _snapshot(self) -> Dict[str, object]:
+        return {
+            "cpu": self.cpu.snapshot(),
+            "env": self.environment.snapshot(),
+        }
+
+    def _restore(self, snapshot: Dict[str, object]) -> None:
+        self.cpu.restore(snapshot["cpu"])  # type: ignore[arg-type]
+        self.environment.restore(snapshot["env"])  # type: ignore[arg-type]
+
+    # -- one experiment -----------------------------------------------------------
+    def run_experiment(
+        self, fault: FaultDescriptor, early_exit: bool = True
+    ) -> ExperimentRun:
+        """Inject one fault and observe the run to its termination."""
+        reference = self.reference
+        if reference is None:
+            raise CampaignError("run_reference() must come first")
+        start_iteration = reference.locate(fault.time)
+        self._restore(reference.snapshots[start_iteration])
+        cpu = self.cpu
+        env = self.environment
+
+        # Replay the fault-free prefix of the injection iteration.
+        replay = fault.time - reference.instructions_at[start_iteration]
+        for _ in range(replay):
+            result = cpu.step()
+            if result is StepResult.DETECTED:
+                raise CampaignError(
+                    f"detection during fault-free replay: {cpu.detection}"
+                )
+
+        # Inject: read the chain, invert the bit(s), write it back.
+        # Multi-bit fault models expose several targets at one instant.
+        for target in fault.targets:
+            self.scan_chain.flip(target)
+
+        outputs: List[float] = list(reference.outputs[:start_iteration])
+        watchdog = int(
+            reference.max_iteration_instructions * self.watchdog_factor
+        ) + 500
+        run = ExperimentRun(fault=fault, outputs=outputs)
+
+        for k in range(start_iteration, self.iterations):
+            result = cpu.run(watchdog)
+            run.instructions_executed = cpu.instruction_index
+            if result is StepResult.DETECTED:
+                run.detection = cpu.detection
+                run.detected_iteration = k
+                return run
+            if result is not StepResult.YIELD:
+                # HALTED, or OK with the watchdog budget exhausted: the
+                # workload stopped delivering outputs.  The actuator
+                # holds its last command for the rest of the window.
+                run.timed_out = True
+                held = outputs[-1] if outputs else env.initial_throttle()
+                while len(outputs) < self.iterations:
+                    outputs.append(held)
+                run.final_state_differs = True
+                return run
+            outputs.append(env.exchange(cpu.memory.mmio))
+            if early_exit and _hash_state(cpu, env) == reference.hashes[k + 1]:
+                outputs.extend(reference.outputs[k + 1 :])
+                run.early_exit_iteration = k + 1
+                run.final_state_differs = False
+                return run
+        run.final_state_differs = _hash_state(cpu, env) != reference.hashes[-1]
+        return run

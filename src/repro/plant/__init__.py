@@ -1,0 +1,58 @@
+"""The controlled object: an engine model plus experiment profiles.
+
+The paper controls the speed of an engine through its throttle angle
+(0–70 degrees) with a sample interval of 15.4 ms over 650 iterations
+(10 seconds).  The reference speed steps from 2000 to 3000 rpm at t = 5 s
+(Figure 3) and the engine load has two bumps, in 3 < t < 4 and 7 < t < 8
+(Figure 4).
+
+This package provides
+
+* :class:`EngineModel` / :class:`EngineParameters` — a first-order intake
+  dynamics + rotational inertia engine,
+* :mod:`repro.plant.profiles` — the reference-speed and load profiles,
+* :class:`ClosedLoop` — a controller-in-the-loop runner recording traces,
+* :func:`build_engine_diagram` — the same engine expressed as a
+  :mod:`repro.blocks` diagram (the Figure 1 environment model).
+"""
+
+from repro.plant.engine import EngineModel, EngineParameters, build_engine_diagram
+from repro.plant.figure1 import (
+    add_pi_controller_blocks,
+    build_figure1_diagram,
+    build_pi_controller_diagram,
+)
+from repro.plant.loop import ClosedLoop, LoopTrace
+from repro.plant.twospool import TwoSpoolEngine, TwoSpoolParameters, run_mimo_loop
+from repro.plant.profiles import (
+    ITERATIONS,
+    SAMPLE_TIME,
+    THROTTLE_MAX,
+    THROTTLE_MIN,
+    LoadProfile,
+    ReferenceProfile,
+    paper_load_profile,
+    paper_reference_profile,
+)
+
+__all__ = [
+    "EngineModel",
+    "EngineParameters",
+    "build_engine_diagram",
+    "add_pi_controller_blocks",
+    "build_pi_controller_diagram",
+    "build_figure1_diagram",
+    "ClosedLoop",
+    "LoopTrace",
+    "TwoSpoolEngine",
+    "TwoSpoolParameters",
+    "run_mimo_loop",
+    "ReferenceProfile",
+    "LoadProfile",
+    "paper_reference_profile",
+    "paper_load_profile",
+    "SAMPLE_TIME",
+    "ITERATIONS",
+    "THROTTLE_MIN",
+    "THROTTLE_MAX",
+]

@@ -1,0 +1,177 @@
+"""The engine model (the controlled object of Figure 1).
+
+The model is a standard two-state engine-speed abstraction:
+
+* *intake dynamics*: the torque-producing airflow follows the throttle
+  angle through a first-order lag with time constant ``tau_intake`` —
+  filling of the intake manifold;
+* *rotational dynamics*: inertia ``J`` integrates produced torque minus
+  viscous friction ``b * omega`` minus the external load torque.
+
+With the default parameters the DC gain is 200 rpm per throttle degree, so
+2000 rpm corresponds to roughly 10 degrees of throttle and 3000 rpm to
+15 degrees under base load — matching the fault-free output level visible
+in the paper's Figures 5 and 10.
+
+The same model is available in two forms: :class:`EngineModel` (a direct
+discrete-time implementation used in campaigns, where speed matters) and
+:func:`build_engine_diagram` (the identical dynamics expressed as a
+:mod:`repro.blocks` diagram, the shape of the Simulink environment model).
+Their equivalence is checked by a test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.blocks.block import Port
+from repro.blocks.diagram import Diagram
+from repro.blocks.library import Gain, Inport, Outport, Saturation, Scope, Sum, UnitDelay
+from repro.errors import ConfigurationError
+from repro.plant.profiles import SAMPLE_TIME, THROTTLE_MAX, THROTTLE_MIN
+
+
+@dataclass(frozen=True)
+class EngineParameters:
+    """Physical parameters of the engine model (simulation units).
+
+    Attributes:
+        torque_gain: produced torque per degree of (lagged) throttle.
+        friction: viscous friction torque per rpm.
+        inertia: rotational inertia (torque units per rpm/s).
+        tau_intake: intake-manifold time constant in seconds.
+        sample_time: discretisation step in seconds (forward Euler).
+    """
+
+    torque_gain: float = 10.0
+    friction: float = 0.05
+    inertia: float = 0.015
+    tau_intake: float = 0.15
+    sample_time: float = SAMPLE_TIME
+
+    def __post_init__(self) -> None:
+        for name in ("torque_gain", "friction", "inertia", "tau_intake", "sample_time"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"engine parameter {name} must be positive")
+
+    def dc_gain(self) -> float:
+        """Steady-state rpm per throttle degree at zero load."""
+        return self.torque_gain / self.friction
+
+    def steady_state_throttle(self, speed: float, load: float = 0.0) -> float:
+        """Throttle angle holding ``speed`` rpm against ``load`` torque."""
+        return (self.friction * speed + load) / self.torque_gain
+
+
+class EngineModel:
+    """Discrete-time engine: throttle angle + load torque -> speed (rpm).
+
+    State: ``airflow`` (lagged throttle, degrees-equivalent) and ``speed``
+    (rpm).  :meth:`step` advances one sample interval with forward Euler,
+    which is stable at the paper's 15.4 ms step for the default
+    parameters.
+    """
+
+    def __init__(self, params: EngineParameters = EngineParameters()):
+        self.params = params
+        self.airflow = 0.0
+        self.speed = 0.0
+
+    def reset(self, speed: float = 0.0, load: float = 0.0) -> None:
+        """Reset to the steady state at ``speed`` rpm under ``load``.
+
+        Passing the defaults resets to standstill.
+        """
+        self.speed = float(speed)
+        self.airflow = (
+            0.0 if speed == 0.0 and load == 0.0
+            else self.params.steady_state_throttle(speed, load)
+        )
+
+    def step(self, throttle: float, load: float) -> float:
+        """Advance one sample with the given throttle angle and load torque.
+
+        The throttle is clamped to the physical range 0–70 degrees — the
+        actuator cannot exceed it regardless of what the controller
+        commands.  Returns the new engine speed in rpm (never negative:
+        the engine does not spin backwards under load).
+        """
+        p = self.params
+        angle = min(max(throttle, THROTTLE_MIN), THROTTLE_MAX)
+        # True forward Euler: both state derivatives use the old state.
+        torque = p.torque_gain * self.airflow - p.friction * self.speed - load
+        self.airflow += (p.sample_time / p.tau_intake) * (angle - self.airflow)
+        self.speed += (p.sample_time / p.inertia) * torque
+        if self.speed < 0.0:
+            self.speed = 0.0
+        return self.speed
+
+    # -- state access (used by campaign checkpointing) --------------------
+    def state_vector(self) -> List[float]:
+        """The engine state as a flat list ``[airflow, speed]``."""
+        return [self.airflow, self.speed]
+
+    def set_state_vector(self, state: List[float]) -> None:
+        """Restore state captured by :meth:`state_vector`."""
+        self.airflow, self.speed = state
+
+
+def build_engine_diagram(params: EngineParameters = EngineParameters()) -> Diagram:
+    """The engine expressed as a block diagram (Figure 1 environment model).
+
+    Inports: ``throttle`` (degrees), ``load`` (torque).  Outport and scope:
+    ``speed`` (rpm).  The forward-Euler integrations are built from
+    UnitDelay + Gain + Sum blocks, so the diagram's step-for-step output
+    equals :class:`EngineModel` exactly.
+    """
+    p = params
+    d = Diagram()
+    throttle = d.add(Inport("throttle"))
+    load = d.add(Inport("load"))
+    limiter = d.add(Saturation("throttle_limit", THROTTLE_MIN, THROTTLE_MAX))
+
+    # Intake lag: q(k+1) = q(k) + T/tau * (angle - q(k))
+    q_delay = d.add(UnitDelay("airflow_state", initial=0.0))
+    q_err = d.add(Sum("airflow_err", "+-"))
+    q_gain = d.add(Gain("airflow_gain", p.sample_time / p.tau_intake))
+    q_next = d.add(Sum("airflow_next", "++"))
+
+    # Torque balance: torque = Kt*q - b*omega - load
+    torque_gain = d.add(Gain("torque_gain", p.torque_gain))
+    friction_gain = d.add(Gain("friction_gain", p.friction))
+    torque = d.add(Sum("torque", "+--"))
+
+    # Speed integration: omega(k+1) = omega(k) + T/J * torque
+    w_delay = d.add(UnitDelay("speed_state", initial=0.0))
+    w_gain = d.add(Gain("speed_gain", p.sample_time / p.inertia))
+    w_next = d.add(Sum("speed_next", "++"))
+    w_floor = d.add(Saturation("speed_floor", 0.0, float("inf")))
+
+    speed_out = d.add(Outport("speed"))
+    speed_scope = d.add(Scope("speed_scope"))
+
+    d.connect(throttle.out_port(), limiter.in_port())
+    d.connect(limiter.out_port(), q_err.in_port("in1"))
+    d.connect(q_delay.out_port(), q_err.in_port("in2"))
+    d.connect(q_err.out_port(), q_gain.in_port())
+    d.connect(q_delay.out_port(), q_next.in_port("in1"))
+    d.connect(q_gain.out_port(), q_next.in_port("in2"))
+    d.connect(q_next.out_port(), q_delay.in_port())
+
+    d.connect(q_delay.out_port(), torque_gain.in_port())
+    d.connect(w_delay.out_port(), friction_gain.in_port())
+    d.connect(torque_gain.out_port(), torque.in_port("in1"))
+    d.connect(friction_gain.out_port(), torque.in_port("in2"))
+    d.connect(load.out_port(), torque.in_port("in3"))
+
+    d.connect(torque.out_port(), w_gain.in_port())
+    d.connect(w_delay.out_port(), w_next.in_port("in1"))
+    d.connect(w_gain.out_port(), w_next.in_port("in2"))
+    d.connect(w_next.out_port(), w_floor.in_port())
+    d.connect(w_floor.out_port(), w_delay.in_port())
+
+    d.connect(w_floor.out_port(), speed_out.in_port())
+    d.connect(w_floor.out_port(), speed_scope.in_port())
+    d.schedule()
+    return d

@@ -1,0 +1,213 @@
+"""The paper's Figures 1 and 2 as executable block diagrams.
+
+Figure 2 is the PI controller block: error sum, proportional gain,
+discrete integrator with anti-windup (integration is cut off when the
+unlimited output is outside the throttle range and the error pushes it
+further out), and the output limiter.  Figure 1 is the complete engine
+control system: reference step, the PI controller block, the engine and
+the load disturbance.
+
+Both diagrams are *bit-equivalent* to the imperative implementations
+(:class:`repro.control.PIController`, :class:`repro.plant.EngineModel`)
+— the equivalence is covered by tests — so the block-diagram substrate
+demonstrably expresses the same model the paper generated its code from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.blocks.diagram import Diagram
+from repro.blocks.library import (
+    Constant,
+    Gain,
+    Inport,
+    LogicalOperator,
+    Outport,
+    Product,
+    RelationalOperator,
+    Saturation,
+    Scope,
+    SourceFunction,
+    Step,
+    Sum,
+    Switch,
+    UnitDelay,
+)
+from repro.control.base import ControllerGains
+from repro.plant.engine import EngineParameters
+from repro.plant.profiles import (
+    LoadProfile,
+    ReferenceProfile,
+    THROTTLE_MAX,
+    THROTTLE_MIN,
+    paper_load_profile,
+    paper_reference_profile,
+)
+
+
+def add_pi_controller_blocks(
+    diagram: Diagram,
+    gains: ControllerGains = ControllerGains(),
+    prefix: str = "pi",
+    initial_state: float = 0.0,
+) -> None:
+    """Wire the Figure 2 PI controller into ``diagram``.
+
+    Expects two externally driven signals named ``{prefix}_r`` and
+    ``{prefix}_y`` (add them as Inports or connect the ports yourself);
+    produces the limited output at ``{prefix}_u_lim`` (a Gain(1) block
+    whose out port is the controller output).
+    """
+    p = prefix
+    d = diagram
+    error = d.add(Sum(f"{p}_error", "+-"))
+    kp = d.add(Gain(f"{p}_kp", gains.kp))
+    x_state = d.add(UnitDelay(f"{p}_x", initial=initial_state))
+    u = d.add(Sum(f"{p}_u", "++"))
+    u_lim = d.add(Saturation(f"{p}_u_lim", THROTTLE_MIN, THROTTLE_MAX))
+
+    # Anti-windup condition: (u > max and e > 0) or (u < min and e < 0).
+    umax = d.add(Constant(f"{p}_umax", THROTTLE_MAX))
+    umin = d.add(Constant(f"{p}_umin", THROTTLE_MIN))
+    zero = d.add(Constant(f"{p}_zero", 0.0))
+    over = d.add(RelationalOperator(f"{p}_over", ">"))
+    under = d.add(RelationalOperator(f"{p}_under", "<"))
+    e_pos = d.add(RelationalOperator(f"{p}_e_pos", ">"))
+    e_neg = d.add(RelationalOperator(f"{p}_e_neg", "<"))
+    windup_hi = d.add(LogicalOperator(f"{p}_windup_hi", "and"))
+    windup_lo = d.add(LogicalOperator(f"{p}_windup_lo", "and"))
+    windup = d.add(LogicalOperator(f"{p}_windup", "or"))
+
+    # Effective integral gain: 0 when winding up, Ki otherwise.
+    ki_const = d.add(Constant(f"{p}_ki", gains.ki))
+    ki_zero = d.add(Constant(f"{p}_ki_zero", 0.0))
+    ki_eff = d.add(Switch(f"{p}_ki_eff"))
+
+    # x(k+1) = x(k) + (T * e) * ki_eff — grouped exactly like the
+    # imperative controller so the runs stay bit-identical.
+    dx = d.add(Gain(f"{p}_dx", gains.sample_time))
+    e_ki = d.add(Product(f"{p}_e_ki"))
+    x_next = d.add(Sum(f"{p}_x_next", "++"))
+
+    d.connect(error.out_port(), kp.in_port())
+    d.connect(kp.out_port(), u.in_port("in1"))
+    d.connect(x_state.out_port(), u.in_port("in2"))
+    d.connect(u.out_port(), u_lim.in_port())
+
+    d.connect(u.out_port(), over.in_port("in1"))
+    d.connect(umax.out_port(), over.in_port("in2"))
+    d.connect(u.out_port(), under.in_port("in1"))
+    d.connect(umin.out_port(), under.in_port("in2"))
+    d.connect(error.out_port(), e_pos.in_port("in1"))
+    d.connect(zero.out_port(), e_pos.in_port("in2"))
+    d.connect(error.out_port(), e_neg.in_port("in1"))
+    d.connect(zero.out_port(), e_neg.in_port("in2"))
+    d.connect(over.out_port(), windup_hi.in_port("in1"))
+    d.connect(e_pos.out_port(), windup_hi.in_port("in2"))
+    d.connect(under.out_port(), windup_lo.in_port("in1"))
+    d.connect(e_neg.out_port(), windup_lo.in_port("in2"))
+    d.connect(windup_hi.out_port(), windup.in_port("in1"))
+    d.connect(windup_lo.out_port(), windup.in_port("in2"))
+
+    d.connect(ki_zero.out_port(), ki_eff.in_port("in1"))
+    d.connect(windup.out_port(), ki_eff.in_port("in2"))
+    d.connect(ki_const.out_port(), ki_eff.in_port("in3"))
+
+    d.connect(error.out_port(), dx.in_port())
+    d.connect(dx.out_port(), e_ki.in_port("in1"))
+    d.connect(ki_eff.out_port(), e_ki.in_port("in2"))
+    d.connect(x_state.out_port(), x_next.in_port("in1"))
+    d.connect(e_ki.out_port(), x_next.in_port("in2"))
+    d.connect(x_next.out_port(), x_state.in_port())
+
+
+def build_pi_controller_diagram(
+    gains: ControllerGains = ControllerGains(),
+    initial_state: float = 0.0,
+) -> Diagram:
+    """Figure 2 on its own, with ``r``/``y`` Inports and a ``u`` Outport."""
+    d = Diagram()
+    r = d.add(Inport("r"))
+    y = d.add(Inport("y"))
+    out = d.add(Outport("u"))
+    add_pi_controller_blocks(d, gains, prefix="pi", initial_state=initial_state)
+    d.connect(r.out_port(), d.block("pi_error").in_port("in1"))
+    d.connect(y.out_port(), d.block("pi_error").in_port("in2"))
+    d.connect(d.block("pi_u_lim").out_port(), out.in_port())
+    d.schedule()
+    return d
+
+
+def build_figure1_diagram(
+    gains: ControllerGains = ControllerGains(),
+    params: EngineParameters = EngineParameters(),
+    reference: Optional[ReferenceProfile] = None,
+    load: Optional[LoadProfile] = None,
+    warm_start: bool = True,
+) -> Diagram:
+    """The complete Figure 1 system: reference, PI block, engine, load.
+
+    Scopes: ``speed_scope`` (Figure 3's y), ``throttle_scope``
+    (Figure 5's u_lim).  With ``warm_start`` the engine and controller
+    states start at the 2000 rpm operating point, as in the paper's runs.
+    """
+    reference = reference if reference is not None else paper_reference_profile()
+    load = load if load is not None else paper_load_profile()
+    initial_speed = reference.value(0.0) if warm_start else 0.0
+    steady_throttle = (
+        params.steady_state_throttle(initial_speed, load.base) if warm_start else 0.0
+    )
+
+    d = Diagram()
+    ref_src = d.add(SourceFunction("reference", reference.value))
+    load_src = d.add(SourceFunction("load", load.value))
+    add_pi_controller_blocks(d, gains, prefix="pi", initial_state=steady_throttle)
+
+    # Engine (same forward-Euler structure as EngineModel).
+    limiter = d.add(Saturation("throttle_limit", THROTTLE_MIN, THROTTLE_MAX))
+    q_delay = d.add(UnitDelay("airflow_state", initial=steady_throttle))
+    q_err = d.add(Sum("airflow_err", "+-"))
+    q_gain = d.add(Gain("airflow_gain", params.sample_time / params.tau_intake))
+    q_next = d.add(Sum("airflow_next", "++"))
+    torque_gain = d.add(Gain("torque_gain", params.torque_gain))
+    friction_gain = d.add(Gain("friction_gain", params.friction))
+    torque = d.add(Sum("torque", "+--"))
+    w_delay = d.add(UnitDelay("speed_state", initial=initial_speed))
+    w_gain = d.add(Gain("speed_gain", params.sample_time / params.inertia))
+    w_next = d.add(Sum("speed_next", "++"))
+    w_floor = d.add(Saturation("speed_floor", 0.0, float("inf")))
+
+    speed_scope = d.add(Scope("speed_scope"))
+    throttle_scope = d.add(Scope("throttle_scope"))
+    reference_scope = d.add(Scope("reference_scope"))
+
+    # Controller wiring.
+    d.connect(ref_src.out_port(), d.block("pi_error").in_port("in1"))
+    d.connect(w_delay.out_port(), d.block("pi_error").in_port("in2"))
+
+    # Engine wiring.
+    d.connect(d.block("pi_u_lim").out_port(), limiter.in_port())
+    d.connect(limiter.out_port(), q_err.in_port("in1"))
+    d.connect(q_delay.out_port(), q_err.in_port("in2"))
+    d.connect(q_err.out_port(), q_gain.in_port())
+    d.connect(q_delay.out_port(), q_next.in_port("in1"))
+    d.connect(q_gain.out_port(), q_next.in_port("in2"))
+    d.connect(q_next.out_port(), q_delay.in_port())
+    d.connect(q_delay.out_port(), torque_gain.in_port())
+    d.connect(w_delay.out_port(), friction_gain.in_port())
+    d.connect(torque_gain.out_port(), torque.in_port("in1"))
+    d.connect(friction_gain.out_port(), torque.in_port("in2"))
+    d.connect(load_src.out_port(), torque.in_port("in3"))
+    d.connect(torque.out_port(), w_gain.in_port())
+    d.connect(w_delay.out_port(), w_next.in_port("in1"))
+    d.connect(w_gain.out_port(), w_next.in_port("in2"))
+    d.connect(w_next.out_port(), w_floor.in_port())
+    d.connect(w_floor.out_port(), w_delay.in_port())
+
+    # Observation.
+    d.connect(w_delay.out_port(), speed_scope.in_port())
+    d.connect(d.block("pi_u_lim").out_port(), throttle_scope.in_port())
+    d.connect(ref_src.out_port(), reference_scope.in_port())
+    d.schedule()
+    return d

@@ -1,0 +1,126 @@
+"""Closed-loop runner: controller + engine + profiles, with trace capture.
+
+Each iteration mirrors the paper's data exchange (§3.3.2): the environment
+supplies the reference ``r(k)`` and the measured speed ``y(k)``, the
+controller produces the limited throttle command ``u_lim(k)``, and the
+engine advances one sample under the current load torque.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol
+
+import numpy as np
+
+from repro.plant.engine import EngineModel
+from repro.plant.profiles import (
+    ITERATIONS,
+    LoadProfile,
+    ReferenceProfile,
+    paper_load_profile,
+    paper_reference_profile,
+)
+
+
+class SpeedController(Protocol):
+    """Anything that can act as the speed controller in the loop."""
+
+    def step(self, reference: float, measured: float) -> float:
+        """One control iteration: returns the limited throttle command."""
+        ...
+
+    def reset(self) -> None:
+        """Restore the controller's initial state."""
+        ...
+
+
+@dataclass
+class LoopTrace:
+    """Recorded signals of one closed-loop run (arrays of equal length).
+
+    Attributes:
+        times: sample instants (s).
+        reference: reference speed r(k) (rpm).
+        speed: measured engine speed y(k) (rpm).
+        load: engine load torque at each sample.
+        throttle: controller output u_lim(k) (degrees).
+    """
+
+    times: np.ndarray
+    reference: np.ndarray
+    speed: np.ndarray
+    load: np.ndarray
+    throttle: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class ClosedLoop:
+    """Run a controller against the engine under the paper's profiles."""
+
+    def __init__(
+        self,
+        controller: SpeedController,
+        engine: Optional[EngineModel] = None,
+        reference: Optional[ReferenceProfile] = None,
+        load: Optional[LoadProfile] = None,
+    ):
+        self.controller = controller
+        self.engine = engine if engine is not None else EngineModel()
+        self.reference = reference if reference is not None else paper_reference_profile()
+        self.load = load if load is not None else paper_load_profile()
+
+    def run(self, iterations: int = ITERATIONS, warm_start: bool = True) -> LoopTrace:
+        """Execute ``iterations`` control iterations and record all signals.
+
+        Args:
+            iterations: number of control samples (paper: 650).
+            warm_start: start the engine at the steady state for the
+                initial reference under base load, as in Figure 3 where the
+                run begins already tracking 2000 rpm.  ``False`` starts
+                from standstill.
+
+        Returns:
+            The recorded :class:`LoopTrace`.
+        """
+        self.controller.reset()
+        initial_reference = self.reference.value(0.0)
+        if warm_start:
+            self.engine.reset(speed=initial_reference, load=self.load.base)
+            if hasattr(self.controller, "warm_start"):
+                steady_throttle = self.engine.params.steady_state_throttle(
+                    initial_reference, self.load.base
+                )
+                self.controller.warm_start(
+                    initial_reference, initial_reference, steady_throttle
+                )
+        else:
+            self.engine.reset()
+
+        sample_time = self.engine.params.sample_time
+        times: List[float] = []
+        refs: List[float] = []
+        speeds: List[float] = []
+        loads: List[float] = []
+        throttles: List[float] = []
+        for k in range(iterations):
+            t = k * sample_time
+            r = self.reference.value(t)
+            y = self.engine.speed
+            load = self.load.value(t)
+            u_lim = self.controller.step(r, y)
+            self.engine.step(u_lim, load)
+            times.append(t)
+            refs.append(r)
+            speeds.append(y)
+            loads.append(load)
+            throttles.append(u_lim)
+        return LoopTrace(
+            times=np.asarray(times),
+            reference=np.asarray(refs),
+            speed=np.asarray(speeds),
+            load=np.asarray(loads),
+            throttle=np.asarray(throttles),
+        )

@@ -1,0 +1,108 @@
+"""Experiment profiles: sample timing, reference speed and engine load.
+
+Constants mirror §2 of the paper: 650 iterations at a 15.4 ms sample
+interval (10 seconds), throttle restricted to 0.0–70.0 degrees, reference
+speed 2000 rpm stepping to 3000 rpm halfway, and load-torque bumps at
+3 < t < 4 and 7 < t < 8 that make the actual speed deviate from the
+reference (Figures 3 and 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.constants import ITERATIONS, SAMPLE_TIME, THROTTLE_MAX, THROTTLE_MIN
+
+__all__ = [
+    "SAMPLE_TIME",
+    "ITERATIONS",
+    "THROTTLE_MIN",
+    "THROTTLE_MAX",
+    "ReferenceProfile",
+    "LoadBump",
+    "LoadProfile",
+    "paper_reference_profile",
+    "paper_load_profile",
+]
+
+
+@dataclass(frozen=True)
+class ReferenceProfile:
+    """A reference speed signal: piecewise-constant steps.
+
+    Attributes:
+        step_times: times (s) at which a new level begins; the first entry
+            must be 0.0.
+        levels: speed level (rpm) active from the matching step time.
+    """
+
+    step_times: Sequence[float]
+    levels: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.step_times) != len(self.levels) or not self.step_times:
+            raise ValueError("step_times and levels must be non-empty and matched")
+        if self.step_times[0] != 0.0:
+            raise ValueError("first step time must be 0.0")
+
+    def value(self, t: float) -> float:
+        """Reference speed (rpm) at time ``t``."""
+        current = self.levels[0]
+        for time, level in zip(self.step_times, self.levels):
+            if t >= time:
+                current = level
+        return current
+
+    def samples(self, sample_time: float = SAMPLE_TIME, steps: int = ITERATIONS) -> List[float]:
+        """The profile sampled at the experiment's iteration instants."""
+        return [self.value(k * sample_time) for k in range(steps)]
+
+
+@dataclass(frozen=True)
+class LoadBump:
+    """A smooth raised-cosine load bump between ``start`` and ``end``."""
+
+    start: float
+    end: float
+    magnitude: float
+
+    def value(self, t: float) -> float:
+        """Additional load torque at ``t`` (0 outside the bump window)."""
+        if not self.start < t < self.end:
+            return 0.0
+        phase = (t - self.start) / (self.end - self.start)
+        return self.magnitude * 0.5 * (1.0 - math.cos(2.0 * math.pi * phase))
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Engine load torque: a base level plus smooth bumps (Figure 4)."""
+
+    base: float
+    bumps: Sequence[LoadBump] = field(default_factory=tuple)
+
+    def value(self, t: float) -> float:
+        """Total load torque at time ``t``."""
+        return self.base + sum(bump.value(t) for bump in self.bumps)
+
+    def samples(self, sample_time: float = SAMPLE_TIME, steps: int = ITERATIONS) -> List[float]:
+        """The profile sampled at the experiment's iteration instants."""
+        return [self.value(k * sample_time) for k in range(steps)]
+
+
+def paper_reference_profile() -> ReferenceProfile:
+    """Figure 3's reference: 2000 rpm, stepping to 3000 rpm at t = 5 s."""
+    return ReferenceProfile(step_times=(0.0, 5.0), levels=(2000.0, 3000.0))
+
+
+def paper_load_profile() -> LoadProfile:
+    """Figure 4's load: a base load with bumps in 3 < t < 4 and 7 < t < 8."""
+    return LoadProfile(
+        base=20.0,
+        bumps=(
+            LoadBump(start=3.0, end=4.0, magnitude=60.0),
+            LoadBump(start=7.0, end=8.0, magnitude=60.0),
+        ),
+    )

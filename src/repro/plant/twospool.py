@@ -1,0 +1,152 @@
+"""A two-spool engine plant — the MIMO future-work testbed (§5).
+
+The paper's conclusions point at jet-engine controllers as the next
+target for executable assertions + best-effort recovery.  This module
+provides a small two-spool gas-generator abstraction: two rotor speeds
+(fan ``N1`` and core ``N2``), each driven by its own actuator command,
+with first-order rotor dynamics and cross-coupling (core torque drags
+the fan and vice versa), plus an external bleed/load disturbance per
+spool.  It mirrors :class:`repro.plant.EngineModel`'s API so the MIMO
+closed-loop machinery and SWIFI campaigns plug straight in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.constants import SAMPLE_TIME, THROTTLE_MAX, THROTTLE_MIN
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TwoSpoolParameters:
+    """Physical parameters of the two-spool plant (simulation units).
+
+    Attributes:
+        gain1 / gain2: steady-state rpm per actuator degree per spool.
+        coupling: fraction of each spool's drive that leaks into the
+            other spool (aerodynamic coupling through the gas path).
+        tau1 / tau2: rotor time constants in seconds (the fan is
+            heavier, hence slower).
+        sample_time: discretisation step (forward Euler).
+    """
+
+    gain1: float = 180.0
+    gain2: float = 260.0
+    coupling: float = 0.06
+    tau1: float = 0.5
+    tau2: float = 0.3
+    sample_time: float = SAMPLE_TIME
+
+    def __post_init__(self) -> None:
+        for name in ("gain1", "gain2", "tau1", "tau2", "sample_time"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"parameter {name} must be positive")
+        if not 0.0 <= self.coupling < 0.5:
+            raise ConfigurationError("coupling must be in [0, 0.5)")
+
+    def steady_state_commands(
+        self, n1: float, n2: float
+    ) -> "tuple[float, float]":
+        """Actuator commands holding speeds ``(n1, n2)`` at zero load.
+
+        Solves the 2x2 steady-state system including the coupling terms.
+        """
+        c = self.coupling
+        # n1 = g1*u1 + c*g2*u2 ; n2 = g2*u2 + c*g1*u1
+        det = self.gain1 * self.gain2 * (1.0 - c * c)
+        u1 = (n1 * self.gain2 - c * self.gain2 * n2) / det
+        u2 = (n2 * self.gain1 - c * self.gain1 * n1) / det
+        return u1, u2
+
+
+class TwoSpoolEngine:
+    """Discrete-time two-spool plant: commands + loads -> rotor speeds."""
+
+    def __init__(self, params: TwoSpoolParameters = TwoSpoolParameters()):
+        self.params = params
+        self.speeds: List[float] = [0.0, 0.0]
+
+    def reset(self, n1: float = 0.0, n2: float = 0.0) -> None:
+        """Set the rotor speeds (e.g. to a steady operating point)."""
+        self.speeds = [float(n1), float(n2)]
+
+    def step(
+        self, commands: Sequence[float], loads: Optional[Sequence[float]] = None
+    ) -> List[float]:
+        """Advance one sample.
+
+        Args:
+            commands: the two actuator commands (clamped to the
+                actuator range 0–70, as with the throttle).
+            loads: optional per-spool load disturbances in rpm-equivalents.
+
+        Returns:
+            The new rotor speeds ``[N1, N2]``.
+        """
+        if len(commands) != 2:
+            raise ConfigurationError("two actuator commands required")
+        if loads is None:
+            loads = (0.0, 0.0)
+        if len(loads) != 2:
+            raise ConfigurationError("two load values required")
+        p = self.params
+        u1 = min(max(commands[0], THROTTLE_MIN), THROTTLE_MAX)
+        u2 = min(max(commands[1], THROTTLE_MIN), THROTTLE_MAX)
+        n1, n2 = self.speeds
+        target1 = p.gain1 * u1 + p.coupling * p.gain2 * u2 - loads[0]
+        target2 = p.gain2 * u2 + p.coupling * p.gain1 * u1 - loads[1]
+        n1 += (p.sample_time / p.tau1) * (target1 - n1)
+        n2 += (p.sample_time / p.tau2) * (target2 - n2)
+        self.speeds = [max(n1, 0.0), max(n2, 0.0)]
+        return list(self.speeds)
+
+    # -- state access ---------------------------------------------------------
+    def state_vector(self) -> List[float]:
+        """The rotor speeds as a flat list."""
+        return list(self.speeds)
+
+    def set_state_vector(self, state: Sequence[float]) -> None:
+        """Restore state captured by :meth:`state_vector`."""
+        if len(state) != 2:
+            raise ConfigurationError("two-spool state has two entries")
+        self.speeds = [float(state[0]), float(state[1])]
+
+
+def run_mimo_loop(
+    controller,
+    references: Sequence[float],
+    iterations: int = 650,
+    engine: Optional[TwoSpoolEngine] = None,
+    fault_hook=None,
+):
+    """Run a vector controller against the two-spool plant.
+
+    Args:
+        controller: anything with ``step_vector(refs, measurements)`` or
+            a :class:`repro.core.ControllerGuard` (``guarded_step``).
+        references: the two speed targets (held constant).
+        iterations: samples to run.
+        engine: plant instance (fresh one by default).
+        fault_hook: optional callable ``(k, controller)`` invoked before
+            each iteration — the SWIFI injection point.
+
+    Returns:
+        ``(outputs, speeds)``: per-iteration command pairs and speed pairs.
+    """
+    engine = engine if engine is not None else TwoSpoolEngine()
+    measurements = list(engine.speeds)
+    outputs: List[List[float]] = []
+    speeds: List[List[float]] = []
+    for k in range(iterations):
+        if fault_hook is not None:
+            fault_hook(k, controller)
+        if hasattr(controller, "guarded_step"):
+            commands = list(controller.guarded_step(references, measurements).outputs)
+        else:
+            commands = list(controller.step_vector(references, measurements))
+        measurements = engine.step(commands)
+        outputs.append(commands)
+        speeds.append(list(measurements))
+    return outputs, speeds

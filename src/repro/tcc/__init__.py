@@ -1,0 +1,60 @@
+"""tcc — the tiny control compiler.
+
+The paper's workload is Ada code generated from a Simulink block by the
+Real-Time Workshop Ada Coder.  tcc plays that role here: control
+algorithms are written as small ASTs over float variables and compiled
+to the simulated CPU's assembly, with
+
+* all variables and constants as float words in the ``.data`` section
+  (so the controller state lives in memory and is cached — the property
+  that makes cache faults critical),
+* one iteration per environment exchange: inputs are read from MMIO,
+  the body runs, outputs are written to MMIO, then the program yields
+  (``SVC 0``) and loops forever,
+* control-flow signature instrumentation (``SIG``) at every basic-block
+  boundary, feeding the CPU's CONTROL FLOW ERROR mechanism.
+"""
+
+from repro.tcc.ast import (
+    Assign,
+    BinOp,
+    BoolExpr,
+    Cmp,
+    And,
+    Or,
+    Not,
+    Const,
+    ControlProgram,
+    Expr,
+    If,
+    Neg,
+    Stmt,
+    Var,
+    While,
+)
+from repro.tcc.codegen import CompiledProgram, compile_program
+from repro.tcc.interpreter import initial_state, interpret_iteration
+from repro.tcc.parser import parse_program
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "BoolExpr",
+    "Cmp",
+    "And",
+    "Or",
+    "Not",
+    "Const",
+    "ControlProgram",
+    "Expr",
+    "If",
+    "Neg",
+    "Stmt",
+    "Var",
+    "While",
+    "CompiledProgram",
+    "compile_program",
+    "interpret_iteration",
+    "initial_state",
+    "parse_program",
+]

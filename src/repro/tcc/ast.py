@@ -1,0 +1,314 @@
+"""AST node types for the tiny control compiler.
+
+Programs are built directly from these dataclasses::
+
+    body = [
+        Assign("e", BinOp("-", Var("r"), Var("y"))),
+        Assign("u", BinOp("+", BinOp("*", Var("e"), Var("Kp")), Var("x"))),
+        If(Cmp(">", Var("u"), Const(70.0)), then=[Assign("u", Const(70.0))]),
+    ]
+
+All values are floats (the controller domain); a variable is persistent
+program state — it keeps its value across loop iterations, exactly like
+the globals of the paper's generated Ada code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import CompileError
+
+
+class Expr:
+    """Base class for float-valued expressions."""
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A named program variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A float literal (materialised in the constant pool)."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary float operation; ``op`` is one of ``+ - * /``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/"):
+            raise CompileError(f"unknown arithmetic operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Neg(Expr):
+    """Unary negation."""
+
+    operand: Expr
+
+
+class BoolExpr:
+    """Base class for boolean conditions."""
+
+
+@dataclass(frozen=True)
+class Cmp(BoolExpr):
+    """A float comparison; ``op`` is one of ``< <= > >= == !=``.
+
+    Comparisons with NaN are false (IEEE semantics), so a corrupted NaN
+    value never satisfies an in-range check.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("<", "<=", ">", ">=", "==", "!="):
+            raise CompileError(f"unknown comparison operator {self.op!r}")
+
+
+@dataclass(frozen=True)
+class And(BoolExpr):
+    """Short-circuit conjunction."""
+
+    left: BoolExpr
+    right: BoolExpr
+
+
+@dataclass(frozen=True)
+class Or(BoolExpr):
+    """Short-circuit disjunction."""
+
+    left: BoolExpr
+    right: BoolExpr
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    """Negated condition."""
+
+    operand: BoolExpr
+
+
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target = expr``."""
+
+    target: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """Conditional with optional else branch."""
+
+    cond: BoolExpr
+    then: Sequence[Stmt]
+    orelse: Sequence[Stmt] = ()
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """A bounded loop (conditions must eventually become false)."""
+
+    cond: BoolExpr
+    body: Sequence[Stmt]
+
+
+@dataclass
+class ControlProgram:
+    """A compilable control task.
+
+    Attributes:
+        name: program name (for listings).
+        inputs: variable names bound to the MMIO input registers, in
+            MMIO order (the engine task uses ``["r", "y"]``).
+        outputs: variable names written to the MMIO output registers
+            after each iteration (the engine task uses ``["u_lim"]``).
+        variables: global variables (with initial values): controller
+            state, I/O staging — they live in the data section and
+            persist across iterations, like the paper's state ``x``.
+        locals: per-iteration working variables — they live in the
+            task's stack frame, like the paper's ``e``, ``u``, ``Ki``.
+            A local must be written before it is read in an iteration
+            (otherwise it sees whatever the previous frame left behind).
+        body: statements executed once per iteration.
+    """
+
+    name: str
+    inputs: List[str]
+    outputs: List[str]
+    variables: Dict[str, float]
+    body: List[Stmt] = field(default_factory=list)
+    locals: Dict[str, float] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        """Check declarations: disjoint scopes, I/O must be global."""
+        overlap = set(self.variables) & set(self.locals)
+        if overlap:
+            raise CompileError(f"names declared both global and local: {sorted(overlap)}")
+        declared = set(self.variables) | set(self.locals)
+        for name in list(self.inputs) + list(self.outputs):
+            if name not in self.variables:
+                raise CompileError(f"I/O variable {name!r} must be a global variable")
+        for stmt in self.body:
+            _check_stmt(stmt, declared)
+
+
+def _check_expr(expr: Expr, declared: "set[str]") -> None:
+    if isinstance(expr, Var):
+        if expr.name not in declared:
+            raise CompileError(f"undeclared variable {expr.name!r}")
+    elif isinstance(expr, BinOp):
+        _check_expr(expr.left, declared)
+        _check_expr(expr.right, declared)
+    elif isinstance(expr, Neg):
+        _check_expr(expr.operand, declared)
+    elif not isinstance(expr, Const):
+        raise CompileError(f"unknown expression node {expr!r}")
+
+
+def _check_cond(cond: BoolExpr, declared: "set[str]") -> None:
+    if isinstance(cond, Cmp):
+        _check_expr(cond.left, declared)
+        _check_expr(cond.right, declared)
+    elif isinstance(cond, (And, Or)):
+        _check_cond(cond.left, declared)
+        _check_cond(cond.right, declared)
+    elif isinstance(cond, Not):
+        _check_cond(cond.operand, declared)
+    else:
+        raise CompileError(f"unknown condition node {cond!r}")
+
+
+def _check_stmt(stmt: Stmt, declared: "set[str]") -> None:
+    if isinstance(stmt, Assign):
+        if stmt.target not in declared:
+            raise CompileError(f"undeclared assignment target {stmt.target!r}")
+        _check_expr(stmt.expr, declared)
+    elif isinstance(stmt, If):
+        _check_cond(stmt.cond, declared)
+        for sub in list(stmt.then) + list(stmt.orelse):
+            _check_stmt(sub, declared)
+    elif isinstance(stmt, While):
+        _check_cond(stmt.cond, declared)
+        for sub in stmt.body:
+            _check_stmt(sub, declared)
+    else:
+        raise CompileError(f"unknown statement node {stmt!r}")
+
+
+def materialize_constants(
+    body: Sequence[Stmt],
+) -> Tuple[List[Stmt], Dict[str, float]]:
+    """Rewrite the body so every literal use gets its own pool slot.
+
+    Generated real-time code keeps one stored parameter per block use
+    site rather than de-duplicating equal values, so each textual
+    ``Const`` occurrence is replaced by a ``Var`` naming a fresh
+    constant-pool slot (``__c0``, ``__c1``, ...).  Returns the rewritten
+    statements and the slot initial values.
+    """
+    slots: Dict[str, float] = {}
+
+    def fresh(value: float) -> Var:
+        name = f"__c{len(slots)}"
+        slots[name] = float(value)
+        return Var(name)
+
+    def rewrite_expr(expr: Expr) -> Expr:
+        if isinstance(expr, Const):
+            return fresh(expr.value)
+        if isinstance(expr, BinOp):
+            return BinOp(expr.op, rewrite_expr(expr.left), rewrite_expr(expr.right))
+        if isinstance(expr, Neg):
+            return Neg(rewrite_expr(expr.operand))
+        return expr
+
+    def rewrite_cond(cond: BoolExpr) -> BoolExpr:
+        if isinstance(cond, Cmp):
+            return Cmp(cond.op, rewrite_expr(cond.left), rewrite_expr(cond.right))
+        if isinstance(cond, And):
+            return And(rewrite_cond(cond.left), rewrite_cond(cond.right))
+        if isinstance(cond, Or):
+            return Or(rewrite_cond(cond.left), rewrite_cond(cond.right))
+        if isinstance(cond, Not):
+            return Not(rewrite_cond(cond.operand))
+        return cond
+
+    def rewrite_stmt(stmt: Stmt) -> Stmt:
+        if isinstance(stmt, Assign):
+            return Assign(stmt.target, rewrite_expr(stmt.expr))
+        if isinstance(stmt, If):
+            return If(
+                rewrite_cond(stmt.cond),
+                then=[rewrite_stmt(s) for s in stmt.then],
+                orelse=[rewrite_stmt(s) for s in stmt.orelse],
+            )
+        if isinstance(stmt, While):
+            return While(
+                rewrite_cond(stmt.cond),
+                body=[rewrite_stmt(s) for s in stmt.body],
+            )
+        return stmt
+
+    rewritten = [rewrite_stmt(stmt) for stmt in body]
+    return rewritten, slots
+
+
+def collect_constants(program: ControlProgram) -> Tuple[float, ...]:
+    """All distinct literal values used by the program body, in order."""
+    seen: List[float] = []
+
+    def visit_expr(expr: Expr) -> None:
+        if isinstance(expr, Const):
+            if expr.value not in seen:
+                seen.append(expr.value)
+        elif isinstance(expr, BinOp):
+            visit_expr(expr.left)
+            visit_expr(expr.right)
+        elif isinstance(expr, Neg):
+            visit_expr(expr.operand)
+
+    def visit_cond(cond: BoolExpr) -> None:
+        if isinstance(cond, Cmp):
+            visit_expr(cond.left)
+            visit_expr(cond.right)
+        elif isinstance(cond, (And, Or)):
+            visit_cond(cond.left)
+            visit_cond(cond.right)
+        elif isinstance(cond, Not):
+            visit_cond(cond.operand)
+
+    def visit_stmt(stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            visit_expr(stmt.expr)
+        elif isinstance(stmt, If):
+            visit_cond(stmt.cond)
+            for sub in list(stmt.then) + list(stmt.orelse):
+                visit_stmt(sub)
+        elif isinstance(stmt, While):
+            visit_cond(stmt.cond)
+            for sub in stmt.body:
+                visit_stmt(sub)
+
+    for statement in program.body:
+        visit_stmt(statement)
+    return tuple(seen)

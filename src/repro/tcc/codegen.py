@@ -1,0 +1,393 @@
+"""Code generation: ControlProgram AST -> assembly -> loadable Program.
+
+Conventions (the "runtime system" of generated tasks):
+
+* ``r7`` holds the data base pointer and ``r6`` the MMIO base pointer,
+  both loaded once at program start; global variables and the constant
+  pool are accessed as ``ld/st [r7 + offset]``, so the controller state
+  lives in RAM and flows through the data cache.
+* Local variables live in a stack frame: the controller step is compiled
+  as a function, called once per iteration (``call``/``ret`` with the
+  frame carved out by ``addi sp, sp, -frame``), mirroring the paper's
+  listing where ``e``, ``u`` and ``Ki`` are locals and only the state
+  ``x`` (and the backups) are globals.
+* ``r1..r5`` are expression scratch registers (expression depth is
+  checked at compile time; controller arithmetic is shallow).
+* ``r0`` is deliberately unused by generated code, mirroring registers a
+  real compiler leaves cold.
+* Every basic-block entry carries a ``SIG`` signature checkpoint.
+* Each iteration begins with a **runtime-system tick**: the task runner
+  walks a 32-word bookkeeping table (think: tick counters and
+  task-control blocks of the Ada runtime the paper's generated code ran
+  on) that aliases every data-cache line, reproducing the memory-system
+  churn of the original setup.  Without it, most of the 128-byte cache
+  would sit idle and cache faults would read as latent instead of
+  overwritten/detected.
+
+Iteration protocol: RTS tick, read MMIO inputs into their globals, call
+the step function, write outputs to MMIO, bump the MMIO iteration
+counter, ``SVC 0`` (yield), loop forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import CompileError
+from repro.tcc.ast import (
+    And,
+    Assign,
+    BinOp,
+    BoolExpr,
+    Cmp,
+    Const,
+    ControlProgram,
+    Expr,
+    If,
+    Neg,
+    Not,
+    Or,
+    Stmt,
+    Var,
+    While,
+    materialize_constants,
+)
+from repro.thor.assembler import assemble
+from repro.thor.cache import LINES
+from repro.thor.memory import MemoryLayout, MMIODevice, WORD
+from repro.thor.program import Program
+
+_SCRATCH_REGS = ("r1", "r2", "r3", "r4", "r5")
+_DATA_BASE_REG = "r7"
+_MMIO_BASE_REG = "r6"
+
+_ARITH_MNEMONIC = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+#: Branch taken when ``left <op> right`` is TRUE, after ``fcmp left, right``.
+_TRUE_BRANCH = {
+    "<": "blt",
+    "<=": "ble",
+    ">": "bgt",
+    ">=": "bge",
+    "==": "beq",
+    "!=": "bne",
+}
+
+#: Byte offset of the runtime-system table inside the data region; the
+#: table has one word per cache line so a tick touches every line.
+RTS_TABLE_OFFSET = 40 * WORD
+RTS_TABLE_WORDS = LINES
+
+
+@dataclass(frozen=True)
+class CompiledProgram:
+    """The result of compiling a :class:`ControlProgram`.
+
+    Attributes:
+        program: the assembled, loadable machine program.
+        assembly: the generated assembly source.
+        variable_addresses: data address of every global variable (and of
+            the constant-pool entries, named ``__c<i>``).
+        frame_offsets: stack-frame byte offset of every local variable.
+        frame_size: stack frame size in bytes.
+    """
+
+    program: Program
+    assembly: str
+    variable_addresses: Dict[str, int]
+    frame_offsets: Dict[str, int]
+    frame_size: int
+
+    def address_of(self, name: str) -> int:
+        """Data address of a global variable; raises on unknown names."""
+        try:
+            return self.variable_addresses[name]
+        except KeyError:
+            raise CompileError(f"no global variable {name!r}") from None
+
+
+class _Emitter:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self._label_counter = 0
+        self._signature_counter = 0
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"        {text}")
+
+    def label(self, name: str) -> None:
+        self.lines.append(f"{name}:")
+
+    def fresh_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"L{self._label_counter}_{hint}"
+
+    def signature(self) -> None:
+        """Emit a SIG checkpoint with the next block id."""
+        self._signature_counter += 1
+        self.emit(f"sig {self._signature_counter}")
+
+
+class _CodeGenerator:
+    def __init__(self, program: ControlProgram, layout: MemoryLayout):
+        program.validate()
+        self.program = program
+        self.layout = layout
+        self.emitter = _Emitter()
+        self.data_offsets: Dict[str, int] = {}
+        self.rodata_offsets: Dict[str, int] = {}
+        self.frame_offsets: Dict[str, int] = {}
+        self.body: List[Stmt] = []
+        self.constant_slots: Dict[str, float] = {}
+        self._assign_layout()
+
+    def _assign_layout(self) -> None:
+        self.body, self.constant_slots = materialize_constants(self.program.body)
+        offset = 0
+        for name in self.program.variables:
+            self.data_offsets[name] = offset
+            offset += WORD
+        if offset > RTS_TABLE_OFFSET:
+            raise CompileError(
+                f"{offset} bytes of globals exceed the {RTS_TABLE_OFFSET}-byte "
+                "region below the runtime-system table"
+            )
+        # The constant pool is a read-only literal pool (rodata): writes
+        # to it — e.g. misdirected cache write-backs — raise ADDRESS
+        # ERROR, as with Ada constants placed in protected memory.
+        ro_offset = 0
+        for name in self.constant_slots:
+            self.rodata_offsets[name] = ro_offset
+            ro_offset += WORD
+        if ro_offset > self.layout.rodata_size:
+            raise CompileError(
+                f"{ro_offset} bytes of constants exceed the rodata region "
+                f"({self.layout.rodata_size} bytes)"
+            )
+        rts_end = RTS_TABLE_OFFSET + RTS_TABLE_WORDS * WORD
+        if rts_end > self.layout.data_size:
+            raise CompileError(
+                f"data region too small for the runtime-system table "
+                f"({rts_end} > {self.layout.data_size} bytes)"
+            )
+        frame = 0
+        for name in self.program.locals:
+            self.frame_offsets[name] = frame
+            frame += WORD
+        self.frame_size = frame
+        if self.frame_size + WORD > self.layout.stack_size:
+            raise CompileError("stack frame exceeds the stack region")
+
+    # -- data section ---------------------------------------------------------
+    def _data_section(self) -> List[str]:
+        lines = [".data"]
+        for name, init in self.program.variables.items():
+            lines.append(f"{name}: .float {init!r}")
+        pad_words = (RTS_TABLE_OFFSET - WORD * len(self.data_offsets)) // WORD
+        if pad_words:
+            lines.append(f"__pad: .space {pad_words}")
+        lines.append(f"__rts: .space {RTS_TABLE_WORDS}")
+        if self.constant_slots:
+            lines.append(".rodata")
+            for name, value in self.constant_slots.items():
+                lines.append(f"{name}: .float {value!r}")
+        return lines
+
+    # -- operand addressing -----------------------------------------------------
+    def _operand(self, name: str) -> str:
+        """The ``[base+offset]`` operand text for a variable name."""
+        if name in self.frame_offsets:
+            return f"[sp+{self.frame_offsets[name]}]"
+        if name in self.rodata_offsets:
+            # The literal pool sits below the data base in the address
+            # map, reachable with a negative displacement off r7.
+            displacement = (
+                self.layout.rodata_base - self.layout.data_base
+                + self.rodata_offsets[name]
+            )
+            return f"[{_DATA_BASE_REG}{displacement:+d}]"
+        return f"[{_DATA_BASE_REG}+{self.data_offsets[name]}]"
+
+    def _expr_operand(self, expr: Expr) -> str:
+        # Const nodes were rewritten into constant-pool Vars up front.
+        if isinstance(expr, Var):
+            return self._operand(expr.name)
+        raise CompileError(f"not a memory operand: {expr!r}")
+
+    # -- expressions ------------------------------------------------------------
+    def _eval(self, expr: Expr, depth: int) -> str:
+        """Generate code leaving the expression value in a scratch register."""
+        if depth >= len(_SCRATCH_REGS):
+            raise CompileError("expression too deep for the scratch registers")
+        reg = _SCRATCH_REGS[depth]
+        if isinstance(expr, (Var, Const)):
+            self.emitter.emit(f"ld {reg}, {self._expr_operand(expr)}")
+            return reg
+        if isinstance(expr, Neg):
+            inner = self._eval(expr.operand, depth)
+            self.emitter.emit(f"fneg {reg}, {inner}")
+            return reg
+        if isinstance(expr, BinOp):
+            left = self._eval(expr.left, depth)
+            right = self._eval(expr.right, depth + 1)
+            self.emitter.emit(f"{_ARITH_MNEMONIC[expr.op]} {reg}, {left}, {right}")
+            return reg
+        raise CompileError(f"unknown expression node {expr!r}")
+
+    # -- conditions -----------------------------------------------------------------
+    def _cond(self, cond: BoolExpr, true_label: str, false_label: str) -> None:
+        """Branch to ``true_label`` / ``false_label`` by the condition.
+
+        NaN comparisons are unordered: no comparison branch fires, so
+        control falls through to the false side — a corrupted NaN never
+        satisfies a range check.
+        """
+        if isinstance(cond, Not):
+            self._cond(cond.operand, false_label, true_label)
+            return
+        if isinstance(cond, And):
+            middle = self.emitter.fresh_label("and")
+            self._cond(cond.left, middle, false_label)
+            self.emitter.label(middle)
+            self._cond(cond.right, true_label, false_label)
+            return
+        if isinstance(cond, Or):
+            middle = self.emitter.fresh_label("or")
+            self._cond(cond.left, true_label, middle)
+            self.emitter.label(middle)
+            self._cond(cond.right, true_label, false_label)
+            return
+        if isinstance(cond, Cmp):
+            left = self._eval(cond.left, 0)
+            right = self._eval(cond.right, 1)
+            self.emitter.emit(f"fcmp {left}, {right}")
+            self.emitter.emit(f"{_TRUE_BRANCH[cond.op]} {true_label}")
+            self.emitter.emit(f"br {false_label}")
+            return
+        raise CompileError(f"unknown condition node {cond!r}")
+
+    # -- statements ---------------------------------------------------------------------
+    def _stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            reg = self._eval(stmt.expr, 0)
+            self.emitter.emit(f"st {reg}, {self._operand(stmt.target)}")
+            return
+        if isinstance(stmt, If):
+            then_label = self.emitter.fresh_label("then")
+            end_label = self.emitter.fresh_label("endif")
+            else_label = self.emitter.fresh_label("else") if stmt.orelse else end_label
+            self._cond(stmt.cond, then_label, else_label)
+            self.emitter.label(then_label)
+            self.emitter.signature()
+            for sub in stmt.then:
+                self._stmt(sub)
+            if stmt.orelse:
+                self.emitter.emit(f"br {end_label}")
+                self.emitter.label(else_label)
+                self.emitter.signature()
+                for sub in stmt.orelse:
+                    self._stmt(sub)
+            self.emitter.label(end_label)
+            self.emitter.signature()
+            return
+        if isinstance(stmt, While):
+            head = self.emitter.fresh_label("while")
+            body = self.emitter.fresh_label("body")
+            end = self.emitter.fresh_label("endwhile")
+            self.emitter.label(head)
+            self.emitter.signature()
+            self._cond(stmt.cond, body, end)
+            self.emitter.label(body)
+            self.emitter.signature()
+            for sub in stmt.body:
+                self._stmt(sub)
+            self.emitter.emit(f"br {head}")
+            self.emitter.label(end)
+            self.emitter.signature()
+            return
+        raise CompileError(f"unknown statement node {stmt!r}")
+
+    # -- whole program ------------------------------------------------------------------
+    def _emit_rts_tick(self) -> None:
+        """Refresh the runtime-system table.
+
+        The tick counter (the table's first word) is incremented, then
+        broadcast to every TCB slot — a full overwrite per cache line,
+        so corrupted table lines are scrubbed on the next tick rather
+        than accumulating as latent state.
+        """
+        base = RTS_TABLE_OFFSET
+        self.emitter.emit(f"ld r5, [{_DATA_BASE_REG}+{base}]")
+        self.emitter.emit("addi r5, r5, 1")
+        for i in range(RTS_TABLE_WORDS):
+            self.emitter.emit(f"st r5, [{_DATA_BASE_REG}+{base + i * WORD}]")
+
+    def generate(self) -> str:
+        e = self.emitter
+        mmio = self.layout.mmio_base
+        first_symbol = next(iter(self.data_offsets))
+        e.label("init")
+        e.emit("sig 0")
+        e.emit(f"la {_DATA_BASE_REG}, {first_symbol}")
+        e.emit(f"lui {_MMIO_BASE_REG}, {mmio >> 16:#x}")
+        e.emit(f"ori {_MMIO_BASE_REG}, {mmio & 0xFFFF:#x}")
+        e.label("main_loop")
+        e.signature()
+        for i, name in enumerate(self.program.inputs):
+            src = MMIODevice.INPUT_BASE + i * WORD
+            e.emit(f"ld r1, [{_MMIO_BASE_REG}+{src}]")
+            e.emit(f"st r1, {self._operand(name)}")
+        e.emit("call step_fn")  # locals live in the callee's stack frame
+        # The runtime tick runs right after the control step: its table
+        # walk evicts the step's working set from the cache, so the
+        # controller state is cache-resident only while the step
+        # actually uses it (as with the paper's larger working set).
+        self._emit_rts_tick()
+        for j, name in enumerate(self.program.outputs):
+            dst = MMIODevice.OUTPUT_BASE + j * WORD
+            e.emit(f"ld r1, {self._operand(name)}")
+            e.emit(f"st r1, [{_MMIO_BASE_REG}+{dst}]")
+        e.emit(f"ld r1, [{_MMIO_BASE_REG}+{MMIODevice.ITERATION}]")
+        e.emit("ldi r2, 1")
+        e.emit("add r1, r1, r2")
+        e.emit(f"st r1, [{_MMIO_BASE_REG}+{MMIODevice.ITERATION}]")
+        e.emit("svc 0")
+        e.emit("br main_loop")
+
+        e.label("step_fn")
+        e.signature()
+        if self.frame_size:
+            e.emit(f"addi sp, sp, -{self.frame_size}")
+        for stmt in self.body:
+            self._stmt(stmt)
+        if self.frame_size:
+            e.emit(f"addi sp, sp, {self.frame_size}")
+        e.emit("ret")
+        return "\n".join(self._data_section() + [".text"] + e.lines) + "\n"
+
+
+def compile_program(
+    program: ControlProgram, layout: MemoryLayout = MemoryLayout()
+) -> CompiledProgram:
+    """Compile a :class:`ControlProgram` to a loadable machine program."""
+    generator = _CodeGenerator(program, layout)
+    assembly = generator.generate()
+    assembled = assemble(assembly, layout)
+    addresses = {
+        name: layout.data_base + offset
+        for name, offset in generator.data_offsets.items()
+    }
+    addresses.update(
+        {
+            name: layout.rodata_base + offset
+            for name, offset in generator.rodata_offsets.items()
+        }
+    )
+    return CompiledProgram(
+        program=assembled,
+        assembly=assembly,
+        variable_addresses=addresses,
+        frame_offsets=dict(generator.frame_offsets),
+        frame_size=generator.frame_size,
+    )

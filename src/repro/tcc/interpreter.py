@@ -1,0 +1,139 @@
+"""Reference interpreter for ControlProgram ASTs.
+
+Executes one iteration of a program at the model level with the same
+single-precision rounding as the simulated CPU (every operation result is
+rounded to IEEE-754 single).  Used by the equivalence tests — the
+compiled program running on the CPU must produce bit-identical outputs —
+and as a fast model-level stand-in for the compiled workload.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Sequence
+
+from repro.errors import CompileError
+from repro.tcc.ast import (
+    And,
+    Assign,
+    BinOp,
+    BoolExpr,
+    Cmp,
+    Const,
+    ControlProgram,
+    Expr,
+    If,
+    Neg,
+    Not,
+    Or,
+    Stmt,
+    Var,
+    While,
+)
+
+#: Guard against non-terminating While conditions in interpreted programs.
+MAX_LOOP_TRIPS = 100000
+
+
+def _f32(value: float) -> float:
+    """Round to IEEE-754 single precision (the CPU's datapath width)."""
+    try:
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    except OverflowError:
+        return float("inf") if value > 0 else float("-inf")
+
+
+def _eval(expr: Expr, env: Dict[str, float]) -> float:
+    if isinstance(expr, Var):
+        return env[expr.name]
+    if isinstance(expr, Const):
+        return _f32(expr.value)
+    if isinstance(expr, Neg):
+        return -_eval(expr.operand, env)
+    if isinstance(expr, BinOp):
+        a = _eval(expr.left, env)
+        b = _eval(expr.right, env)
+        if expr.op == "+":
+            return _f32(a + b)
+        if expr.op == "-":
+            return _f32(a - b)
+        if expr.op == "*":
+            return _f32(a * b)
+        if b == 0.0:
+            raise ZeroDivisionError("float division by zero in interpreted program")
+        return _f32(a / b)
+    raise CompileError(f"unknown expression node {expr!r}")
+
+
+def _test(cond: BoolExpr, env: Dict[str, float]) -> bool:
+    if isinstance(cond, Not):
+        return not _test(cond.operand, env)
+    if isinstance(cond, And):
+        return _test(cond.left, env) and _test(cond.right, env)
+    if isinstance(cond, Or):
+        return _test(cond.left, env) or _test(cond.right, env)
+    if isinstance(cond, Cmp):
+        a = _eval(cond.left, env)
+        b = _eval(cond.right, env)
+        return {
+            "<": a < b,
+            "<=": a <= b,
+            ">": a > b,
+            ">=": a >= b,
+            "==": a == b,
+            "!=": a != b,
+        }[cond.op]
+    raise CompileError(f"unknown condition node {cond!r}")
+
+
+def _run_stmt(stmt: Stmt, env: Dict[str, float]) -> None:
+    if isinstance(stmt, Assign):
+        env[stmt.target] = _eval(stmt.expr, env)
+    elif isinstance(stmt, If):
+        branch = stmt.then if _test(stmt.cond, env) else stmt.orelse
+        for sub in branch:
+            _run_stmt(sub, env)
+    elif isinstance(stmt, While):
+        trips = 0
+        while _test(stmt.cond, env):
+            trips += 1
+            if trips > MAX_LOOP_TRIPS:
+                raise CompileError("interpreted While exceeded the trip limit")
+            for sub in stmt.body:
+                _run_stmt(sub, env)
+    else:
+        raise CompileError(f"unknown statement node {stmt!r}")
+
+
+def interpret_iteration(
+    program: ControlProgram,
+    state: Dict[str, float],
+    inputs: Sequence[float],
+) -> Dict[str, float]:
+    """Run one iteration: bind inputs, execute the body, return outputs.
+
+    ``state`` maps every program variable to its current value and is
+    updated in place (variables persist across iterations, as on the
+    target).  Returns ``{output name: value}``.
+    """
+    if len(inputs) != len(program.inputs):
+        raise CompileError(
+            f"expected {len(program.inputs)} inputs, got {len(inputs)}"
+        )
+    for name, value in zip(program.inputs, inputs):
+        state[name] = _f32(value)
+    for stmt in program.body:
+        _run_stmt(stmt, state)
+    return {name: state[name] for name in program.outputs}
+
+
+def initial_state(program: ControlProgram) -> Dict[str, float]:
+    """The variable environment at program start (all initial values).
+
+    Locals are included: on the target they live in a stack frame that
+    is re-used every iteration, so between iterations they simply keep
+    their last value — which is what a flat environment models.
+    """
+    env = {name: _f32(value) for name, value in program.variables.items()}
+    env.update({name: _f32(value) for name, value in program.locals.items()})
+    return env

@@ -1,0 +1,328 @@
+"""A text front-end for the tiny control compiler.
+
+Control tasks can be written in a small Ada-flavoured language instead
+of building ASTs by hand::
+
+    program pi_controller
+    inputs r, y
+    outputs u_lim
+    var x := 0.0
+    var u_lim
+    local e
+    local u
+    local ki := 0.03
+    begin
+      e := r - y;
+      u := e * 0.01 + x;
+      u_lim := u;
+      if u_lim > 70.0 then u_lim := 70.0; end if;
+      if u_lim < 0.0 then u_lim := 0.0; end if;
+      ki := 0.03;
+      if (u > 70.0 and e > 0.0) or (u < 0.0 and e < 0.0) then
+        ki := 0.0;
+      end if;
+      x := x + 0.0154 * e * ki;
+    end
+
+Grammar (recursive descent, ``--`` starts a comment)::
+
+    program  = "program" IDENT { decl } "begin" stmts "end"
+    decl     = ("inputs" | "outputs") IDENT { "," IDENT }
+             | ("var" | "local") IDENT [ ":=" NUMBER ]
+    stmts    = { stmt }
+    stmt     = IDENT ":=" expr ";"
+             | "if" cond "then" stmts [ "else" stmts ] "end" [ "if" ] [ ";" ]
+             | "while" cond "loop" stmts "end" [ "loop" ] [ ";" ]
+    cond     = conj { "or" conj }
+    conj     = atom { "and" atom }
+    atom     = "not" atom | "(" cond ")" | expr RELOP expr
+    expr     = term { ("+" | "-") term }
+    term     = factor { ("*" | "/") factor }
+    factor   = NUMBER | IDENT | "(" expr ")" | "-" factor
+
+Arithmetic is left-associative, matching the builder-API conventions, so
+a parsed program interprets and compiles bit-identically to its
+hand-built equivalent.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.tcc.ast import (
+    And,
+    Assign,
+    BinOp,
+    BoolExpr,
+    Cmp,
+    Const,
+    ControlProgram,
+    Expr,
+    If,
+    Neg,
+    Not,
+    Or,
+    Stmt,
+    Var,
+    While,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>--[^\n]*)
+  | (?P<number>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<assign>:=)
+  | (?P<relop><=|>=|/=|=|<|>)
+  | (?P<punct>[();,+\-*/])
+  | (?P<ws>\s+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "program", "inputs", "outputs", "var", "local", "begin", "end",
+    "if", "then", "else", "while", "loop", "and", "or", "not",
+}
+
+#: Source relational operators -> AST comparison operators (Ada's
+#: ``=`` / ``/=`` map to ``==`` / ``!=``).
+_RELOPS = {"<": "<", "<=": "<=", ">": ">", ">=": ">=", "=": "==", "/=": "!="}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # number / ident / keyword / assign / relop / punct
+    text: str
+    line: int
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    line = 1
+    for match in _TOKEN_RE.finditer(source):
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("ws", "comment"):
+            line += text.count("\n")
+            continue
+        if kind == "bad":
+            raise CompileError(f"line {line}: unexpected character {text!r}")
+        if kind == "ident" and text.lower() in _KEYWORDS:
+            kind = "keyword"
+            text = text.lower()
+        tokens.append(_Token(kind=kind, text=text, line=line))
+        line += text.count("\n")
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise CompileError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise CompileError(
+                f"line {token.line}: expected {wanted!r}, got {token.text!r}"
+            )
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token and token.kind == kind and (text is None or token.text == text):
+            self._pos += 1
+            return token
+        return None
+
+    # -- grammar ----------------------------------------------------------------
+    def parse_program(self) -> ControlProgram:
+        self._expect("keyword", "program")
+        name = self._expect("ident").text
+        inputs: List[str] = []
+        outputs: List[str] = []
+        variables: Dict[str, float] = {}
+        local_vars: Dict[str, float] = {}
+        while True:
+            token = self._peek()
+            if token is None:
+                raise CompileError("missing 'begin'")
+            if token.kind == "keyword" and token.text == "begin":
+                break
+            if self._accept("keyword", "inputs"):
+                inputs.extend(self._ident_list())
+            elif self._accept("keyword", "outputs"):
+                outputs.extend(self._ident_list())
+            elif self._accept("keyword", "var"):
+                ident, value = self._declaration()
+                variables[ident] = value
+            elif self._accept("keyword", "local"):
+                ident, value = self._declaration()
+                local_vars[ident] = value
+            else:
+                raise CompileError(
+                    f"line {token.line}: unexpected {token.text!r} in declarations"
+                )
+        self._expect("keyword", "begin")
+        body = self._statements(terminators=("end",))
+        self._expect("keyword", "end")
+        # I/O names default into the globals if not declared explicitly.
+        for ident in inputs + outputs:
+            if ident not in variables and ident not in local_vars:
+                variables[ident] = 0.0
+        program = ControlProgram(
+            name=name,
+            inputs=inputs,
+            outputs=outputs,
+            variables=variables,
+            locals=local_vars,
+            body=body,
+        )
+        program.validate()
+        return program
+
+    def _ident_list(self) -> List[str]:
+        names = [self._expect("ident").text]
+        while self._accept("punct", ","):
+            names.append(self._expect("ident").text)
+        return names
+
+    def _declaration(self) -> Tuple[str, float]:
+        ident = self._expect("ident").text
+        value = 0.0
+        if self._accept("assign"):
+            value = self._number()
+        return ident, value
+
+    def _number(self) -> float:
+        negative = bool(self._accept("punct", "-"))
+        token = self._expect("number")
+        value = float(token.text)
+        return -value if negative else value
+
+    def _statements(self, terminators: Tuple[str, ...]) -> List[Stmt]:
+        statements: List[Stmt] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise CompileError("unexpected end of input in statements")
+            if token.kind == "keyword" and token.text in terminators:
+                return statements
+            statements.append(self._statement())
+
+    def _statement(self) -> Stmt:
+        if self._accept("keyword", "if"):
+            condition = self._condition()
+            self._expect("keyword", "then")
+            then = self._statements(terminators=("else", "end"))
+            orelse: List[Stmt] = []
+            if self._accept("keyword", "else"):
+                orelse = self._statements(terminators=("end",))
+            self._expect("keyword", "end")
+            self._accept("keyword", "if")
+            self._accept("punct", ";")
+            return If(condition, then=then, orelse=orelse)
+        if self._accept("keyword", "while"):
+            condition = self._condition()
+            self._expect("keyword", "loop")
+            body = self._statements(terminators=("end",))
+            self._expect("keyword", "end")
+            self._accept("keyword", "loop")
+            self._accept("punct", ";")
+            return While(condition, body=body)
+        target = self._expect("ident").text
+        self._expect("assign")
+        value = self._expression()
+        self._expect("punct", ";")
+        return Assign(target, value)
+
+    # -- conditions ----------------------------------------------------------------
+    def _condition(self) -> BoolExpr:
+        left = self._conjunction()
+        while self._accept("keyword", "or"):
+            left = Or(left, self._conjunction())
+        return left
+
+    def _conjunction(self) -> BoolExpr:
+        left = self._condition_atom()
+        while self._accept("keyword", "and"):
+            left = And(left, self._condition_atom())
+        return left
+
+    def _condition_atom(self) -> BoolExpr:
+        if self._accept("keyword", "not"):
+            return Not(self._condition_atom())
+        # A parenthesis could open a nested condition or an arithmetic
+        # sub-expression; try the condition first and backtrack.
+        if self._peek() and self._peek().kind == "punct" and self._peek().text == "(":
+            saved = self._pos
+            self._next()
+            try:
+                inner = self._condition()
+                self._expect("punct", ")")
+                return inner
+            except CompileError:
+                self._pos = saved
+        left = self._expression()
+        token = self._expect("relop")
+        right = self._expression()
+        return Cmp(_RELOPS[token.text], left, right)
+
+    # -- expressions --------------------------------------------------------------
+    def _expression(self) -> Expr:
+        left = self._term()
+        while True:
+            if self._accept("punct", "+"):
+                left = BinOp("+", left, self._term())
+            elif self._accept("punct", "-"):
+                left = BinOp("-", left, self._term())
+            else:
+                return left
+
+    def _term(self) -> Expr:
+        left = self._factor()
+        while True:
+            if self._accept("punct", "*"):
+                left = BinOp("*", left, self._factor())
+            elif self._accept("punct", "/"):
+                left = BinOp("/", left, self._factor())
+            else:
+                return left
+
+    def _factor(self) -> Expr:
+        if self._accept("punct", "-"):
+            return Neg(self._factor())
+        if self._accept("punct", "("):
+            inner = self._expression()
+            self._expect("punct", ")")
+            return inner
+        token = self._next()
+        if token.kind == "number":
+            return Const(float(token.text))
+        if token.kind == "ident":
+            return Var(token.text)
+        raise CompileError(
+            f"line {token.line}: expected a value, got {token.text!r}"
+        )
+
+
+def parse_program(source: str) -> ControlProgram:
+    """Parse mini-language source into a validated :class:`ControlProgram`."""
+    return _Parser(_tokenize(source)).parse_program()

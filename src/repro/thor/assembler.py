@@ -1,0 +1,429 @@
+"""A two-pass assembler for the simulated CPU.
+
+Syntax (one statement per line, ``;`` starts a comment)::
+
+    .data
+    x:      .float 0.0          ; IEEE-754 single word
+    count:  .word 5             ; raw 32-bit word
+    .text
+    init:   la   r7, x          ; pseudo: lui+ori with the symbol address
+            sig  0              ; control-flow signature checkpoint
+    loop:   sig  1
+            ld   r1, [r7+0]
+            fadd r1, r1, r2
+            st   r1, [r7+4]
+            cmp  r1, r2
+            beq  loop
+            svc  0              ; yield to the environment
+            br   loop
+
+Pass 1 sizes statements and assigns label addresses (``la`` expands to
+two words); pass 2 encodes.  After encoding, the assembler derives the
+legal control-flow transitions between ``sig`` checkpoints by exploring
+the instruction-level control-flow graph, producing the successor map
+consumed by the CPU's CONTROL FLOW ERROR mechanism.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import AssemblyError
+from repro.thor.isa import (
+    IMMEDIATE_OPCODES,
+    Instruction,
+    Opcode,
+    encode,
+    register_index,
+)
+from repro.thor.memory import MemoryLayout, WORD
+from repro.thor.program import Program
+
+_MEM_OPERAND = re.compile(r"^\[\s*(\w+)\s*(?:([+-])\s*(\w+))?\s*\]$")
+_HI_LO = re.compile(r"^%(hi|lo)\((\w+)\)$")
+
+_BRANCH_MNEMONICS = {
+    "br": Opcode.BR,
+    "beq": Opcode.BEQ,
+    "bne": Opcode.BNE,
+    "blt": Opcode.BLT,
+    "bge": Opcode.BGE,
+    "bgt": Opcode.BGT,
+    "ble": Opcode.BLE,
+    "bvs": Opcode.BVS,
+    "call": Opcode.CALL,
+}
+
+_THREE_REG = {
+    "add": Opcode.ADD,
+    "sub": Opcode.SUB,
+    "mul": Opcode.MUL,
+    "div": Opcode.DIV,
+    "and": Opcode.AND,
+    "or": Opcode.OR,
+    "xor": Opcode.XOR,
+    "shl": Opcode.SHL,
+    "shr": Opcode.SHR,
+    "fadd": Opcode.FADD,
+    "fsub": Opcode.FSUB,
+    "fmul": Opcode.FMUL,
+    "fdiv": Opcode.FDIV,
+    "chk": Opcode.CHK,
+}
+
+_TWO_REG = {
+    "mov": Opcode.MOV,
+    "itof": Opcode.ITOF,
+    "ftoi": Opcode.FTOI,
+    "fneg": Opcode.FNEG,
+}
+
+_NO_OPERAND = {
+    "nop": Opcode.NOP,
+    "halt": Opcode.HALT,
+    "ret": Opcode.RET,
+    "wfi": Opcode.WFI,
+}
+
+
+@dataclass
+class _Statement:
+    """One source statement after pass 1."""
+
+    line_no: int
+    mnemonic: str
+    operands: List[str]
+    address: int
+    words: int
+
+
+def _float_word(text: str) -> int:
+    try:
+        return struct.unpack("<I", struct.pack("<f", float(text)))[0]
+    except (ValueError, OverflowError) as exc:
+        raise AssemblyError(f"bad float literal {text!r}: {exc}") from None
+
+
+def _int_literal(text: str) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError(f"bad integer literal {text!r}") from None
+
+
+class _Assembler:
+    def __init__(self, source: str, layout: MemoryLayout):
+        self.source = source
+        self.layout = layout
+        self.symbols: Dict[str, int] = {}
+        self.statements: List[_Statement] = []
+        self.data: Dict[int, int] = {}
+
+    # -- pass 1 ----------------------------------------------------------------
+    def first_pass(self) -> None:
+        section = ".text"
+        cursors = {
+            ".text": self.layout.code_base,
+            ".data": self.layout.data_base,
+            ".rodata": self.layout.rodata_base,
+        }
+        for line_no, raw in enumerate(self.source.splitlines(), start=1):
+            line = raw.split(";", 1)[0].strip()
+            if not line:
+                continue
+            label, line = self._split_label(line)
+            if label:
+                if label in self.symbols:
+                    raise AssemblyError(f"line {line_no}: duplicate label {label!r}")
+                self.symbols[label] = cursors[section]
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operand_text = parts[1] if len(parts) > 1 else ""
+            operands = [op.strip() for op in operand_text.split(",")] if operand_text else []
+            if mnemonic in cursors:
+                section = mnemonic
+                continue
+            if section in (".data", ".rodata"):
+                cursors[section] = self._assemble_data(
+                    line_no, mnemonic, operands, cursors[section]
+                )
+                continue
+            code_address = cursors[".text"]
+            words = 2 if mnemonic == "la" else 1
+            self.statements.append(
+                _Statement(line_no, mnemonic, operands, code_address, words)
+            )
+            cursors[".text"] = code_address + words * WORD
+
+    @staticmethod
+    def _split_label(line: str) -> Tuple[Optional[str], str]:
+        if ":" in line:
+            candidate, rest = line.split(":", 1)
+            candidate = candidate.strip()
+            if candidate and re.fullmatch(r"\w+", candidate):
+                return candidate, rest.strip()
+        return None, line
+
+    def _assemble_data(
+        self, line_no: int, mnemonic: str, operands: List[str], address: int
+    ) -> int:
+        if mnemonic == ".float":
+            words = [_float_word(op) for op in operands]
+        elif mnemonic == ".word":
+            words = [_int_literal(op) & 0xFFFFFFFF for op in operands]
+        elif mnemonic == ".space":
+            count = _int_literal(operands[0])
+            words = [0] * count
+        else:
+            raise AssemblyError(f"line {line_no}: unknown data directive {mnemonic!r}")
+        for word in words:
+            self.data[address] = word
+            address += WORD
+        return address
+
+    # -- pass 2 ------------------------------------------------------------------
+    def second_pass(self) -> List[int]:
+        words: List[int] = []
+        for statement in self.statements:
+            words.extend(self._encode_statement(statement))
+        return words
+
+    def _resolve_imm(self, text: str, line_no: int) -> int:
+        match = _HI_LO.match(text)
+        if match:
+            kind, symbol = match.groups()
+            address = self._symbol(symbol, line_no)
+            return (address >> 16) & 0xFFFF if kind == "hi" else address & 0xFFFF
+        if text in self.symbols:
+            return self.symbols[text]
+        return _int_literal(text)
+
+    def _symbol(self, name: str, line_no: int) -> int:
+        if name not in self.symbols:
+            raise AssemblyError(f"line {line_no}: unknown symbol {name!r}")
+        return self.symbols[name]
+
+    def _encode_statement(self, st: _Statement) -> List[int]:
+        m = st.mnemonic
+        ops = st.operands
+        n = st.line_no
+        try:
+            if m == "la":
+                address = self._symbol(ops[1], n)
+                rd = register_index(ops[0])
+                return [
+                    encode(Instruction(Opcode.LUI, rd=rd, imm=(address >> 16) & 0xFFFF)),
+                    encode(Instruction(Opcode.ORI, rd=rd, imm=address & 0xFFFF)),
+                ]
+            if m in _NO_OPERAND:
+                return [encode(Instruction(_NO_OPERAND[m]))]
+            if m in ("svc", "sig"):
+                opcode = Opcode.SVC if m == "svc" else Opcode.SIG
+                return [encode(Instruction(opcode, imm=_int_literal(ops[0]) & 0xFFFF))]
+            if m in _BRANCH_MNEMONICS:
+                opcode = _BRANCH_MNEMONICS[m]
+                target = self._branch_target(ops[0], st)
+                return [encode(Instruction(opcode, imm=target))]
+            if m == "jr":
+                return [encode(Instruction(Opcode.JR, rs1=register_index(ops[0])))]
+            if m in _THREE_REG:
+                return [
+                    encode(
+                        Instruction(
+                            _THREE_REG[m],
+                            rd=register_index(ops[0]),
+                            rs1=register_index(ops[1]),
+                            rs2=register_index(ops[2]),
+                        )
+                    )
+                ]
+            if m in _TWO_REG:
+                return [
+                    encode(
+                        Instruction(
+                            _TWO_REG[m],
+                            rd=register_index(ops[0]),
+                            rs1=register_index(ops[1]),
+                        )
+                    )
+                ]
+            if m == "setmode":
+                return [encode(Instruction(Opcode.SETMODE, rs1=register_index(ops[0])))]
+            if m in ("cmp", "fcmp"):
+                opcode = Opcode.CMP if m == "cmp" else Opcode.FCMP
+                return [
+                    encode(
+                        Instruction(
+                            opcode,
+                            rs1=register_index(ops[0]),
+                            rs2=register_index(ops[1]),
+                        )
+                    )
+                ]
+            if m in ("ldi", "lui", "ori"):
+                opcode = {"ldi": Opcode.LDI, "lui": Opcode.LUI, "ori": Opcode.ORI}[m]
+                imm = self._resolve_imm(ops[1], n)
+                if m == "ldi" and not -0x8000 <= imm <= 0xFFFF:
+                    raise AssemblyError(f"line {n}: ldi immediate {imm} out of range")
+                return [
+                    encode(
+                        Instruction(opcode, rd=register_index(ops[0]), imm=imm & 0xFFFF)
+                    )
+                ]
+            if m == "addi":
+                imm = self._resolve_imm(ops[2], n)
+                return [
+                    encode(
+                        Instruction(
+                            Opcode.ADDI,
+                            rd=register_index(ops[0]),
+                            rs1=register_index(ops[1]),
+                            imm=imm & 0xFFFF,
+                        )
+                    )
+                ]
+            if m in ("ld", "st"):
+                opcode = Opcode.LD if m == "ld" else Opcode.ST
+                base, offset = self._mem_operand(ops[1], n)
+                return [
+                    encode(
+                        Instruction(
+                            opcode,
+                            rd=register_index(ops[0]),
+                            rs1=base,
+                            imm=offset & 0xFFFF,
+                        )
+                    )
+                ]
+            if m in ("push", "pop"):
+                opcode = Opcode.PUSH if m == "push" else Opcode.POP
+                return [encode(Instruction(opcode, rd=register_index(ops[0])))]
+        except (IndexError, KeyError):
+            raise AssemblyError(f"line {n}: malformed operands for {m!r}") from None
+        raise AssemblyError(f"line {n}: unknown mnemonic {m!r}")
+
+    def _branch_target(self, operand: str, st: _Statement) -> int:
+        if operand in self.symbols:
+            delta = (self.symbols[operand] - st.address) // WORD
+        else:
+            delta = _int_literal(operand)
+        if not -0x8000 <= delta <= 0x7FFF:
+            raise AssemblyError(f"line {st.line_no}: branch target out of range")
+        return delta & 0xFFFF
+
+    def _mem_operand(self, text: str, line_no: int) -> Tuple[int, int]:
+        match = _MEM_OPERAND.match(text)
+        if not match:
+            raise AssemblyError(f"line {line_no}: bad memory operand {text!r}")
+        base_text, sign, offset_text = match.groups()
+        base = register_index(base_text)
+        offset = 0
+        if offset_text is not None:
+            offset = self._resolve_imm(offset_text, line_no)
+            if sign == "-":
+                offset = -offset
+        if not -0x8000 <= offset <= 0x7FFF:
+            raise AssemblyError(f"line {line_no}: memory offset out of range")
+        return base, offset
+
+
+def _signature_successors(
+    words: List[int], code_base: int
+) -> Dict[int, FrozenSet[int]]:
+    """Derive legal SIG-to-SIG transitions from the instruction CFG."""
+    count = len(words)
+
+    def decode_at(i: int) -> Tuple[int, int]:
+        word = words[i]
+        return (word >> 24) & 0xFF, word & 0xFFFF
+
+    def simm(imm: int) -> int:
+        return imm - 0x10000 if imm & 0x8000 else imm
+
+    sig_at: Dict[int, int] = {}
+    call_returns: List[int] = []
+    for i in range(count):
+        opcode, imm = decode_at(i)
+        if opcode == int(Opcode.SIG):
+            sig_at[i] = imm
+        elif opcode == int(Opcode.CALL) and i + 1 < count:
+            call_returns.append(i + 1)
+
+    branch_opcodes = {
+        int(op)
+        for op in (
+            Opcode.BR,
+            Opcode.BEQ,
+            Opcode.BNE,
+            Opcode.BLT,
+            Opcode.BGE,
+            Opcode.BGT,
+            Opcode.BLE,
+            Opcode.BVS,
+        )
+    }
+
+    def successors(i: int) -> List[int]:
+        opcode, imm = decode_at(i)
+        succ: List[int] = []
+        if opcode == int(Opcode.HALT) or opcode == int(Opcode.WFI):
+            return succ
+        if opcode in branch_opcodes:
+            target = i + simm(imm)
+            if 0 <= target < count:
+                succ.append(target)
+            if opcode != int(Opcode.BR):
+                succ.append(i + 1)
+            return [s for s in succ if 0 <= s < count]
+        if opcode == int(Opcode.CALL):
+            target = i + simm(imm)
+            if 0 <= target < count:
+                succ.append(target)
+            return succ
+        if opcode == int(Opcode.RET) or opcode == int(Opcode.JR):
+            return list(call_returns)
+        if i + 1 < count:
+            succ.append(i + 1)
+        return succ
+
+    result: Dict[int, Set[int]] = {}
+    for start, sig_id in sig_at.items():
+        reachable: Set[int] = set()
+        stack = successors(start)
+        seen: Set[int] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if node in sig_at:
+                reachable.add(sig_at[node])
+                continue
+            stack.extend(successors(node))
+        result.setdefault(sig_id, set()).update(reachable)
+    return {sig_id: frozenset(ids) for sig_id, ids in result.items()}
+
+
+def assemble(source: str, layout: MemoryLayout = MemoryLayout()) -> Program:
+    """Assemble source text into a loadable :class:`Program`."""
+    assembler = _Assembler(source, layout)
+    assembler.first_pass()
+    words = assembler.second_pass()
+    if len(words) * WORD > layout.code_size:
+        raise AssemblyError(
+            f"program ({len(words)} words) exceeds code region "
+            f"({layout.code_size // WORD} words)"
+        )
+    return Program(
+        code=tuple(words),
+        data=dict(assembler.data),
+        symbols=dict(assembler.symbols),
+        entry=layout.code_base,
+        signature_successors=_signature_successors(words, layout.code_base),
+        source=source,
+    )

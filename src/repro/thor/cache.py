@@ -1,0 +1,143 @@
+"""The 128-byte direct-mapped write-back data cache.
+
+Geometry mirrors the paper's injectable cache surface: 32 lines of one
+32-bit word each (128 bytes of data), with a 23-bit tag, a valid bit and
+a dirty bit per line — 57 bits x 32 lines = 1824 injectable state
+elements, the paper's cache partition size.
+
+Address split (30-bit physical space):
+``tag[29:7] | index[6:2] | byte[1:0]``.
+
+The cache is write-back and write-allocate.  Because a line is exactly
+one word, a write miss allocates without a refill read.  Evicting a dirty
+line writes it back to the address reconstructed from the *stored* tag —
+so a bit-flip in a tag sends the write-back to the wrong address, which
+usually lies outside the small RAM regions and raises ADDRESS/BUS ERROR,
+the dominant detected outcome for cache faults in the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.thor.memory import MemoryMap
+
+LINES = 32
+LINE_BYTES = 4
+INDEX_BITS = 5
+TAG_BITS = 23
+OFFSET_BITS = 2
+
+#: Injectable bits per line: 32 data + 23 tag + valid + dirty.
+BITS_PER_LINE = 32 + TAG_BITS + 1 + 1
+
+#: Total injectable cache bits (the paper's 1824 cache state elements).
+TOTAL_BITS = LINES * BITS_PER_LINE
+
+
+def split_address(address: int) -> "tuple[int, int]":
+    """``(tag, index)`` of a word address."""
+    index = (address >> OFFSET_BITS) & (LINES - 1)
+    tag = (address >> (OFFSET_BITS + INDEX_BITS)) & ((1 << TAG_BITS) - 1)
+    return tag, index
+
+
+def line_address(tag: int, index: int) -> int:
+    """Reconstruct the word address a (tag, index) pair names."""
+    return (tag << (OFFSET_BITS + INDEX_BITS)) | (index << OFFSET_BITS)
+
+
+class DataCache:
+    """Direct-mapped write-back cache in front of data/stack RAM."""
+
+    def __init__(self) -> None:
+        self.data = np.zeros(LINES, dtype=np.uint32)
+        self.tags = np.zeros(LINES, dtype=np.uint32)
+        self.valid = np.zeros(LINES, dtype=np.uint8)
+        self.dirty = np.zeros(LINES, dtype=np.uint8)
+        #: Statistics, reset with :meth:`reset_stats`.
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    # -- core operations -------------------------------------------------------
+    def _evict(self, index: int, memory: MemoryMap) -> None:
+        """Write back the line at ``index`` if it is valid and dirty."""
+        if self.valid[index] and self.dirty[index]:
+            victim_address = line_address(int(self.tags[index]), index)
+            self.writebacks += 1
+            memory.write_data_word(victim_address, int(self.data[index]))
+        self.valid[index] = 0
+        self.dirty[index] = 0
+
+    def read(self, address: int, memory: MemoryMap) -> int:
+        """Read a cached word, refilling on a miss."""
+        tag, index = split_address(address)
+        if self.valid[index] and int(self.tags[index]) == tag:
+            self.hits += 1
+            return int(self.data[index])
+        self.misses += 1
+        self._evict(index, memory)
+        value = memory.read_data_word(address)
+        self.data[index] = value
+        self.tags[index] = tag
+        self.valid[index] = 1
+        self.dirty[index] = 0
+        return value
+
+    def write(self, address: int, value: int, memory: MemoryMap) -> None:
+        """Write a cached word (write-allocate, no refill for full lines)."""
+        tag, index = split_address(address)
+        if not (self.valid[index] and int(self.tags[index]) == tag):
+            self.misses += 1
+            self._evict(index, memory)
+            self.tags[index] = tag
+            self.valid[index] = 1
+        else:
+            self.hits += 1
+        self.data[index] = value & 0xFFFFFFFF
+        self.dirty[index] = 1
+
+    def flush(self, memory: MemoryMap) -> None:
+        """Write back all dirty lines and invalidate the cache."""
+        for index in range(LINES):
+            self._evict(index, memory)
+
+    def invalidate(self) -> None:
+        """Drop all lines without writing anything back."""
+        self.valid[:] = 0
+        self.dirty[:] = 0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/writeback counters."""
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    # -- state access ----------------------------------------------------------
+    def state_bytes(self) -> bytes:
+        """Deterministic serialisation for run-state hashing."""
+        return (
+            self.data.tobytes()
+            + self.tags.tobytes()
+            + self.valid.tobytes()
+            + self.dirty.tobytes()
+        )
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """A restorable copy of the cache arrays."""
+        return {
+            "data": self.data.copy(),
+            "tags": self.tags.copy(),
+            "valid": self.valid.copy(),
+            "dirty": self.dirty.copy(),
+        }
+
+    def restore(self, snapshot: Dict[str, np.ndarray]) -> None:
+        """Restore arrays captured by :meth:`snapshot`."""
+        self.data = snapshot["data"].copy()
+        self.tags = snapshot["tags"].copy()
+        self.valid = snapshot["valid"].copy()
+        self.dirty = snapshot["dirty"].copy()

@@ -1,0 +1,74 @@
+"""Master/slave comparator (Table 1's last mechanism).
+
+Thor supports a lockstep configuration where two processors execute the
+same program and a comparator checks their outputs; the paper lists the
+mechanism but does not use it in the study.  We implement it the same
+way: :class:`MasterSlavePair` steps two CPUs in lockstep and raises a
+COMPARATOR detection on the first divergence of their yielded outputs or
+register state.  It is exercised by tests but not by the campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.thor.cpu import CPU, StepResult
+from repro.thor.edm import DetectionEvent, Mechanism
+from repro.thor.program import Program
+
+
+@dataclass(frozen=True)
+class ComparatorMismatch:
+    """A divergence observed between master and slave."""
+
+    instruction_index: int
+    master_pc: int
+    slave_pc: int
+    detail: str
+
+
+class MasterSlavePair:
+    """Two CPUs in lockstep with an output comparator."""
+
+    def __init__(self, master: CPU, slave: CPU):
+        self.master = master
+        self.slave = slave
+        self.mismatch: Optional[ComparatorMismatch] = None
+
+    def load(self, program: Program) -> None:
+        """Load the same program into both processors."""
+        self.master.load(program)
+        self.slave.load(program)
+
+    def step(self) -> StepResult:
+        """Step both CPUs and compare their architectural state.
+
+        Returns the master's step result; on divergence the master is
+        frozen with a COMPARATOR ERROR detection (and :attr:`mismatch`
+        carries the details).
+        """
+        if self.mismatch is not None:
+            return StepResult.DETECTED
+        master_result = self.master.step()
+        slave_result = self.slave.step()
+        detail = ""
+        if master_result is not slave_result:
+            detail = f"step results differ: {master_result} vs {slave_result}"
+        elif self.master.register_state_bytes() != self.slave.register_state_bytes():
+            detail = "register state differs"
+        if detail:
+            self.mismatch = ComparatorMismatch(
+                instruction_index=self.master.instruction_index,
+                master_pc=self.master.pc,
+                slave_pc=self.slave.pc,
+                detail=detail,
+            )
+            self.master.detection = DetectionEvent(
+                mechanism=Mechanism.COMPARATOR_ERROR,
+                pc=self.master.pc,
+                instruction_index=self.master.instruction_index,
+                detail=detail,
+            )
+            return StepResult.DETECTED
+        return master_result

@@ -1,0 +1,587 @@
+"""The CPU core: registers, execute loop, error-detection mechanisms.
+
+Architectural and micro-architectural state (the "Registers" partition of
+the paper's Tables 2/3, 426 injectable bits):
+
+* ``r0..r7`` — general-purpose registers (8 x 32 bits),
+* ``sp`` — stack pointer (32),
+* ``pc`` — program counter (32),
+* ``psw`` — 10-bit status word (``Z N C V`` flags in bits 0–3, reserved
+  bits 4–6, supervisor mode ``M`` in bit 7, reserved 8–9),
+* ``ir`` — instruction register (32); the next instruction is prefetched
+  into IR at the end of the previous one, so a bit-flip injected at an
+  instruction boundary corrupts the instruction about to execute,
+* ``mar`` / ``mdr`` — memory address/data latches of the load-store path
+  (32 + 32).
+
+Detections freeze the CPU (the experiment's termination condition) and
+are reported as :class:`~repro.thor.edm.DetectionEvent` values.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import MachineError
+from repro.thor.cache import DataCache
+from repro.thor.edm import DetectionEvent, HardwareDetection, Mechanism, raise_detection
+from repro.thor.isa import (
+    Instruction,
+    NUM_GPRS,
+    Opcode,
+    PRIVILEGED_OPCODES,
+    SP_INDEX,
+    decode,
+)
+from repro.thor.memory import MemoryLayout, MemoryMap, WORD
+from repro.thor.program import Program
+
+# PSW bit positions.
+FLAG_Z = 1 << 0
+FLAG_N = 1 << 1
+FLAG_C = 1 << 2
+FLAG_V = 1 << 3
+FLAG_M = 1 << 7
+PSW_BITS = 10
+PSW_MASK = (1 << PSW_BITS) - 1
+
+_INT_MIN = -(1 << 31)
+_INT_MAX = (1 << 31) - 1
+_U32 = 0xFFFFFFFF
+
+#: Smallest normal single-precision magnitude (results below it, other
+#: than exact zero, raise UNDERFLOW CHECK).
+_MIN_NORMAL = 2.0 ** -126
+
+_decode_memo: Dict[int, Optional[Instruction]] = {}
+
+
+def _decode_cached(word: int) -> Optional[Instruction]:
+    try:
+        return _decode_memo[word]
+    except KeyError:
+        instruction = decode(word)
+        if len(_decode_memo) < 65536:
+            _decode_memo[word] = instruction
+        return instruction
+
+
+class StepResult(enum.Enum):
+    """Outcome of one :meth:`CPU.step` call."""
+
+    OK = "ok"
+    YIELD = "yield"
+    HALTED = "halted"
+    DETECTED = "detected"
+
+
+@dataclass
+class TraceEntry:
+    """One detail-mode trace record (GOOFI's detail logging)."""
+
+    index: int
+    pc: int
+    word: int
+    mnemonic: str
+
+
+def _to_signed(value: int) -> int:
+    value &= _U32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _bits_to_float(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & _U32))[0]
+
+
+def _float_to_bits(value: float) -> int:
+    try:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    except OverflowError:
+        # Magnitude beyond float32: becomes infinity on the 32-bit datapath.
+        inf = float("inf") if value > 0 else float("-inf")
+        return struct.unpack("<I", struct.pack("<f", inf))[0]
+
+
+class CPU:
+    """The simulated processor (one core, data cache, Table 1 EDMs)."""
+
+    def __init__(self, layout: MemoryLayout = MemoryLayout()):
+        self.layout = layout
+        self.memory = MemoryMap(layout)
+        self.cache = DataCache()
+        self.regs: List[int] = [0] * (NUM_GPRS + 1)  # r0..r7 + sp
+        self.pc = layout.code_base
+        self.psw = 0
+        self.ir = 0
+        self.mar = 0
+        self.mdr = 0
+        #: Control-flow checking state (part of the non-injectable
+        #: state elements, like the ~750 Thor elements outside the
+        #: 2250-element sample).
+        self.last_signature: Optional[int] = None
+        self.signature_successors: Dict[int, frozenset] = {}
+        self.instruction_index = 0
+        self.detection: Optional[DetectionEvent] = None
+        self.halted = False
+        self.last_svc: Optional[int] = None
+        #: Optional detail-mode hook, called with a TraceEntry per step.
+        self.trace_hook = None
+
+    # -- program loading ------------------------------------------------------
+    def load(self, program: Program) -> None:
+        """Load a program image and reset execution state."""
+        program.check_fits(self.layout)
+        self.memory = MemoryMap(self.layout)
+        self.cache = DataCache()
+        for i, word in enumerate(program.code):
+            self.memory.poke(self.layout.code_base + i * WORD, word)
+        for address, word in program.data.items():
+            self.memory.poke(address, word)
+        self.signature_successors = {
+            k: frozenset(v) for k, v in program.signature_successors.items()
+        }
+        self.regs = [0] * (NUM_GPRS + 1)
+        self.regs[SP_INDEX] = self.layout.stack_top
+        self.psw = 0  # user mode
+        self.pc = program.entry
+        self.mar = 0
+        self.mdr = 0
+        self.last_signature = None
+        self.instruction_index = 0
+        self.detection = None
+        self.halted = False
+        self.last_svc = None
+        # Prefetch the first instruction.
+        self.ir = self.memory.fetch_word(self.pc)
+
+    # -- register file ----------------------------------------------------------
+    def _read_reg(self, index: int) -> int:
+        if index > SP_INDEX:
+            raise_detection(Mechanism.INSTRUCTION_ERROR, f"register field {index}")
+        return self.regs[index]
+
+    def _write_reg(self, index: int, value: int) -> None:
+        if index > SP_INDEX:
+            raise_detection(Mechanism.INSTRUCTION_ERROR, f"register field {index}")
+        self.regs[index] = value & _U32
+
+    # -- flags -----------------------------------------------------------------
+    def _set_flags(self, z: bool, n: bool, c: bool, v: bool) -> None:
+        self.psw &= ~(FLAG_Z | FLAG_N | FLAG_C | FLAG_V)
+        if z:
+            self.psw |= FLAG_Z
+        if n:
+            self.psw |= FLAG_N
+        if c:
+            self.psw |= FLAG_C
+        if v:
+            self.psw |= FLAG_V
+
+    @property
+    def supervisor(self) -> bool:
+        """True when the mode bit selects supervisor mode."""
+        return bool(self.psw & FLAG_M)
+
+    @supervisor.setter
+    def supervisor(self, value: bool) -> None:
+        if value:
+            self.psw |= FLAG_M
+        else:
+            self.psw &= ~FLAG_M
+
+    # -- float helpers -----------------------------------------------------------
+    def _float_operand(self, bits: int) -> float:
+        value = _bits_to_float(bits)
+        if value != value:  # NaN operand
+            raise_detection(Mechanism.ILLEGAL_OPERATION, "NaN operand")
+        return value
+
+    def _float_result(self, value: float, operands_finite: bool) -> int:
+        bits = _float_to_bits(value)
+        rounded = _bits_to_float(bits)
+        if rounded != rounded:
+            raise_detection(Mechanism.ILLEGAL_OPERATION, "NaN result")
+        if rounded in (float("inf"), float("-inf")):
+            if operands_finite:
+                raise_detection(Mechanism.OVERFLOW_CHECK, "float overflow")
+        elif value != 0.0 and abs(rounded) < _MIN_NORMAL:
+            # The exact result is non-zero but rounds to a denormal or
+            # flushes to zero in single precision.
+            raise_detection(Mechanism.UNDERFLOW_CHECK, "underflow/denormal result")
+        return bits
+
+    def _float_binop(self, instruction: Instruction, op: str) -> None:
+        a = self._float_operand(self._read_reg(instruction.rs1))
+        b = self._float_operand(self._read_reg(instruction.rs2))
+        finite = abs(a) != float("inf") and abs(b) != float("inf")
+        if op == "add":
+            result = a + b
+        elif op == "sub":
+            result = a - b
+        elif op == "mul":
+            result = a * b
+        else:  # div
+            if b == 0.0:
+                raise_detection(Mechanism.DIVISION_CHECK, "float divide by zero")
+            result = a / b
+        self._write_reg(instruction.rd, self._float_result(result, finite))
+
+    # -- integer helpers ---------------------------------------------------------
+    def _int_binop(self, instruction: Instruction, op: str) -> None:
+        a = _to_signed(self._read_reg(instruction.rs1))
+        b = _to_signed(self._read_reg(instruction.rs2))
+        if op == "add":
+            result = a + b
+        elif op == "sub":
+            result = a - b
+        elif op == "mul":
+            result = a * b
+        elif op == "div":
+            if b == 0:
+                raise_detection(Mechanism.DIVISION_CHECK, "integer divide by zero")
+            result = int(a / b)  # truncating division
+        elif op == "and":
+            result = (a & b) & _U32
+        elif op == "or":
+            result = (a | b) & _U32
+        elif op == "xor":
+            result = (a ^ b) & _U32
+        elif op == "shl":
+            result = (a << (b & 31)) & _U32
+        else:  # shr (logical)
+            result = (a & _U32) >> (b & 31)
+        if op in ("add", "sub", "mul", "div") and not _INT_MIN <= result <= _INT_MAX:
+            raise_detection(Mechanism.OVERFLOW_CHECK, f"integer {op} overflow")
+        self._write_reg(instruction.rd, result & _U32)
+
+    # -- memory helpers --------------------------------------------------------------
+    def _data_read(self, address: int) -> int:
+        self.mar = address & _U32
+        if self.memory.is_cacheable(address):
+            value = self.cache.read(address, self.memory)
+        else:
+            value = self.memory.read_data_word(address)
+        self.mdr = value & _U32
+        return value
+
+    def _data_write(self, address: int, value: int) -> None:
+        self.mar = address & _U32
+        self.mdr = value & _U32
+        if self.memory.is_cacheable(address):
+            self.cache.write(address, value, self.memory)
+        else:
+            self.memory.write_data_word(address, value)
+
+    def _check_stack_pointer(self, sp: int) -> None:
+        layout = self.layout
+        if sp % WORD or not layout.stack_base <= sp <= layout.stack_top:
+            raise_detection(Mechanism.STORAGE_ERROR, f"sp {sp:#x} outside stack")
+
+    def _jump_target(self, target: int) -> int:
+        layout = self.layout
+        target &= _U32
+        if not layout.code_base <= target < layout.code_base + layout.code_size:
+            raise_detection(Mechanism.JUMP_ERROR, f"target {target:#x} outside code")
+        return target
+
+    # -- the execute loop ------------------------------------------------------------
+    def step(self) -> StepResult:
+        """Execute one instruction; freeze on detections.
+
+        Returns :data:`StepResult.YIELD` when an ``SVC`` executed (the
+        service number is left in :attr:`last_svc`); the environment
+        exchange happens outside and execution resumes with the next
+        :meth:`step` call.
+        """
+        if self.detection is not None:
+            return StepResult.DETECTED
+        if self.halted:
+            return StepResult.HALTED
+        self.last_svc = None
+        try:
+            return self._execute()
+        except HardwareDetection as event:
+            self.detection = DetectionEvent(
+                mechanism=event.mechanism,
+                pc=self.pc,
+                instruction_index=self.instruction_index,
+                detail=event.detail,
+            )
+            return StepResult.DETECTED
+
+    def _execute(self) -> StepResult:
+        word = self.ir & _U32
+        instruction = _decode_cached(word)
+        if instruction is None:
+            raise_detection(
+                Mechanism.INSTRUCTION_ERROR, f"illegal opcode {word >> 24:#x}"
+            )
+        assert instruction is not None
+        if instruction.opcode in PRIVILEGED_OPCODES and not self.supervisor:
+            raise_detection(
+                Mechanism.INSTRUCTION_ERROR,
+                f"privileged {instruction.opcode.name} in user mode",
+            )
+        if self.trace_hook is not None:
+            self.trace_hook(
+                TraceEntry(
+                    index=self.instruction_index,
+                    pc=self.pc,
+                    word=word,
+                    mnemonic=instruction.opcode.name,
+                )
+            )
+        next_pc = (self.pc + WORD) & _U32
+        result = StepResult.OK
+        op = instruction.opcode
+
+        if op is Opcode.NOP:
+            pass
+        elif op is Opcode.HALT or op is Opcode.WFI:
+            self.halted = True
+            result = StepResult.HALTED
+        elif op is Opcode.SVC:
+            self.last_svc = instruction.imm
+            result = StepResult.YIELD
+        elif op is Opcode.SIG:
+            self._check_signature(instruction.imm)
+        elif op is Opcode.SETMODE:
+            self.supervisor = bool(self._read_reg(instruction.rs1) & 1)
+        elif op is Opcode.LDI:
+            self._write_reg(instruction.rd, instruction.simm() & _U32)
+        elif op is Opcode.LUI:
+            self._write_reg(instruction.rd, (instruction.imm << 16) & _U32)
+        elif op is Opcode.ORI:
+            self._write_reg(
+                instruction.rd, self._read_reg(instruction.rd) | instruction.imm
+            )
+        elif op is Opcode.MOV:
+            self._write_reg(instruction.rd, self._read_reg(instruction.rs1))
+        elif op is Opcode.LD:
+            address = (self._read_reg(instruction.rs1) + instruction.simm()) & _U32
+            self._write_reg(instruction.rd, self._data_read(address))
+        elif op is Opcode.ST:
+            address = (self._read_reg(instruction.rs1) + instruction.simm()) & _U32
+            self._data_write(address, self._read_reg(instruction.rd))
+        elif op is Opcode.PUSH:
+            sp = (self.regs[SP_INDEX] - WORD) & _U32
+            self._check_stack_pointer(sp)
+            self._data_write(sp, self._read_reg(instruction.rd))
+            self.regs[SP_INDEX] = sp
+        elif op is Opcode.POP:
+            sp = self.regs[SP_INDEX]
+            self._check_stack_pointer(sp)
+            if sp >= self.layout.stack_top:
+                raise_detection(Mechanism.STORAGE_ERROR, "pop from empty stack")
+            self._write_reg(instruction.rd, self._data_read(sp))
+            self.regs[SP_INDEX] = (sp + WORD) & _U32
+        elif op is Opcode.ADD:
+            self._int_binop(instruction, "add")
+        elif op is Opcode.SUB:
+            self._int_binop(instruction, "sub")
+        elif op is Opcode.MUL:
+            self._int_binop(instruction, "mul")
+        elif op is Opcode.DIV:
+            self._int_binop(instruction, "div")
+        elif op is Opcode.AND:
+            self._int_binop(instruction, "and")
+        elif op is Opcode.OR:
+            self._int_binop(instruction, "or")
+        elif op is Opcode.XOR:
+            self._int_binop(instruction, "xor")
+        elif op is Opcode.SHL:
+            self._int_binop(instruction, "shl")
+        elif op is Opcode.SHR:
+            self._int_binop(instruction, "shr")
+        elif op is Opcode.ADDI:
+            result_value = _to_signed(self._read_reg(instruction.rs1)) + instruction.simm()
+            if not _INT_MIN <= result_value <= _INT_MAX:
+                raise_detection(Mechanism.OVERFLOW_CHECK, "integer add overflow")
+            self._write_reg(instruction.rd, result_value & _U32)
+        elif op is Opcode.CMP:
+            a = _to_signed(self._read_reg(instruction.rs1))
+            b = _to_signed(self._read_reg(instruction.rs2))
+            self._set_flags(z=a == b, n=a < b, c=(a & _U32) < (b & _U32), v=False)
+        elif op is Opcode.FADD:
+            self._float_binop(instruction, "add")
+        elif op is Opcode.FSUB:
+            self._float_binop(instruction, "sub")
+        elif op is Opcode.FMUL:
+            self._float_binop(instruction, "mul")
+        elif op is Opcode.FDIV:
+            self._float_binop(instruction, "div")
+        elif op is Opcode.FCMP:
+            a = _bits_to_float(self._read_reg(instruction.rs1))
+            b = _bits_to_float(self._read_reg(instruction.rs2))
+            unordered = a != a or b != b
+            self._set_flags(
+                z=(not unordered and a == b),
+                n=(not unordered and a < b),
+                c=False,
+                v=unordered,
+            )
+        elif op is Opcode.ITOF:
+            value = float(_to_signed(self._read_reg(instruction.rs1)))
+            self._write_reg(instruction.rd, self._float_result(value, True))
+        elif op is Opcode.FTOI:
+            value = self._float_operand(self._read_reg(instruction.rs1))
+            if not _INT_MIN <= value <= _INT_MAX:
+                raise_detection(Mechanism.OVERFLOW_CHECK, "float to int overflow")
+            self._write_reg(instruction.rd, int(value) & _U32)
+        elif op is Opcode.FNEG:
+            bits = self._read_reg(instruction.rs1)
+            self._write_reg(instruction.rd, bits ^ 0x80000000)
+        elif op in _BRANCHES:
+            if self._branch_taken(op):
+                next_pc = self._jump_target(self.pc + WORD * instruction.simm())
+        elif op is Opcode.CALL:
+            sp = (self.regs[SP_INDEX] - WORD) & _U32
+            self._check_stack_pointer(sp)
+            self._data_write(sp, (self.pc + WORD) & _U32)
+            self.regs[SP_INDEX] = sp
+            next_pc = self._jump_target(self.pc + WORD * instruction.simm())
+        elif op is Opcode.RET:
+            sp = self.regs[SP_INDEX]
+            self._check_stack_pointer(sp)
+            if sp >= self.layout.stack_top:
+                raise_detection(Mechanism.STORAGE_ERROR, "return with empty stack")
+            target = self._data_read(sp)
+            self.regs[SP_INDEX] = (sp + WORD) & _U32
+            next_pc = self._jump_target(target)
+        elif op is Opcode.JR:
+            next_pc = self._jump_target(self._read_reg(instruction.rs1))
+        elif op is Opcode.CHK:
+            self._constraint_check(instruction)
+        else:  # pragma: no cover - every opcode is handled above
+            raise MachineError(f"unhandled opcode {op!r}")
+
+        self.instruction_index += 1
+        if result is StepResult.HALTED:
+            # A halted CPU performs no further prefetch.
+            return result
+        self.pc = next_pc
+        self.ir = self.memory.fetch_word(self.pc)
+        return result
+
+    def _branch_taken(self, op: Opcode) -> bool:
+        z = bool(self.psw & FLAG_Z)
+        n = bool(self.psw & FLAG_N)
+        v = bool(self.psw & FLAG_V)
+        if op is Opcode.BR:
+            return True
+        if op is Opcode.BEQ:
+            return z
+        if op is Opcode.BNE:
+            return not z
+        if op is Opcode.BLT:
+            return n
+        if op is Opcode.BGE:
+            return not n and not v
+        if op is Opcode.BGT:
+            return not z and not n and not v
+        if op is Opcode.BLE:
+            return z or n
+        return v  # BVS
+
+    def _check_signature(self, signature: int) -> None:
+        if not self.signature_successors:
+            self.last_signature = signature
+            return
+        if self.last_signature is not None:
+            allowed = self.signature_successors.get(self.last_signature, frozenset())
+            if signature not in allowed:
+                raise_detection(
+                    Mechanism.CONTROL_FLOW_ERROR,
+                    f"signature {self.last_signature} -> {signature}",
+                )
+        self.last_signature = signature
+
+    def _constraint_check(self, instruction: Instruction) -> None:
+        low = _bits_to_float(self._read_reg(instruction.rd))
+        value = _bits_to_float(self._read_reg(instruction.rs1))
+        high = _bits_to_float(self._read_reg(instruction.rs2))
+        if not low <= value <= high:
+            raise_detection(
+                Mechanism.CONSTRAINT_ERROR,
+                f"{value!r} outside [{low!r}, {high!r}]",
+            )
+
+    # -- convenience runners -----------------------------------------------------
+    def run(self, max_instructions: int) -> StepResult:
+        """Step until yield/halt/detection or the instruction budget ends."""
+        for _ in range(max_instructions):
+            result = self.step()
+            if result is not StepResult.OK:
+                return result
+        return StepResult.OK
+
+    # -- state access -------------------------------------------------------------
+    def register_state_bytes(self) -> bytes:
+        """Registers + PSW + latches, for run-state hashing."""
+        parts = [value.to_bytes(4, "little") for value in self.regs]
+        parts.append(self.pc.to_bytes(4, "little"))
+        parts.append((self.psw & PSW_MASK).to_bytes(2, "little"))
+        parts.append(self.ir.to_bytes(4, "little"))
+        parts.append(self.mar.to_bytes(4, "little"))
+        parts.append(self.mdr.to_bytes(4, "little"))
+        sig = -1 if self.last_signature is None else self.last_signature
+        parts.append(sig.to_bytes(4, "little", signed=True))
+        parts.append(b"\x01" if self.halted else b"\x00")
+        return b"".join(parts)
+
+    def state_bytes(self) -> bytes:
+        """Full target-system state (CPU + cache + memory)."""
+        return (
+            self.register_state_bytes()
+            + self.cache.state_bytes()
+            + self.memory.state_bytes()
+        )
+
+    def snapshot(self) -> Dict[str, object]:
+        """A restorable copy of the full target-system state."""
+        return {
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "psw": self.psw,
+            "ir": self.ir,
+            "mar": self.mar,
+            "mdr": self.mdr,
+            "last_signature": self.last_signature,
+            "instruction_index": self.instruction_index,
+            "halted": self.halted,
+            "cache": self.cache.snapshot(),
+            "memory": self.memory.snapshot(),
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        self.regs = list(snapshot["regs"])  # type: ignore[arg-type]
+        self.pc = snapshot["pc"]  # type: ignore[assignment]
+        self.psw = snapshot["psw"]  # type: ignore[assignment]
+        self.ir = snapshot["ir"]  # type: ignore[assignment]
+        self.mar = snapshot["mar"]  # type: ignore[assignment]
+        self.mdr = snapshot["mdr"]  # type: ignore[assignment]
+        self.last_signature = snapshot["last_signature"]  # type: ignore[assignment]
+        self.instruction_index = snapshot["instruction_index"]  # type: ignore[assignment]
+        self.halted = snapshot["halted"]  # type: ignore[assignment]
+        self.detection = None
+        self.cache.restore(snapshot["cache"])  # type: ignore[arg-type]
+        self.memory.restore(snapshot["memory"])  # type: ignore[arg-type]
+
+
+_BRANCHES = frozenset(
+    {
+        Opcode.BR,
+        Opcode.BEQ,
+        Opcode.BNE,
+        Opcode.BLT,
+        Opcode.BGE,
+        Opcode.BGT,
+        Opcode.BLE,
+        Opcode.BVS,
+    }
+)

@@ -1,0 +1,159 @@
+"""Breakpoint/watchpoint debugging — GOOFI's halt-and-inject interface.
+
+GOOFI sets break-points "via the scan-chains ... allowing the Thor
+processor to be halted for fault injection when a machine instruction is
+to be executed" (§3.3.2).  :class:`DebugInterface` provides that control
+surface over the simulated CPU:
+
+* **breakpoints** on code addresses — execution halts *before* the
+  instruction at the address executes (exactly where injections happen);
+* **watchpoints** on data addresses — execution halts after an
+  instruction whose memory access touched the address;
+* **instruction-count breaks** — halt before the N-th dynamic
+  instruction (how sampled injection times are reached);
+* single-stepping and resumption.
+
+The interface never mutates CPU semantics: it only decides how many
+:meth:`~repro.thor.cpu.CPU.step` calls to issue and inspects MAR after
+each one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from repro.errors import MachineError
+from repro.thor.cpu import CPU, StepResult
+
+
+class StopReason(enum.Enum):
+    """Why :meth:`DebugInterface.resume` returned."""
+
+    BREAKPOINT = "breakpoint"
+    WATCHPOINT = "watchpoint"
+    INSTRUCTION_COUNT = "instruction-count"
+    YIELD = "yield"
+    DETECTED = "detected"
+    HALTED = "halted"
+    BUDGET = "budget"
+
+
+@dataclass(frozen=True)
+class StopEvent:
+    """One debugger stop.
+
+    Attributes:
+        reason: what stopped execution.
+        pc: the address of the instruction about to execute.
+        instruction_index: dynamic instructions executed so far.
+        address: the data address that fired (watchpoint stops only).
+    """
+
+    reason: StopReason
+    pc: int
+    instruction_index: int
+    address: Optional[int] = None
+
+
+class DebugInterface:
+    """Breakpoint-driven execution control over one CPU."""
+
+    def __init__(self, cpu: CPU):
+        self.cpu = cpu
+        self._breakpoints: Set[int] = set()
+        self._watchpoints: Set[int] = set()
+        self._break_at_index: Optional[int] = None
+
+    # -- configuration ------------------------------------------------------
+    def set_breakpoint(self, address: int) -> None:
+        """Halt before the instruction at ``address`` executes."""
+        if address % 4:
+            raise MachineError(f"unaligned breakpoint address {address:#x}")
+        self._breakpoints.add(address)
+
+    def clear_breakpoint(self, address: int) -> None:
+        """Remove a breakpoint (no-op if absent)."""
+        self._breakpoints.discard(address)
+
+    def set_watchpoint(self, address: int) -> None:
+        """Halt after a memory access touching ``address``."""
+        if address % 4:
+            raise MachineError(f"unaligned watchpoint address {address:#x}")
+        self._watchpoints.add(address)
+
+    def clear_watchpoint(self, address: int) -> None:
+        """Remove a watchpoint (no-op if absent)."""
+        self._watchpoints.discard(address)
+
+    def break_at_instruction(self, index: int) -> None:
+        """Halt before the ``index``-th dynamic instruction executes."""
+        if index < 0:
+            raise MachineError("instruction index must be non-negative")
+        self._break_at_index = index
+
+    # -- execution --------------------------------------------------------------
+    def step(self) -> StopEvent:
+        """Execute exactly one instruction."""
+        result = self.cpu.step()
+        return self._event_for(result)
+
+    def resume(self, budget: int = 1_000_000, stop_on_yield: bool = True) -> StopEvent:
+        """Run until a stop condition, a yield/halt/detection, or budget.
+
+        Breakpoint and instruction-count conditions are evaluated
+        *before* each instruction (the injection semantics); watchpoints
+        after.  With ``stop_on_yield=False`` environment yields are run
+        through (the caller is responsible for feeding MMIO inputs if
+        the workload needs fresh ones).
+        """
+        for _ in range(budget):
+            if self.cpu.pc in self._breakpoints:
+                return StopEvent(
+                    reason=StopReason.BREAKPOINT,
+                    pc=self.cpu.pc,
+                    instruction_index=self.cpu.instruction_index,
+                )
+            if (
+                self._break_at_index is not None
+                and self.cpu.instruction_index >= self._break_at_index
+            ):
+                self._break_at_index = None
+                return StopEvent(
+                    reason=StopReason.INSTRUCTION_COUNT,
+                    pc=self.cpu.pc,
+                    instruction_index=self.cpu.instruction_index,
+                )
+            mar_before = self.cpu.mar
+            result = self.cpu.step()
+            if result is StepResult.YIELD and not stop_on_yield:
+                result = StepResult.OK
+            if result is not StepResult.OK:
+                return self._event_for(result)
+            if self._watchpoints and self.cpu.mar != mar_before:
+                if self.cpu.mar in self._watchpoints:
+                    return StopEvent(
+                        reason=StopReason.WATCHPOINT,
+                        pc=self.cpu.pc,
+                        instruction_index=self.cpu.instruction_index,
+                        address=self.cpu.mar,
+                    )
+        return StopEvent(
+            reason=StopReason.BUDGET,
+            pc=self.cpu.pc,
+            instruction_index=self.cpu.instruction_index,
+        )
+
+    def _event_for(self, result: StepResult) -> StopEvent:
+        reason = {
+            StepResult.OK: StopReason.BUDGET,
+            StepResult.YIELD: StopReason.YIELD,
+            StepResult.DETECTED: StopReason.DETECTED,
+            StepResult.HALTED: StopReason.HALTED,
+        }[result]
+        return StopEvent(
+            reason=reason,
+            pc=self.cpu.pc,
+            instruction_index=self.cpu.instruction_index,
+        )

@@ -1,0 +1,160 @@
+"""Disassembler: instruction words back to assembly text.
+
+Completes the tool chain (assemble -> load -> disassemble) and powers
+program listings, the detail-mode propagation reports and debugging.
+The output round-trips: disassembling an assembled program and
+re-assembling it yields the identical code image (tested property).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.thor.isa import (
+    IMMEDIATE_OPCODES,
+    Instruction,
+    Opcode,
+    SP_INDEX,
+    decode,
+)
+from repro.thor.memory import WORD
+from repro.thor.program import Program
+
+_NO_OPERAND = {
+    Opcode.NOP: "nop",
+    Opcode.HALT: "halt",
+    Opcode.RET: "ret",
+    Opcode.WFI: "wfi",
+}
+
+_THREE_REG = {
+    Opcode.ADD: "add",
+    Opcode.SUB: "sub",
+    Opcode.MUL: "mul",
+    Opcode.DIV: "div",
+    Opcode.AND: "and",
+    Opcode.OR: "or",
+    Opcode.XOR: "xor",
+    Opcode.SHL: "shl",
+    Opcode.SHR: "shr",
+    Opcode.FADD: "fadd",
+    Opcode.FSUB: "fsub",
+    Opcode.FMUL: "fmul",
+    Opcode.FDIV: "fdiv",
+    Opcode.CHK: "chk",
+}
+
+_TWO_REG = {
+    Opcode.MOV: "mov",
+    Opcode.ITOF: "itof",
+    Opcode.FTOI: "ftoi",
+    Opcode.FNEG: "fneg",
+}
+
+_BRANCHES = {
+    Opcode.BR: "br",
+    Opcode.BEQ: "beq",
+    Opcode.BNE: "bne",
+    Opcode.BLT: "blt",
+    Opcode.BGE: "bge",
+    Opcode.BGT: "bgt",
+    Opcode.BLE: "ble",
+    Opcode.BVS: "bvs",
+    Opcode.CALL: "call",
+}
+
+
+def _reg(index: int) -> str:
+    if index == SP_INDEX:
+        return "sp"
+    return f"r{index}"
+
+
+def disassemble_word(word: int) -> str:
+    """One instruction word as assembly text (``.word`` for undefined)."""
+    instruction = decode(word)
+    if instruction is None:
+        return f".word {word:#010x}"
+    return disassemble_instruction(instruction)
+
+
+def disassemble_instruction(instruction: Instruction) -> str:
+    """A decoded instruction as assembly text."""
+    op = instruction.opcode
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+    if op in _NO_OPERAND:
+        return _NO_OPERAND[op]
+    if op is Opcode.SVC:
+        return f"svc {instruction.imm}"
+    if op is Opcode.SIG:
+        return f"sig {instruction.imm}"
+    if op is Opcode.SETMODE:
+        return f"setmode {_reg(rs1)}"
+    if op is Opcode.JR:
+        return f"jr {_reg(rs1)}"
+    if op in _THREE_REG:
+        return f"{_THREE_REG[op]} {_reg(rd)}, {_reg(rs1)}, {_reg(rs2)}"
+    if op in _TWO_REG:
+        return f"{_TWO_REG[op]} {_reg(rd)}, {_reg(rs1)}"
+    if op is Opcode.CMP:
+        return f"cmp {_reg(rs1)}, {_reg(rs2)}"
+    if op is Opcode.FCMP:
+        return f"fcmp {_reg(rs1)}, {_reg(rs2)}"
+    if op is Opcode.LDI:
+        return f"ldi {_reg(rd)}, {instruction.simm()}"
+    if op is Opcode.LUI:
+        return f"lui {_reg(rd)}, {instruction.imm:#x}"
+    if op is Opcode.ORI:
+        return f"ori {_reg(rd)}, {instruction.imm:#x}"
+    if op is Opcode.ADDI:
+        return f"addi {_reg(rd)}, {_reg(rs1)}, {instruction.simm()}"
+    if op is Opcode.LD:
+        return f"ld {_reg(rd)}, [{_reg(rs1)}{instruction.simm():+d}]"
+    if op is Opcode.ST:
+        return f"st {_reg(rd)}, [{_reg(rs1)}{instruction.simm():+d}]"
+    if op is Opcode.PUSH:
+        return f"push {_reg(rd)}"
+    if op is Opcode.POP:
+        return f"pop {_reg(rd)}"
+    if op in _BRANCHES:
+        return f"{_BRANCHES[op]} {instruction.simm()}"
+    raise AssertionError(f"unhandled opcode {op!r}")  # pragma: no cover
+
+
+def disassemble_program(program: Program) -> List[str]:
+    """Full listing: ``address: word  mnemonic [; label]`` per line.
+
+    Labels from the program's symbol table are annotated where they
+    point into the code image.
+    """
+    labels_at: Dict[int, List[str]] = {}
+    for name, address in program.symbols.items():
+        labels_at.setdefault(address, []).append(name)
+    lines = []
+    for i, word in enumerate(program.code):
+        address = program.entry + i * WORD
+        text = disassemble_word(word)
+        note = ""
+        if address in labels_at:
+            note = "    ; " + ", ".join(sorted(labels_at[address])) + ":"
+        lines.append(f"{address:#010x}: {word:08x}  {text}{note}")
+    return lines
+
+
+def reassemble_source(program: Program) -> str:
+    """Assembly source whose code image equals ``program``'s.
+
+    Branch targets are emitted as numeric relative offsets, so no label
+    bookkeeping is needed; data and rodata initialisers are emitted as
+    raw words at synthesised labels.
+    """
+    from repro.errors import AssemblyError
+
+    lines = [".text"]
+    for word in program.code:
+        if decode(word) is None:
+            raise AssemblyError(f"cannot reassemble undefined word {word:#010x}")
+        lines.append("    " + disassemble_word(word))
+    # The data image round-trips through Program.data directly; only the
+    # code image needs source text.
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,313 @@
+"""The target system's memory map.
+
+Regions (word-aligned, 30-bit physical address space):
+
+* **null page** — the low addresses; any data access raises ACCESS CHECK
+  ("attempt to follow a null pointer").
+* **code** — the loaded program; write-protected (writes raise ADDRESS
+  ERROR), fetched directly (the data cache caches data only).
+* **data** — RAM for globals; cached, parity-protected.
+* **stack** — RAM for the task's stack; cached, parity-protected; the
+  stack-discipline bounds are enforced by the CPU (STORAGE ERROR).
+* **mmio** — memory-mapped I/O exchanging reference/speed/throttle with
+  the environment simulator; never cached.
+
+Any access beyond the 30-bit space or into a protected region raises
+ADDRESS ERROR; an in-space access that hits no region raises BUS ERROR
+(the external bus times out).  RAM keeps one parity bit per word,
+recomputed on every write and verified on every read: flipping stored
+data *without* updating parity (the memory fault model) surfaces as
+DATA ERROR, the paper's "uncorrectable error in data read from memory".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.thor.edm import Mechanism, raise_detection
+
+#: Physical address space size: 30 bits (23-bit cache tags + 5-bit index
+#: + 2-bit byte offset).
+ADDRESS_SPACE = 1 << 30
+
+#: Addresses from here up to the space limit sit on the external
+#: expansion bus; nothing answers there, so accesses time out with BUS
+#: ERROR.  Unmapped addresses *below* this line are non-existing memory
+#: flagged by the MMU as ADDRESS ERROR.
+EXTERNAL_BUS_BASE = 1 << 29
+
+WORD = 4
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Base addresses and sizes of all regions (bytes, word multiples)."""
+
+    null_top: int = 0x100
+    code_base: int = 0x1000
+    code_size: int = 0x800
+    rodata_base: int = 0x1800
+    rodata_size: int = 0x80
+    data_base: int = 0x2000
+    data_size: int = 0x120
+    stack_base: int = 0x3000
+    stack_size: int = 0x100
+    mmio_base: int = 0x4000
+    mmio_size: int = 0x40
+
+    def __post_init__(self) -> None:
+        regions = [
+            (self.code_base, self.code_size),
+            (self.rodata_base, self.rodata_size),
+            (self.data_base, self.data_size),
+            (self.stack_base, self.stack_size),
+            (self.mmio_base, self.mmio_size),
+        ]
+        last_end = self.null_top
+        for base, size in regions:
+            if base % WORD or size % WORD or size <= 0:
+                raise MachineError("regions must be positive word multiples")
+            if base < last_end:
+                raise MachineError("memory regions overlap or are out of order")
+            last_end = base + size
+        if last_end > ADDRESS_SPACE:
+            raise MachineError("layout exceeds the physical address space")
+
+    @property
+    def stack_top(self) -> int:
+        """Initial stack pointer (stack grows downwards)."""
+        return self.stack_base + self.stack_size
+
+
+def _parity(value: int) -> int:
+    """Even-parity bit of a 32-bit value."""
+    value ^= value >> 16
+    value ^= value >> 8
+    value ^= value >> 4
+    value ^= value >> 2
+    value ^= value >> 1
+    return value & 1
+
+
+class _Ram:
+    """A parity-protected word-array RAM region."""
+
+    def __init__(self, base: int, size: int):
+        self.base = base
+        self.words = np.zeros(size // WORD, dtype=np.uint32)
+        self.parity = np.zeros(size // WORD, dtype=np.uint8)
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + len(self.words) * WORD
+
+    def index(self, address: int) -> int:
+        return (address - self.base) // WORD
+
+    def read(self, address: int) -> int:
+        i = self.index(address)
+        value = int(self.words[i])
+        if _parity(value) != int(self.parity[i]):
+            raise_detection(Mechanism.DATA_ERROR, f"parity at {address:#x}")
+        return value
+
+    def write(self, address: int, value: int) -> None:
+        i = self.index(address)
+        self.words[i] = value & 0xFFFFFFFF
+        self.parity[i] = _parity(value & 0xFFFFFFFF)
+
+
+class MMIODevice:
+    """The environment-exchange registers.
+
+    Word offsets from the MMIO base:
+
+    ==== =========================================================
+    0x00 input registers (float bits, written by the host); the
+         engine task uses 0x00 = reference r, 0x04 = speed y
+    0x1C ITERATION — loop iteration counter (CPU increments)
+    0x20 output registers (float bits, CPU writes); the engine
+         task uses 0x20 = commanded throttle u_lim
+    ==== =========================================================
+    """
+
+    INPUT_BASE = 0x00
+    REFERENCE = 0x00
+    SPEED = 0x04
+    ITERATION = 0x1C
+    OUTPUT_BASE = 0x20
+    THROTTLE = 0x20
+
+    def __init__(self, size: int):
+        self.size = size
+        self.registers: Dict[int, int] = {}
+
+    def read(self, offset: int) -> int:
+        return self.registers.get(offset, 0)
+
+    def write(self, offset: int, value: int) -> None:
+        self.registers[offset] = value & 0xFFFFFFFF
+
+    def state_bytes(self) -> bytes:
+        """Deterministic serialisation used by run-state hashing."""
+        items = sorted(self.registers.items())
+        return b"".join(
+            offset.to_bytes(4, "little") + value.to_bytes(4, "little")
+            for offset, value in items
+        )
+
+
+class MemoryMap:
+    """The complete physical memory of the target system."""
+
+    def __init__(self, layout: MemoryLayout = MemoryLayout()):
+        self.layout = layout
+        self.code = _Ram(layout.code_base, layout.code_size)
+        self.rodata = _Ram(layout.rodata_base, layout.rodata_size)
+        self.data = _Ram(layout.data_base, layout.data_size)
+        self.stack = _Ram(layout.stack_base, layout.stack_size)
+        self.mmio = MMIODevice(layout.mmio_size)
+
+    # -- region predicates ---------------------------------------------------
+    def _region_rams(self) -> Tuple[_Ram, ...]:
+        return (self.code, self.rodata, self.data, self.stack)
+
+    def in_mmio(self, address: int) -> bool:
+        """True if the address lies in the MMIO region."""
+        return self.layout.mmio_base <= address < self.layout.mmio_base + self.layout.mmio_size
+
+    def is_cacheable(self, address: int) -> bool:
+        """Rodata, data and stack go through the data cache; MMIO/code
+        (instruction fetches) do not."""
+        return (
+            self.data.contains(address)
+            or self.stack.contains(address)
+            or self.rodata.contains(address)
+        )
+
+    def in_stack(self, address: int) -> bool:
+        """True if the address lies in the stack region."""
+        return self.stack.contains(address)
+
+    # -- checked accesses (raise HardwareDetection) ------------------------------
+    def _check_common(self, address: int) -> None:
+        if address % WORD:
+            raise_detection(Mechanism.ADDRESS_ERROR, f"unaligned {address:#x}")
+        if not 0 <= address < ADDRESS_SPACE:
+            raise_detection(Mechanism.ADDRESS_ERROR, f"outside space {address:#x}")
+
+    def _unmapped(self, address: int, what: str) -> None:
+        if address >= EXTERNAL_BUS_BASE:
+            raise_detection(Mechanism.BUS_ERROR, f"{what} time-out {address:#x}")
+        raise_detection(Mechanism.ADDRESS_ERROR, f"non-existing memory {address:#x}")
+
+    def read_data_word(self, address: int) -> int:
+        """A checked data read (LD path and cache refills)."""
+        self._check_common(address)
+        if address < self.layout.null_top:
+            raise_detection(Mechanism.ACCESS_CHECK, f"null pointer {address:#x}")
+        if self.in_mmio(address):
+            return self.mmio.read(address - self.layout.mmio_base)
+        for ram in self._region_rams():
+            if ram.contains(address):
+                return ram.read(address)
+        self._unmapped(address, "read")
+        raise AssertionError("unreachable")
+
+    def write_data_word(self, address: int, value: int) -> None:
+        """A checked data write (ST path and cache write-backs)."""
+        self._check_common(address)
+        if address < self.layout.null_top:
+            raise_detection(Mechanism.ACCESS_CHECK, f"null pointer {address:#x}")
+        if self.in_mmio(address):
+            self.mmio.write(address - self.layout.mmio_base, value)
+            return
+        if self.code.contains(address) or self.rodata.contains(address):
+            raise_detection(Mechanism.ADDRESS_ERROR, f"write to protected {address:#x}")
+        for ram in (self.data, self.stack):
+            if ram.contains(address):
+                ram.write(address, value)
+                return
+        self._unmapped(address, "write")
+
+    def fetch_word(self, address: int) -> int:
+        """A checked instruction fetch (no null-page exemption: fetching
+        from the null page means the PC followed a null pointer)."""
+        self._check_common(address)
+        if address < self.layout.null_top:
+            raise_detection(Mechanism.ACCESS_CHECK, f"fetch from null page {address:#x}")
+        if self.in_mmio(address):
+            return self.mmio.read(address - self.layout.mmio_base)
+        for ram in self._region_rams():
+            if ram.contains(address):
+                return ram.read(address)
+        self._unmapped(address, "fetch")
+        raise AssertionError("unreachable")
+
+    # -- unchecked access (loader / injector / logger) -----------------------------
+    def poke(self, address: int, value: int) -> None:
+        """Write a word without checks, updating parity (loader use)."""
+        for ram in self._region_rams():
+            if ram.contains(address):
+                ram.write(address, value)
+                return
+        if self.in_mmio(address):
+            self.mmio.write(address - self.layout.mmio_base, value)
+            return
+        raise MachineError(f"poke outside RAM/MMIO: {address:#x}")
+
+    def peek(self, address: int) -> int:
+        """Read a word without checks or parity verification."""
+        for ram in self._region_rams():
+            if ram.contains(address):
+                return int(ram.words[ram.index(address)])
+        if self.in_mmio(address):
+            return self.mmio.read(address - self.layout.mmio_base)
+        raise MachineError(f"peek outside RAM/MMIO: {address:#x}")
+
+    def corrupt_word_bit(self, address: int, bit: int) -> None:
+        """Flip one stored RAM bit *without* updating parity.
+
+        This is the memory fault model: the next parity-checked read of
+        the word raises DATA ERROR.
+        """
+        if not 0 <= bit < 32:
+            raise MachineError(f"bit {bit} outside a 32-bit word")
+        for ram in self._region_rams():
+            if ram.contains(address):
+                i = ram.index(address)
+                ram.words[i] = int(ram.words[i]) ^ (1 << bit)
+                return
+        raise MachineError(f"corrupt outside RAM: {address:#x}")
+
+    # -- state serialisation ------------------------------------------------------
+    def state_bytes(self) -> bytes:
+        """All RAM contents + parity + MMIO, for run-state hashing."""
+        parts: List[bytes] = []
+        for ram in self._region_rams():
+            parts.append(ram.words.tobytes())
+            parts.append(ram.parity.tobytes())
+        parts.append(self.mmio.state_bytes())
+        return b"".join(parts)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A restorable copy of all memory state."""
+        return {
+            "code": (self.code.words.copy(), self.code.parity.copy()),
+            "rodata": (self.rodata.words.copy(), self.rodata.parity.copy()),
+            "data": (self.data.words.copy(), self.data.parity.copy()),
+            "stack": (self.stack.words.copy(), self.stack.parity.copy()),
+            "mmio": dict(self.mmio.registers),
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        for name in ("code", "rodata", "data", "stack"):
+            words, parity = snapshot[name]  # type: ignore[misc]
+            ram = getattr(self, name)
+            ram.words = words.copy()
+            ram.parity = parity.copy()
+        self.mmio.registers = dict(snapshot["mmio"])  # type: ignore[arg-type]

@@ -1,0 +1,62 @@
+"""Loadable programs: code, data image, symbols, signature map."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Tuple
+
+from repro.errors import MachineError
+from repro.thor.memory import MemoryLayout, WORD
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled program ready for loading into the target.
+
+    Attributes:
+        code: instruction words, loaded consecutively from the code base.
+        data: initial data image, ``address -> word``.
+        symbols: label/variable name -> address.
+        entry: entry-point address.
+        signature_successors: legal control-flow transitions
+            ``block id -> allowed successor ids``, consumed by the CPU's
+            control-flow checking (the ``SIG`` instruction).  Empty when
+            the program was built without signature instrumentation.
+        source: the assembly source text (for listings and debugging).
+    """
+
+    code: Tuple[int, ...]
+    data: Mapping[int, int] = field(default_factory=dict)
+    symbols: Mapping[str, int] = field(default_factory=dict)
+    entry: int = 0
+    signature_successors: Mapping[int, FrozenSet[int]] = field(default_factory=dict)
+    source: str = ""
+
+    def symbol(self, name: str) -> int:
+        """Address of a label or variable, raising on unknown names."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise MachineError(f"unknown symbol {name!r}") from None
+
+    def check_fits(self, layout: MemoryLayout) -> None:
+        """Raise :class:`MachineError` if the program exceeds the layout."""
+        code_bytes = len(self.code) * WORD
+        if code_bytes > layout.code_size:
+            raise MachineError(
+                f"code ({code_bytes} B) exceeds code region ({layout.code_size} B)"
+            )
+        data_ok = range(layout.data_base, layout.data_base + layout.data_size)
+        rodata_ok = range(layout.rodata_base, layout.rodata_base + layout.rodata_size)
+        for address in self.data:
+            if address not in data_ok and address not in rodata_ok:
+                raise MachineError(
+                    f"data initialiser outside data/rodata regions: {address:#x}"
+                )
+
+    def listing(self) -> List[str]:
+        """Human-readable address/word listing of the code image."""
+        lines = []
+        for i, word in enumerate(self.code):
+            lines.append(f"{self.entry + i * WORD:#010x}: {word:#010x}")
+        return lines

@@ -1,0 +1,34 @@
+"""The paper's workloads: PI controller Algorithms I and II as tcc ASTs.
+
+:func:`algorithm_i` is the plain PI controller of §2; :func:`algorithm_ii`
+adds the executable assertions and best-effort recovery of §4.3.  Both
+compile to the simulated CPU via :func:`repro.tcc.compile_program` and
+interpret identically (modulo single-precision rounding) to
+:class:`repro.control.PIController` / :class:`GuardedPIController`.
+"""
+
+from repro.workloads.pi import (
+    algorithm_i,
+    algorithm_ii,
+    compile_algorithm_i,
+    compile_algorithm_ii,
+)
+from repro.workloads.pid import (
+    compile_pid_algorithm_i,
+    compile_pid_algorithm_ii,
+    pid_algorithm_i,
+    pid_algorithm_ii,
+)
+from repro.workloads.mimo import mimo_two_spool
+
+__all__ = [
+    "algorithm_i",
+    "algorithm_ii",
+    "compile_algorithm_i",
+    "compile_algorithm_ii",
+    "pid_algorithm_i",
+    "pid_algorithm_ii",
+    "compile_pid_algorithm_i",
+    "compile_pid_algorithm_ii",
+    "mimo_two_spool",
+]

@@ -1,0 +1,100 @@
+"""A MIMO workload — the paper's future-work direction, compilable.
+
+The conclusions announce follow-up work on "multiple input and multiple
+output control algorithms such as jet-engine controllers".  This module
+provides a two-loop cross-coupled PI controller (think: fan and core
+spool speed of a two-spool turbofan, each actuated by its own fuel/vane
+command, with static decoupling terms) written in the tcc DSL, so the
+same CPU-level fault-injection flow applies to a MIMO task.
+"""
+
+from __future__ import annotations
+
+from repro.constants import THROTTLE_MAX, THROTTLE_MIN
+from repro.tcc.ast import (
+    And,
+    Assign,
+    BinOp,
+    Cmp,
+    Const,
+    ControlProgram,
+    If,
+    Or,
+    Var,
+)
+
+
+def mimo_two_spool(
+    kp1: float = 0.01,
+    ki1: float = 0.03,
+    kp2: float = 0.008,
+    ki2: float = 0.02,
+    decouple12: float = 0.002,
+    decouple21: float = 0.0015,
+    sample_time: float = 0.0154,
+) -> ControlProgram:
+    """A 2-input/2-output cross-coupled PI controller program.
+
+    Loop 1 tracks (r1, y1) with command u1; loop 2 tracks (r2, y2) with
+    command u2; each command is corrected by a static decoupling term
+    from the other loop's error, limited to the actuator range and
+    integrated with anti-windup.
+    """
+    umax = Const(THROTTLE_MAX)
+    umin = Const(THROTTLE_MIN)
+    zero = Const(0.0)
+
+    def loop(n: str, kp: float, ki: float, cross: str, decouple: float):
+        e, u, u_lim, x, kiv = f"e{n}", f"u{n}", f"u_lim{n}", f"x{n}", f"ki{n}"
+        return [
+            Assign(e, BinOp("-", Var(f"r{n}"), Var(f"y{n}"))),
+            Assign(
+                u,
+                BinOp(
+                    "-",
+                    BinOp("+", BinOp("*", Var(e), Const(kp)), Var(x)),
+                    BinOp("*", Var(cross), Const(decouple)),
+                ),
+            ),
+            Assign(u_lim, Var(u)),
+            If(Cmp(">", Var(u_lim), umax), then=[Assign(u_lim, umax)]),
+            If(Cmp("<", Var(u_lim), umin), then=[Assign(u_lim, umin)]),
+            Assign(kiv, Const(ki)),
+            If(
+                Or(
+                    And(Cmp(">", Var(u), umax), Cmp(">", Var(e), zero)),
+                    And(Cmp("<", Var(u), umin), Cmp("<", Var(e), zero)),
+                ),
+                then=[Assign(kiv, zero)],
+            ),
+            Assign(
+                x,
+                BinOp(
+                    "+",
+                    Var(x),
+                    BinOp("*", BinOp("*", Const(sample_time), Var(e)), Var(kiv)),
+                ),
+            ),
+        ]
+
+    # Loop 2's error must exist before loop 1 uses it for decoupling.
+    body = [
+        Assign("e2", BinOp("-", Var("r2"), Var("y2"))),
+    ]
+    body.extend(loop("1", kp1, ki1, cross="e2", decouple=decouple12))
+    body.extend(loop("2", kp2, ki2, cross="e1", decouple=decouple21))
+
+    variables = {name: 0.0 for name in (
+        "r1", "y1", "r2", "y2",
+        "u_lim1", "x1",
+        "u_lim2", "x2",
+    )}
+    local_vars = {"e1": 0.0, "u1": 0.0, "ki1": ki1, "e2": 0.0, "u2": 0.0, "ki2": ki2}
+    return ControlProgram(
+        name="mimo_two_spool",
+        inputs=["r1", "y1", "r2", "y2"],
+        outputs=["u_lim1", "u_lim2"],
+        variables=variables,
+        locals=local_vars,
+        body=body,
+    )

@@ -1,0 +1,232 @@
+"""Algorithms I and II as compilable control programs.
+
+The statement sequences are direct transcriptions of the paper's two
+listings.  Gains and limits default to the library-wide tuning
+(:class:`repro.control.ControllerGains`, throttle 0–70 degrees) so the
+compiled workload, the model-level controllers and the engine plant all
+agree.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.control.base import ControllerGains
+from repro.constants import THROTTLE_MAX, THROTTLE_MIN
+from repro.tcc.ast import (
+    And,
+    Assign,
+    BinOp,
+    Cmp,
+    Const,
+    ControlProgram,
+    If,
+    Or,
+    Stmt,
+    Var,
+)
+from repro.tcc.codegen import CompiledProgram, compile_program
+from repro.thor.memory import MemoryLayout
+
+
+#: rpm -> rad/s and back; the product of the two stored single-precision
+#: constants is exactly 1.0 in IEEE-754 arithmetic (0.125 * 8.0), so the
+#: conditioning roundtrip is semantically transparent.
+RPM_TO_RAD = 0.125
+RAD_TO_RPM = 8.0
+
+
+def _error_statements(conditioned: bool) -> List[Stmt]:
+    """Compute e = r - y, optionally through the unit-conversion signals.
+
+    Real generated code scales raw sensor inputs into engineering units
+    before the control law and back for actuation; the intermediate
+    signals (``r_rad``, ``y_rad``) are materialised like any other block
+    output.  The conversion constants multiply to exactly 1.0, so the
+    result is bit-identical to the direct subtraction.
+    """
+    if not conditioned:
+        return [Assign("e", BinOp("-", Var("r"), Var("y")))]
+    return [
+        Assign("r_rad", BinOp("*", Var("r"), Const(RPM_TO_RAD))),
+        Assign("y_rad", BinOp("*", Var("y"), Const(RPM_TO_RAD))),
+        Assign(
+            "e",
+            BinOp("*", BinOp("-", Var("r_rad"), Var("y_rad")), Const(RAD_TO_RPM)),
+        ),
+    ]
+
+
+def _actuator_map_statements() -> List[Stmt]:
+    """The actuator calibration map: u_out = segment_slope*u_lim + offset.
+
+    A four-segment piecewise-linear linearisation of the throttle servo,
+    as generated engine code carries for its actuators.  All segments are
+    stored as separate (bound, slope, offset) constants; with the
+    identity calibration (slope 1.0, offset 0.0) the delivered output is
+    bit-identical to ``u_lim``, while bit-flips in any of the table
+    constants distort one iteration's output.
+    """
+    def segment(slope: float, offset: float) -> List[Stmt]:
+        return [
+            Assign(
+                "u_out",
+                BinOp("+", BinOp("*", Var("u_lim"), Const(slope)), Const(offset)),
+            )
+        ]
+
+    b1, b2, b3 = 17.5, 35.0, 52.5
+    return [
+        If(
+            Cmp("<", Var("u_lim"), Const(b1)),
+            then=segment(1.0, 0.0),
+            orelse=[
+                If(
+                    Cmp("<", Var("u_lim"), Const(b2)),
+                    then=segment(1.0, 0.0),
+                    orelse=[
+                        If(
+                            Cmp("<", Var("u_lim"), Const(b3)),
+                            then=segment(1.0, 0.0),
+                            orelse=segment(1.0, 0.0),
+                        )
+                    ],
+                )
+            ],
+        )
+    ]
+
+
+def _control_law(gains: ControllerGains) -> List[Stmt]:
+    """The PI computation shared by both variants (after e is known)."""
+    umax = Const(THROTTLE_MAX)
+    umin = Const(THROTTLE_MIN)
+    return [
+        # u = e * Kp + x
+        Assign("u", BinOp("+", BinOp("*", Var("e"), Const(gains.kp)), Var("x"))),
+        # u_lim = limit_output(u)
+        Assign("u_lim", Var("u")),
+        If(Cmp(">", Var("u_lim"), umax), then=[Assign("u_lim", umax)]),
+        If(Cmp("<", Var("u_lim"), umin), then=[Assign("u_lim", umin)]),
+        # anti-windup: stop integrating when saturated outwards
+        Assign("ki", Const(gains.ki)),
+        If(
+            Or(
+                And(Cmp(">", Var("u"), umax), Cmp(">", Var("e"), Const(0.0))),
+                And(Cmp("<", Var("u"), umin), Cmp("<", Var("e"), Const(0.0))),
+            ),
+            then=[Assign("ki", Const(0.0))],
+        ),
+        # x = x + T * e * Ki
+        Assign(
+            "x",
+            BinOp(
+                "+",
+                Var("x"),
+                BinOp("*", BinOp("*", Const(gains.sample_time), Var("e")), Var("ki")),
+            ),
+        ),
+    ]
+
+
+def _finish(
+    name: str,
+    gains: ControllerGains,
+    conditioned: bool,
+    extra_globals: dict,
+    body: List[Stmt],
+) -> ControlProgram:
+    """Assemble the program shell shared by both algorithms."""
+    variables = {"r": 0.0, "y": 0.0, "u_lim": 0.0, "x": 0.0}
+    variables.update(extra_globals)
+    local_vars = {"e": 0.0, "u": 0.0, "ki": gains.ki}
+    outputs = ["u_lim"]
+    if conditioned:
+        variables["u_out"] = 0.0
+        local_vars.update({"r_rad": 0.0, "y_rad": 0.0})
+        body = body + _actuator_map_statements()
+        outputs = ["u_out"]
+    return ControlProgram(
+        name=name,
+        inputs=["r", "y"],
+        outputs=outputs,
+        variables=variables,
+        locals=local_vars,
+        body=body,
+    )
+
+
+def algorithm_i(
+    gains: ControllerGains = ControllerGains(), conditioned: bool = True
+) -> ControlProgram:
+    """The paper's Algorithm I: plain PI with limiting and anti-windup.
+
+    As in the listing, only the state ``x`` (plus the I/O staging) is a
+    global; ``e``, ``u`` and ``Ki`` are per-iteration locals.  With
+    ``conditioned=True`` (default) the program carries the unit
+    conversions and the actuator calibration map of real generated code;
+    with ``conditioned=False`` it is the bare transcription.
+    """
+    body = _error_statements(conditioned) + _control_law(gains)
+    return _finish("pi_algorithm_i", gains, conditioned, {}, body)
+
+
+def algorithm_ii(
+    gains: ControllerGains = ControllerGains(), conditioned: bool = True
+) -> ControlProgram:
+    """Algorithm II: executable assertions + best effort recovery.
+
+    Changes from Algorithm I (the paper's bold lines): the in-range
+    assertion and recovery of the state ``x`` before it is backed up, and
+    the in-range assertion and recovery of the output ``u_lim`` before it
+    is backed up and delivered.
+    """
+    umax = Const(THROTTLE_MAX)
+    umin = Const(THROTTLE_MIN)
+    out_of_range_x = Or(Cmp("<", Var("x"), umin), Cmp(">", Var("x"), umax))
+    out_of_range_u = Or(Cmp("<", Var("u_lim"), umin), Cmp(">", Var("u_lim"), umax))
+    body: List[Stmt] = _error_statements(conditioned)
+    body.append(
+        # Assertion on the state, then back-up or best effort recovery.
+        If(
+            out_of_range_x,
+            then=[Assign("x", Var("x_old"))],
+            orelse=[Assign("x_old", Var("x"))],
+        )
+    )
+    body.extend(_control_law(gains))
+    body.extend(
+        [
+            # Assertion on the output; recover output and matching state.
+            If(
+                out_of_range_u,
+                then=[Assign("u_lim", Var("u_old")), Assign("x", Var("x_old"))],
+            ),
+            Assign("u_old", Var("u_lim")),
+        ]
+    )
+    return _finish(
+        "pi_algorithm_ii",
+        gains,
+        conditioned,
+        {"x_old": 0.0, "u_old": 0.0},
+        body,
+    )
+
+
+def compile_algorithm_i(
+    gains: ControllerGains = ControllerGains(),
+    layout: MemoryLayout = MemoryLayout(),
+    conditioned: bool = True,
+) -> CompiledProgram:
+    """Algorithm I compiled for the simulated CPU."""
+    return compile_program(algorithm_i(gains, conditioned), layout)
+
+
+def compile_algorithm_ii(
+    gains: ControllerGains = ControllerGains(),
+    layout: MemoryLayout = MemoryLayout(),
+    conditioned: bool = True,
+) -> CompiledProgram:
+    """Algorithm II compiled for the simulated CPU."""
+    return compile_program(algorithm_ii(gains, conditioned), layout)

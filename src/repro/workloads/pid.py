@@ -1,0 +1,188 @@
+"""PID workloads: the §4.3 general procedure on a two-state task.
+
+The paper generalises its mechanism to "an arbitrary number of state
+variables" (§4.3).  These workloads exercise that generalisation on the
+simulated CPU: a PID controller carries *two* state variables — the
+integral part ``x`` and the previous measurement ``y_prev`` used by the
+derivative term — each protected by its own physically-motivated
+assertion (throttle range for ``x``, engine speed range for ``y_prev``)
+with per-state backups and best-effort recovery.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.constants import THROTTLE_MAX, THROTTLE_MIN
+from repro.control.base import ControllerGains
+from repro.tcc.ast import (
+    And,
+    Assign,
+    BinOp,
+    Cmp,
+    Const,
+    ControlProgram,
+    If,
+    Or,
+    Stmt,
+    Var,
+)
+from repro.tcc.codegen import CompiledProgram, compile_program
+from repro.thor.memory import MemoryLayout
+
+#: Physical range of the measured engine speed (rpm) — the assertion
+#: bound for the derivative state, as the throttle limits are for x.
+SPEED_MIN = 0.0
+SPEED_MAX = 8000.0
+
+_DEFAULT_GAINS = ControllerGains(kd=0.0005)
+
+
+def _pid_law(gains: ControllerGains) -> List[Stmt]:
+    """The PID computation: e known, states x / y_prev read and updated."""
+    umax = Const(THROTTLE_MAX)
+    umin = Const(THROTTLE_MIN)
+    return [
+        # derivative on the measurement (no kick on reference steps):
+        # d = -(y - y_prev) / T
+        Assign(
+            "d",
+            BinOp(
+                "/",
+                BinOp("-", Var("y_prev"), Var("y")),
+                Const(gains.sample_time),
+            ),
+        ),
+        # u = Kp*e + x + Kd*d
+        Assign(
+            "u",
+            BinOp(
+                "+",
+                BinOp(
+                    "+",
+                    BinOp("*", Var("e"), Const(gains.kp)),
+                    Var("x"),
+                ),
+                BinOp("*", Const(gains.kd), Var("d")),
+            ),
+        ),
+        Assign("u_lim", Var("u")),
+        If(Cmp(">", Var("u_lim"), umax), then=[Assign("u_lim", umax)]),
+        If(Cmp("<", Var("u_lim"), umin), then=[Assign("u_lim", umin)]),
+        Assign("ki", Const(gains.ki)),
+        If(
+            Or(
+                And(Cmp(">", Var("u"), umax), Cmp(">", Var("e"), Const(0.0))),
+                And(Cmp("<", Var("u"), umin), Cmp("<", Var("e"), Const(0.0))),
+            ),
+            then=[Assign("ki", Const(0.0))],
+        ),
+        Assign(
+            "x",
+            BinOp(
+                "+",
+                Var("x"),
+                BinOp("*", BinOp("*", Const(gains.sample_time), Var("e")), Var("ki")),
+            ),
+        ),
+        Assign("y_prev", Var("y")),
+    ]
+
+
+def pid_algorithm_i(gains: ControllerGains = _DEFAULT_GAINS) -> ControlProgram:
+    """Unprotected PID (two state variables, no assertions)."""
+    body: List[Stmt] = [Assign("e", BinOp("-", Var("r"), Var("y")))]
+    body.extend(_pid_law(gains))
+    return ControlProgram(
+        name="pid_algorithm_i",
+        inputs=["r", "y"],
+        outputs=["u_lim"],
+        variables={
+            "r": 0.0,
+            "y": 0.0,
+            "u_lim": 0.0,
+            "x": 0.0,
+            "y_prev": 0.0,
+        },
+        locals={"e": 0.0, "u": 0.0, "ki": gains.ki, "d": 0.0},
+        body=body,
+    )
+
+
+def pid_algorithm_ii(gains: ControllerGains = _DEFAULT_GAINS) -> ControlProgram:
+    """PID with the §4.3 general procedure over both state variables.
+
+    Step 1 of the procedure per state: assert, then back up or recover.
+    Step 2/3: assert the output; on failure deliver the previous output
+    and restore *all* states to their backups.
+    """
+    umax = Const(THROTTLE_MAX)
+    umin = Const(THROTTLE_MIN)
+    body: List[Stmt] = [Assign("e", BinOp("-", Var("r"), Var("y")))]
+    # State 1: the integral part, bounded by the throttle range.
+    body.append(
+        If(
+            Or(Cmp("<", Var("x"), umin), Cmp(">", Var("x"), umax)),
+            then=[Assign("x", Var("x_old"))],
+            orelse=[Assign("x_old", Var("x"))],
+        )
+    )
+    # State 2: the previous measurement, bounded by the speed range.
+    body.append(
+        If(
+            Or(
+                Cmp("<", Var("y_prev"), Const(SPEED_MIN)),
+                Cmp(">", Var("y_prev"), Const(SPEED_MAX)),
+            ),
+            then=[Assign("y_prev", Var("yp_old"))],
+            orelse=[Assign("yp_old", Var("y_prev"))],
+        )
+    )
+    body.extend(_pid_law(gains))
+    # Output assertion + full state rollback (the procedure's step 2).
+    body.extend(
+        [
+            If(
+                Or(Cmp("<", Var("u_lim"), umin), Cmp(">", Var("u_lim"), umax)),
+                then=[
+                    Assign("u_lim", Var("u_old")),
+                    Assign("x", Var("x_old")),
+                    Assign("y_prev", Var("yp_old")),
+                ],
+            ),
+            Assign("u_old", Var("u_lim")),
+        ]
+    )
+    return ControlProgram(
+        name="pid_algorithm_ii",
+        inputs=["r", "y"],
+        outputs=["u_lim"],
+        variables={
+            "r": 0.0,
+            "y": 0.0,
+            "u_lim": 0.0,
+            "x": 0.0,
+            "y_prev": 0.0,
+            "x_old": 0.0,
+            "yp_old": 0.0,
+            "u_old": 0.0,
+        },
+        locals={"e": 0.0, "u": 0.0, "ki": gains.ki, "d": 0.0},
+        body=body,
+    )
+
+
+def compile_pid_algorithm_i(
+    gains: ControllerGains = _DEFAULT_GAINS,
+    layout: MemoryLayout = MemoryLayout(),
+) -> CompiledProgram:
+    """Unprotected PID compiled for the simulated CPU."""
+    return compile_program(pid_algorithm_i(gains), layout)
+
+
+def compile_pid_algorithm_ii(
+    gains: ControllerGains = _DEFAULT_GAINS,
+    layout: MemoryLayout = MemoryLayout(),
+) -> CompiledProgram:
+    """Protected PID compiled for the simulated CPU."""
+    return compile_program(pid_algorithm_ii(gains), layout)

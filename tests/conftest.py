@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.base import ControllerGains
+from repro.goofi.environment import EngineEnvironment
+from repro.goofi.target import TargetSystem
+from repro.thor.cpu import CPU
+from repro.thor.memory import MemoryLayout
+from repro.workloads import compile_algorithm_i, compile_algorithm_ii
+
+
+@pytest.fixture(scope="session")
+def algorithm_i_compiled():
+    """Algorithm I compiled once for the whole session (it is immutable)."""
+    return compile_algorithm_i()
+
+
+@pytest.fixture(scope="session")
+def algorithm_ii_compiled():
+    """Algorithm II compiled once for the whole session."""
+    return compile_algorithm_ii()
+
+
+@pytest.fixture()
+def cpu():
+    """A fresh CPU with the default memory layout."""
+    return CPU(MemoryLayout())
+
+
+@pytest.fixture(scope="session")
+def short_reference_target(algorithm_i_compiled):
+    """A target system with a 60-iteration reference run (fast tests).
+
+    Session-scoped because the reference run is deterministic and the
+    experiment API restores from snapshots, leaving the reference intact.
+    """
+    target = TargetSystem(
+        workload=algorithm_i_compiled,
+        environment=EngineEnvironment(),
+        iterations=60,
+    )
+    target.run_reference()
+    return target
+
+
+@pytest.fixture()
+def default_gains():
+    """Library-default controller gains."""
+    return ControllerGains()

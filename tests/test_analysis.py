@@ -1,0 +1,290 @@
+"""Tests for the analysis package: classification, statistics, tables."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    CampaignSummary,
+    ComparisonRow,
+    Outcome,
+    OutcomeCategory,
+    Proportion,
+    classify_experiment,
+    classify_outputs,
+    compare_campaigns,
+    proportion_confidence,
+    render_comparison_table,
+    render_outcome_table,
+    wald_interval,
+    wilson_interval,
+)
+from repro.analysis.report import ClassifiedExperiment
+from repro.errors import ConfigurationError
+
+REF = [10.0] * 100
+
+
+def _spiked(at, value, width=1):
+    obs = list(REF)
+    for k in range(at, min(at + width, len(obs))):
+        obs[k] = value
+    return obs
+
+
+class TestClassifyOutputs:
+    def test_identical_outputs_are_overwritten(self):
+        outcome = classify_outputs(REF, REF)
+        assert outcome.category is OutcomeCategory.OVERWRITTEN
+
+    def test_tiny_deviation_is_insignificant(self):
+        obs = _spiked(50, 10.05)
+        outcome = classify_outputs(obs, REF)
+        assert outcome.category is OutcomeCategory.MINOR_INSIGNIFICANT
+        assert outcome.max_deviation == pytest.approx(0.05)
+
+    def test_single_spike_is_transient(self):
+        outcome = classify_outputs(_spiked(50, 40.0), REF)
+        assert outcome.category is OutcomeCategory.MINOR_TRANSIENT
+        assert outcome.first_failure_iteration == 50
+
+    def test_spike_with_small_echo_is_still_transient(self):
+        # A delivered spike plus a sub-half-peak closed-loop echo.
+        obs = list(REF)
+        obs[50] = 40.0
+        echo = 1.4
+        for k in range(51, 90):
+            obs[k] = 10.0 + echo
+            echo *= 0.9
+        outcome = classify_outputs(obs, REF)
+        assert outcome.category is OutcomeCategory.MINOR_TRANSIENT
+
+    def test_sustained_plateau_is_semi_permanent(self):
+        outcome = classify_outputs(_spiked(30, 25.0, width=30), REF)
+        assert outcome.category is OutcomeCategory.SEVERE_SEMI_PERMANENT
+
+    def test_decaying_state_error_is_semi_permanent(self):
+        # A corrupted state holds the output near its peak for a while.
+        obs = list(REF)
+        dev = 20.0
+        for k in range(40, 100):
+            obs[k] = 10.0 + dev
+            dev *= 0.97  # slow heal: many samples above half peak
+        outcome = classify_outputs(obs, REF)
+        assert outcome.category is OutcomeCategory.SEVERE_SEMI_PERMANENT
+
+    def test_railed_to_end_is_permanent(self):
+        obs = list(REF)
+        for k in range(60, 100):
+            obs[k] = 70.0
+        outcome = classify_outputs(obs, REF)
+        assert outcome.category is OutcomeCategory.SEVERE_PERMANENT
+
+    def test_railed_low_is_permanent(self):
+        obs = list(REF)
+        for k in range(60, 100):
+            obs[k] = 0.0
+        outcome = classify_outputs(obs, REF)
+        assert outcome.category is OutcomeCategory.SEVERE_PERMANENT
+
+    def test_rail_visit_with_recovery_is_not_permanent(self):
+        obs = list(REF)
+        for k in range(60, 70):
+            obs[k] = 70.0
+        outcome = classify_outputs(obs, REF)
+        assert outcome.category is OutcomeCategory.SEVERE_SEMI_PERMANENT
+
+    def test_nan_outputs_to_end_are_severe(self):
+        obs = list(REF)
+        for k in range(50, 100):
+            obs[k] = float("nan")
+        outcome = classify_outputs(obs, REF)
+        assert outcome.category.is_severe
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_outputs([1.0], [1.0, 2.0])
+
+    @given(st.lists(st.floats(0, 70), min_size=5, max_size=60))
+    @settings(max_examples=50)
+    def test_every_sequence_gets_exactly_one_category(self, obs):
+        ref = [10.0] * len(obs)
+        outcome = classify_outputs(obs, ref)
+        assert isinstance(outcome.category, OutcomeCategory)
+        assert outcome.category is not OutcomeCategory.DETECTED
+
+
+class TestClassifyExperiment:
+    def test_detection_takes_precedence(self):
+        outcome = classify_experiment(
+            observed=[70.0] * 10,
+            reference=REF[:10],
+            detected_by="ADDRESS ERROR",
+            final_state_differs=True,
+        )
+        assert outcome.category is OutcomeCategory.DETECTED
+        assert outcome.mechanism == "ADDRESS ERROR"
+
+    def test_latent_when_state_differs_but_outputs_match(self):
+        outcome = classify_experiment(REF, REF, None, final_state_differs=True)
+        assert outcome.category is OutcomeCategory.LATENT
+
+    def test_overwritten_when_everything_matches(self):
+        outcome = classify_experiment(REF, REF, None, final_state_differs=False)
+        assert outcome.category is OutcomeCategory.OVERWRITTEN
+
+    def test_category_flags(self):
+        assert OutcomeCategory.SEVERE_PERMANENT.is_severe
+        assert OutcomeCategory.SEVERE_PERMANENT.is_value_failure
+        assert OutcomeCategory.MINOR_TRANSIENT.is_value_failure
+        assert not OutcomeCategory.MINOR_TRANSIENT.is_severe
+        assert OutcomeCategory.DETECTED.is_effective
+        assert OutcomeCategory.LATENT.is_non_effective
+        assert not OutcomeCategory.OVERWRITTEN.is_effective
+
+    def test_outcome_mechanism_consistency_enforced(self):
+        with pytest.raises(ConfigurationError):
+            Outcome(category=OutcomeCategory.DETECTED)
+        with pytest.raises(ConfigurationError):
+            Outcome(category=OutcomeCategory.LATENT, mechanism="ADDRESS ERROR")
+
+
+class TestStatistics:
+    def test_wald_matches_formula(self):
+        assert wald_interval(50, 100) == pytest.approx(
+            1.959963984540054 * math.sqrt(0.25 / 100)
+        )
+
+    def test_wald_zero_count_has_zero_width(self):
+        assert wald_interval(0, 100) == 0.0
+
+    def test_wilson_contains_estimate(self):
+        low, high = wilson_interval(5, 100)
+        assert low < 0.05 < high
+
+    def test_wilson_nonzero_width_at_zero_count(self):
+        low, high = wilson_interval(0, 100)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert high > 0.01
+
+    def test_proportion_formatting(self):
+        p = proportion_confidence(50, 9290)
+        text = p.format()
+        assert "%" in text and "50" in text
+
+    def test_confidence_overlap(self):
+        a = proportion_confidence(50, 1000)
+        b = proportion_confidence(52, 1000)
+        c = proportion_confidence(200, 1000)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            proportion_confidence(5, 0)
+        with pytest.raises(ConfigurationError):
+            proportion_confidence(-1, 10)
+        with pytest.raises(ConfigurationError):
+            proportion_confidence(11, 10)
+
+    @given(st.integers(0, 1000), st.integers(1, 1000))
+    @settings(max_examples=100)
+    def test_wilson_bounds_property(self, count, total):
+        if count > total:
+            count = total
+        low, high = wilson_interval(count, total)
+        p = count / total
+        assert 0.0 <= low <= p + 1e-9
+        assert p - 1e-9 <= high <= 1.0
+
+
+def _summary(records=None):
+    if records is None:
+        records = [
+            ClassifiedExperiment("cache", Outcome(OutcomeCategory.OVERWRITTEN)),
+            ClassifiedExperiment("cache", Outcome(OutcomeCategory.LATENT)),
+            ClassifiedExperiment(
+                "cache", Outcome(OutcomeCategory.DETECTED, mechanism="ADDRESS ERROR")
+            ),
+            ClassifiedExperiment("cache", Outcome(OutcomeCategory.SEVERE_PERMANENT)),
+            ClassifiedExperiment("registers", Outcome(OutcomeCategory.MINOR_TRANSIENT)),
+            ClassifiedExperiment(
+                "registers", Outcome(OutcomeCategory.DETECTED, mechanism="STORAGE ERROR")
+            ),
+        ]
+    return CampaignSummary(
+        records, partition_sizes={"cache": 1824, "registers": 426}, name="test"
+    )
+
+
+class TestCampaignSummary:
+    def test_totals(self):
+        s = _summary()
+        assert s.total() == 6
+        assert s.total("cache") == 4
+        assert s.total("registers") == 2
+
+    def test_category_counts(self):
+        s = _summary()
+        assert s.count_detected() == 2
+        assert s.count_value_failures() == 2
+        assert s.count_severe() == 1
+        assert s.count_minor() == 1
+        assert s.count_non_effective() == 2
+        assert s.count_effective() == 4
+
+    def test_mechanism_counts(self):
+        s = _summary()
+        assert s.count_mechanism("ADDRESS ERROR") == 1
+        assert s.count_mechanism("ADDRESS ERROR", "registers") == 0
+        assert s.mechanisms() == ("ADDRESS ERROR", "STORAGE ERROR")
+
+    def test_severe_share(self):
+        s = _summary()
+        assert s.severe_share_of_value_failures().estimate == 0.5
+
+    def test_coverage(self):
+        s = _summary()
+        assert s.coverage().estimate == pytest.approx(4 / 6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignSummary([], {}, "empty")
+
+    def test_render_outcome_table_contains_paper_rows(self):
+        table = render_outcome_table(_summary())
+        for row in (
+            "Latent Errors",
+            "Overwritten Errors",
+            "Total (Non Effective Errors)",
+            "Undetected Wrong Results (Severe)",
+            "Undetected Wrong Results (Minor)",
+            "Total (Effective Errors)",
+            "Total (Faults Injected)",
+            "Coverage",
+            "cache (1824)",
+            "registers (426)",
+        ):
+            assert row in table
+
+    def test_render_comparison_table(self):
+        table = render_comparison_table(_summary(), _summary())
+        for row in (
+            "Undetected Wrong Results (Permanent)",
+            "Undetected Wrong Results (Semi-Permanent)",
+            "Undetected Wrong Results (Transient)",
+            "Undetected Wrong Results (Insignificant)",
+            "Severe share of value failures",
+        ):
+            assert row in table
+
+    def test_compare_campaigns_rows(self):
+        rows = compare_campaigns(_summary(), _summary())
+        labels = [row.label for row in rows]
+        assert "Total (Undetected Wrong Results)" in labels
+        for row in rows:
+            assert not row.reduced  # identical campaigns
+            assert not row.significant

@@ -1,0 +1,60 @@
+"""Tests for the ASCII figure renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.asciiplot import ascii_chart, series_csv
+from repro.errors import ConfigurationError
+
+
+class TestAsciiChart:
+    def test_renders_title_legend_and_axes(self):
+        times = np.linspace(0, 10, 50)
+        chart = ascii_chart(
+            times, [np.sin(times)], ["sine"], title="Test chart", height=10, width=40
+        )
+        assert "Test chart" in chart
+        assert "* sine" in chart
+        assert "time (s)" in chart
+        lines = chart.splitlines()
+        assert len(lines) == 2 + 10 + 2  # title+legend, raster, axis+labels
+
+    def test_fixed_y_range_clips(self):
+        times = [0.0, 1.0, 2.0]
+        chart = ascii_chart(times, [[0.0, 100.0, 50.0]], ["s"], y_min=0.0, y_max=70.0)
+        assert "70.00" in chart and "0.00" in chart
+
+    def test_multiple_series_use_distinct_marks(self):
+        times = [0.0, 1.0]
+        chart = ascii_chart(times, [[0.0, 1.0], [1.0, 0.0]], ["a", "b"])
+        assert "* a" in chart and "o b" in chart
+
+    def test_nan_values_are_skipped(self):
+        times = [0.0, 1.0, 2.0]
+        chart = ascii_chart(times, [[1.0, float("nan"), 2.0]], ["s"])
+        assert chart  # renders without raising
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0.0], [], [])
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0.0, 1.0], [[1.0]], ["s"])
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0.0], [[float("nan")]], ["s"])
+
+    def test_flat_series_renders(self):
+        chart = ascii_chart([0.0, 1.0], [[5.0, 5.0]], ["flat"])
+        assert "5.00" in chart
+
+
+class TestSeriesCsv:
+    def test_header_and_rows(self):
+        csv = series_csv([0.0, 0.5, 1.0], [[1.0, 2.0, 3.0]], ["v"])
+        lines = csv.splitlines()
+        assert lines[0] == "time,v"
+        assert lines[1].startswith("0.0000,")
+
+    def test_decimation(self):
+        times = list(range(1000))
+        csv = series_csv(times, [times], ["v"], max_rows=50)
+        assert len(csv.splitlines()) <= 102

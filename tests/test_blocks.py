@@ -1,0 +1,274 @@
+"""Tests for the block-diagram substrate: blocks, wiring, simulation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.blocks import (
+    Constant,
+    Diagram,
+    DiscreteIntegrator,
+    DiscreteTransferFunction,
+    Gain,
+    Inport,
+    Lookup1D,
+    Outport,
+    Product,
+    Saturation,
+    Scope,
+    Step,
+    Sum,
+    UnitDelay,
+    simulate,
+)
+from repro.errors import ConfigurationError, DiagramError
+
+
+class TestBlockLibrary:
+    def test_constant(self):
+        block = Constant("c", 3.5)
+        assert block.output({}, 0.0) == {"out": 3.5}
+
+    def test_step(self):
+        block = Step("s", step_time=1.0, before=0.0, after=5.0)
+        assert block.output({}, 0.5)["out"] == 0.0
+        assert block.output({}, 1.0)["out"] == 5.0
+
+    def test_gain(self):
+        assert Gain("g", -2.0).output({"in": 3.0}, 0.0)["out"] == -6.0
+
+    def test_sum_signs(self):
+        block = Sum("s", "+-+")
+        out = block.output({"in1": 1.0, "in2": 2.0, "in3": 3.0}, 0.0)
+        assert out["out"] == 2.0
+
+    def test_sum_rejects_bad_signs(self):
+        with pytest.raises(DiagramError):
+            Sum("s", "+*")
+        with pytest.raises(DiagramError):
+            Sum("s", "")
+
+    def test_product(self):
+        assert Product("p").output({"in1": 3.0, "in2": 4.0}, 0.0)["out"] == 12.0
+
+    def test_saturation_clamps(self):
+        block = Saturation("sat", -1.0, 1.0)
+        assert block.output({"in": 5.0}, 0.0)["out"] == 1.0
+        assert block.output({"in": -5.0}, 0.0)["out"] == -1.0
+        assert block.output({"in": 0.25}, 0.0)["out"] == 0.25
+
+    def test_saturation_rejects_inverted_bounds(self):
+        with pytest.raises(DiagramError):
+            Saturation("sat", 1.0, -1.0)
+
+    def test_unit_delay(self):
+        block = UnitDelay("z", initial=7.0)
+        assert block.output({}, 0.0)["out"] == 7.0
+        block.update({"in": 3.0}, 0.0)
+        assert block.output({}, 1.0)["out"] == 3.0
+        block.reset()
+        assert block.output({}, 0.0)["out"] == 7.0
+
+    def test_discrete_integrator_accumulates(self):
+        block = DiscreteIntegrator("i", sample_time=0.5, initial=1.0)
+        assert block.output({}, 0.0)["out"] == 1.0
+        block.update({"in": 2.0}, 0.0)
+        assert block.output({}, 0.5)["out"] == 2.0  # 1 + 0.5*2
+
+    def test_integrator_rejects_bad_sample_time(self):
+        with pytest.raises(DiagramError):
+            DiscreteIntegrator("i", sample_time=0.0)
+
+    def test_lookup_interpolates_and_clamps(self):
+        block = Lookup1D("l", x=[0.0, 1.0, 2.0], y=[0.0, 10.0, 40.0])
+        assert block.output({"in": 0.5}, 0.0)["out"] == 5.0
+        assert block.output({"in": 1.5}, 0.0)["out"] == 25.0
+        assert block.output({"in": -3.0}, 0.0)["out"] == 0.0
+        assert block.output({"in": 9.0}, 0.0)["out"] == 40.0
+
+    def test_lookup_validation(self):
+        with pytest.raises(DiagramError):
+            Lookup1D("l", x=[0.0, 0.0], y=[1.0, 2.0])
+        with pytest.raises(DiagramError):
+            Lookup1D("l", x=[0.0], y=[1.0])
+
+    def test_unknown_port_rejected(self):
+        with pytest.raises(DiagramError):
+            Gain("g", 1.0).in_port("nope")
+        with pytest.raises(DiagramError):
+            Gain("g", 1.0).out_port("nope")
+
+
+class TestTransferFunction:
+    def test_pure_gain(self):
+        block = DiscreteTransferFunction("tf", num=[2.0], den=[1.0])
+        assert block.output({"in": 3.0}, 0.0)["out"] == 6.0
+
+    def test_one_sample_delay_equivalent(self):
+        # H(z) = z^-1 behaves exactly like a UnitDelay.
+        tf = DiscreteTransferFunction("tf", num=[0.0, 1.0], den=[1.0, 0.0])
+        delay = UnitDelay("z")
+        for k, u in enumerate([1.0, -2.0, 3.5, 0.0, 7.0]):
+            assert tf.output({"in": u}, k)["out"] == delay.output({"in": u}, k)["out"]
+            tf.update({"in": u}, k)
+            delay.update({"in": u}, k)
+
+    def test_first_order_lowpass_converges_to_dc_gain(self):
+        # H(z) = 0.2 / (1 - 0.8 z^-1): DC gain 1.0.
+        tf = DiscreteTransferFunction("tf", num=[0.2], den=[1.0, -0.8])
+        y = 0.0
+        for k in range(300):
+            y = tf.output({"in": 1.0}, k)["out"]
+            tf.update({"in": 1.0}, k)
+        assert abs(y - 1.0) < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(DiagramError):
+            DiscreteTransferFunction("tf", num=[1.0, 2.0], den=[1.0])
+        with pytest.raises(DiagramError):
+            DiscreteTransferFunction("tf", num=[1.0], den=[0.0, 1.0])
+
+    def test_state_round_trip(self):
+        tf = DiscreteTransferFunction("tf", num=[0.2], den=[1.0, -0.8])
+        tf.update({"in": 5.0}, 0)
+        state = tf.state_vector()
+        tf2 = DiscreteTransferFunction("tf", num=[0.2], den=[1.0, -0.8])
+        tf2.set_state_vector(state)
+        assert tf2.output({"in": 0.0}, 1) == tf.output({"in": 0.0}, 1)
+
+
+class TestDiagram:
+    def _chain(self):
+        d = Diagram()
+        src = d.add(Constant("src", 2.0))
+        gain = d.add(Gain("gain", 3.0))
+        scope = d.add(Scope("scope"))
+        d.connect(src.out_port(), gain.in_port())
+        d.connect(gain.out_port(), scope.in_port())
+        return d
+
+    def test_schedule_orders_feedthrough(self):
+        order = self._chain().schedule()
+        assert order.index("src") < order.index("gain")
+
+    def test_step_propagates_values(self):
+        d = self._chain()
+        d.step(0.0)
+        assert d.block("scope").samples == [6.0]
+
+    def test_duplicate_block_name_rejected(self):
+        d = Diagram()
+        d.add(Constant("x", 1.0))
+        with pytest.raises(DiagramError):
+            d.add(Constant("x", 2.0))
+
+    def test_double_driven_input_rejected(self):
+        d = Diagram()
+        a = d.add(Constant("a", 1.0))
+        b = d.add(Constant("b", 2.0))
+        g = d.add(Gain("g", 1.0))
+        d.connect(a.out_port(), g.in_port())
+        with pytest.raises(DiagramError):
+            d.connect(b.out_port(), g.in_port())
+
+    def test_unconnected_input_rejected(self):
+        d = Diagram()
+        d.add(Gain("g", 1.0))
+        with pytest.raises(DiagramError):
+            d.schedule()
+
+    def test_algebraic_loop_detected(self):
+        d = Diagram()
+        g1 = d.add(Gain("g1", 1.0))
+        g2 = d.add(Gain("g2", 1.0))
+        d.connect(g1.out_port(), g2.in_port())
+        d.connect(g2.out_port(), g1.in_port())
+        with pytest.raises(DiagramError, match="algebraic loop"):
+            d.schedule()
+
+    def test_delay_breaks_loop(self):
+        d = Diagram()
+        delay = d.add(UnitDelay("z", initial=1.0))
+        gain = d.add(Gain("g", 0.5))
+        scope = d.add(Scope("scope"))
+        d.connect(delay.out_port(), gain.in_port())
+        d.connect(gain.out_port(), delay.in_port())
+        d.connect(gain.out_port(), scope.in_port())
+        result = simulate(d, sample_time=1.0, steps=4)
+        # Geometric decay: 0.5, 0.25, 0.125, 0.0625
+        assert list(result.scope("scope")) == [0.5, 0.25, 0.125, 0.0625]
+
+    def test_state_vector_round_trip(self):
+        d = Diagram()
+        delay = d.add(UnitDelay("z"))
+        integ = d.add(DiscreteIntegrator("i", 0.1))
+        src = d.add(Constant("c", 1.0))
+        d.connect(src.out_port(), delay.in_port())
+        d.connect(delay.out_port(), integ.in_port())
+        simulate(d, 0.1, 5)
+        state = d.state_vector()
+        assert len(state) == 2
+        d.reset()
+        d.set_state_vector(state)
+        assert d.state_vector() == state
+
+    def test_state_vector_length_mismatch(self):
+        d = Diagram()
+        d.add(UnitDelay("z"))
+        with pytest.raises(DiagramError):
+            d.set_state_vector([1.0, 2.0])
+
+
+class TestSimulate:
+    def test_validation(self):
+        d = Diagram()
+        d.add(Constant("c", 1.0))
+        with pytest.raises(ConfigurationError):
+            simulate(d, 0.0, 10)
+        with pytest.raises(ConfigurationError):
+            simulate(d, 0.1, 0)
+
+    def test_integrator_matches_analytic_ramp(self):
+        d = Diagram()
+        src = d.add(Constant("c", 2.0))
+        integ = d.add(DiscreteIntegrator("i", sample_time=0.01))
+        scope = d.add(Scope("s"))
+        d.connect(src.out_port(), integ.in_port())
+        d.connect(integ.out_port(), scope.in_port())
+        result = simulate(d, 0.01, 101)
+        # Forward Euler of a constant: x(k) = 2 * 0.01 * k.
+        assert abs(result.scope("s")[-1] - 2.0 * 0.01 * 100) < 1e-12
+
+    def test_missing_scope_raises(self):
+        d = Diagram()
+        d.add(Constant("c", 1.0))
+        result = simulate(d, 0.1, 1)
+        with pytest.raises(ConfigurationError):
+            result.scope("nope")
+
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30))
+    def test_unit_delay_shifts_any_sequence(self, values):
+        block = UnitDelay("z", initial=0.0)
+        observed = []
+        for k, u in enumerate(values):
+            observed.append(block.output({}, k)["out"])
+            block.update({"in": u}, k)
+        assert observed == [0.0] + values[:-1]
+
+    @given(
+        st.floats(0.5, 5.0),
+        st.floats(-10.0, 10.0),
+    )
+    def test_two_integrators_commute_with_gain(self, gain, signal):
+        # gain(integral(u)) == integral(gain(u)) for constant input.
+        i1 = DiscreteIntegrator("a", 0.1)
+        i2 = DiscreteIntegrator("b", 0.1)
+        for k in range(20):
+            i1.update({"in": signal}, k)
+            i2.update({"in": gain * signal}, k)
+        lhs = gain * i1.output({}, 20)["out"]
+        rhs = i2.output({}, 20)["out"]
+        assert math.isclose(lhs, rhs, rel_tol=1e-9, abs_tol=1e-9)

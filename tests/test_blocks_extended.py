@@ -1,0 +1,95 @@
+"""Tests for the extended block library (dead zone, rate limiter, quantizer)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocks import DeadZone, Quantizer, RateLimiterBlock
+from repro.errors import DiagramError
+
+
+class TestDeadZone:
+    def test_inside_band_is_zero(self):
+        block = DeadZone("dz", width=2.0)
+        for u in (-2.0, -0.5, 0.0, 1.9, 2.0):
+            assert block.output({"in": u}, 0.0)["out"] == 0.0
+
+    def test_outside_band_shifts(self):
+        block = DeadZone("dz", width=2.0)
+        assert block.output({"in": 5.0}, 0.0)["out"] == 3.0
+        assert block.output({"in": -5.0}, 0.0)["out"] == -3.0
+
+    def test_validation(self):
+        with pytest.raises(DiagramError):
+            DeadZone("dz", width=-1.0)
+
+    @given(st.floats(-100, 100), st.floats(0, 10))
+    @settings(max_examples=50)
+    def test_output_magnitude_never_exceeds_input(self, u, width):
+        out = DeadZone("dz", width=width).output({"in": u}, 0.0)["out"]
+        assert abs(out) <= abs(u) + 1e-12
+        assert out * u >= 0.0  # same sign or zero
+
+
+class TestRateLimiterBlock:
+    def test_slews_toward_step_input(self):
+        block = RateLimiterBlock("rl", rising=1.0)
+        observed = []
+        for _ in range(5):
+            observed.append(block.output({"in": 10.0}, 0.0)["out"])
+            block.update({"in": 10.0}, 0.0)
+        assert observed == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_asymmetric_rates(self):
+        block = RateLimiterBlock("rl", rising=2.0, falling=0.5)
+        block.update({"in": 10.0}, 0.0)  # state 2.0
+        assert block.output({"in": -10.0}, 0.0)["out"] == 1.5
+
+    def test_tracks_slow_input_exactly(self):
+        block = RateLimiterBlock("rl", rising=5.0)
+        for k in range(10):
+            u = 0.5 * k
+            assert block.output({"in": u}, 0.0)["out"] == u
+            block.update({"in": u}, 0.0)
+
+    def test_reset_and_state(self):
+        block = RateLimiterBlock("rl", rising=1.0, initial=3.0)
+        block.update({"in": 10.0}, 0.0)
+        assert block.state_vector() == [4.0]
+        block.reset()
+        assert block.state_vector() == [3.0]
+
+    def test_validation(self):
+        with pytest.raises(DiagramError):
+            RateLimiterBlock("rl", rising=0.0)
+        with pytest.raises(DiagramError):
+            RateLimiterBlock("rl", rising=1.0, falling=-1.0)
+
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=40))
+    @settings(max_examples=40)
+    def test_rate_bound_property(self, inputs):
+        block = RateLimiterBlock("rl", rising=2.0, falling=3.0)
+        previous = 0.0
+        for u in inputs:
+            out = block.output({"in": u}, 0.0)["out"]
+            block.update({"in": u}, 0.0)
+            assert -3.0 - 1e-9 <= out - previous <= 2.0 + 1e-9
+            previous = out
+
+
+class TestQuantizer:
+    def test_rounds_to_grid(self):
+        block = Quantizer("q", interval=0.5)
+        assert block.output({"in": 0.74}, 0.0)["out"] == 0.5
+        assert block.output({"in": 0.76}, 0.0)["out"] == 1.0
+        assert block.output({"in": -0.74}, 0.0)["out"] == -0.5
+
+    def test_validation(self):
+        with pytest.raises(DiagramError):
+            Quantizer("q", interval=0.0)
+
+    @given(st.floats(-1000, 1000), st.floats(0.01, 10))
+    @settings(max_examples=50)
+    def test_error_bounded_by_half_interval(self, u, interval):
+        out = Quantizer("q", interval=interval).output({"in": u}, 0.0)["out"]
+        assert abs(out - u) <= interval / 2 + 1e-9

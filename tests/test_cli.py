@@ -1,0 +1,122 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.algorithm == "I"
+        assert args.faults == 200
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "--name", "fig99"])
+
+
+class TestCommands:
+    def test_campaign_runs_and_prints_table(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--algorithm",
+                "I",
+                "--faults",
+                "8",
+                "--iterations",
+                "25",
+                "--seed",
+                "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Coverage" in out
+        assert "severe share of value failures" in out
+
+    def test_campaign_with_database(self, capsys, tmp_path):
+        path = tmp_path / "campaign.db"
+        code = main(
+            [
+                "campaign",
+                "--faults",
+                "5",
+                "--iterations",
+                "20",
+                "--database",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+        assert "stored in" in capsys.readouterr().out
+
+    def test_unknown_algorithm_exits(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--algorithm", "III", "--faults", "2"])
+
+    def test_figures_render(self, capsys):
+        for name in ("fig03", "fig04", "fig05"):
+            assert main(["figure", "--name", name]) == 0
+            out = capsys.readouterr().out
+            assert "time (s)" in out
+
+    def test_listing(self, capsys):
+        assert main(["listing", "--algorithm", "II"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm II" in out
+        assert "svc 0" in out
+
+    def test_propagate(self, capsys):
+        code = main(
+            [
+                "propagate",
+                "--element",
+                "r0",
+                "--bit",
+                "5",
+                "--time",
+                "100",
+                "--iterations",
+                "20",
+                "--max-instructions",
+                "50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "propagation of registers/r0[5]" in out
+
+    def test_compare_prints_table4(self, capsys):
+        code = main(["compare", "--faults", "6", "--iterations", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Undetected Wrong Results (Permanent)" in out
+
+    def test_run_minilang_source(self, capsys, tmp_path):
+        source = tmp_path / "task.ctl"
+        source.write_text(
+            "program t\ninputs r, y\noutputs u\nvar x := 0.0\n"
+            "begin\n  u := (r - y) * 0.01 + x;\n"
+            "  if u > 70.0 then u := 70.0; end if;\n"
+            "  if u < 0.0 then u := 0.0; end if;\n"
+            "  x := x + 0.0154 * (r - y) * 0.03;\nend\n"
+        )
+        code = main(["run", "--source", str(source), "--iterations", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "closed-loop output" in out
+
+    def test_run_rejects_wrong_io_shape(self, tmp_path):
+        source = tmp_path / "bad.ctl"
+        source.write_text(
+            "program t\ninputs a\noutputs b\nbegin\n  b := a;\nend\n"
+        )
+        with pytest.raises(SystemExit):
+            main(["run", "--source", str(source)])

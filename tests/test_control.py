@@ -1,0 +1,256 @@
+"""Tests for the controllers: Algorithm I, Algorithm II, PID, MIMO."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control import (
+    ControllerGains,
+    GuardedPIController,
+    Limiter,
+    PIController,
+    PIDController,
+    StateSpaceController,
+    limit_output,
+)
+from repro.errors import ConfigurationError
+from repro.plant.loop import ClosedLoop
+
+
+class TestLimits:
+    def test_limit_output_clamps(self):
+        assert limit_output(100.0) == 70.0
+        assert limit_output(-5.0) == 0.0
+        assert limit_output(35.0) == 35.0
+
+    def test_limit_output_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            limit_output(1.0, lower=2.0, upper=1.0)
+
+    def test_limiter_predicates(self):
+        lim = Limiter(0.0, 70.0)
+        assert lim.saturates_high(70.1)
+        assert not lim.saturates_high(70.0)
+        assert lim.saturates_low(-0.1)
+        assert lim.in_range(0.0) and lim.in_range(70.0)
+        assert not lim.in_range(float("nan"))
+
+    def test_limiter_clamp_propagates_nan(self):
+        # A corrupted NaN must not be silently "clamped" into range.
+        clamped = Limiter().clamp(float("nan"))
+        assert clamped != clamped
+
+    def test_gains_validation(self):
+        with pytest.raises(ConfigurationError):
+            ControllerGains(kp=-1.0)
+        with pytest.raises(ConfigurationError):
+            ControllerGains(sample_time=0.0)
+
+
+class TestPIController:
+    def test_proportional_response(self):
+        ctrl = PIController(ControllerGains(kp=0.01, ki=0.0))
+        assert ctrl.step(2000.0, 1000.0) == pytest.approx(10.0)
+
+    def test_integral_accumulates(self):
+        gains = ControllerGains(kp=0.0, ki=0.03)
+        ctrl = PIController(gains)
+        ctrl.step(2000.0, 1000.0)
+        expected_x = gains.sample_time * 1000.0 * gains.ki
+        assert ctrl.x == pytest.approx(expected_x)
+
+    def test_output_is_limited(self):
+        ctrl = PIController(initial_state=100.0)
+        assert ctrl.step(2000.0, 2000.0) == 70.0
+        ctrl2 = PIController(initial_state=-100.0)
+        assert ctrl2.step(2000.0, 2000.0) == 0.0
+
+    def test_anti_windup_stops_integration_when_pushing_out(self):
+        ctrl = PIController(initial_state=75.0)
+        before = ctrl.x
+        ctrl.step(3000.0, 1000.0)  # saturated high, positive error
+        assert ctrl.x == before
+
+    def test_integration_resumes_when_error_reverses(self):
+        ctrl = PIController(initial_state=75.0)
+        ctrl.step(1000.0, 3000.0)  # saturated high but negative error
+        assert ctrl.x < 75.0
+
+    def test_windup_prevented_in_closed_loop(self):
+        # Demand an unreachable speed, then drop back: without
+        # anti-windup x would grow unboundedly during saturation.
+        ctrl = PIController()
+        for _ in range(500):
+            ctrl.step(100000.0, 2000.0)
+        assert ctrl.x <= 70.0 + 1.0
+
+    def test_reset_and_warm_start(self):
+        ctrl = PIController(initial_state=5.0)
+        ctrl.step(2000.0, 1000.0)
+        ctrl.reset()
+        assert ctrl.x == 5.0
+        ctrl.warm_start(2000.0, 2000.0, 12.0)
+        assert ctrl.x == 12.0
+
+    def test_state_vector_round_trip(self):
+        ctrl = PIController()
+        ctrl.step(2000.0, 1500.0)
+        state = ctrl.state_vector()
+        other = PIController()
+        other.set_state_vector(state)
+        assert other.step(2000.0, 1500.0) == ctrl.step(2000.0, 1500.0)
+
+
+class TestGuardedPIController:
+    def test_identical_to_plain_pi_without_faults(self):
+        plain = ClosedLoop(PIController()).run()
+        guarded = ClosedLoop(GuardedPIController()).run()
+        assert np.array_equal(plain.throttle, guarded.throttle)
+
+    def test_state_assertion_recovers_out_of_range_x(self):
+        ctrl = GuardedPIController()
+        ctrl.warm_start(2000.0, 2000.0, 12.0)
+        ctrl.step(2000.0, 2000.0)
+        ctrl.x = 500.0  # inject
+        ctrl.step(2000.0, 2000.0)
+        assert ctrl.monitor.count("state") == 1
+        assert 0.0 <= ctrl.x <= 70.0
+
+    def test_negative_x_recovered(self):
+        ctrl = GuardedPIController()
+        ctrl.warm_start(2000.0, 2000.0, 12.0)
+        ctrl.step(2000.0, 2000.0)
+        ctrl.x = -3.0
+        out = ctrl.step(2000.0, 2000.0)
+        assert ctrl.monitor.count("state") == 1
+        assert 0.0 <= out <= 70.0
+
+    def test_nan_x_recovered(self):
+        ctrl = GuardedPIController()
+        ctrl.warm_start(2000.0, 2000.0, 12.0)
+        ctrl.step(2000.0, 2000.0)
+        ctrl.x = float("nan")
+        out = ctrl.step(2000.0, 2000.0)
+        assert ctrl.monitor.count("state") == 1
+        assert out == out  # not NaN
+
+    def test_in_range_corruption_escapes_assertion(self):
+        # The Figure 10 case: a wrong but in-range state is accepted.
+        ctrl = GuardedPIController()
+        ctrl.warm_start(2000.0, 2000.0, 10.0)
+        ctrl.step(2000.0, 2000.0)
+        ctrl.x = 69.0
+        ctrl.step(2000.0, 2000.0)
+        assert ctrl.monitor.count() == 0
+
+    def test_backup_follows_valid_state(self):
+        ctrl = GuardedPIController()
+        ctrl.warm_start(2000.0, 2000.0, 12.0)
+        ctrl.step(2100.0, 2000.0)
+        assert ctrl.x_old == pytest.approx(12.0)
+
+    def test_recovery_uses_previous_iteration_backup(self):
+        ctrl = GuardedPIController()
+        ctrl.warm_start(2000.0, 2000.0, 12.0)
+        ctrl.step(2000.0, 2000.0)
+        good_x = ctrl.x_old
+        ctrl.x = 1e9
+        ctrl.step(2000.0, 2000.0)
+        events = ctrl.monitor.events
+        assert events[0].recovered_to == good_x
+
+    def test_state_vector_includes_backups(self):
+        ctrl = GuardedPIController()
+        assert len(ctrl.state_vector()) == 3
+
+
+class TestPIDController:
+    def test_reduces_to_pi_with_zero_kd(self):
+        gains = ControllerGains(kp=0.01, ki=0.03, kd=0.0)
+        pid = PIDController(gains)
+        pi = PIController(gains)
+        for r, y in [(2000.0, 1900.0), (2000.0, 1950.0), (2100.0, 2000.0)]:
+            assert pid.step(r, y) == pytest.approx(pi.step(r, y))
+
+    def test_derivative_opposes_fast_measurement_rise(self):
+        gains = ControllerGains(kp=0.0, ki=0.0, kd=0.001)
+        pid = PIDController(gains, initial_state=10.0, initial_measurement=2000.0)
+        out = pid.step(2000.0, 2100.0)  # y rising fast
+        assert out < 10.0
+
+    def test_closed_loop_stable(self):
+        trace = ClosedLoop(PIDController(ControllerGains(kd=0.0005))).run()
+        assert abs(trace.speed[-20:] - 3000.0).max() < 40.0
+
+    def test_state_vector(self):
+        pid = PIDController()
+        pid.step(2000.0, 1900.0)
+        assert len(pid.state_vector()) == 2
+
+
+class TestStateSpaceController:
+    def _siso_integrator(self):
+        # x+ = x + 0.01 e; u = x  (a discrete integrator).
+        return StateSpaceController(a=[[1.0]], b=[[0.01]], c=[[1.0]], d=[[0.0]])
+
+    def test_integrator_behaviour(self):
+        ctrl = self._siso_integrator()
+        out1 = ctrl.step_vector([10.0], [0.0])
+        out2 = ctrl.step_vector([10.0], [0.0])
+        assert out1 == [0.0]
+        assert out2 == [pytest.approx(0.1)]
+
+    def test_outputs_are_saturated(self):
+        ctrl = StateSpaceController(
+            a=[[1.0]], b=[[0.0]], c=[[0.0]], d=[[100.0]]
+        )
+        assert ctrl.step_vector([10.0], [0.0]) == [70.0]
+
+    def test_mimo_shapes(self):
+        ctrl = StateSpaceController(
+            a=[[1.0, 0.0], [0.0, 1.0]],
+            b=[[0.01, 0.0], [0.0, 0.02]],
+            c=[[1.0, 0.0], [0.0, 1.0]],
+            d=[[0.0, 0.0], [0.0, 0.0]],
+        )
+        assert ctrl.n_states == 2
+        assert ctrl.n_inputs == 2
+        assert ctrl.n_outputs == 2
+        out = ctrl.step_vector([10.0, 20.0], [0.0, 0.0])
+        assert len(out) == 2
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            StateSpaceController(a=[[1.0, 0.0]], b=[[1.0]], c=[[1.0]], d=[[0.0]])
+        with pytest.raises(ConfigurationError):
+            StateSpaceController(a=[[1.0]], b=[[1.0]], c=[[1.0]], d=[[0.0, 1.0]])
+
+    def test_input_width_checked(self):
+        ctrl = self._siso_integrator()
+        with pytest.raises(ConfigurationError):
+            ctrl.step_vector([1.0, 2.0], [0.0, 0.0])
+
+    def test_reset_restores_initial_state(self):
+        ctrl = self._siso_integrator()
+        ctrl.step_vector([10.0], [0.0])
+        ctrl.reset()
+        assert ctrl.state_vector() == [0.0]
+
+    def test_state_vector_round_trip(self):
+        ctrl = self._siso_integrator()
+        ctrl.step_vector([5.0], [0.0])
+        state = ctrl.state_vector()
+        other = self._siso_integrator()
+        other.set_state_vector(state)
+        assert other.step_vector([1.0], [0.0]) == ctrl.step_vector([1.0], [0.0])
+
+    @given(st.floats(-1000, 1000), st.floats(-1000, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_guarded_equals_plain_pi_property(self, r, y):
+        """One arbitrary step: Algorithm II == Algorithm I fault-free."""
+        plain = PIController()
+        guarded = GuardedPIController()
+        assert guarded.step(r, y) == plain.step(r, y)

@@ -1,0 +1,304 @@
+"""Tests for the core contribution: assertions, recovery, the guard."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control import GuardedPIController, PIController, StateSpaceController
+from repro.core import (
+    AssertionMonitor,
+    BackupStore,
+    CompositeAssertion,
+    ControllerGuard,
+    HoldLastGoodPolicy,
+    PredicateAssertion,
+    RangeAssertion,
+    RateLimitAssertion,
+    ResetToInitialPolicy,
+    throttle_range_assertion,
+)
+from repro.core.monitors import AssertionEvent
+from repro.errors import ConfigurationError
+from repro.plant.loop import ClosedLoop
+
+
+class TestAssertions:
+    def test_range_assertion(self):
+        a = RangeAssertion(0.0, 70.0)
+        assert a.holds(0.0) and a.holds(70.0) and a.holds(35.5)
+        assert not a.holds(-0.001)
+        assert not a.holds(70.001)
+
+    def test_range_assertion_rejects_nan_and_inf(self):
+        a = RangeAssertion(0.0, 70.0)
+        assert not a.holds(float("nan"))
+        assert not a.holds(float("inf"))
+        assert not a.holds(float("-inf"))
+
+    def test_range_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            RangeAssertion(1.0, 0.0)
+
+    def test_throttle_range_matches_paper_limits(self):
+        a = throttle_range_assertion()
+        assert a.lower == 0.0 and a.upper == 70.0
+
+    def test_rate_limit_accepts_first_value(self):
+        a = RateLimitAssertion(max_delta=1.0)
+        assert a.holds(1000.0)
+
+    def test_rate_limit_tracks_observed_history(self):
+        a = RateLimitAssertion(max_delta=1.0)
+        a.observe(10.0)
+        assert a.holds(10.9)
+        assert not a.holds(11.5)
+        assert not a.holds(float("nan"))
+
+    def test_rate_limit_catches_figure_10_jump(self):
+        # 10 degrees -> 69 degrees escapes a range check but not this.
+        range_check = throttle_range_assertion()
+        rate_check = RateLimitAssertion(max_delta=5.0)
+        rate_check.observe(10.0)
+        assert range_check.holds(69.0)
+        assert not rate_check.holds(69.0)
+
+    def test_rate_limit_reset_clears_history(self):
+        a = RateLimitAssertion(max_delta=1.0)
+        a.observe(10.0)
+        a.reset()
+        assert a.holds(1000.0)
+
+    def test_rate_limit_validation(self):
+        with pytest.raises(ConfigurationError):
+            RateLimitAssertion(max_delta=0.0)
+
+    def test_predicate_assertion_wraps_callable(self):
+        a = PredicateAssertion(lambda v: v > 0)
+        assert a.holds(1.0)
+        assert not a.holds(-1.0)
+
+    def test_predicate_exception_counts_as_failure(self):
+        def explode(value):
+            raise RuntimeError("corrupted")
+
+        assert not PredicateAssertion(explode).holds(1.0)
+
+    def test_composite_is_logical_and(self):
+        comp = CompositeAssertion(
+            [RangeAssertion(0.0, 70.0), PredicateAssertion(lambda v: v != 13.0)]
+        )
+        assert comp.holds(12.0)
+        assert not comp.holds(13.0)
+        assert not comp.holds(71.0)
+
+    def test_composite_needs_members(self):
+        with pytest.raises(ConfigurationError):
+            CompositeAssertion([])
+
+    def test_composite_propagates_observe_and_reset(self):
+        rate = RateLimitAssertion(max_delta=1.0)
+        comp = CompositeAssertion([rate])
+        comp.observe(5.0)
+        assert not comp.holds(10.0)
+        comp.reset()
+        assert comp.holds(10.0)
+
+    @given(st.floats(allow_nan=True, allow_infinity=True))
+    def test_range_assertion_never_raises(self, value):
+        RangeAssertion(0.0, 70.0).holds(value)
+
+
+class TestBackupAndPolicies:
+    def test_backup_store_round_trip(self):
+        store = BackupStore([1.0, 2.0])
+        store.put(0, 5.0)
+        assert store.get(0) == 5.0
+        assert store.snapshot() == [5.0, 2.0]
+        store.reset()
+        assert store.snapshot() == [1.0, 2.0]
+
+    def test_restore_all_checks_width(self):
+        store = BackupStore([1.0])
+        with pytest.raises(ConfigurationError):
+            store.restore_all([1.0, 2.0])
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BackupStore([])
+
+    def test_hold_last_good_returns_backup(self):
+        store = BackupStore([7.0])
+        policy = HoldLastGoodPolicy()
+        assert policy.recover(0, 999.0, store) == 7.0
+
+    def test_reset_to_initial_returns_safe_value(self):
+        policy = ResetToInitialPolicy([3.0])
+        assert policy.recover(0, 999.0, BackupStore([7.0])) == 3.0
+
+    def test_reset_policy_needs_values(self):
+        with pytest.raises(ConfigurationError):
+            ResetToInitialPolicy([])
+
+
+class TestMonitor:
+    def test_counts_by_kind(self):
+        monitor = AssertionMonitor()
+        monitor.record(AssertionEvent(1, "state", 0, 99.0, 1.0))
+        monitor.record(AssertionEvent(2, "output", 0, 99.0, 1.0))
+        assert monitor.count() == 2
+        assert monitor.count("state") == 1
+        assert monitor.count("output") == 1
+        monitor.reset()
+        assert monitor.count() == 0
+
+
+class TestControllerGuard:
+    def _guard(self, controller=None):
+        controller = controller if controller is not None else PIController()
+        return ControllerGuard(
+            controller,
+            state_assertions=[throttle_range_assertion()],
+            output_assertions=[throttle_range_assertion()],
+        )
+
+    def test_transparent_without_faults(self):
+        plain = ClosedLoop(PIController()).run()
+        guarded = ClosedLoop(self._guard()).run()
+        assert np.array_equal(plain.throttle, guarded.throttle)
+
+    def test_recovers_corrupted_state(self):
+        guard = self._guard()
+        guard.warm_start(2000.0, 2000.0, 12.0)
+        guard.step(2000.0, 2000.0)
+        guard.controller.x = 500.0
+        step = guard.guarded_step([2000.0], [2000.0])
+        assert step.recovered_states == (0,)
+        assert 0.0 <= guard.controller.x <= 70.0
+
+    def test_monitor_records_events(self):
+        guard = self._guard()
+        guard.step(2000.0, 2000.0)
+        guard.controller.x = -50.0
+        guard.step(2000.0, 2000.0)
+        assert guard.monitor.count("state") == 1
+
+    def test_assertion_width_checked(self):
+        with pytest.raises(ConfigurationError):
+            ControllerGuard(
+                PIController(),
+                state_assertions=[throttle_range_assertion()] * 2,
+                output_assertions=[throttle_range_assertion()],
+            )
+
+    def test_matches_algorithm_ii_transcription_under_faults(self):
+        """The generic guard == the paper's Algorithm II, step for step,
+        including under injected state corruption."""
+        guard = self._guard()
+        algii = GuardedPIController()
+        guard.warm_start(2000.0, 2000.0, 12.0)
+        algii.warm_start(2000.0, 2000.0, 12.0)
+        rng = np.random.default_rng(11)
+        y = 2000.0
+        for k in range(200):
+            if k in (50, 120):  # inject the same corruption in both
+                bad = float(rng.uniform(100, 1000))
+                guard.controller.x = bad
+                algii.x = bad
+            r = 2000.0 if k < 100 else 3000.0
+            assert guard.step(r, y) == algii.step(r, y)
+            y += float(rng.uniform(-5, 5))
+
+    def test_guards_mimo_controller(self):
+        ctrl = StateSpaceController(
+            a=[[1.0, 0.0], [0.0, 1.0]],
+            b=[[0.01, 0.0], [0.0, 0.01]],
+            c=[[1.0, 0.0], [0.0, 1.0]],
+            d=[[0.0, 0.0], [0.0, 0.0]],
+        )
+        guard = ControllerGuard(
+            ctrl,
+            state_assertions=[throttle_range_assertion()] * 2,
+            output_assertions=[throttle_range_assertion()] * 2,
+        )
+        step = guard.guarded_step([100.0, 50.0], [0.0, 0.0])
+        assert len(step.outputs) == 2
+        ctrl.x[1] = 1e6
+        step = guard.guarded_step([100.0, 50.0], [0.0, 0.0])
+        assert step.recovered_states == (1,)
+        assert ctrl.x[1] <= 70.0
+
+    def test_output_failure_rolls_back_all_state(self):
+        class BrokenController(PIController):
+            """Delivers an out-of-range output once on demand."""
+
+            def __init__(self):
+                super().__init__()
+                self.break_next = False
+
+            def step(self, reference, measured):
+                result = super().step(reference, measured)
+                if self.break_next:
+                    self.break_next = False
+                    return 1e9
+                return result
+
+        ctrl = BrokenController()
+        guard = ControllerGuard(
+            ctrl,
+            state_assertions=[throttle_range_assertion()],
+            output_assertions=[throttle_range_assertion()],
+        )
+        guard.warm_start(2000.0, 2000.0, 12.0)
+        good = guard.step(2000.0, 1900.0)
+        state_before = ctrl.state_vector()
+        ctrl.break_next = True
+        recovered = guard.step(2000.0, 1900.0)
+        assert recovered == good  # previous output delivered
+        assert guard.monitor.count("output") == 1
+        # State rolled back to the backed-up value of this iteration.
+        assert ctrl.state_vector() == state_before
+
+    def test_reset_policy_variant(self):
+        guard = ControllerGuard(
+            PIController(),
+            state_assertions=[throttle_range_assertion()],
+            output_assertions=[throttle_range_assertion()],
+            policy=ResetToInitialPolicy([0.0]),
+        )
+        guard.step(2000.0, 1000.0)
+        guard.controller.x = 1e9
+        guard.step(2000.0, 1000.0)
+        assert guard.controller.x <= 70.0
+
+    def test_scalar_interface_rejects_vector_misuse(self):
+        guard = self._guard()
+        with pytest.raises(ConfigurationError):
+            guard.guarded_step([1.0, 2.0], [1.0, 2.0])
+
+    def test_state_vector_round_trip(self):
+        guard = self._guard()
+        guard.step(2000.0, 1500.0)
+        state = guard.state_vector()
+        other = self._guard()
+        other.set_state_vector(state)
+        assert other.step(2000.0, 1500.0) == guard.step(2000.0, 1500.0)
+
+    def test_rate_limit_guard_catches_in_range_jump(self):
+        """A more sophisticated assertion (paper §4.4 future work)
+        catches the Figure 10 escape."""
+        rate = RateLimitAssertion(max_delta=5.0, name="state-rate")
+        guard = ControllerGuard(
+            PIController(),
+            state_assertions=[CompositeAssertion([throttle_range_assertion(), rate])],
+            output_assertions=[throttle_range_assertion()],
+        )
+        guard.warm_start(2000.0, 2000.0, 10.0)
+        for _ in range(5):
+            guard.step(2000.0, 2000.0)
+        guard.controller.x = 69.0  # in range, huge jump
+        guard.step(2000.0, 2000.0)
+        assert guard.monitor.count("state") == 1
+        assert guard.controller.x < 20.0

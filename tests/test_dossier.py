@@ -1,0 +1,60 @@
+"""Tests for the campaign dossier generator."""
+
+import pytest
+
+from repro.analysis import campaign_dossier
+from repro.goofi import CampaignConfig, ScifiCampaign
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    from repro.workloads import compile_algorithm_i
+
+    config = CampaignConfig(
+        workload=compile_algorithm_i(), name="dossier test",
+        faults=100, seed=77, iterations=80,
+    )
+    return ScifiCampaign(config).run()
+
+
+class TestDossier:
+    def test_contains_all_sections(self, campaign_result):
+        text = campaign_dossier(campaign_result)
+        assert "Campaign dossier: dossier test" in text
+        assert "Headline" in text
+        assert "Coverage" in text  # outcome table
+        assert "Outcomes by injection time" in text
+
+    def test_latency_section_when_detections_exist(self, campaign_result):
+        text = campaign_dossier(campaign_result)
+        if campaign_result.summary().count_detected():
+            assert "Detection latency" in text
+
+    def test_attribution_section_when_failures_exist(self, campaign_result):
+        text = campaign_dossier(campaign_result)
+        if campaign_result.summary().count_value_failures():
+            assert "All value failures by element" in text
+
+    def test_custom_title_and_bins(self, campaign_result):
+        text = campaign_dossier(campaign_result, title="My Title", temporal_bins=4)
+        assert text.startswith("My Title")
+        assert "(4 slices)" in text
+
+    def test_cli_dossier_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "campaign",
+                "--faults",
+                "10",
+                "--iterations",
+                "25",
+                "--seed",
+                "3",
+                "--dossier",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Campaign dossier" in out

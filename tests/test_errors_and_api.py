@@ -1,0 +1,84 @@
+"""Sanity tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in (
+            "ConfigurationError",
+            "DiagramError",
+            "AssemblyError",
+            "CompileError",
+            "MachineError",
+            "ScanChainError",
+            "CampaignError",
+            "DatabaseError",
+        ):
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+            assert issubclass(exc, Exception)
+
+    def test_catching_the_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CampaignError("x")
+
+
+class TestPublicApi:
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.blocks
+        import repro.control
+        import repro.core
+        import repro.faults
+        import repro.goofi
+        import repro.plant
+        import repro.tcc
+        import repro.thor
+        import repro.workloads
+
+        for module in (
+            repro.analysis,
+            repro.blocks,
+            repro.control,
+            repro.core,
+            repro.faults,
+            repro.goofi,
+            repro.plant,
+            repro.tcc,
+            repro.thor,
+            repro.workloads,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module.__name__, name)
+
+    def test_paper_constants(self):
+        assert repro.SAMPLE_TIME == pytest.approx(0.0154)
+        assert repro.ITERATIONS == 650
+        assert (repro.THROTTLE_MIN, repro.THROTTLE_MAX) == (0.0, 70.0)
+
+    def test_every_public_module_has_docstrings(self):
+        import importlib
+        import pkgutil
+
+        package = importlib.import_module("repro")
+        missing = []
+        for info in pkgutil.walk_packages(package.__path__, prefix="repro."):
+            if info.name.endswith("__main__"):
+                continue  # importing it would run the CLI
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(info.name)
+        assert not missing, f"modules without docstrings: {missing}"

@@ -1,0 +1,124 @@
+"""Unit and property tests for the bit-flip primitives."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faults.bitflip import (
+    FLOAT32_BITS,
+    FLOAT64_BITS,
+    INT32_BITS,
+    bits_to_float,
+    bits_to_float64,
+    flip_float64_bit,
+    flip_float_bit,
+    flip_int_bit,
+    float64_to_bits,
+    float_to_bits,
+)
+
+
+class TestFlipIntBit:
+    def test_flips_exactly_one_bit(self):
+        assert flip_int_bit(0, 0) == 1
+        assert flip_int_bit(0, 31) == 0x80000000
+        assert flip_int_bit(0xFFFFFFFF, 7) == 0xFFFFFF7F
+
+    def test_double_flip_is_identity(self):
+        value = 0xDEADBEEF
+        for bit in range(INT32_BITS):
+            assert flip_int_bit(flip_int_bit(value, bit), bit) == value
+
+    def test_accepts_negative_input_returns_unsigned(self):
+        assert flip_int_bit(-1, 0) == 0xFFFFFFFE
+
+    def test_rejects_out_of_range_bit(self):
+        with pytest.raises(ValueError):
+            flip_int_bit(0, 32)
+        with pytest.raises(ValueError):
+            flip_int_bit(0, -1)
+
+    def test_custom_width(self):
+        assert flip_int_bit(0, 63, width=64) == 1 << 63
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF), st.integers(0, 31))
+    def test_flip_changes_exactly_one_bit_property(self, value, bit):
+        flipped = flip_int_bit(value, bit)
+        assert bin(flipped ^ value).count("1") == 1
+        assert flip_int_bit(flipped, bit) == value
+
+
+class TestFloatBitPatterns:
+    def test_known_patterns(self):
+        assert float_to_bits(0.0) == 0
+        assert float_to_bits(1.0) == 0x3F800000
+        assert float_to_bits(-2.0) == 0xC0000000
+
+    def test_round_trip_single(self):
+        for value in (0.0, 1.5, -70.0, 3.14159, 1e30, -1e-30):
+            rounded = bits_to_float(float_to_bits(value))
+            assert rounded == struct.unpack("<f", struct.pack("<f", value))[0]
+
+    def test_round_trip_double_exact(self):
+        for value in (0.0, 1.5, -70.0, 3.141592653589793, 1e300):
+            assert bits_to_float64(float64_to_bits(value)) == value
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_bits_round_trip_property(self, bits):
+        # bits -> float -> bits is identity except NaN payloads collapse.
+        value = bits_to_float(bits)
+        if value == value:  # not NaN
+            assert float_to_bits(value) == bits
+
+
+class TestFlipFloatBit:
+    def test_sign_bit_negates(self):
+        assert flip_float_bit(1.0, 31) == -1.0
+        assert flip_float64_bit(1.0, 63) == -1.0
+
+    def test_exponent_bit_scales(self):
+        # Flipping exponent bit 23 of 1.0 (0x3F800000 -> 0x3F000000) halves it.
+        assert flip_float_bit(1.0, 23) == 0.5
+
+    def test_double_flip_restores_single_precision_value(self):
+        value = 10.123  # not exactly representable; rounded first
+        single = bits_to_float(float_to_bits(value))
+        for bit in range(FLOAT32_BITS):
+            twice = flip_float_bit(flip_float_bit(single, bit), bit)
+            assert twice == single or (twice != twice and single != single)
+
+    def test_out_of_range_bit_rejected(self):
+        with pytest.raises(ValueError):
+            flip_float_bit(1.0, FLOAT32_BITS)
+        with pytest.raises(ValueError):
+            flip_float64_bit(1.0, FLOAT64_BITS)
+
+    def test_can_produce_nan(self):
+        # 0x7F800000 is +inf; setting a mantissa bit makes a NaN.
+        inf = bits_to_float(0x7F800000)
+        result = flip_float_bit(inf, 0)
+        assert result != result
+
+    @given(
+        st.floats(
+            min_value=-1e30, max_value=1e30, allow_nan=False, allow_infinity=False
+        ),
+        st.integers(0, FLOAT32_BITS - 1),
+    )
+    def test_double_flip_identity_property(self, value, bit):
+        single = bits_to_float(float_to_bits(value))
+        flipped = flip_float_bit(single, bit)
+        restored = flip_float_bit(flipped, bit)
+        assert restored == single
+
+    @given(
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.integers(0, FLOAT64_BITS - 1),
+    )
+    def test_double_flip_identity_double_property(self, value, bit):
+        flipped = flip_float64_bit(value, bit)
+        restored = flip_float64_bit(flipped, bit)
+        assert restored == value or (math.isnan(restored) and math.isnan(value))

@@ -1,0 +1,89 @@
+"""Tests for fault descriptors and uniform sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.models import (
+    FaultDescriptor,
+    FaultTarget,
+    LocationSpace,
+    sample_fault_plan,
+)
+
+
+def _space():
+    targets = [FaultTarget("cache", f"line{i}.data", bit) for i in range(2) for bit in range(4)]
+    targets += [FaultTarget("registers", "r0", bit) for bit in range(4)]
+    return LocationSpace(targets)
+
+
+class TestLocationSpace:
+    def test_length_and_indexing(self):
+        space = _space()
+        assert len(space) == 12
+        assert space[0].partition == "cache"
+        assert space[11].partition == "registers"
+
+    def test_partitions_in_first_appearance_order(self):
+        assert _space().partitions == ("cache", "registers")
+
+    def test_partition_size(self):
+        space = _space()
+        assert space.partition_size("cache") == 8
+        assert space.partition_size("registers") == 4
+        assert space.partition_size("nonexistent") == 0
+
+    def test_restrict(self):
+        restricted = _space().restrict("registers")
+        assert len(restricted) == 4
+        assert all(t.partition == "registers" for t in restricted)
+
+    def test_restrict_unknown_partition_raises(self):
+        with pytest.raises(ConfigurationError):
+            _space().restrict("rom")
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocationSpace([])
+
+    def test_labels(self):
+        target = FaultTarget("cache", "line0.tag", 5)
+        assert target.label() == "cache/line0.tag[5]"
+        descriptor = FaultDescriptor(target=target, time=17)
+        assert descriptor.label() == "cache/line0.tag[5]@t=17"
+
+
+class TestSampling:
+    def test_plan_size_and_ranges(self):
+        rng = np.random.default_rng(1)
+        plan = sample_fault_plan(_space(), total_instructions=100, count=50, rng=rng)
+        assert len(plan) == 50
+        assert all(0 <= f.time < 100 for f in plan)
+
+    def test_deterministic_for_seed(self):
+        space = _space()
+        plan_a = sample_fault_plan(space, 100, 20, np.random.default_rng(7))
+        plan_b = sample_fault_plan(space, 100, 20, np.random.default_rng(7))
+        assert plan_a == plan_b
+
+    def test_different_seeds_differ(self):
+        space = _space()
+        plan_a = sample_fault_plan(space, 1000, 20, np.random.default_rng(1))
+        plan_b = sample_fault_plan(space, 1000, 20, np.random.default_rng(2))
+        assert plan_a != plan_b
+
+    def test_sampling_is_roughly_uniform_over_partitions(self):
+        space = _space()
+        plan = sample_fault_plan(space, 10, 6000, np.random.default_rng(3))
+        cache = sum(1 for f in plan if f.target.partition == "cache")
+        # cache holds 8 of 12 locations: expect ~2/3 of draws.
+        assert 0.6 < cache / 6000 < 0.73
+
+    def test_invalid_arguments(self):
+        space = _space()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            sample_fault_plan(space, 100, 0, rng)
+        with pytest.raises(ConfigurationError):
+            sample_fault_plan(space, 0, 10, rng)

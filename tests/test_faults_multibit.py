@@ -1,0 +1,81 @@
+"""Tests for the multi-bit fault model extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultTarget,
+    MultiBitFault,
+    burst_targets,
+    sample_multibit_plan,
+)
+from repro.thor.cpu import CPU
+from repro.thor.scanchain import REGISTER_PARTITION, ScanChain
+
+
+class TestMultiBitFault:
+    def test_label_lists_bits(self):
+        targets = burst_targets(FaultTarget("cache", "line3.data", 4), 3, 32)
+        fault = MultiBitFault(targets=targets, time=100)
+        assert fault.label() == "cache/line3.data[4+5+6]@t=100"
+        assert fault.target == targets[0]
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiBitFault(targets=(), time=0)
+
+    def test_burst_clips_at_element_top(self):
+        targets = burst_targets(FaultTarget("registers", "psw", 8), 4, 10)
+        assert [t.bit for t in targets] == [8, 9]
+
+    def test_burst_width_validated(self):
+        with pytest.raises(ConfigurationError):
+            burst_targets(FaultTarget("registers", "r0", 0), 0, 32)
+
+    def test_sampling_uses_element_widths(self):
+        chain = ScanChain(CPU())
+        space = chain.location_space()
+        plan = sample_multibit_plan(
+            space,
+            chain.element_width,
+            total_instructions=1000,
+            count=50,
+            width=2,
+            rng=np.random.default_rng(9),
+        )
+        assert len(plan) == 50
+        for fault in plan:
+            assert 1 <= len(fault.targets) <= 2
+            assert all(
+                t.bit < chain.element_width(t.partition, t.element)
+                for t in fault.targets
+            )
+
+    def test_runner_applies_all_bits(self, short_reference_target):
+        target = short_reference_target
+        fault = MultiBitFault(
+            targets=burst_targets(FaultTarget(REGISTER_PARTITION, "r0", 4), 3, 32),
+            time=50,
+        )
+        run = target.run_experiment(fault)
+        # r0 is dead: all three flips persist as latent corruption.
+        assert run.detection is None
+        assert run.final_state_differs
+        assert target.cpu.regs[0] == 0b111 << 4
+
+    def test_double_bit_campaign_smoke(self, short_reference_target):
+        """Double-bit bursts run through the standard experiment path."""
+        target = short_reference_target
+        chain = target.scan_chain
+        plan = sample_multibit_plan(
+            chain.location_space(),
+            chain.element_width,
+            total_instructions=target.reference.total_instructions,
+            count=15,
+            width=2,
+            rng=np.random.default_rng(4),
+        )
+        for fault in plan:
+            run = target.run_experiment(fault)
+            assert run.outputs is not None

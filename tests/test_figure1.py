@@ -1,0 +1,127 @@
+"""Tests for the Figure 1/2 block diagrams and the new logic blocks."""
+
+import numpy as np
+import pytest
+
+from repro.blocks import (
+    Constant,
+    Diagram,
+    LogicalOperator,
+    RelationalOperator,
+    SourceFunction,
+    Switch,
+)
+from repro.control import PIController
+from repro.errors import DiagramError
+from repro.plant import (
+    ClosedLoop,
+    build_figure1_diagram,
+    build_pi_controller_diagram,
+)
+
+
+class TestLogicBlocks:
+    def test_relational_all_operators(self):
+        cases = {
+            "<": (1.0, 2.0, 1.0),
+            "<=": (2.0, 2.0, 1.0),
+            ">": (3.0, 2.0, 1.0),
+            ">=": (1.0, 2.0, 0.0),
+            "==": (2.0, 2.0, 1.0),
+            "!=": (2.0, 2.0, 0.0),
+        }
+        for op, (a, b, expected) in cases.items():
+            block = RelationalOperator("r", op)
+            assert block.output({"in1": a, "in2": b}, 0.0)["out"] == expected
+
+    def test_relational_rejects_unknown(self):
+        with pytest.raises(DiagramError):
+            RelationalOperator("r", "<>")
+
+    def test_logical_and_or_not(self):
+        land = LogicalOperator("a", "and")
+        assert land.output({"in1": 1.0, "in2": 2.0}, 0.0)["out"] == 1.0
+        assert land.output({"in1": 1.0, "in2": 0.0}, 0.0)["out"] == 0.0
+        lor = LogicalOperator("o", "or")
+        assert lor.output({"in1": 0.0, "in2": 5.0}, 0.0)["out"] == 1.0
+        lnot = LogicalOperator("n", "not")
+        assert lnot.output({"in1": 0.0}, 0.0)["out"] == 1.0
+
+    def test_logical_arity(self):
+        wide = LogicalOperator("w", "or", arity=4)
+        inputs = {f"in{i + 1}": 0.0 for i in range(4)}
+        assert wide.output(inputs, 0.0)["out"] == 0.0
+        inputs["in4"] = 1.0
+        assert wide.output(inputs, 0.0)["out"] == 1.0
+
+    def test_logical_validation(self):
+        with pytest.raises(DiagramError):
+            LogicalOperator("x", "nand")
+        with pytest.raises(DiagramError):
+            LogicalOperator("x", "and", arity=0)
+
+    def test_switch(self):
+        block = Switch("s")
+        assert block.output({"in1": 10.0, "in2": 1.0, "in3": 20.0}, 0.0)["out"] == 10.0
+        assert block.output({"in1": 10.0, "in2": 0.0, "in3": 20.0}, 0.0)["out"] == 20.0
+
+    def test_source_function(self):
+        block = SourceFunction("f", lambda t: 2.0 * t)
+        assert block.output({}, 3.0)["out"] == 6.0
+
+
+class TestFigure2Diagram:
+    def test_matches_pi_controller_step_for_step(self):
+        diagram = build_pi_controller_diagram()
+        controller = PIController()
+        r_in = diagram.block("r")
+        y_in = diagram.block("y")
+        u_out = diagram.block("u")
+        rng = np.random.default_rng(21)
+        y = 2000.0
+        for k in range(400):
+            r = 2000.0 if k < 200 else 3000.0
+            r_in.value, y_in.value = r, y
+            diagram.step(k * 0.0154)
+            expected = controller.step(r, y)
+            assert u_out.value == expected, f"diverged at step {k}"
+            y += float(rng.uniform(-30.0, 30.0))
+
+    def test_anti_windup_engages_in_diagram(self):
+        diagram = build_pi_controller_diagram()
+        r_in, y_in = diagram.block("r"), diagram.block("y")
+        x_state = diagram.block("pi_x")
+        r_in.value, y_in.value = 100000.0, 0.0
+        for k in range(300):
+            diagram.step(k * 0.0154)
+        # Anti-windup: x must stay bounded despite the unreachable demand.
+        assert x_state.state_vector()[0] <= 70.0 + 1.0
+
+
+class TestFigure1Diagram:
+    def test_matches_closed_loop_run_exactly(self):
+        from repro.blocks import simulate
+
+        diagram = build_figure1_diagram()
+        result = simulate(diagram, 0.0154, 650, reset=False)
+        loop_trace = ClosedLoop(PIController()).run()
+        np.testing.assert_array_equal(
+            result.scope("throttle_scope"), loop_trace.throttle
+        )
+        np.testing.assert_array_equal(result.scope("speed_scope"), loop_trace.speed)
+
+    def test_cold_start_variant(self):
+        from repro.blocks import simulate
+
+        diagram = build_figure1_diagram(warm_start=False)
+        result = simulate(diagram, 0.0154, 100, reset=False)
+        assert result.scope("speed_scope")[0] == 0.0
+
+    def test_reference_scope_records_the_step(self):
+        from repro.blocks import simulate
+
+        diagram = build_figure1_diagram()
+        result = simulate(diagram, 0.0154, 650, reset=False)
+        reference = result.scope("reference_scope")
+        assert reference[0] == 2000.0
+        assert reference[-1] == 3000.0

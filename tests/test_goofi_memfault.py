@@ -1,0 +1,95 @@
+"""Tests for the memory (RAM) fault model and DATA ERROR coverage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CampaignError
+from repro.goofi import (
+    MemoryFault,
+    TargetSystem,
+    run_memory_campaign,
+    run_memory_experiment,
+    sample_memory_faults,
+)
+from repro.thor.edm import Mechanism
+from repro.workloads import compile_algorithm_i
+
+
+@pytest.fixture(scope="module")
+def target():
+    system = TargetSystem(compile_algorithm_i(), iterations=50)
+    system.run_reference()
+    return system
+
+
+class TestMemoryFaults:
+    def test_sampling_stays_in_ram(self, target):
+        layout = target.cpu.layout
+        plan = sample_memory_faults(target, 100, np.random.default_rng(2))
+        for fault in plan:
+            in_data = (
+                layout.data_base <= fault.address < layout.data_base + layout.data_size
+            )
+            in_stack = (
+                layout.stack_base
+                <= fault.address
+                < layout.stack_base + layout.stack_size
+            )
+            assert in_data or in_stack
+            assert 0 <= fault.bit < 32
+            assert 0 <= fault.iteration < 50
+
+    def test_count_validated(self, target):
+        with pytest.raises(CampaignError):
+            sample_memory_faults(target, 0, np.random.default_rng(1))
+
+    def test_iteration_validated(self, target):
+        fault = MemoryFault(target.cpu.layout.data_base, 0, iteration=999)
+        with pytest.raises(CampaignError):
+            run_memory_experiment(target, fault)
+
+    def test_corrupting_a_read_word_raises_data_error(self, target):
+        # The state variable x is read every iteration while its cache
+        # line is refetched from RAM after each runtime tick: a RAM flip
+        # under it is read with stale parity.
+        x_address = target.workload.address_of("x")
+        fault = MemoryFault(x_address, 30, iteration=20)
+        run = run_memory_experiment(target, fault)
+        assert run.detection is not None
+        assert run.detection.mechanism is Mechanism.DATA_ERROR
+
+    def test_corrupting_an_unused_word_is_latent(self, target):
+        pad = target.workload.program.symbol("__pad")
+        fault = MemoryFault(pad, 5, iteration=10)
+        run = run_memory_experiment(target, fault)
+        assert run.detection is None
+        assert run.outputs == target.reference.outputs
+        assert run.final_state_differs  # the flip survives in RAM
+
+    def test_corrupting_an_overwritten_word_heals(self, target):
+        # The RTS table is rewritten (with fresh parity) every iteration;
+        # its RAM copy refreshes on the next eviction.
+        rts = target.workload.program.symbol("__rts")
+        fault = MemoryFault(rts + 12, 9, iteration=10)
+        run = run_memory_experiment(target, fault)
+        # Either healed (overwritten/early-exit) or caught as DATA ERROR
+        # if the tick's read hit the slot before the rewrite; never a
+        # wrong result.
+        if run.detection is not None:
+            assert run.detection.mechanism is Mechanism.DATA_ERROR
+        else:
+            assert run.outputs == target.reference.outputs
+
+    def test_campaign_summary(self, target):
+        """Single-bit RAM corruption under a write-back cache is largely
+        masked: dirty evictions rewrite the word (and its parity) before
+        anything reads it, so outcomes are latent/overwritten — and the
+        *only* mechanism that can fire is DATA ERROR, on the read-refill
+        paths (exercised deterministically by the x-targeted test)."""
+        result = run_memory_campaign(target, faults=120, seed=6)
+        summary = result.summary()
+        assert summary.total() == 120
+        # Parity catches every read of a corrupted word: no value failures.
+        assert summary.count_value_failures() == 0
+        for mechanism in summary.mechanisms():
+            assert mechanism == "DATA ERROR"

@@ -1,0 +1,94 @@
+"""Tests for pre-runtime SWIFI (program-image mutation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.classify import OutcomeCategory
+from repro.errors import CampaignError
+from repro.goofi import ImageFault, PreRuntimeCampaign, sample_image_faults
+from repro.goofi.prerun import CODE_PARTITION, DATA_PARTITION
+from repro.workloads import compile_algorithm_i
+
+ITERATIONS = 60
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return PreRuntimeCampaign(compile_algorithm_i(), iterations=ITERATIONS)
+
+
+class TestSampling:
+    def test_plan_covers_code_and_data(self):
+        workload = compile_algorithm_i()
+        rng = np.random.default_rng(1)
+        plan = sample_image_faults(workload, 300, rng)
+        partitions = {fault.partition for fault in plan}
+        assert partitions == {CODE_PARTITION, DATA_PARTITION}
+
+    def test_code_only(self):
+        workload = compile_algorithm_i()
+        rng = np.random.default_rng(1)
+        plan = sample_image_faults(workload, 100, rng, include_data=False)
+        assert all(fault.partition == CODE_PARTITION for fault in plan)
+
+    def test_count_validated(self):
+        with pytest.raises(CampaignError):
+            sample_image_faults(compile_algorithm_i(), 0, np.random.default_rng(1))
+
+    def test_label(self):
+        fault = ImageFault(CODE_PARTITION, 0x1004, 25)
+        assert fault.label() == "code-image@0x1004[25]"
+
+
+class TestExperiments:
+    def test_opcode_flip_detected_quickly(self, campaign):
+        # Flip the top opcode bit of the first instruction: an undefined
+        # opcode, detected at the first fetch-execute.
+        entry = campaign.workload.program.entry
+        fault = ImageFault(CODE_PARTITION, entry, 31)
+        run = campaign.run_experiment(fault)
+        assert run.detection is not None
+        assert run.detected_iteration == 0
+
+    def test_corrupted_constant_gives_persistent_wrong_results(self, campaign):
+        # Flip a high mantissa bit of the Kp constant slot: the control
+        # law is wrong on every iteration.
+        address = campaign.workload.address_of("__c0")
+        fault = ImageFault(DATA_PARTITION, address, 22)
+        run = campaign.run_experiment(fault)
+        if run.detection is None:
+            assert run.outputs != campaign.reference_outputs
+
+    def test_unused_bit_flip_is_benign(self, campaign):
+        # Flip a bit of the pad region: never read, outputs unaffected.
+        pad_address = campaign.workload.program.symbol("__pad")
+        fault = ImageFault(DATA_PARTITION, pad_address, 7)
+        run = campaign.run_experiment(fault)
+        assert run.detection is None
+        assert run.outputs == campaign.reference_outputs
+
+    def test_rts_table_flip_is_non_effective(self, campaign):
+        rts_address = campaign.workload.program.symbol("__rts")
+        fault = ImageFault(DATA_PARTITION, rts_address + 8, 3)
+        run = campaign.run_experiment(fault)
+        # The broadcast tick rewrites the cached slot every iteration, so
+        # the outputs never deviate; the stale RAM copy may survive as a
+        # latent difference if its line is never evicted.
+        assert run.detection is None
+        assert run.outputs == campaign.reference_outputs
+
+
+class TestCampaign:
+    def test_small_campaign_classifies_everything(self, campaign):
+        result = campaign.run(faults=25, seed=3)
+        assert len(result.outcomes) == 25
+        summary = result.summary()
+        assert summary.total() == 25
+        # Image faults in code are detected far more often than SCIFI
+        # state faults — require a sizeable detected share.
+        assert summary.count_detected() >= 5
+
+    def test_campaign_reproducible(self, campaign):
+        a = campaign.run(faults=10, seed=5)
+        b = campaign.run(faults=10, seed=5)
+        assert [o.category for o in a.outcomes] == [o.category for o in b.outcomes]

@@ -1,0 +1,79 @@
+"""Tests for the controlled-object impact analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import engine_impact, impact_comparison, render_impact
+from repro.control import PIController
+from repro.errors import ConfigurationError
+from repro.plant import ClosedLoop
+
+
+@pytest.fixture(scope="module")
+def golden_throttle():
+    return list(ClosedLoop(PIController()).run().throttle)
+
+
+class TestEngineImpact:
+    def test_golden_run_is_benign(self, golden_throttle):
+        impact = engine_impact(golden_throttle)
+        assert not impact.overspeed_limit_exceeded
+        assert impact.final_speed_error < 60.0
+        assert impact.peak_overspeed < 500.0
+        assert not impact.is_hazardous()
+
+    def test_throttle_locked_at_full_speed_is_hazardous(self, golden_throttle):
+        """The paper's motivating failure: throttle stuck at 70 degrees."""
+        faulted = list(golden_throttle)
+        for k in range(200, len(faulted)):
+            faulted[k] = 70.0
+        impact = engine_impact(faulted)
+        assert impact.overspeed_limit_exceeded
+        assert impact.peak_overspeed > 1000.0
+        assert impact.is_hazardous()
+
+    def test_throttle_locked_closed_causes_droop(self, golden_throttle):
+        faulted = list(golden_throttle)
+        for k in range(200, len(faulted)):
+            faulted[k] = 0.0
+        impact = engine_impact(faulted)
+        assert impact.peak_droop > 1000.0
+        assert impact.is_hazardous()
+
+    def test_transient_spike_is_minor(self, golden_throttle):
+        # The golden run itself spends time off-tolerance (the commanded
+        # reference step); a one-sample spike must add little on top.
+        faulted = list(golden_throttle)
+        faulted[300] = 70.0  # one-sample spike
+        observed, baseline = impact_comparison(faulted, golden_throttle)
+        assert not observed.overspeed_limit_exceeded
+        extra = (
+            observed.seconds_outside_tolerance
+            - baseline.seconds_outside_tolerance
+        )
+        assert extra < 0.5
+        assert observed.peak_overspeed - baseline.peak_overspeed < 150.0
+
+    def test_off_speed_time_counts_the_step_transient(self, golden_throttle):
+        impact = engine_impact(golden_throttle, tolerance=50.0)
+        # The 2000->3000 step and load bumps leave the 50 rpm band.
+        assert impact.seconds_outside_tolerance > 0.2
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ConfigurationError):
+            engine_impact([])
+
+    def test_comparison_requires_equal_lengths(self, golden_throttle):
+        with pytest.raises(ConfigurationError):
+            impact_comparison(golden_throttle[:10], golden_throttle)
+
+    def test_comparison_pairs(self, golden_throttle):
+        faulted = list(golden_throttle)
+        faulted[100] = 70.0
+        observed, baseline = impact_comparison(faulted, golden_throttle)
+        assert observed.peak_overspeed >= baseline.peak_overspeed
+
+    def test_render_line(self, golden_throttle):
+        text = render_impact(engine_impact(golden_throttle), label="golden")
+        assert text.startswith("golden")
+        assert "overspeed" in text and "droop" in text

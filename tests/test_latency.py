@@ -1,0 +1,95 @@
+"""Tests for the detection-latency analysis."""
+
+import pytest
+
+from repro.analysis import (
+    detection_latencies,
+    latency_histogram,
+    latency_table,
+    render_latency_table,
+)
+from repro.errors import ConfigurationError
+from repro.faults.models import FaultDescriptor, FaultTarget
+from repro.goofi.target import ExperimentRun
+from repro.thor.edm import DetectionEvent, Mechanism
+
+
+def _run(time, detect_at=None, mechanism=Mechanism.ADDRESS_ERROR):
+    run = ExperimentRun(
+        fault=FaultDescriptor(FaultTarget("cache", "line0.data", 0), time),
+        outputs=[],
+    )
+    if detect_at is not None:
+        run.detection = DetectionEvent(
+            mechanism=mechanism, pc=0, instruction_index=detect_at
+        )
+    return run
+
+
+class _FakeResult:
+    def __init__(self, runs):
+        self.experiments = runs
+        self.outcomes = [None] * len(runs)
+
+
+class TestLatencies:
+    def test_extracts_per_mechanism(self):
+        result = _FakeResult(
+            [
+                _run(100, detect_at=105),
+                _run(50, detect_at=550),
+                _run(10, detect_at=11, mechanism=Mechanism.STORAGE_ERROR),
+                _run(999),  # undetected: excluded
+            ]
+        )
+        latencies = detection_latencies(result)
+        assert latencies["ADDRESS ERROR"] == [5, 500]
+        assert latencies["STORAGE ERROR"] == [1]
+
+    def test_negative_latency_rejected(self):
+        result = _FakeResult([_run(100, detect_at=50)])
+        with pytest.raises(ConfigurationError):
+            detection_latencies(result)
+
+    def test_table_sorted_by_median(self):
+        result = _FakeResult(
+            [
+                _run(0, detect_at=1000),
+                _run(0, detect_at=2, mechanism=Mechanism.STORAGE_ERROR),
+            ]
+        )
+        rows = latency_table(result)
+        assert rows[0].mechanism == "ADDRESS ERROR"
+        assert rows[0].median == 1000
+        assert rows[1].median == 2
+
+    def test_histogram_buckets(self):
+        result = _FakeResult(
+            [_run(0, detect_at=v) for v in (0, 5, 50, 5000, 500000)]
+        )
+        histogram = latency_histogram(result)
+        counts = dict(histogram)
+        assert counts["[0, 1)"] == 1
+        assert counts["[1, 10)"] == 1
+        assert counts["[10, 100)"] == 1
+        assert counts["[1000, 10000)"] == 1
+        assert counts["[100000, inf)"] == 1
+        assert sum(counts.values()) == 5
+
+    def test_render(self):
+        result = _FakeResult([_run(0, detect_at=100)])
+        text = render_latency_table(latency_table(result), iteration_instructions=200.0)
+        assert "ADDRESS ERROR" in text
+        assert "median (iters)" in text
+
+    def test_real_campaign_latencies(self, algorithm_i_compiled):
+        from repro.goofi import CampaignConfig, ScifiCampaign
+
+        config = CampaignConfig(
+            workload=algorithm_i_compiled, faults=80, seed=44, iterations=40
+        )
+        result = ScifiCampaign(config).run()
+        latencies = detection_latencies(result)
+        assert latencies  # some detections happened
+        for values in latencies.values():
+            assert all(v >= 0 for v in values)

@@ -1,0 +1,115 @@
+"""Tests for the Luenberger observer and the sensor guard."""
+
+import numpy as np
+import pytest
+
+from repro.control import LuenbergerObserver, PIController, SensorGuard
+from repro.errors import ConfigurationError
+from repro.faults import flip_float_bit
+from repro.plant import ClosedLoop
+
+
+class TestLuenbergerObserver:
+    def test_gain_validated(self):
+        with pytest.raises(ConfigurationError):
+            LuenbergerObserver(l_speed=1.5)
+
+    def test_tracks_the_engine_in_closed_loop(self):
+        loop = ClosedLoop(PIController())
+        trace = loop.run()
+        observer = LuenbergerObserver()
+        observer.reset(speed=trace.speed[0])
+        errors = []
+        for y, u in zip(trace.speed, trace.throttle):
+            errors.append(abs(y - observer.predict()))
+            observer.update(u, y)
+        # After priming, predictions stay within a few hundred rpm even
+        # through the reference step and load bumps.
+        assert max(errors[5:]) < 400.0
+        assert np.mean(errors[5:]) < 60.0
+
+    def test_unknown_load_bias_is_bounded(self):
+        # During the load bumps the observer (which assumes base load)
+        # drifts, but the correction keeps the bias bounded.
+        loop = ClosedLoop(PIController())
+        trace = loop.run()
+        observer = LuenbergerObserver()
+        observer.reset(speed=trace.speed[0])
+        bump_errors = []
+        for k, (y, u) in enumerate(zip(trace.speed, trace.throttle)):
+            error = abs(y - observer.predict())
+            if 195 <= k <= 285:
+                bump_errors.append(error)
+            observer.update(u, y)
+        assert max(bump_errors) < 400.0
+
+    def test_state_round_trip(self):
+        observer = LuenbergerObserver()
+        observer.reset(speed=2000.0)
+        observer.update(12.0, 2000.0)
+        state = observer.state_vector()
+        other = LuenbergerObserver()
+        other.set_state_vector(state)
+        assert other.predict() == observer.predict()
+
+
+class TestSensorGuard:
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            SensorGuard(PIController(), threshold=0.0)
+
+    def test_transparent_on_fault_free_run(self):
+        plain = ClosedLoop(PIController()).run()
+        guard = SensorGuard(PIController())
+        guarded = ClosedLoop(guard).run()
+        assert guard.monitor.count() == 0
+        assert np.array_equal(plain.throttle, guarded.throttle)
+
+    def _run_with_sensor_flip(self, controller, bit=28, at=300):
+        loop = ClosedLoop(controller)
+        loop.controller.reset()
+        loop.engine.reset(speed=2000.0, load=loop.load.base)
+        if hasattr(controller, "warm_start"):
+            controller.warm_start(
+                2000.0,
+                2000.0,
+                loop.engine.params.steady_state_throttle(2000.0, loop.load.base),
+            )
+        outputs = []
+        for k in range(650):
+            t = k * loop.engine.params.sample_time
+            r = loop.reference.value(t)
+            y = loop.engine.speed
+            if k == at:
+                y = flip_float_bit(y, bit)  # corrupted sensor sample
+            u = controller.step(r, y)
+            loop.engine.step(u, loop.load.value(t))
+            outputs.append(u)
+        return np.asarray(outputs)
+
+    def test_rejects_corrupted_measurement(self):
+        golden = ClosedLoop(PIController()).run().throttle
+        unprotected = self._run_with_sensor_flip(PIController())
+        guard = SensorGuard(PIController())
+        protected = self._run_with_sensor_flip(guard)
+        assert guard.monitor.count("input") == 1
+        unprotected_dev = np.abs(unprotected - golden).max()
+        protected_dev = np.abs(protected - golden).max()
+        assert protected_dev < unprotected_dev / 5.0
+
+    def test_nan_measurement_rejected(self):
+        guard = SensorGuard(PIController())
+        guard.warm_start(2000.0, 2000.0, 12.0)
+        guard.step(2000.0, 2000.0)
+        out = guard.step(2000.0, float("nan"))
+        assert guard.monitor.count("input") == 1
+        assert out == out
+
+    def test_state_vector_round_trip(self):
+        guard = SensorGuard(PIController())
+        guard.step(2000.0, 1900.0)
+        state = guard.state_vector()
+        other = SensorGuard(PIController())
+        other.step(2000.0, 1900.0)  # prime
+        other.set_state_vector(state)
+        assert other.step(2000.0, 1900.0) == guard.step(2000.0, 1900.0)

@@ -1,0 +1,203 @@
+"""Tests for the engine plant, the profiles and the closed loop."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.pi import PIController
+from repro.errors import ConfigurationError
+from repro.plant.engine import EngineModel, EngineParameters, build_engine_diagram
+from repro.plant.loop import ClosedLoop
+from repro.plant.profiles import (
+    ITERATIONS,
+    SAMPLE_TIME,
+    THROTTLE_MAX,
+    THROTTLE_MIN,
+    LoadBump,
+    LoadProfile,
+    ReferenceProfile,
+    paper_load_profile,
+    paper_reference_profile,
+)
+
+
+class TestProfiles:
+    def test_paper_reference_steps_at_five_seconds(self):
+        ref = paper_reference_profile()
+        assert ref.value(0.0) == 2000.0
+        assert ref.value(4.999) == 2000.0
+        assert ref.value(5.0) == 3000.0
+        assert ref.value(10.0) == 3000.0
+
+    def test_reference_samples_length(self):
+        samples = paper_reference_profile().samples()
+        assert len(samples) == ITERATIONS
+        assert samples[0] == 2000.0
+        assert samples[-1] == 3000.0
+
+    def test_reference_validation(self):
+        with pytest.raises(ValueError):
+            ReferenceProfile(step_times=(1.0,), levels=(100.0,))
+        with pytest.raises(ValueError):
+            ReferenceProfile(step_times=(0.0, 1.0), levels=(100.0,))
+
+    def test_load_bump_is_zero_outside_window(self):
+        bump = LoadBump(start=3.0, end=4.0, magnitude=60.0)
+        assert bump.value(2.99) == 0.0
+        assert bump.value(4.0) == 0.0
+        assert bump.value(3.5) == pytest.approx(60.0)
+
+    def test_load_bump_smooth_rise(self):
+        bump = LoadBump(start=0.0, end=1.0, magnitude=10.0)
+        quarter = bump.value(0.25)
+        half = bump.value(0.5)
+        assert 0.0 < quarter < half == pytest.approx(10.0)
+
+    def test_paper_load_has_two_bumps(self):
+        load = paper_load_profile()
+        assert load.value(0.0) == load.base
+        assert load.value(3.5) > load.base
+        assert load.value(5.5) == load.base
+        assert load.value(7.5) > load.base
+
+    def test_paper_timing_constants(self):
+        assert SAMPLE_TIME == pytest.approx(0.0154)
+        assert ITERATIONS == 650
+        assert ITERATIONS * SAMPLE_TIME == pytest.approx(10.0, abs=0.02)
+
+
+class TestEngineModel:
+    def test_parameters_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            EngineParameters(inertia=0.0)
+        with pytest.raises(ConfigurationError):
+            EngineParameters(friction=-1.0)
+
+    def test_steady_state_throttle_inverts_dc_gain(self):
+        params = EngineParameters()
+        throttle = params.steady_state_throttle(2000.0)
+        assert throttle * params.dc_gain() == pytest.approx(2000.0)
+
+    def test_constant_throttle_converges_to_dc_point(self):
+        params = EngineParameters()
+        engine = EngineModel(params)
+        engine.reset()
+        for _ in range(4000):
+            engine.step(10.0, 0.0)
+        assert engine.speed == pytest.approx(10.0 * params.dc_gain(), rel=1e-3)
+
+    def test_more_throttle_means_more_speed(self):
+        speeds = []
+        for throttle in (5.0, 10.0, 20.0):
+            engine = EngineModel()
+            engine.reset()
+            for _ in range(2000):
+                engine.step(throttle, 0.0)
+            speeds.append(engine.speed)
+        assert speeds[0] < speeds[1] < speeds[2]
+
+    def test_load_reduces_speed(self):
+        loaded, unloaded = EngineModel(), EngineModel()
+        for _ in range(2000):
+            loaded.step(10.0, 50.0)
+            unloaded.step(10.0, 0.0)
+        assert loaded.speed < unloaded.speed
+
+    def test_throttle_clamped_to_physical_range(self):
+        engine = EngineModel()
+        engine.step(1000.0, 0.0)
+        capped = EngineModel()
+        capped.step(THROTTLE_MAX, 0.0)
+        assert engine.airflow == capped.airflow
+        engine2 = EngineModel()
+        engine2.step(-50.0, 0.0)
+        floor = EngineModel()
+        floor.step(THROTTLE_MIN, 0.0)
+        assert engine2.airflow == floor.airflow
+
+    def test_speed_never_negative(self):
+        engine = EngineModel()
+        engine.reset(speed=100.0)
+        for _ in range(200):
+            engine.step(0.0, 500.0)
+        assert engine.speed == 0.0
+
+    def test_warm_reset_is_equilibrium(self):
+        engine = EngineModel()
+        engine.reset(speed=2000.0, load=20.0)
+        throttle = engine.params.steady_state_throttle(2000.0, 20.0)
+        for _ in range(100):
+            engine.step(throttle, 20.0)
+        assert engine.speed == pytest.approx(2000.0, abs=1e-6)
+
+    def test_state_vector_round_trip(self):
+        engine = EngineModel()
+        engine.step(10.0, 5.0)
+        state = engine.state_vector()
+        other = EngineModel()
+        other.set_state_vector(state)
+        engine.step(12.0, 5.0)
+        other.step(12.0, 5.0)
+        assert other.state_vector() == engine.state_vector()
+
+    @given(st.floats(0.0, 70.0), st.floats(0.0, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_step_is_deterministic(self, throttle, load):
+        a, b = EngineModel(), EngineModel()
+        assert a.step(throttle, load) == b.step(throttle, load)
+
+
+class TestEngineDiagram:
+    def test_matches_direct_model_step_for_step(self):
+        params = EngineParameters()
+        diagram = build_engine_diagram(params)
+        model = EngineModel(params)
+        model.reset()
+        throttle_in = diagram.block("throttle")
+        load_in = diagram.block("load")
+        speed_out = diagram.block("speed")
+        rng = np.random.default_rng(5)
+        for k in range(200):
+            throttle = float(rng.uniform(0, 70))
+            load = float(rng.uniform(0, 80))
+            throttle_in.value = throttle
+            load_in.value = load
+            diagram.step(k * params.sample_time)
+            expected = model.step(throttle, load)
+            assert speed_out.value == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+class TestClosedLoop:
+    def test_warm_start_tracks_from_first_sample(self):
+        trace = ClosedLoop(PIController()).run()
+        assert abs(trace.speed[:30] - 2000.0).max() < 1.0
+
+    def test_reference_step_is_tracked(self):
+        trace = ClosedLoop(PIController()).run()
+        assert abs(trace.speed[-20:] - 3000.0).max() < 20.0
+
+    def test_throttle_stays_physical(self):
+        trace = ClosedLoop(PIController()).run()
+        assert trace.throttle.min() >= THROTTLE_MIN
+        assert trace.throttle.max() <= THROTTLE_MAX
+
+    def test_load_bumps_cause_speed_dips(self):
+        trace = ClosedLoop(PIController()).run()
+        dip = 2000.0 - trace.speed[195:285].min()
+        assert 50.0 < dip < 600.0
+
+    def test_trace_lengths_consistent(self):
+        trace = ClosedLoop(PIController()).run(iterations=100)
+        assert len(trace) == 100
+        for arr in (trace.reference, trace.speed, trace.load, trace.throttle):
+            assert len(arr) == 100
+
+    def test_cold_start_begins_at_standstill(self):
+        trace = ClosedLoop(PIController()).run(iterations=50, warm_start=False)
+        assert trace.speed[0] == 0.0
+
+    def test_deterministic_across_runs(self):
+        a = ClosedLoop(PIController()).run()
+        b = ClosedLoop(PIController()).run()
+        assert np.array_equal(a.throttle, b.throttle)

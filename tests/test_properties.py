@@ -1,0 +1,115 @@
+"""Cross-cutting property tests on the system's safety invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control import GuardedPIController, PIController
+from repro.core import ControllerGuard, throttle_range_assertion
+from repro.faults import flip_float_bit
+from repro.thor.assembler import assemble
+from repro.thor.cpu import CPU, StepResult
+
+
+class TestGuardSafetyInvariants:
+    @given(
+        corrupted=st.floats(allow_nan=True, allow_infinity=True),
+        reference=st.floats(0.0, 8000.0),
+        measured=st.floats(0.0, 8000.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_state_in_range_after_any_corruption(
+        self, corrupted, reference, measured
+    ):
+        """Whatever value lands in x, after one guarded step the state is
+        back inside the physical range and the output is deliverable."""
+        controller = GuardedPIController()
+        controller.warm_start(2000.0, 2000.0, 12.0)
+        controller.step(2000.0, 2000.0)
+        controller.x = corrupted
+        output = controller.step(reference, measured)
+        assert 0.0 <= controller.x <= 70.0 or controller.x == controller.x_old
+        assert 0.0 <= output <= 70.0
+        assert output == output  # never NaN
+
+    @given(
+        corrupted=st.floats(allow_nan=True, allow_infinity=True),
+        bit=st.integers(0, 31),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_generic_guard_output_always_physical(self, corrupted, bit):
+        guard = ControllerGuard(
+            PIController(),
+            state_assertions=[throttle_range_assertion()],
+            output_assertions=[throttle_range_assertion()],
+        )
+        guard.warm_start(2000.0, 2000.0, 12.0)
+        guard.step(2000.0, 2000.0)
+        guard.controller.x = corrupted
+        output = guard.step(2000.0, 2000.0)
+        assert 0.0 <= output <= 70.0
+
+    @given(
+        bit=st.integers(0, 31),
+        iteration=st.integers(1, 80),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_guarded_never_worse_peak_deviation_for_state_flips(
+        self, bit, iteration
+    ):
+        """For any single bit flip in x at any iteration, the guarded
+        controller's worst output deviation never exceeds the plain
+        controller's (the recovery can only help or do nothing)."""
+        def run(controller):
+            controller.reset()
+            controller.warm_start(2000.0, 2000.0, 12.0)
+            outputs = []
+            y = 2000.0
+            for k in range(100):
+                if k == iteration:
+                    state = controller.state_vector()
+                    state[0] = flip_float_bit(state[0], bit)
+                    controller.set_state_vector(state)
+                outputs.append(controller.step(2000.0, y))
+            return np.asarray(outputs)
+
+        golden = np.full(100, 12.0)
+        plain_dev = np.nanmax(np.abs(run(PIController()) - golden))
+        guarded_dev = np.nanmax(np.abs(run(GuardedPIController()) - golden))
+        assert guarded_dev <= plain_dev + 1e-9
+
+
+class TestDeterminismInvariants:
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_snapshot_restore_replays_identically(self, seed):
+        """From any reachable CPU state, snapshot + N steps is
+        reproducible exactly after restore."""
+        rng = np.random.default_rng(seed)
+        source = "loop: ldi r1, 3\nadd r2, r2, r1\nsvc 0\nbr loop"
+        cpu = CPU()
+        cpu.load(assemble(source))
+        warmup = int(rng.integers(0, 50))
+        for _ in range(warmup):
+            cpu.step()
+        snapshot = cpu.snapshot()
+        steps = int(rng.integers(1, 60))
+        for _ in range(steps):
+            cpu.step()
+        after = cpu.state_bytes()
+        cpu.restore(snapshot)
+        for _ in range(steps):
+            cpu.step()
+        assert cpu.state_bytes() == after
+
+    def test_campaign_plan_independent_of_execution_order(self):
+        """Sampling draws before execution: the plan for a seed is a pure
+        function of (space, total instructions, count)."""
+        from repro.faults.models import sample_fault_plan
+        from repro.thor.scanchain import ScanChain
+
+        space = ScanChain(CPU()).location_space()
+        plan_a = sample_fault_plan(space, 5000, 30, np.random.default_rng(5))
+        plan_b = sample_fault_plan(space, 5000, 30, np.random.default_rng(5))
+        assert plan_a == plan_b

@@ -1,0 +1,114 @@
+"""Tests for the per-element vulnerability analysis."""
+
+import pytest
+
+from repro.analysis import (
+    Outcome,
+    OutcomeCategory,
+    VulnerabilityAnalysis,
+    render_vulnerability_table,
+)
+from repro.errors import ConfigurationError
+
+
+def _analysis():
+    analysis = VulnerabilityAnalysis()
+    severe = Outcome(OutcomeCategory.SEVERE_SEMI_PERMANENT)
+    minor = Outcome(OutcomeCategory.MINOR_INSIGNIFICANT)
+    benign = Outcome(OutcomeCategory.OVERWRITTEN)
+    for _ in range(6):
+        analysis.record("cache", "line3.data", severe)
+    for _ in range(4):
+        analysis.record("cache", "line3.data", benign)
+    for _ in range(2):
+        analysis.record("cache", "line5.data", severe)
+    for _ in range(18):
+        analysis.record("cache", "line5.data", benign)
+    for _ in range(10):
+        analysis.record("registers", "r0", minor)
+    return analysis
+
+
+class TestVulnerability:
+    def test_totals(self):
+        assert _analysis().total_injections() == 40
+
+    def test_ranking_orders_by_rate(self):
+        ranking = _analysis().ranking()
+        assert ranking[0].element == "line3.data"
+        assert ranking[0].rate == pytest.approx(0.6)
+        assert ranking[1].element == "line5.data"
+
+    def test_minimum_injections_filters(self):
+        ranking = _analysis().ranking(minimum_injections=11)
+        assert {row.element for row in ranking} == {"line5.data"}
+
+    def test_attribution_shares_sum_to_one(self):
+        attribution = _analysis().attribution()
+        assert sum(attribution.values()) == pytest.approx(1.0)
+        assert attribution["cache/line3.data"] == pytest.approx(6 / 8)
+
+    def test_concentration(self):
+        analysis = _analysis()
+        assert analysis.concentration(top=1) == pytest.approx(6 / 8)
+        assert analysis.concentration(top=2) == pytest.approx(1.0)
+        with pytest.raises(ConfigurationError):
+            analysis.concentration(top=0)
+
+    def test_custom_predicate(self):
+        analysis = _analysis()
+        minors = analysis.ranking(
+            predicate=lambda o: o.category is OutcomeCategory.MINOR_INSIGNIFICANT
+        )
+        top = [row for row in minors if row.hits]
+        assert top[0].element == "r0"
+
+    def test_empty_attribution(self):
+        analysis = VulnerabilityAnalysis()
+        analysis.record("cache", "line0.data", Outcome(OutcomeCategory.OVERWRITTEN))
+        assert analysis.attribution() == {}
+
+    def test_render_table(self):
+        table = render_vulnerability_table(_analysis())
+        assert "cache/line3.data" in table
+        assert "share" in table
+
+    def test_from_campaign_reproduces_paper_attribution(
+        self, algorithm_i_compiled
+    ):
+        """The §4.2 claim: severe failures concentrate on the state
+        variable's cache line."""
+        import numpy as np
+
+        from repro.analysis.classify import classify_outputs
+        from repro.goofi import TargetSystem
+        from repro.faults.models import FaultDescriptor, FaultTarget
+        from repro.thor.cache import split_address
+        from repro.thor.scanchain import CACHE_PARTITION
+
+        target = TargetSystem(algorithm_i_compiled, iterations=150)
+        reference = target.run_reference()
+        _, x_line = split_address(algorithm_i_compiled.address_of("x"))
+        analysis = VulnerabilityAnalysis()
+        rng = np.random.default_rng(8)
+        # Inject into x's line and two RTS-only lines for contrast.
+        for element in (f"line{x_line}.data", "line20.data", "line24.data"):
+            for _ in range(15):
+                time = int(rng.integers(0, reference.total_instructions))
+                bit = int(rng.integers(20, 31))
+                fault = FaultDescriptor(
+                    FaultTarget(CACHE_PARTITION, element, bit), time
+                )
+                run = target.run_experiment(fault)
+                if run.detection is not None:
+                    outcome = Outcome(
+                        OutcomeCategory.DETECTED,
+                        mechanism=run.detection.mechanism.value,
+                    )
+                else:
+                    outcome = classify_outputs(run.outputs, reference.outputs)
+                analysis.record(CACHE_PARTITION, element, outcome)
+        ranking = analysis.ranking(
+            predicate=lambda o: o.category.is_value_failure
+        )
+        assert ranking[0].element == f"line{x_line}.data"

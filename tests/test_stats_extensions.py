@@ -1,0 +1,75 @@
+"""Tests for the statistical extensions (z-test, campaign planning)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import faults_for_half_width, two_proportion_z_test
+from repro.errors import ConfigurationError
+
+
+class TestTwoProportionZTest:
+    def test_paper_severe_rates_are_significant(self):
+        # Paper §4.5: 50/9290 severe for Algorithm I vs 4/2372 for II.
+        result = two_proportion_z_test(50, 9290, 4, 2372)
+        assert result.difference > 0
+        assert result.significant(alpha=0.05)
+
+    def test_identical_proportions_not_significant(self):
+        result = two_proportion_z_test(10, 100, 10, 100)
+        assert result.statistic == 0.0
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_zero_pooled_variance(self):
+        result = two_proportion_z_test(0, 50, 0, 70)
+        assert result.p_value == 1.0
+
+    def test_known_value(self):
+        # p1=0.5 (50/100) vs p2=0.3 (30/100): z ~ 2.887.
+        result = two_proportion_z_test(50, 100, 30, 100)
+        assert result.statistic == pytest.approx(2.887, abs=0.01)
+        assert result.p_value == pytest.approx(0.00389, abs=0.0005)
+
+    def test_symmetry(self):
+        a = two_proportion_z_test(50, 100, 30, 100)
+        b = two_proportion_z_test(30, 100, 50, 100)
+        assert a.statistic == pytest.approx(-b.statistic)
+        assert a.p_value == pytest.approx(b.p_value)
+
+    @given(
+        st.integers(0, 200),
+        st.integers(1, 200),
+        st.integers(0, 200),
+        st.integers(1, 200),
+    )
+    @settings(max_examples=100)
+    def test_p_value_in_unit_interval(self, c1, t1, c2, t2):
+        c1, c2 = min(c1, t1), min(c2, t2)
+        result = two_proportion_z_test(c1, t1, c2, t2)
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestFaultsForHalfWidth:
+    def test_paper_precision_needs_paper_scale(self):
+        # Resolving ~0.54% severe to the paper's +-0.15% takes thousands
+        # of experiments — the reason Table 2 injects 9290 faults.
+        n = faults_for_half_width(0.0054, 0.0015)
+        assert 8000 < n < 11000
+
+    def test_wider_interval_needs_fewer_faults(self):
+        assert faults_for_half_width(0.05, 0.02) < faults_for_half_width(0.05, 0.01)
+
+    def test_achieves_requested_width(self):
+        from repro.analysis import wald_interval
+
+        p, w = 0.1, 0.01
+        n = faults_for_half_width(p, w)
+        assert wald_interval(round(p * n), n) <= w * 1.05
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            faults_for_half_width(0.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            faults_for_half_width(0.5, 0.0)

@@ -1,0 +1,344 @@
+"""Tests for the tiny control compiler: AST, codegen, interpreter, and
+the compiled-vs-interpreted equivalence property."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompileError
+from repro.tcc import (
+    And,
+    Assign,
+    BinOp,
+    Cmp,
+    Const,
+    ControlProgram,
+    If,
+    Neg,
+    Not,
+    Or,
+    Var,
+    While,
+    compile_program,
+    interpret_iteration,
+)
+from repro.tcc.ast import materialize_constants
+from repro.tcc.interpreter import initial_state
+from repro.thor.cpu import CPU, StepResult
+from repro.thor.memory import MemoryLayout, MMIODevice
+
+
+def f2b(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def b2f(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+def _program(body, variables=None, local_vars=None, inputs=("a", "b"), outputs=("out",)):
+    variables = variables if variables is not None else {"a": 0.0, "b": 0.0, "out": 0.0}
+    return ControlProgram(
+        name="test",
+        inputs=list(inputs),
+        outputs=list(outputs),
+        variables=variables,
+        locals=local_vars or {},
+        body=body,
+    )
+
+
+def run_on_cpu(program, inputs_sequence, allow_detection=False):
+    """Run a compiled program for len(inputs_sequence) iterations.
+
+    With ``allow_detection`` a hardware detection (e.g. float overflow in
+    a randomly generated expression) returns ``None`` instead of failing.
+    """
+    compiled = compile_program(program)
+    cpu = CPU(MemoryLayout())
+    cpu.load(compiled.program)
+    outputs = []
+    for values in inputs_sequence:
+        for i, value in enumerate(values):
+            cpu.memory.mmio.write(MMIODevice.INPUT_BASE + 4 * i, f2b(value))
+        result = cpu.run(100000)
+        if allow_detection and result is StepResult.DETECTED:
+            return None
+        assert result is StepResult.YIELD, (result, cpu.detection)
+        outputs.append(
+            [
+                b2f(cpu.memory.mmio.read(MMIODevice.OUTPUT_BASE + 4 * j))
+                for j in range(len(program.outputs))
+            ]
+        )
+    return outputs
+
+
+class TestValidation:
+    def test_undeclared_variable_rejected(self):
+        program = _program([Assign("out", Var("nope"))])
+        with pytest.raises(CompileError):
+            program.validate()
+
+    def test_undeclared_target_rejected(self):
+        program = _program([Assign("nope", Const(1.0))])
+        with pytest.raises(CompileError):
+            program.validate()
+
+    def test_io_must_be_global(self):
+        program = ControlProgram(
+            name="t", inputs=["a"], outputs=["a"],
+            variables={}, locals={"a": 0.0}, body=[],
+        )
+        with pytest.raises(CompileError):
+            program.validate()
+
+    def test_global_local_overlap_rejected(self):
+        program = ControlProgram(
+            name="t", inputs=["a"], outputs=["a"],
+            variables={"a": 0.0, "x": 0.0}, locals={"x": 0.0}, body=[],
+        )
+        with pytest.raises(CompileError):
+            program.validate()
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(CompileError):
+            BinOp("%", Const(1.0), Const(2.0))
+        with pytest.raises(CompileError):
+            Cmp("<>", Const(1.0), Const(2.0))
+
+    def test_materialize_constants_per_use(self):
+        body = [
+            Assign("a", BinOp("+", Const(1.0), Const(1.0))),
+            Assign("a", Const(1.0)),
+        ]
+        rewritten, slots = materialize_constants(body)
+        assert len(slots) == 3  # one slot per textual use, no dedup
+        assert all(value == 1.0 for value in slots.values())
+
+
+class TestInterpreter:
+    def test_assignment_and_arithmetic(self):
+        program = _program([Assign("out", BinOp("+", Var("a"), BinOp("*", Var("b"), Const(2.0))))])
+        state = initial_state(program)
+        out = interpret_iteration(program, state, [3.0, 4.0])
+        assert out["out"] == 11.0
+
+    def test_if_else(self):
+        program = _program(
+            [
+                If(
+                    Cmp(">", Var("a"), Var("b")),
+                    then=[Assign("out", Const(1.0))],
+                    orelse=[Assign("out", Const(-1.0))],
+                )
+            ]
+        )
+        state = initial_state(program)
+        assert interpret_iteration(program, state, [5.0, 1.0])["out"] == 1.0
+        assert interpret_iteration(program, state, [1.0, 5.0])["out"] == -1.0
+
+    def test_while_loop(self):
+        # out = a; while out < b: out = out + 1
+        program = _program(
+            [
+                Assign("out", Var("a")),
+                While(
+                    Cmp("<", Var("out"), Var("b")),
+                    body=[Assign("out", BinOp("+", Var("out"), Const(1.0)))],
+                ),
+            ]
+        )
+        state = initial_state(program)
+        assert interpret_iteration(program, state, [0.0, 5.0])["out"] == 5.0
+
+    def test_state_persists_across_iterations(self):
+        program = _program(
+            [Assign("out", BinOp("+", Var("out"), Var("a")))],
+        )
+        state = initial_state(program)
+        interpret_iteration(program, state, [2.0, 0.0])
+        out = interpret_iteration(program, state, [3.0, 0.0])
+        assert out["out"] == 5.0
+
+    def test_single_precision_rounding(self):
+        program = _program([Assign("out", BinOp("+", Var("a"), Var("b")))])
+        state = initial_state(program)
+        out = interpret_iteration(program, state, [1.0, 1e-9])
+        # float32(1 + 1e-9) == 1.0 exactly
+        assert out["out"] == 1.0
+
+    def test_input_count_checked(self):
+        program = _program([])
+        with pytest.raises(CompileError):
+            interpret_iteration(program, initial_state(program), [1.0])
+
+
+class TestCompiledPrograms:
+    def test_simple_sum_matches_interpreter(self):
+        program = _program([Assign("out", BinOp("-", Var("a"), Var("b")))])
+        cpu_outs = run_on_cpu(program, [[10.0, 4.0], [1.5, 2.5]])
+        state = initial_state(program)
+        for (a, b), cpu_out in zip([[10.0, 4.0], [1.5, 2.5]], cpu_outs):
+            assert interpret_iteration(program, state, [a, b])["out"] == cpu_out[0]
+
+    def test_locals_live_on_the_stack(self):
+        program = _program(
+            [
+                Assign("t", BinOp("*", Var("a"), Const(3.0))),
+                Assign("out", BinOp("+", Var("t"), Var("b"))),
+            ],
+            local_vars={"t": 0.0},
+        )
+        compiled = compile_program(program)
+        assert "t" in compiled.frame_offsets
+        assert compiled.frame_size >= 4
+        assert run_on_cpu(program, [[2.0, 1.0]]) == [[7.0]]
+
+    def test_nested_if_and_logic(self):
+        program = _program(
+            [
+                Assign("out", Const(0.0)),
+                If(
+                    And(Cmp(">", Var("a"), Const(0.0)), Cmp(">", Var("b"), Const(0.0))),
+                    then=[
+                        If(
+                            Or(Cmp(">", Var("a"), Var("b")), Cmp("==", Var("a"), Var("b"))),
+                            then=[Assign("out", Var("a"))],
+                            orelse=[Assign("out", Var("b"))],
+                        )
+                    ],
+                    orelse=[Assign("out", Neg(Const(1.0)))],
+                ),
+            ]
+        )
+        outs = run_on_cpu(program, [[3.0, 2.0], [2.0, 3.0], [-1.0, 5.0], [2.0, 2.0]])
+        assert [o[0] for o in outs] == [3.0, 3.0, -1.0, 2.0]
+
+    def test_not_condition(self):
+        program = _program(
+            [
+                If(
+                    Not(Cmp("<", Var("a"), Var("b"))),
+                    then=[Assign("out", Const(1.0))],
+                    orelse=[Assign("out", Const(0.0))],
+                )
+            ]
+        )
+        outs = run_on_cpu(program, [[5.0, 1.0], [1.0, 5.0]])
+        assert [o[0] for o in outs] == [1.0, 0.0]
+
+    def test_multiple_outputs(self):
+        program = ControlProgram(
+            name="two",
+            inputs=["a", "b"],
+            outputs=["s", "d"],
+            variables={"a": 0.0, "b": 0.0, "s": 0.0, "d": 0.0},
+            body=[
+                Assign("s", BinOp("+", Var("a"), Var("b"))),
+                Assign("d", BinOp("-", Var("a"), Var("b"))),
+            ],
+        )
+        assert run_on_cpu(program, [[7.0, 3.0]]) == [[10.0, 4.0]]
+
+    def test_expression_depth_limit(self):
+        deep = Var("a")
+        for _ in range(8):
+            deep = BinOp("+", deep, Var("b"))
+        # Left-leaning chains are fine...
+        compile_program(_program([Assign("out", deep)]))
+        # ...but right-leaning chains exhaust the scratch registers.
+        deep = Var("a")
+        for _ in range(8):
+            deep = BinOp("+", Var("b"), deep)
+        with pytest.raises(CompileError):
+            compile_program(_program([Assign("out", deep)]))
+
+    def test_iteration_counter_increments(self):
+        program = _program([Assign("out", Var("a"))])
+        compiled = compile_program(program)
+        cpu = CPU()
+        cpu.load(compiled.program)
+        for k in range(3):
+            cpu.run(100000)
+        assert cpu.memory.mmio.read(MMIODevice.ITERATION) == 3
+
+    def test_constants_land_in_rodata(self):
+        program = _program([Assign("out", Const(42.0))])
+        compiled = compile_program(program)
+        layout = MemoryLayout()
+        address = compiled.address_of("__c0")
+        assert layout.rodata_base <= address < layout.rodata_base + layout.rodata_size
+
+    def test_address_of_unknown_raises(self):
+        compiled = compile_program(_program([]))
+        with pytest.raises(CompileError):
+            compiled.address_of("missing")
+
+
+_EXPR_LEAVES = st.sampled_from(
+    [Var("a"), Var("b"), Var("out"), Const(0.5), Const(-2.0), Const(10.0)]
+)
+
+
+def _expressions(depth):
+    if depth == 0:
+        return _EXPR_LEAVES
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        _EXPR_LEAVES,
+        st.builds(BinOp, st.sampled_from(["+", "-", "*"]), sub, sub),
+        st.builds(Neg, sub),
+    )
+
+
+def _conditions(depth):
+    expr = _expressions(1)
+    base = st.builds(Cmp, st.sampled_from(["<", "<=", ">", ">=", "==", "!="]), expr, expr)
+    if depth == 0:
+        return base
+    sub = _conditions(depth - 1)
+    return st.one_of(base, st.builds(And, sub, sub), st.builds(Or, sub, sub), st.builds(Not, sub))
+
+
+def _statements(depth):
+    assign = st.builds(Assign, st.sampled_from(["out", "t"]), _expressions(2))
+    if depth == 0:
+        return assign
+    sub_list = st.lists(_statements(depth - 1), min_size=1, max_size=3)
+    return st.one_of(
+        assign,
+        st.builds(If, _conditions(1), sub_list, sub_list),
+    )
+
+
+class TestCompilerEquivalenceProperty:
+    @given(
+        body=st.lists(_statements(2), min_size=1, max_size=5),
+        inputs=st.lists(
+            st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_equals_interpreted(self, body, inputs):
+        """Random programs produce bit-identical outputs on the CPU and
+        in the reference interpreter."""
+        program = _program(body, local_vars={"t": 0.0})
+        try:
+            compiled_outputs = run_on_cpu(
+                program, [list(p) for p in inputs], allow_detection=True
+            )
+        except CompileError:
+            return  # depth-limit rejections are fine
+        if compiled_outputs is None:
+            return  # a float check fired (overflow etc.) — fine
+        state = initial_state(program)
+        for pair, cpu_out in zip(inputs, compiled_outputs):
+            expected = interpret_iteration(program, state, list(pair))["out"]
+            assert expected == cpu_out[0] or (
+                expected != expected and cpu_out[0] != cpu_out[0]
+            )

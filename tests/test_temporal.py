@@ -1,0 +1,78 @@
+"""Tests for the injection-time (temporal) outcome profile."""
+
+import pytest
+
+from repro.analysis import Outcome, OutcomeCategory
+from repro.analysis.sensitivity import (
+    TemporalBin,
+    render_temporal_profile,
+    temporal_profile,
+)
+from repro.errors import ConfigurationError
+from repro.faults.models import FaultDescriptor, FaultTarget
+from repro.goofi.target import ExperimentRun
+
+
+class _FakeResult:
+    def __init__(self, pairs):
+        self.experiments = [
+            ExperimentRun(
+                fault=FaultDescriptor(FaultTarget("cache", "line0.data", 0), time),
+                outputs=[],
+            )
+            for time, _ in pairs
+        ]
+        self.outcomes = [outcome for _, outcome in pairs]
+
+
+def _result():
+    detected = Outcome(OutcomeCategory.DETECTED, mechanism="ADDRESS ERROR")
+    severe = Outcome(OutcomeCategory.SEVERE_SEMI_PERMANENT)
+    benign = Outcome(OutcomeCategory.OVERWRITTEN)
+    pairs = []
+    for time in range(0, 50):
+        pairs.append((time, detected))
+    for time in range(50, 75):
+        pairs.append((time, severe))
+    for time in range(75, 100):
+        pairs.append((time, benign))
+    return _FakeResult(pairs)
+
+
+class TestTemporalProfile:
+    def test_bin_totals_cover_everything(self):
+        profile = temporal_profile(_result(), bins=4)
+        assert sum(tbin.total for tbin in profile) == 100
+        assert len(profile) == 4
+
+    def test_outcome_counts_land_in_the_right_bins(self):
+        profile = temporal_profile(_result(), bins=4)
+        assert profile[0].detected == profile[0].total
+        assert profile[2].severe > 0
+        assert profile[3].value_failures == profile[3].severe == 0
+
+    def test_fractions_are_monotone(self):
+        profile = temporal_profile(_result(), bins=5)
+        for previous, current in zip(profile, profile[1:]):
+            assert previous.end_fraction == pytest.approx(current.start_fraction)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            temporal_profile(_result(), bins=0)
+        with pytest.raises(ConfigurationError):
+            temporal_profile(_FakeResult([]), bins=4)
+
+    def test_render(self):
+        text = render_temporal_profile(temporal_profile(_result(), bins=2))
+        assert "window slice" in text
+        assert text.count("\n") >= 3
+
+    def test_real_campaign_profile(self, algorithm_i_compiled):
+        from repro.goofi import CampaignConfig, ScifiCampaign
+
+        config = CampaignConfig(
+            workload=algorithm_i_compiled, faults=60, seed=33, iterations=40
+        )
+        result = ScifiCampaign(config).run()
+        profile = temporal_profile(result, bins=4)
+        assert sum(tbin.total for tbin in profile) == 60

@@ -1,0 +1,150 @@
+"""Tests for the data cache, including a hypothesis equivalence check."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thor.cache import (
+    BITS_PER_LINE,
+    DataCache,
+    LINES,
+    TOTAL_BITS,
+    line_address,
+    split_address,
+)
+from repro.thor.edm import HardwareDetection
+from repro.thor.memory import MemoryLayout, MemoryMap
+
+
+@pytest.fixture()
+def memory():
+    return MemoryMap(MemoryLayout())
+
+
+class TestGeometry:
+    def test_paper_bit_budget(self):
+        # 1824 injectable cache bits, the paper's cache partition size.
+        assert TOTAL_BITS == 1824
+        assert LINES * BITS_PER_LINE == 1824
+
+    def test_split_and_reconstruct(self):
+        for address in (0x2000, 0x2004, 0x207C, 0x30FC):
+            tag, index = split_address(address)
+            assert line_address(tag, index) == address
+
+    def test_adjacent_words_map_to_adjacent_lines(self):
+        _, i0 = split_address(0x2000)
+        _, i1 = split_address(0x2004)
+        assert i1 == (i0 + 1) % LINES
+
+    def test_aliases_share_line_with_different_tags(self):
+        t0, i0 = split_address(0x2000)
+        t1, i1 = split_address(0x2000 + LINES * 4)
+        assert i0 == i1 and t0 != t1
+
+
+class TestCacheBehaviour:
+    def test_read_miss_then_hit(self, memory):
+        cache = DataCache()
+        address = memory.layout.data_base + 12
+        memory.poke(address, 0x42)
+        assert cache.read(address, memory) == 0x42
+        assert cache.misses == 1
+        assert cache.read(address, memory) == 0x42
+        assert cache.hits == 1
+
+    def test_write_then_read_back(self, memory):
+        cache = DataCache()
+        address = memory.layout.data_base + 12
+        cache.write(address, 0x99, memory)
+        assert cache.read(address, memory) == 0x99
+        # Write-back: memory still holds the old value until eviction.
+        assert memory.peek(address) == 0
+
+    def test_conflict_eviction_writes_back(self, memory):
+        cache = DataCache()
+        a = memory.layout.data_base
+        b = a + LINES * 4  # same line, different tag
+        cache.write(a, 0x11, memory)
+        cache.write(b, 0x22, memory)
+        assert cache.writebacks == 1
+        assert memory.peek(a) == 0x11
+        assert cache.read(a, memory) == 0x11
+        assert memory.peek(b) == 0x22  # b evicted when a was refetched
+
+    def test_flush_writes_all_dirty_lines(self, memory):
+        cache = DataCache()
+        base = memory.layout.data_base
+        for i in range(8):
+            cache.write(base + 4 * i, i + 1, memory)
+        cache.flush(memory)
+        for i in range(8):
+            assert memory.peek(base + 4 * i) == i + 1
+        assert not cache.valid.any()
+
+    def test_invalidate_drops_dirty_data(self, memory):
+        cache = DataCache()
+        address = memory.layout.data_base
+        cache.write(address, 0x77, memory)
+        cache.invalidate()
+        assert cache.read(address, memory) == 0  # stale memory value
+
+    def test_corrupted_tag_eviction_goes_to_wrong_address(self, memory):
+        """The paper's dominant cache-fault detection path: a flipped tag
+        sends the dirty write-back to unmapped memory."""
+        cache = DataCache()
+        address = memory.layout.data_base
+        cache.write(address, 0x55, memory)
+        tag, index = split_address(address)
+        cache.tags[index] = tag ^ (1 << 20)  # flip a high tag bit
+        with pytest.raises(HardwareDetection):
+            cache.read(address, memory)
+
+    def test_corrupted_valid_bit_loses_dirty_data(self, memory):
+        cache = DataCache()
+        address = memory.layout.data_base
+        memory.poke(address, 0xAA)
+        cache.write(address, 0xBB, memory)
+        _, index = split_address(address)
+        cache.valid[index] = 0  # flip valid 1 -> 0
+        assert cache.read(address, memory) == 0xAA  # stale value returns
+
+    def test_snapshot_round_trip(self, memory):
+        cache = DataCache()
+        cache.write(memory.layout.data_base, 0x1, memory)
+        snapshot = cache.snapshot()
+        cache.write(memory.layout.data_base + 4, 0x2, memory)
+        cache.restore(snapshot)
+        assert cache.state_bytes() == DataCache.state_bytes(cache)
+        _, index = split_address(memory.layout.data_base + 4)
+        assert not cache.valid[index]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.booleans(),  # write?
+                st.integers(0, 71),  # word offset spanning aliases
+                st.integers(0, 0xFFFFFFFF),
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cached_memory_equals_flat_memory(self, operations):
+        """Property: through-cache reads always equal a flat reference
+        model, for arbitrary read/write sequences across aliasing lines."""
+        layout = MemoryLayout()
+        memory = MemoryMap(layout)
+        cache = DataCache()
+        flat = {}
+        for is_write, word, value in operations:
+            address = layout.data_base + 4 * word
+            if is_write:
+                cache.write(address, value, memory)
+                flat[address] = value
+            else:
+                assert cache.read(address, memory) == flat.get(address, 0)
+        cache.flush(memory)
+        for address, value in flat.items():
+            assert memory.peek(address) == value

@@ -1,0 +1,241 @@
+"""Tests for the CPU core: instruction semantics, flags, state access."""
+
+import struct
+
+import pytest
+
+from repro.thor.assembler import assemble
+from repro.thor.cpu import CPU, FLAG_M, StepResult
+from repro.thor.memory import MemoryLayout, MMIODevice
+
+
+def f2b(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def b2f(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits))[0]
+
+
+def run_source(source: str, max_instructions: int = 10000) -> CPU:
+    cpu = CPU(MemoryLayout())
+    cpu.load(assemble(source))
+    result = cpu.run(max_instructions)
+    assert result in (StepResult.HALTED, StepResult.YIELD, StepResult.DETECTED)
+    return cpu
+
+
+SUPERVISOR_PREFIX = ""  # programs run in user mode; halting needs svc
+
+
+class TestIntegerInstructions:
+    def test_ldi_lui_ori_build_constants(self):
+        cpu = run_source("ldi r1, -2\nlui r2, 0x1234\nori r2, 0x5678\nsvc 0")
+        assert cpu.regs[1] == 0xFFFFFFFE
+        assert cpu.regs[2] == 0x12345678
+
+    def test_arithmetic(self):
+        cpu = run_source(
+            "ldi r1, 7\nldi r2, 3\n"
+            "add r3, r1, r2\nsub r4, r1, r2\nmul r5, r1, r2\ndiv r6, r1, r2\nsvc 0"
+        )
+        assert cpu.regs[3] == 10
+        assert cpu.regs[4] == 4
+        assert cpu.regs[5] == 21
+        assert cpu.regs[6] == 2
+
+    def test_division_truncates_toward_zero(self):
+        cpu = run_source("ldi r1, -7\nldi r2, 2\ndiv r3, r1, r2\nsvc 0")
+        assert cpu.regs[3] == 0xFFFFFFFD  # -3
+
+    def test_logic_and_shifts(self):
+        cpu = run_source(
+            "ldi r1, 0xF0\nldi r2, 0x0F\n"
+            "and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2\n"
+            "ldi r6, 2\nshl r7, r2, r6\nsvc 0"
+        )
+        assert cpu.regs[3] == 0
+        assert cpu.regs[4] == 0xFF
+        assert cpu.regs[5] == 0xFF
+        assert cpu.regs[7] == 0x3C
+
+    def test_compare_and_branches(self):
+        cpu = run_source(
+            "ldi r1, 5\nldi r2, 9\ncmp r1, r2\nblt less\nldi r3, 0\nsvc 0\n"
+            "less: ldi r3, 1\nsvc 0"
+        )
+        assert cpu.regs[3] == 1
+
+    def test_mov(self):
+        cpu = run_source("ldi r1, 42\nmov r2, r1\nsvc 0")
+        assert cpu.regs[2] == 42
+
+
+class TestFloatInstructions:
+    def test_float_arithmetic(self):
+        source = """
+.rodata
+a: .float 1.5
+b: .float 2.0
+.text
+        lui r7, %hi(a)
+        ori r7, %lo(a)
+        ld r1, [r7+0]
+        ld r2, [r7+4]
+        fadd r3, r1, r2
+        fsub r4, r1, r2
+        fmul r5, r1, r2
+        fdiv r6, r1, r2
+        svc 0
+        """
+        cpu = run_source(source)
+        assert b2f(cpu.regs[3]) == 3.5
+        assert b2f(cpu.regs[4]) == -0.5
+        assert b2f(cpu.regs[5]) == 3.0
+        assert b2f(cpu.regs[6]) == 0.75
+
+    def test_fneg_flips_sign_bit(self):
+        cpu = run_source("ldi r1, 0\nfneg r2, r1\nsvc 0")
+        assert cpu.regs[2] == 0x80000000
+
+    def test_itof_ftoi(self):
+        cpu = run_source("ldi r1, -7\nitof r2, r1\nftoi r3, r2\nsvc 0")
+        assert b2f(cpu.regs[2]) == -7.0
+        assert cpu.regs[3] == 0xFFFFFFF9
+
+    def test_fcmp_flags_drive_branches(self):
+        source = """
+.rodata
+small: .float 1.0
+big: .float 2.0
+.text
+        lui r7, %hi(small)
+        ori r7, %lo(small)
+        ld r1, [r7+0]
+        ld r2, [r7+4]
+        fcmp r1, r2
+        blt less
+        ldi r3, 0
+        svc 0
+less:   ldi r3, 1
+        svc 0
+        """
+        cpu = run_source(source)
+        assert cpu.regs[3] == 1
+
+
+class TestMemoryAndStack:
+    def test_load_store_round_trip(self):
+        source = """
+        lui r7, 0x0
+        ori r7, 0x2000
+        ldi r1, 77
+        st r1, [r7+8]
+        ld r2, [r7+8]
+        svc 0
+        """
+        cpu = run_source(source)
+        assert cpu.regs[2] == 77
+
+    def test_push_pop(self):
+        cpu = run_source("ldi r1, 5\npush r1\nldi r1, 0\npop r2\nsvc 0")
+        assert cpu.regs[2] == 5
+        assert cpu.regs[8] == cpu.layout.stack_top
+
+    def test_call_ret(self):
+        source = """
+        call fn
+        ldi r2, 2
+        svc 0
+fn:     ldi r1, 1
+        ret
+        """
+        cpu = run_source(source)
+        assert cpu.regs[1] == 1
+        assert cpu.regs[2] == 2
+
+    def test_mar_mdr_track_memory_traffic(self):
+        source = """
+        lui r7, 0x0
+        ori r7, 0x2000
+        ldi r1, 9
+        st r1, [r7+16]
+        svc 0
+        """
+        cpu = run_source(source)
+        assert cpu.mar == 0x2010
+        assert cpu.mdr == 9
+
+
+class TestControlAndMode:
+    def test_svc_yields_with_service_number(self):
+        cpu = CPU()
+        cpu.load(assemble("svc 3"))
+        assert cpu.step() is StepResult.YIELD
+        assert cpu.last_svc == 3
+
+    def test_yield_loop_resumes(self):
+        cpu = CPU()
+        cpu.load(assemble("loop: svc 0\nbr loop"))
+        for _ in range(5):
+            assert cpu.run(100) is StepResult.YIELD
+
+    def test_halt_requires_supervisor(self):
+        cpu = run_source("halt")
+        assert cpu.detection is not None
+        assert "privileged" in cpu.detection.detail
+
+    def test_supervisor_mode_allows_halt(self):
+        cpu = CPU()
+        cpu.load(assemble("halt"))
+        cpu.psw |= FLAG_M
+        assert cpu.step() is StepResult.HALTED
+        assert cpu.halted
+
+    def test_frozen_after_detection(self):
+        cpu = run_source("halt")  # INSTRUCTION ERROR in user mode
+        index = cpu.instruction_index
+        assert cpu.step() is StepResult.DETECTED
+        assert cpu.instruction_index == index
+
+    def test_mmio_iteration_counter_updates(self):
+        source = f"""
+        lui r6, 0x0
+        ori r6, 0x4000
+        ldi r1, 1
+        st r1, [r6+{MMIODevice.ITERATION}]
+        svc 0
+        """
+        cpu = run_source(source)
+        assert cpu.memory.mmio.read(MMIODevice.ITERATION) == 1
+
+
+class TestStateAccess:
+    def test_snapshot_restore_resumes_identically(self):
+        source = "loop: ldi r1, 1\nadd r2, r2, r1\nsvc 0\nbr loop"
+        cpu = CPU()
+        cpu.load(assemble(source))
+        cpu.run(100)
+        snapshot = cpu.snapshot()
+        cpu.run(100)
+        after_one = cpu.regs[2]
+        cpu.restore(snapshot)
+        cpu.run(100)
+        assert cpu.regs[2] == after_one
+
+    def test_state_bytes_stable_and_sensitive(self):
+        cpu = CPU()
+        cpu.load(assemble("nop\nsvc 0"))
+        a = cpu.state_bytes()
+        assert a == cpu.state_bytes()
+        cpu.step()
+        assert cpu.state_bytes() != a
+
+    def test_trace_hook_sees_every_instruction(self):
+        cpu = CPU()
+        cpu.load(assemble("nop\nnop\nsvc 0"))
+        trace = []
+        cpu.trace_hook = trace.append
+        cpu.run(10)
+        assert [t.mnemonic for t in trace] == ["NOP", "NOP", "SVC"]
+        assert [t.index for t in trace] == [0, 1, 2]

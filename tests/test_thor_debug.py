@@ -1,0 +1,133 @@
+"""Tests for the breakpoint/watchpoint debug interface."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.thor.assembler import assemble
+from repro.thor.cpu import CPU
+from repro.thor.debug import DebugInterface, StopReason
+
+LOOP = """
+start:  ldi r1, 1
+loop:   add r2, r2, r1
+        svc 0
+        br loop
+"""
+
+
+def _debugger(source=LOOP):
+    cpu = CPU()
+    cpu.load(assemble(source))
+    return DebugInterface(cpu)
+
+
+class TestBreakpoints:
+    def test_halts_before_the_instruction(self):
+        dbg = _debugger()
+        target = dbg.cpu.layout.code_base + 8  # the svc
+        dbg.set_breakpoint(target)
+        event = dbg.resume()
+        assert event.reason is StopReason.BREAKPOINT
+        assert event.pc == target
+        # The add already ran; the svc has not.
+        assert dbg.cpu.regs[2] == 1
+
+    def test_clear_breakpoint(self):
+        dbg = _debugger()
+        target = dbg.cpu.layout.code_base + 8
+        dbg.set_breakpoint(target)
+        dbg.clear_breakpoint(target)
+        event = dbg.resume()
+        assert event.reason is StopReason.YIELD
+
+    def test_repeated_resume_stops_every_visit(self):
+        dbg = _debugger()
+        loop_head = dbg.cpu.layout.code_base + 4
+        dbg.set_breakpoint(loop_head)
+        visits = 0
+        for _ in range(3):
+            event = dbg.resume(stop_on_yield=False)
+            assert event.reason is StopReason.BREAKPOINT
+            visits += 1
+            dbg.step()  # step over the breakpointed instruction
+        assert visits == 3
+
+    def test_unaligned_rejected(self):
+        dbg = _debugger()
+        with pytest.raises(MachineError):
+            dbg.set_breakpoint(0x1001)
+
+
+class TestInstructionCountBreaks:
+    def test_break_before_nth_instruction(self):
+        dbg = _debugger()
+        dbg.break_at_instruction(5)
+        event = dbg.resume(stop_on_yield=False)
+        assert event.reason is StopReason.INSTRUCTION_COUNT
+        assert event.instruction_index == 5
+
+    def test_is_one_shot(self):
+        dbg = _debugger()
+        dbg.break_at_instruction(2)
+        assert dbg.resume().reason is StopReason.INSTRUCTION_COUNT
+        assert dbg.resume().reason is StopReason.YIELD
+
+    def test_negative_rejected(self):
+        with pytest.raises(MachineError):
+            _debugger().break_at_instruction(-1)
+
+
+class TestWatchpoints:
+    def test_fires_on_store_to_address(self):
+        source = """
+        lui r7, 0x0
+        ori r7, 0x2000
+        ldi r1, 5
+        st r1, [r7+16]
+        svc 0
+        """
+        dbg = _debugger(source)
+        dbg.set_watchpoint(0x2010)
+        event = dbg.resume()
+        assert event.reason is StopReason.WATCHPOINT
+        assert event.address == 0x2010
+
+    def test_other_addresses_do_not_fire(self):
+        source = """
+        lui r7, 0x0
+        ori r7, 0x2000
+        ldi r1, 5
+        st r1, [r7+16]
+        svc 0
+        """
+        dbg = _debugger(source)
+        dbg.set_watchpoint(0x2020)
+        assert dbg.resume().reason is StopReason.YIELD
+
+
+class TestTerminalStops:
+    def test_yield_and_budget(self):
+        dbg = _debugger()
+        assert dbg.resume().reason is StopReason.YIELD
+        assert dbg.resume(budget=2).reason is StopReason.BUDGET
+
+    def test_detection_stop(self):
+        dbg = _debugger("pop r1")  # stack underflow -> STORAGE ERROR
+        event = dbg.resume()
+        assert event.reason is StopReason.DETECTED
+        assert dbg.cpu.detection is not None
+
+    def test_injection_at_breakpoint_like_goofi(self):
+        """The GOOFI sequence: halt at a sampled instruction, flip a bit
+        through the scan chain, resume."""
+        from repro.faults.models import FaultTarget
+        from repro.thor.scanchain import REGISTER_PARTITION, ScanChain
+
+        dbg = _debugger()
+        chain = ScanChain(dbg.cpu)
+        dbg.break_at_instruction(3)
+        assert dbg.resume(stop_on_yield=False).reason is StopReason.INSTRUCTION_COUNT
+        chain.flip(FaultTarget(REGISTER_PARTITION, "r2", 7))
+        event = dbg.resume()
+        assert event.reason is StopReason.YIELD
+        assert dbg.cpu.regs[2] & (1 << 7)

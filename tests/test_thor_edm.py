@@ -1,0 +1,278 @@
+"""Every Table 1 error-detection mechanism must be triggerable (and is).
+
+This file exercises the full EDM suite the way the paper's Table 1
+describes it; the matching benchmark (`bench_table1_edm_coverage`)
+regenerates the table from the same scenarios.
+"""
+
+import pytest
+
+from repro.thor.assembler import assemble
+from repro.thor.comparator import MasterSlavePair
+from repro.thor.cpu import CPU, StepResult
+from repro.thor.edm import Mechanism, mechanism_by_name
+from repro.thor.isa import Instruction, Opcode, encode
+from repro.thor.memory import EXTERNAL_BUS_BASE, MemoryLayout
+
+
+def detect(source: str, max_instructions: int = 10000):
+    cpu = CPU(MemoryLayout())
+    cpu.load(assemble(source))
+    result = cpu.run(max_instructions)
+    assert result is StepResult.DETECTED, f"no detection: {result}"
+    return cpu.detection
+
+
+class TestEachMechanism:
+    def test_bus_error_on_external_bus_timeout(self):
+        base = EXTERNAL_BUS_BASE + 0x1000
+        detection = detect(
+            f"lui r1, {base >> 16:#x}\nori r1, {base & 0xFFFF:#x}\nld r2, [r1]\nsvc 0"
+        )
+        assert detection.mechanism is Mechanism.BUS_ERROR
+
+    def test_address_error_on_non_existing_memory(self):
+        detection = detect("lui r1, 0x10\nld r2, [r1]\nsvc 0")
+        assert detection.mechanism is Mechanism.ADDRESS_ERROR
+
+    def test_address_error_on_protected_write(self):
+        detection = detect("lui r1, 0x0\nori r1, 0x1000\nldi r2, 1\nst r2, [r1]\n")
+        assert detection.mechanism is Mechanism.ADDRESS_ERROR
+
+    def test_instruction_error_on_illegal_opcode(self):
+        cpu = CPU()
+        cpu.load(assemble("nop\nnop"))
+        cpu.memory.poke(cpu.layout.code_base + 4, 0xEE000000)
+        cpu.ir = cpu.memory.fetch_word(cpu.pc)
+        cpu.run(10)
+        assert cpu.detection.mechanism is Mechanism.INSTRUCTION_ERROR
+
+    def test_instruction_error_on_privileged_in_user_mode(self):
+        detection = detect("wfi")
+        assert detection.mechanism is Mechanism.INSTRUCTION_ERROR
+
+    def test_instruction_error_on_bad_register_field(self):
+        cpu = CPU()
+        word = encode(Instruction(Opcode.MOV, rd=1, rs1=8)) | (0xF << 16)
+        cpu.load(assemble("nop"))
+        cpu.memory.poke(cpu.layout.code_base, word)
+        cpu.ir = cpu.memory.fetch_word(cpu.pc)
+        cpu.run(5)
+        assert cpu.detection.mechanism is Mechanism.INSTRUCTION_ERROR
+
+    def test_jump_error_on_target_outside_code(self):
+        detection = detect("ldi r1, 0\njr r1")
+        assert detection.mechanism is Mechanism.JUMP_ERROR
+
+    def test_jump_error_on_wild_branch(self):
+        detection = detect("br -512")
+        assert detection.mechanism is Mechanism.JUMP_ERROR
+
+    def test_constraint_error_on_failed_chk(self):
+        source = """
+.rodata
+lo: .float 0.0
+hi: .float 70.0
+bad: .float 99.0
+.text
+        lui r7, %hi(lo)
+        ori r7, %lo(lo)
+        ld r1, [r7+0]
+        ld r2, [r7+4]
+        ld r3, [r7+8]
+        chk r1, r3, r2
+        svc 0
+        """
+        detection = detect(source)
+        assert detection.mechanism is Mechanism.CONSTRAINT_ERROR
+
+    def test_chk_passes_in_range(self):
+        source = """
+.rodata
+lo: .float 0.0
+hi: .float 70.0
+ok: .float 35.0
+.text
+        lui r7, %hi(lo)
+        ori r7, %lo(lo)
+        ld r1, [r7+0]
+        ld r2, [r7+4]
+        ld r3, [r7+8]
+        chk r1, r3, r2
+        svc 0
+        """
+        cpu = CPU()
+        cpu.load(assemble(source))
+        assert cpu.run(100) is StepResult.YIELD
+
+    def test_access_check_on_null_pointer(self):
+        detection = detect("ldi r1, 0\nld r2, [r1+4]")
+        assert detection.mechanism is Mechanism.ACCESS_CHECK
+
+    def test_storage_error_on_stack_underflow(self):
+        detection = detect("pop r1")
+        assert detection.mechanism is Mechanism.STORAGE_ERROR
+
+    def test_storage_error_on_stack_overflow(self):
+        # Push more words than the stack region holds.
+        detection = detect("loop: push r1\nbr loop", max_instructions=1000)
+        assert detection.mechanism is Mechanism.STORAGE_ERROR
+
+    def test_storage_error_on_corrupted_sp(self):
+        detection = detect("lui r1, 0x0\nori r1, 0x100\n"  # r1 = 0x100
+                           "push r1")  # fine
+        # Build the corrupted-SP case directly instead.
+        cpu = CPU()
+        cpu.load(assemble("push r1"))
+        cpu.regs[8] = 0x9000  # SP flipped out of the stack region
+        cpu.run(5)
+        assert cpu.detection.mechanism is Mechanism.STORAGE_ERROR
+
+    def test_overflow_check_integer(self):
+        detection = detect("lui r1, 0x7FFF\nori r1, 0xFFFF\nldi r2, 1\nadd r3, r1, r2")
+        assert detection.mechanism is Mechanism.OVERFLOW_CHECK
+
+    def test_overflow_check_float(self):
+        source = """
+.rodata
+big: .float 3e38
+.text
+        lui r7, %hi(big)
+        ori r7, %lo(big)
+        ld r1, [r7]
+        fadd r2, r1, r1
+        """
+        detection = detect(source)
+        assert detection.mechanism is Mechanism.OVERFLOW_CHECK
+
+    def test_underflow_check_float(self):
+        source = """
+.rodata
+tiny: .float 1e-38
+small: .float 1e-20
+.text
+        lui r7, %hi(tiny)
+        ori r7, %lo(tiny)
+        ld r1, [r7+0]
+        ld r2, [r7+4]
+        fmul r3, r1, r2
+        """
+        detection = detect(source)
+        assert detection.mechanism is Mechanism.UNDERFLOW_CHECK
+
+    def test_division_check_integer(self):
+        detection = detect("ldi r1, 5\nldi r2, 0\ndiv r3, r1, r2")
+        assert detection.mechanism is Mechanism.DIVISION_CHECK
+
+    def test_division_check_float(self):
+        source = """
+.rodata
+one: .float 1.0
+zero: .float 0.0
+.text
+        lui r7, %hi(one)
+        ori r7, %lo(one)
+        ld r1, [r7+0]
+        ld r2, [r7+4]
+        fdiv r3, r1, r2
+        """
+        detection = detect(source)
+        assert detection.mechanism is Mechanism.DIVISION_CHECK
+
+    def test_illegal_operation_on_nan_operand(self):
+        source = """
+.rodata
+nanbits: .word 0x7FC00000
+one: .float 1.0
+.text
+        lui r7, %hi(nanbits)
+        ori r7, %lo(nanbits)
+        ld r1, [r7+0]
+        ld r2, [r7+4]
+        fadd r3, r1, r2
+        """
+        detection = detect(source)
+        assert detection.mechanism is Mechanism.ILLEGAL_OPERATION
+
+    def test_illegal_operation_on_zero_times_infinity(self):
+        source = """
+.rodata
+infbits: .word 0x7F800000
+zero: .float 0.0
+.text
+        lui r7, %hi(infbits)
+        ori r7, %lo(infbits)
+        ld r1, [r7+0]
+        ld r2, [r7+4]
+        fmul r3, r1, r2
+        """
+        detection = detect(source)
+        assert detection.mechanism is Mechanism.ILLEGAL_OPERATION
+
+    def test_data_error_on_corrupted_memory_word(self):
+        cpu = CPU()
+        cpu.load(assemble("lui r7, 0x0\nori r7, 0x2000\nld r1, [r7]\nsvc 0"))
+        cpu.memory.corrupt_word_bit(cpu.layout.data_base, 5)
+        cpu.run(100)
+        assert cpu.detection.mechanism is Mechanism.DATA_ERROR
+
+    def test_control_flow_error_on_illegal_signature_transition(self):
+        source = """
+        sig 0
+        br skip
+        sig 1
+skip:   sig 2
+        svc 0
+        """
+        # Legal run first: 0 -> 2 is allowed (the branch).
+        cpu = CPU()
+        program = assemble(source)
+        cpu.load(program)
+        assert cpu.run(100) is StepResult.YIELD
+        # Now force an illegal transition by jumping into sig 1's block
+        # as if the branch target had been corrupted.
+        cpu2 = CPU()
+        cpu2.load(program)
+        cpu2.step()  # sig 0
+        cpu2.pc = cpu2.layout.code_base + 8  # the sig 1 instruction
+        cpu2.ir = cpu2.memory.fetch_word(cpu2.pc)
+        cpu2.run(5)
+        assert cpu2.detection is not None
+        assert cpu2.detection.mechanism is Mechanism.CONTROL_FLOW_ERROR
+
+    def test_comparator_error_on_lockstep_divergence(self):
+        pair = MasterSlavePair(CPU(), CPU())
+        pair.load(assemble("ldi r1, 1\nldi r2, 2\nsvc 0"))
+        pair.slave.regs[3] = 99  # upset in slave state the program keeps
+        result = pair.step()
+        while result not in (StepResult.DETECTED, StepResult.YIELD):
+            result = pair.step()
+        assert result is StepResult.DETECTED
+        assert pair.master.detection.mechanism is Mechanism.COMPARATOR_ERROR
+        assert pair.mismatch is not None
+
+
+class TestMechanismNames:
+    def test_lookup_by_table_name(self):
+        assert mechanism_by_name("ADDRESS ERROR") is Mechanism.ADDRESS_ERROR
+        assert mechanism_by_name("nope") is None
+
+    def test_all_table_1_mechanisms_present(self):
+        names = {m.value for m in Mechanism}
+        for required in (
+            "BUS ERROR",
+            "ADDRESS ERROR",
+            "INSTRUCTION ERROR",
+            "JUMP ERROR",
+            "CONSTRAINT ERROR",
+            "ACCESS CHECK",
+            "STORAGE ERROR",
+            "OVERFLOW CHECK",
+            "UNDERFLOW CHECK",
+            "DIVISION CHECK",
+            "ILLEGAL OPERATION",
+            "DATA ERROR",
+            "CONTROL FLOW ERROR",
+            "MASTER/SLAVE COMPARATOR ERROR",
+        ):
+            assert required in names

@@ -1,0 +1,81 @@
+"""Tests for the instruction set: encoding, decoding, registers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AssemblyError
+from repro.thor.isa import (
+    IMMEDIATE_OPCODES,
+    Instruction,
+    NUM_GPRS,
+    Opcode,
+    PRIVILEGED_OPCODES,
+    SP_INDEX,
+    decode,
+    encode,
+    register_index,
+)
+
+
+class TestEncodeDecode:
+    def test_three_register_round_trip(self):
+        instr = Instruction(Opcode.FADD, rd=1, rs1=2, rs2=3)
+        assert decode(encode(instr)) == instr
+
+    def test_immediate_round_trip(self):
+        instr = Instruction(Opcode.LD, rd=4, rs1=7, imm=0xBEEF)
+        assert decode(encode(instr)) == instr
+
+    def test_sign_extension(self):
+        instr = Instruction(Opcode.ADDI, rd=0, rs1=0, imm=0xFFFF)
+        assert instr.simm() == -1
+        assert Instruction(Opcode.ADDI, imm=0x7FFF).simm() == 0x7FFF
+
+    def test_undefined_opcode_decodes_to_none(self):
+        assert decode(0x00000000) is None
+        assert decode(0xFF000000) is None
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(AssemblyError):
+            encode(Instruction(Opcode.MOV, rd=16))
+        with pytest.raises(AssemblyError):
+            encode(Instruction(Opcode.LDI, imm=0x10000))
+
+    def test_privileged_set(self):
+        assert Opcode.HALT in PRIVILEGED_OPCODES
+        assert Opcode.SETMODE in PRIVILEGED_OPCODES
+        assert Opcode.SVC not in PRIVILEGED_OPCODES
+
+    def test_opcodes_are_sparse(self):
+        # Sparseness matters for INSTRUCTION ERROR coverage: fewer than
+        # a third of the 256 opcode values may be defined.
+        assert len(list(Opcode)) < 85
+
+    @given(st.sampled_from(list(Opcode)), st.integers(0, 15), st.integers(0, 15),
+           st.integers(0, 15), st.integers(0, 0xFFFF))
+    def test_round_trip_property(self, opcode, rd, rs1, rs2, imm):
+        if opcode in IMMEDIATE_OPCODES:
+            instr = Instruction(opcode, rd=rd, rs1=rs1, imm=imm)
+        else:
+            instr = Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2)
+        assert decode(encode(instr)) == instr
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_decode_never_raises(self, word):
+        decode(word)  # corrupted words must decode or return None
+
+
+class TestRegisterNames:
+    def test_gpr_names(self):
+        for i in range(NUM_GPRS):
+            assert register_index(f"r{i}") == i
+
+    def test_stack_pointer(self):
+        assert register_index("sp") == SP_INDEX
+        assert register_index("SP") == SP_INDEX
+
+    def test_unknown_register_rejected(self):
+        for name in ("r8", "r99", "pc", "bogus", ""):
+            with pytest.raises(AssemblyError):
+                register_index(name)

@@ -1,0 +1,162 @@
+"""Tests for the memory map: regions, checks, parity, MMIO."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.thor.edm import HardwareDetection, Mechanism
+from repro.thor.memory import (
+    ADDRESS_SPACE,
+    EXTERNAL_BUS_BASE,
+    MemoryLayout,
+    MemoryMap,
+    MMIODevice,
+)
+
+
+def _detects(mechanism):
+    return pytest.raises(HardwareDetection, match=mechanism.value.split()[0])
+
+
+@pytest.fixture()
+def memory():
+    return MemoryMap(MemoryLayout())
+
+
+class TestLayoutValidation:
+    def test_default_layout_is_valid(self):
+        MemoryLayout()
+
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(MachineError):
+            MemoryLayout(code_base=0x1000, code_size=0x2000, rodata_base=0x1800)
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(MachineError):
+            MemoryLayout(data_size=0x7F)
+
+    def test_stack_top(self):
+        layout = MemoryLayout()
+        assert layout.stack_top == layout.stack_base + layout.stack_size
+
+
+class TestAccessChecks:
+    def test_null_pointer_read(self, memory):
+        with _detects(Mechanism.ACCESS_CHECK):
+            memory.read_data_word(0x0)
+
+    def test_null_pointer_write(self, memory):
+        with _detects(Mechanism.ACCESS_CHECK):
+            memory.write_data_word(0x10, 1)
+
+    def test_unaligned_is_address_error(self, memory):
+        with _detects(Mechanism.ADDRESS_ERROR):
+            memory.read_data_word(memory.layout.data_base + 1)
+
+    def test_beyond_space_is_address_error(self, memory):
+        with _detects(Mechanism.ADDRESS_ERROR):
+            memory.read_data_word(ADDRESS_SPACE)
+
+    def test_unmapped_below_external_bus_is_address_error(self, memory):
+        with _detects(Mechanism.ADDRESS_ERROR):
+            memory.read_data_word(0x100000)
+
+    def test_external_bus_times_out(self, memory):
+        with _detects(Mechanism.BUS_ERROR):
+            memory.read_data_word(EXTERNAL_BUS_BASE + 0x100)
+
+    def test_write_to_code_is_address_error(self, memory):
+        with _detects(Mechanism.ADDRESS_ERROR):
+            memory.write_data_word(memory.layout.code_base, 1)
+
+    def test_write_to_rodata_is_address_error(self, memory):
+        with _detects(Mechanism.ADDRESS_ERROR):
+            memory.write_data_word(memory.layout.rodata_base, 1)
+
+    def test_rodata_is_readable_and_cacheable(self, memory):
+        memory.poke(memory.layout.rodata_base, 0x42)
+        assert memory.read_data_word(memory.layout.rodata_base) == 0x42
+        assert memory.is_cacheable(memory.layout.rodata_base)
+
+    def test_mmio_not_cacheable(self, memory):
+        assert not memory.is_cacheable(memory.layout.mmio_base)
+
+    def test_data_round_trip(self, memory):
+        address = memory.layout.data_base + 8
+        memory.write_data_word(address, 0xDEADBEEF)
+        assert memory.read_data_word(address) == 0xDEADBEEF
+
+    def test_fetch_from_null_page_is_access_check(self, memory):
+        with _detects(Mechanism.ACCESS_CHECK):
+            memory.fetch_word(0x0)
+
+    def test_fetch_from_data_region_allowed(self, memory):
+        memory.poke(memory.layout.data_base, 0x01020304)
+        assert memory.fetch_word(memory.layout.data_base) == 0x01020304
+
+
+class TestParity:
+    def test_corrupt_bit_triggers_data_error_on_read(self, memory):
+        address = memory.layout.data_base + 4
+        memory.write_data_word(address, 0x1234)
+        memory.corrupt_word_bit(address, 3)
+        with _detects(Mechanism.DATA_ERROR):
+            memory.read_data_word(address)
+
+    def test_rewrite_heals_corruption(self, memory):
+        address = memory.layout.data_base + 4
+        memory.write_data_word(address, 0x1234)
+        memory.corrupt_word_bit(address, 3)
+        memory.write_data_word(address, 0x5678)
+        assert memory.read_data_word(address) == 0x5678
+
+    def test_corrupt_validation(self, memory):
+        with pytest.raises(MachineError):
+            memory.corrupt_word_bit(memory.layout.data_base, 32)
+        with pytest.raises(MachineError):
+            memory.corrupt_word_bit(memory.layout.mmio_base, 0)
+
+
+class TestMMIO:
+    def test_register_round_trip(self, memory):
+        memory.write_data_word(memory.layout.mmio_base + MMIODevice.THROTTLE, 0x77)
+        assert (
+            memory.read_data_word(memory.layout.mmio_base + MMIODevice.THROTTLE)
+            == 0x77
+        )
+
+    def test_unwritten_registers_read_zero(self, memory):
+        assert memory.read_data_word(memory.layout.mmio_base + 0x30) == 0
+
+    def test_state_bytes_deterministic(self, memory):
+        memory.write_data_word(memory.layout.mmio_base, 0x1)
+        a = memory.state_bytes()
+        b = memory.state_bytes()
+        assert a == b
+
+    def test_state_bytes_change_on_write(self, memory):
+        before = memory.state_bytes()
+        memory.write_data_word(memory.layout.data_base, 0xFF)
+        assert memory.state_bytes() != before
+
+
+class TestSnapshot:
+    def test_round_trip(self, memory):
+        memory.write_data_word(memory.layout.data_base, 0xAA)
+        memory.write_data_word(memory.layout.mmio_base, 0xBB)
+        snapshot = memory.snapshot()
+        memory.write_data_word(memory.layout.data_base, 0x0)
+        memory.restore(snapshot)
+        assert memory.read_data_word(memory.layout.data_base) == 0xAA
+        assert memory.state_bytes() == MemoryMap.state_bytes(memory)
+
+    def test_snapshot_is_a_copy(self, memory):
+        snapshot = memory.snapshot()
+        memory.write_data_word(memory.layout.data_base, 0x1)
+        memory.restore(snapshot)
+        assert memory.read_data_word(memory.layout.data_base) == 0
+
+    def test_poke_peek(self, memory):
+        memory.poke(memory.layout.code_base, 0x12345678)
+        assert memory.peek(memory.layout.code_base) == 0x12345678
+        with pytest.raises(MachineError):
+            memory.poke(0x999999, 1)

@@ -1,0 +1,100 @@
+"""Tests for the execution profiler."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.thor.assembler import assemble
+from repro.thor.cpu import CPU
+from repro.thor.profiler import Profiler, render_profile
+
+
+def _run_profiled(source, steps=100):
+    cpu = CPU()
+    cpu.load(assemble(source))
+    with Profiler(cpu) as profiler:
+        # Resume across yields until the budget is consumed (or the CPU
+        # froze on a detection/halt).
+        while cpu.instruction_index < steps:
+            before = cpu.instruction_index
+            cpu.run(steps - cpu.instruction_index)
+            if cpu.instruction_index == before:
+                break
+    return profiler.report
+
+
+class TestProfiler:
+    def test_counts_instructions(self):
+        report = _run_profiled("nop\nnop\nldi r1, 1\nsvc 0")
+        assert report.total == 4
+        assert report.by_opcode["NOP"] == 2
+        assert report.by_opcode["LDI"] == 1
+
+    def test_loop_hot_spot(self):
+        report = _run_profiled("loop: nop\nsvc 0\nbr loop", steps=30)
+        hottest = report.hottest(1)[0]
+        assert hottest[1] >= 10  # the loop body dominates
+
+    def test_signature_blocks_counted(self):
+        report = _run_profiled("sig 3\nloop: sig 7\nsvc 0\nbr loop", steps=40)
+        assert report.by_block[3] == 1
+        assert report.by_block[7] > 1
+
+    def test_opcode_share_and_memory_traffic(self):
+        source = """
+        lui r7, 0x0
+        ori r7, 0x2000
+        ldi r1, 5
+        st r1, [r7]
+        ld r2, [r7]
+        svc 0
+        """
+        report = _run_profiled(source)
+        assert report.opcode_share("ST") == pytest.approx(1 / 6)
+        assert report.memory_traffic_share() == pytest.approx(2 / 6)
+
+    def test_detach_restores_previous_hook(self):
+        cpu = CPU()
+        cpu.load(assemble("nop\nsvc 0"))
+        seen = []
+        original_hook = seen.append
+        cpu.trace_hook = original_hook
+        profiler = Profiler(cpu)
+        profiler.attach()
+        cpu.run(10)
+        profiler.detach()
+        # Both the profiler and the original hook saw the instructions.
+        assert profiler.report.total == 2
+        assert len(seen) == 2
+        assert cpu.trace_hook is original_hook
+
+    def test_double_attach_rejected(self):
+        profiler = Profiler(CPU())
+        profiler.attach()
+        with pytest.raises(MachineError):
+            profiler.attach()
+
+    def test_render_with_source_annotation(self):
+        cpu = CPU()
+        program = assemble("loop: ldi r1, 7\nsvc 0\nbr loop")
+        cpu.load(program)
+        with Profiler(cpu) as profiler:
+            cpu.run(20)
+        text = render_profile(profiler.report, program=program)
+        assert "dynamic instructions" in text
+        assert "ldi r1, 7" in text
+
+    def test_workload_profile_matches_design_numbers(self, algorithm_i_compiled):
+        """The DESIGN.md claim: ~200 instructions per control iteration,
+        with the runtime tick a visible fraction of them."""
+        from repro.thor.cpu import StepResult
+        from repro.thor.memory import MMIODevice
+
+        cpu = CPU()
+        cpu.load(algorithm_i_compiled.program)
+        with Profiler(cpu) as profiler:
+            for _ in range(10):
+                assert cpu.run(100000) is StepResult.YIELD
+        per_iteration = profiler.report.total / 10
+        assert 120 <= per_iteration <= 320
+        # The broadcast tick makes stores the dominant memory op.
+        assert profiler.report.by_opcode["ST"] > profiler.report.by_opcode["LD"]

@@ -1,0 +1,105 @@
+"""Tests for the scan chain: enumeration, bit access, injection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScanChainError
+from repro.faults.models import FaultTarget
+from repro.thor.cpu import CPU
+from repro.thor.scanchain import CACHE_PARTITION, REGISTER_PARTITION, ScanChain
+
+
+@pytest.fixture()
+def chain():
+    return ScanChain(CPU())
+
+
+class TestEnumeration:
+    def test_paper_location_budget(self, chain):
+        space = chain.location_space()
+        assert len(space) == 2250
+        assert space.partition_size(CACHE_PARTITION) == 1824
+        assert space.partition_size(REGISTER_PARTITION) == 426
+
+    def test_partitions(self, chain):
+        assert chain.location_space().partitions == (
+            CACHE_PARTITION,
+            REGISTER_PARTITION,
+        )
+
+    def test_element_widths(self, chain):
+        assert chain.element_width(REGISTER_PARTITION, "r0") == 32
+        assert chain.element_width(REGISTER_PARTITION, "psw") == 10
+        assert chain.element_width(CACHE_PARTITION, "line0.tag") == 23
+        assert chain.element_width(CACHE_PARTITION, "line31.dirty") == 1
+
+    def test_unknown_element_rejected(self, chain):
+        with pytest.raises(ScanChainError):
+            chain.element_width(CACHE_PARTITION, "line99.data")
+
+
+class TestBitAccess:
+    def test_register_flip_visible_in_cpu(self, chain):
+        target = FaultTarget(REGISTER_PARTITION, "r3", 5)
+        assert chain.read_bit(target) == 0
+        chain.flip(target)
+        assert chain.cpu.regs[3] == 1 << 5
+        assert chain.read_bit(target) == 1
+
+    def test_double_flip_is_identity(self, chain):
+        chain.cpu.regs[2] = 0xCAFEBABE
+        target = FaultTarget(REGISTER_PARTITION, "r2", 13)
+        chain.flip(target)
+        chain.flip(target)
+        assert chain.cpu.regs[2] == 0xCAFEBABE
+
+    def test_cache_flip_visible_in_arrays(self, chain):
+        target = FaultTarget(CACHE_PARTITION, "line7.data", 31)
+        chain.flip(target)
+        assert chain.cpu.cache.data[7] == 1 << 31
+
+    def test_valid_and_dirty_flips(self, chain):
+        chain.flip(FaultTarget(CACHE_PARTITION, "line0.valid", 0))
+        assert chain.cpu.cache.valid[0] == 1
+        chain.flip(FaultTarget(CACHE_PARTITION, "line0.dirty", 0))
+        assert chain.cpu.cache.dirty[0] == 1
+
+    def test_psw_mask_respected(self, chain):
+        chain.write_element(REGISTER_PARTITION, "psw", 0xFFFF)
+        assert chain.read_element(REGISTER_PARTITION, "psw") == 0x3FF
+
+    def test_pc_flip(self, chain):
+        before = chain.cpu.pc
+        chain.flip(FaultTarget(REGISTER_PARTITION, "pc", 2))
+        assert chain.cpu.pc == before ^ 4
+
+    def test_out_of_range_bit_rejected(self, chain):
+        with pytest.raises(ScanChainError):
+            chain.flip(FaultTarget(REGISTER_PARTITION, "psw", 10))
+        with pytest.raises(ScanChainError):
+            chain.flip(FaultTarget(CACHE_PARTITION, "line0.tag", 23))
+
+    @given(st.integers(0, 2249))
+    @settings(max_examples=100, deadline=None)
+    def test_every_location_flippable_and_restorable(self, index):
+        chain = ScanChain(CPU())
+        target = chain.location_space()[index]
+        before = chain.read_bit(target)
+        assert chain.flip(target) == 1 - before
+        assert chain.flip(target) == before
+
+
+class TestFullStateCoverage:
+    def test_flipping_any_bit_changes_state_bytes(self, chain):
+        """Every injectable bit must be part of the hashed run state —
+        otherwise early-exit comparisons could miss latent corruption."""
+        space = chain.location_space()
+        baseline = chain.cpu.state_bytes()
+        # Spot-check a spread of locations across both partitions.
+        for index in range(0, len(space), 97):
+            target = space[index]
+            chain.flip(target)
+            assert chain.cpu.state_bytes() != baseline, target.label()
+            chain.flip(target)
+            assert chain.cpu.state_bytes() == baseline

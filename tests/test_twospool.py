@@ -1,0 +1,133 @@
+"""Tests for the two-spool MIMO plant and the MIMO loop runner."""
+
+import numpy as np
+import pytest
+
+from repro.control import Limiter, StateSpaceController
+from repro.core import ControllerGuard, RangeAssertion
+from repro.errors import ConfigurationError
+from repro.plant import TwoSpoolEngine, TwoSpoolParameters, run_mimo_loop
+
+
+def make_mimo_pi(kp=(0.004, 0.003), ki=(0.012, 0.01)):
+    """Two independent PI loops as a 2x2 state-space controller."""
+    t = 0.0154
+    return StateSpaceController(
+        a=[[1.0, 0.0], [0.0, 1.0]],
+        b=[[t * ki[0], 0.0], [0.0, t * ki[1]]],
+        c=[[1.0, 0.0], [0.0, 1.0]],
+        d=[[kp[0], 0.0], [0.0, kp[1]]],
+        limiters=[Limiter(0.0, 70.0), Limiter(0.0, 70.0)],
+    )
+
+
+class TestTwoSpoolEngine:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoSpoolParameters(gain1=0.0)
+        with pytest.raises(ConfigurationError):
+            TwoSpoolParameters(coupling=0.6)
+
+    def test_steady_state_commands_invert_the_plant(self):
+        params = TwoSpoolParameters()
+        u1, u2 = params.steady_state_commands(2000.0, 1500.0)
+        engine = TwoSpoolEngine(params)
+        engine.reset(2000.0, 1500.0)
+        for _ in range(500):
+            engine.step([u1, u2])
+        assert engine.speeds[0] == pytest.approx(2000.0, rel=1e-3)
+        assert engine.speeds[1] == pytest.approx(1500.0, rel=1e-3)
+
+    def test_coupling_links_the_spools(self):
+        coupled = TwoSpoolEngine(TwoSpoolParameters(coupling=0.2))
+        isolated = TwoSpoolEngine(TwoSpoolParameters(coupling=0.0))
+        for _ in range(400):
+            coupled.step([10.0, 0.0])
+            isolated.step([10.0, 0.0])
+        # With coupling, driving spool 1 also spins spool 2.
+        assert coupled.speeds[1] > isolated.speeds[1] + 50.0
+
+    def test_loads_slow_the_spools(self):
+        loaded = TwoSpoolEngine()
+        free = TwoSpoolEngine()
+        for _ in range(300):
+            loaded.step([10.0, 10.0], loads=[300.0, 0.0])
+            free.step([10.0, 10.0])
+        assert loaded.speeds[0] < free.speeds[0]
+        assert loaded.speeds[1] == pytest.approx(free.speeds[1])
+
+    def test_commands_clamped_and_speeds_nonnegative(self):
+        engine = TwoSpoolEngine()
+        engine.step([1000.0, -50.0])
+        assert engine.speeds[0] >= 0.0 and engine.speeds[1] >= 0.0
+
+    def test_input_validation(self):
+        engine = TwoSpoolEngine()
+        with pytest.raises(ConfigurationError):
+            engine.step([1.0])
+        with pytest.raises(ConfigurationError):
+            engine.step([1.0, 2.0], loads=[1.0])
+
+    def test_state_round_trip(self):
+        engine = TwoSpoolEngine()
+        engine.step([5.0, 5.0])
+        state = engine.state_vector()
+        other = TwoSpoolEngine()
+        other.set_state_vector(state)
+        assert other.step([5.0, 5.0]) == engine.step([5.0, 5.0])
+
+
+class TestMimoLoop:
+    def test_controller_tracks_both_targets(self):
+        outputs, speeds = run_mimo_loop(
+            make_mimo_pi(), references=[2000.0, 1500.0], iterations=650
+        )
+        final = speeds[-1]
+        assert final[0] == pytest.approx(2000.0, abs=60.0)
+        assert final[1] == pytest.approx(1500.0, abs=60.0)
+
+    def test_guard_is_transparent_without_faults(self):
+        plain_out, _ = run_mimo_loop(
+            make_mimo_pi(), references=[2000.0, 1500.0], iterations=400
+        )
+        guard = ControllerGuard(
+            make_mimo_pi(),
+            state_assertions=[RangeAssertion(0.0, 70.0)] * 2,
+            output_assertions=[RangeAssertion(0.0, 70.0)] * 2,
+        )
+        guarded_out, _ = run_mimo_loop(
+            guard, references=[2000.0, 1500.0], iterations=400
+        )
+        assert np.array_equal(np.asarray(plain_out), np.asarray(guarded_out))
+
+    def test_fault_hook_injects(self):
+        hits = []
+
+        def hook(k, controller):
+            if k == 100:
+                controller.x[0] = 1e9
+                hits.append(k)
+
+        outputs, _ = run_mimo_loop(
+            make_mimo_pi(), references=[2000.0, 1500.0],
+            iterations=200, fault_hook=hook,
+        )
+        assert hits == [100]
+
+    def test_guard_recovers_mimo_state_fault(self):
+        guard = ControllerGuard(
+            make_mimo_pi(),
+            state_assertions=[RangeAssertion(0.0, 70.0)] * 2,
+            output_assertions=[RangeAssertion(0.0, 70.0)] * 2,
+        )
+
+        def hook(k, controller):
+            if k == 300:
+                controller.controller.x[1] = 5e8
+
+        outputs, speeds = run_mimo_loop(
+            guard, references=[2000.0, 1500.0], iterations=650, fault_hook=hook
+        )
+        assert guard.monitor.count("state") == 1
+        # The loop ends on target despite the corruption.
+        assert speeds[-1][1] == pytest.approx(1500.0, abs=80.0)

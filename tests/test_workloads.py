@@ -1,0 +1,162 @@
+"""Tests for the paper's workloads (Algorithms I/II, MIMO program)."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.control import GuardedPIController, PIController
+from repro.goofi.environment import EngineEnvironment
+from repro.goofi.target import TargetSystem
+from repro.plant.loop import ClosedLoop
+from repro.tcc import compile_program, interpret_iteration
+from repro.tcc.interpreter import initial_state
+from repro.thor.cpu import CPU, StepResult
+from repro.thor.memory import MMIODevice
+from repro.workloads import (
+    algorithm_i,
+    algorithm_ii,
+    compile_algorithm_i,
+    compile_algorithm_ii,
+    mimo_two_spool,
+)
+
+
+def f2b(value):
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def b2f(bits):
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+class TestAlgorithmAsts:
+    def test_algorithm_i_declarations_match_paper(self):
+        program = algorithm_i(conditioned=False)
+        assert set(program.locals) == {"e", "u", "ki"}
+        assert "x" in program.variables
+        assert program.outputs == ["u_lim"]
+
+    def test_algorithm_ii_adds_backups(self):
+        program = algorithm_ii(conditioned=False)
+        assert {"x_old", "u_old"} <= set(program.variables)
+
+    def test_conditioned_variants_validate_and_compile(self):
+        for factory in (algorithm_i, algorithm_ii):
+            program = factory()
+            program.validate()
+            compiled = compile_program(program)
+            assert len(compiled.program.code) > 50
+
+    def test_bare_interpretation_matches_pi_controller(self):
+        """The bare Algorithm I AST == the model PIController, up to
+        single-precision rounding."""
+        program = algorithm_i(conditioned=False)
+        state = initial_state(program)
+        ctrl = PIController()
+        for k in range(100):
+            r = 2000.0 if k < 50 else 3000.0
+            y = 1900.0 + 3.0 * k
+            expected = ctrl.step(r, y)
+            got = interpret_iteration(program, state, [r, y])["u_lim"]
+            assert got == pytest.approx(expected, abs=1e-3)
+
+    def test_bare_algorithm_ii_matches_guarded_controller(self):
+        program = algorithm_ii(conditioned=False)
+        state = initial_state(program)
+        ctrl = GuardedPIController()
+        for k in range(100):
+            r = 2000.0
+            y = 1900.0 + 2.0 * k
+            expected = ctrl.step(r, y)
+            got = interpret_iteration(program, state, [r, y])["u_lim"]
+            assert got == pytest.approx(expected, abs=1e-3)
+
+    def test_conditioning_is_semantically_transparent(self):
+        bare = algorithm_i(conditioned=False)
+        cond = algorithm_i(conditioned=True)
+        bare_state = initial_state(bare)
+        cond_state = initial_state(cond)
+        for k in range(80):
+            r, y = 2500.0, 2000.0 + 5.0 * k
+            a = interpret_iteration(bare, bare_state, [r, y])["u_lim"]
+            b = interpret_iteration(cond, cond_state, [r, y])["u_out"]
+            assert a == b  # bit-identical: conversions multiply to 1.0
+
+    def test_algorithm_ii_recovers_out_of_range_state_on_cpu(self):
+        compiled = compile_algorithm_ii()
+        cpu = CPU()
+        cpu.load(compiled.program)
+        env = EngineEnvironment()
+        env.reset()
+        env.write_inputs(cpu.memory.mmio)
+        for _ in range(5):
+            assert cpu.run(100000) is StepResult.YIELD
+            env.exchange(cpu.memory.mmio)
+        # Corrupt x in RAM (bypassing the cache would desync it; write
+        # through both).
+        x_address = compiled.address_of("x")
+        bad = f2b(500.0)
+        cpu.memory.poke(x_address, bad)
+        from repro.thor.cache import split_address
+        tag, index = split_address(x_address)
+        if cpu.cache.valid[index] and int(cpu.cache.tags[index]) == tag:
+            cpu.cache.data[index] = bad
+        assert cpu.run(100000) is StepResult.YIELD
+        # The assertion must have replaced x with the backed-up value.
+        recovered = None
+        if cpu.cache.valid[index] and int(cpu.cache.tags[index]) == tag:
+            recovered = b2f(int(cpu.cache.data[index]))
+        else:
+            recovered = b2f(cpu.memory.peek(x_address))
+        assert 0.0 <= recovered <= 70.0
+
+
+class TestClosedLoopOnCpu:
+    def test_cpu_loop_tracks_like_model_loop(self, algorithm_i_compiled):
+        """The compiled workload in the CPU-in-the-loop setup follows the
+        model-level closed loop within float32 tolerance."""
+        target = TargetSystem(algorithm_i_compiled, iterations=200)
+        reference = target.run_reference()
+        model = ClosedLoop(PIController()).run(iterations=200)
+        cpu_outputs = np.asarray(reference.outputs)
+        assert np.max(np.abs(cpu_outputs - model.throttle)) < 0.05
+
+    def test_reference_is_deterministic(self, algorithm_i_compiled):
+        a = TargetSystem(algorithm_i_compiled, iterations=50).run_reference()
+        b = TargetSystem(algorithm_i_compiled, iterations=50).run_reference()
+        assert a.outputs == b.outputs
+        assert a.hashes == b.hashes
+
+    def test_algorithm_ii_reference_equals_algorithm_i_fault_free(
+        self, algorithm_i_compiled, algorithm_ii_compiled
+    ):
+        ref_i = TargetSystem(algorithm_i_compiled, iterations=120).run_reference()
+        ref_ii = TargetSystem(algorithm_ii_compiled, iterations=120).run_reference()
+        assert ref_i.outputs == ref_ii.outputs
+
+
+class TestMimoWorkload:
+    def test_compiles(self):
+        compiled = compile_program(mimo_two_spool())
+        assert len(compiled.program.code) > 100
+
+    def test_two_loops_track_independent_targets(self):
+        program = mimo_two_spool()
+        compiled = compile_program(program)
+        cpu = CPU()
+        cpu.load(compiled.program)
+        # Simple twin first-order plants driven by the two outputs.
+        y1 = y2 = 0.0
+        for k in range(400):
+            cpu.memory.mmio.write(MMIODevice.INPUT_BASE + 0, f2b(2000.0))
+            cpu.memory.mmio.write(MMIODevice.INPUT_BASE + 4, f2b(y1))
+            cpu.memory.mmio.write(MMIODevice.INPUT_BASE + 8, f2b(1000.0))
+            cpu.memory.mmio.write(MMIODevice.INPUT_BASE + 12, f2b(y2))
+            assert cpu.run(200000) is StepResult.YIELD, cpu.detection
+            u1 = b2f(cpu.memory.mmio.read(MMIODevice.OUTPUT_BASE + 0))
+            u2 = b2f(cpu.memory.mmio.read(MMIODevice.OUTPUT_BASE + 4))
+            y1 += 0.08 * (200.0 * u1 - y1)
+            y2 += 0.08 * (200.0 * u2 - y2)
+        assert abs(y1 - 2000.0) < 60.0
+        assert abs(y2 - 1000.0) < 60.0

@@ -1,0 +1,80 @@
+"""Tests for the two-state PID workloads (§4.3 general procedure)."""
+
+import pytest
+
+from repro.control import ControllerGains, PIDController
+from repro.goofi import TargetSystem
+from repro.tcc import compile_program, interpret_iteration
+from repro.tcc.interpreter import initial_state
+from repro.workloads import (
+    compile_pid_algorithm_i,
+    compile_pid_algorithm_ii,
+    pid_algorithm_i,
+    pid_algorithm_ii,
+)
+
+
+class TestPidWorkloads:
+    def test_both_variants_compile(self):
+        assert len(compile_pid_algorithm_i().program.code) > 80
+        assert len(compile_pid_algorithm_ii().program.code) > 100
+
+    def test_two_states_declared(self):
+        program = pid_algorithm_ii()
+        assert {"x", "y_prev", "x_old", "yp_old", "u_old"} <= set(program.variables)
+
+    def test_pid_interpretation_matches_model_controller(self):
+        gains = ControllerGains(kd=0.0005)
+        program = pid_algorithm_i(gains)
+        state = initial_state(program)
+        model = PIDController(gains)
+        for k in range(120):
+            r = 2000.0 if k < 60 else 3000.0
+            y = 1950.0 + 3.0 * k
+            expected = model.step(r, y)
+            got = interpret_iteration(program, state, [r, y])["u_lim"]
+            assert got == pytest.approx(expected, abs=1e-2), f"iteration {k}"
+
+    def test_protected_equals_unprotected_fault_free(self):
+        ref_i = TargetSystem(compile_pid_algorithm_i(), iterations=120).run_reference()
+        ref_ii = TargetSystem(compile_pid_algorithm_ii(), iterations=120).run_reference()
+        assert ref_i.outputs == ref_ii.outputs
+
+    def test_pid_loop_tracks_reference(self):
+        reference = TargetSystem(
+            compile_pid_algorithm_i(), iterations=650
+        ).run_reference()
+        tail = reference.outputs[-20:]
+        # Settled near the 3000 rpm operating point (~17 degrees).
+        assert all(12.0 < u < 25.0 for u in tail)
+
+    def test_assertions_recover_both_states(self):
+        """§4.3's per-state recovery on the CPU: corrupt each state in
+        RAM+cache and verify the next iteration repairs it."""
+        import struct
+
+        from repro.thor.cache import split_address
+        from repro.thor.cpu import StepResult
+
+        compiled = compile_pid_algorithm_ii()
+        target = TargetSystem(compiled, iterations=60)
+        target.run_reference()
+        cpu = target.cpu
+        # Continue from the final reference state: corrupt x and y_prev.
+        for name, bad in (("x", 1e9), ("y_prev", -4.0)):
+            address = compiled.address_of(name)
+            bits = struct.unpack("<I", struct.pack("<f", bad))[0]
+            cpu.memory.poke(address, bits)
+            tag, index = split_address(address)
+            if cpu.cache.valid[index] and int(cpu.cache.tags[index]) == tag:
+                cpu.cache.data[index] = bits
+        assert cpu.run(100000) is StepResult.YIELD
+        for name, (low, high) in (("x", (0.0, 70.0)), ("y_prev", (0.0, 8000.0))):
+            address = compiled.address_of(name)
+            tag, index = split_address(address)
+            if cpu.cache.valid[index] and int(cpu.cache.tags[index]) == tag:
+                bits = int(cpu.cache.data[index])
+            else:
+                bits = cpu.memory.peek(address)
+            value = struct.unpack("<f", struct.pack("<I", bits))[0]
+            assert low <= value <= high, name
