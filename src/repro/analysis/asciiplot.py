@@ -26,6 +26,7 @@ def ascii_chart(
     width: int = 72,
     y_min: Optional[float] = None,
     y_max: Optional[float] = None,
+    x_label: str = "time (s)",
 ) -> str:
     """Render one or more series over a shared time axis.
 
@@ -36,6 +37,7 @@ def ascii_chart(
         title: chart heading.
         height/width: plot raster size in characters.
         y_min/y_max: fixed y-axis range; inferred from the data if omitted.
+        x_label: caption under the x axis (default: ``time (s)``).
     """
     if not series or len(series) != len(labels):
         raise ConfigurationError("series and labels must match and be non-empty")
@@ -81,7 +83,7 @@ def ascii_chart(
             axis_label = " " * 10 + " |"
         lines.append(axis_label + "".join(row))
     lines.append(" " * 11 + "+" + "-" * (width - 1))
-    lines.append(f"{'':11}{t_lo:<10.2f}{'time (s)':^{max(width - 30, 8)}}{t_hi:>10.2f}")
+    lines.append(f"{'':11}{t_lo:<10.2f}{x_label:^{max(width - 30, 8)}}{t_hi:>10.2f}")
     return "\n".join(lines)
 
 

@@ -5,6 +5,8 @@ Usage (also available as ``python -m repro``):
 .. code-block:: none
 
     repro campaign  --algorithm II --faults 500 [--database results.db]
+                    [--workers 4] [--events events.jsonl] [--metrics]
+    repro obs       --events events.jsonl
     repro compare   --faults 500
     repro figure    --name fig03|fig04|fig05
     repro listing   --algorithm I
@@ -24,6 +26,7 @@ import numpy as np
 from repro.analysis import render_comparison_table, render_outcome_table
 from repro.analysis.asciiplot import ascii_chart
 from repro.control import PIController
+from repro.errors import ObservabilityError
 from repro.faults.models import FaultDescriptor, FaultTarget
 from repro.goofi import (
     CampaignConfig,
@@ -32,6 +35,7 @@ from repro.goofi import (
     TargetSystem,
     trace_propagation,
 )
+from repro.obs import Telemetry, read_events, render_events_summary
 from repro.plant import ClosedLoop, SAMPLE_TIME, paper_load_profile
 from repro.thor.disassembler import disassemble_program
 from repro.thor.scanchain import CACHE_PARTITION, REGISTER_PARTITION
@@ -57,13 +61,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         partitions=args.partitions,
     )
     database = CampaignDatabase(args.database) if args.database else None
+    telemetry = None
+    if args.events or args.metrics:
+        try:
+            telemetry = Telemetry(events_path=args.events)
+        except OSError as exc:
+            raise SystemExit(f"cannot write {args.events}: {exc.strerror}")
 
     def progress(done, total, outcome):
         if args.verbose and (done % 50 == 0 or done == total):
             print(f"  {done}/{total} ({outcome.category.value})", file=sys.stderr)
 
     campaign = ScifiCampaign(config, database=database)
-    result = campaign.run(progress=progress)
+    result = campaign.run(
+        progress=progress, workers=args.workers, telemetry=telemetry
+    )
     if args.dossier:
         from repro.analysis import campaign_dossier
 
@@ -72,9 +84,33 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(render_outcome_table(result.summary()))
         severe = result.summary().severe_share_of_value_failures()
         print(f"severe share of value failures: {severe.format()}")
+    if telemetry is not None:
+        if args.metrics:
+            print()
+            print(telemetry.metrics.render())
+            if telemetry.tracer is not None:
+                print()
+                print(telemetry.tracer.render())
+        telemetry.close()
+        if args.events:
+            print(f"events written to {args.events}")
     if database is not None:
         database.close()
         print(f"stored in {args.database}")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    try:
+        events = read_events(args.events)
+    except OSError as exc:
+        raise SystemExit(f"cannot read {args.events}: {exc.strerror}")
+    except ObservabilityError as exc:
+        raise SystemExit(str(exc))  # read_events errors already carry the path
+    try:
+        print(render_events_summary(events))
+    except ObservabilityError as exc:
+        raise SystemExit(f"{args.events}: {exc}")
     return 0
 
 
@@ -209,7 +245,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full analysis dossier instead of the plain table",
     )
     campaign.add_argument("--verbose", action="store_true")
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the injection phase (default: 1, serial)",
+    )
+    campaign.add_argument(
+        "--events",
+        default=None,
+        help="write JSONL telemetry events to this path",
+    )
+    campaign.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print the campaign metrics registry",
+    )
     campaign.set_defaults(func=_cmd_campaign)
+
+    obs = sub.add_parser("obs", help="summarize a campaign telemetry event file")
+    obs.add_argument("--events", required=True, help="JSONL event file to analyse")
+    obs.set_defaults(func=_cmd_obs)
 
     compare = sub.add_parser("compare", help="Algorithm I vs II (Table 4)")
     compare.add_argument("--faults", type=int, default=200)

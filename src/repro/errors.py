@@ -48,3 +48,7 @@ class CampaignError(ReproError):
 
 class DatabaseError(ReproError):
     """The results database rejected an operation."""
+
+
+class ObservabilityError(ReproError):
+    """The telemetry layer rejected an operation (bad merge, bad event)."""

@@ -8,6 +8,7 @@ a Tables 2/3-ready :class:`~repro.analysis.report.CampaignSummary`.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -20,6 +21,15 @@ from repro.faults.models import FaultDescriptor, LocationSpace, sample_fault_pla
 from repro.goofi.database import CampaignDatabase
 from repro.goofi.environment import EngineEnvironment
 from repro.goofi.target import ExperimentRun, TargetSystem
+from repro.obs.events import EventLog, merge_event_shards
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    Telemetry,
+    campaign_finished_event,
+    campaign_started_event,
+    experiment_event,
+    record_outcome,
+)
 from repro.plant.profiles import ITERATIONS
 from repro.tcc.codegen import CompiledProgram
 
@@ -93,28 +103,67 @@ class CampaignResult:
         )
 
 
+def _null_span(_name: str):
+    """The zero-overhead stand-in for a tracer span."""
+    return nullcontext()
+
+
 def _run_chunk(args):
     """Worker entry point: run one slice of a fault plan.
 
     Top-level (picklable) by necessity; builds its own target system,
     repeats the golden run (deterministic, so identical across workers)
-    and executes its chunk.  Returns ``(fault label, run, outcome)``
-    triples.
+    and executes its chunk.  ``chunk`` carries ``(plan index, fault)``
+    pairs so telemetry can be re-ordered into plan order afterwards.
+
+    When telemetry is enabled the worker records into its own
+    :class:`~repro.obs.MetricsRegistry` (returned as a dict for the
+    parent to merge) and writes ``experiment_finished`` events to its
+    own shard file — worker processes never share a file descriptor.
+
+    Returns ``(worker_index, results, registry_dict, seconds)`` where
+    ``results`` holds ``(plan index, run, outcome)`` triples.
     """
-    workload, iterations, watchdog_factor, early_exit, environment_factory, chunk = args
+    (
+        workload,
+        iterations,
+        watchdog_factor,
+        early_exit,
+        environment_factory,
+        chunk,
+        worker_index,
+        shard_path,
+        metrics_enabled,
+    ) = args
+    registry = MetricsRegistry() if metrics_enabled else None
+    events = EventLog(shard_path) if shard_path else None
     target = TargetSystem(
         workload=workload,
         environment=environment_factory(),
         iterations=iterations,
         watchdog_factor=watchdog_factor,
+        metrics=registry,
     )
+    started = time.perf_counter()
     reference = target.run_reference()
     results = []
-    for fault in chunk:
+    for index, fault in chunk:
         run = target.run_experiment(fault, early_exit=early_exit)
         outcome = ScifiCampaign._classify(run, reference.outputs)
-        results.append((fault.label(), run, outcome))
-    return results
+        if registry is not None:
+            record_outcome(registry, run, outcome)
+        if events is not None:
+            events.emit("experiment_finished", **experiment_event(index, run, outcome))
+        results.append((index, run, outcome))
+    if events is not None:
+        events.close()
+    seconds = time.perf_counter() - started
+    return (
+        worker_index,
+        results,
+        registry.to_dict() if registry is not None else None,
+        seconds,
+    )
 
 
 class ScifiCampaign:
@@ -150,87 +199,166 @@ class ScifiCampaign:
         self,
         progress: Optional[Callable[[int, int, Outcome], None]] = None,
         workers: int = 1,
+        telemetry: Optional[Telemetry] = None,
     ) -> CampaignResult:
         """Execute the campaign: reference run, sampling, injection, analysis.
 
         Args:
             progress: optional callback ``(done, total, outcome)`` invoked
-                after each experiment (serial execution only).
+                after each experiment.  With ``workers > 1`` it fires as
+                chunk results arrive, so ``done`` still counts every
+                experiment but outcomes report in completion order.
             workers: number of worker processes.  ``1`` (default) runs
                 serially in this process; ``N > 1`` splits the fault plan
                 into N contiguous slices executed in parallel — results
                 are bit-identical to the serial run (every experiment is
                 independent and fully determined by its fault), just
                 reordered back into plan order.
+            telemetry: optional :class:`~repro.obs.Telemetry` bundle.
+                When given, the run records phase spans, per-experiment
+                metrics and JSONL events; per-worker registries/shards
+                are merged so serial and parallel runs report identical
+                aggregate telemetry.  ``None`` (default) is a no-op.
         """
         config = self.config
-        reference = self.target.run_reference()
-        space = self.location_space()
-        rng = np.random.default_rng(config.seed)
-        plan = sample_fault_plan(
-            space=space,
-            total_instructions=reference.total_instructions,
-            count=config.faults,
-            rng=rng,
-        )
-        partition_sizes = {
-            partition: space.partition_size(partition)
-            for partition in space.partitions
-        }
+        span = telemetry.span if telemetry is not None else _null_span
+        if telemetry is not None:
+            telemetry.emit(
+                "campaign_started", **campaign_started_event(config, workers)
+            )
+            if telemetry.metrics is not None and workers <= 1:
+                self.target.metrics = telemetry.metrics
 
-        started = time.perf_counter()
-        if workers <= 1:
-            experiments: List[ExperimentRun] = []
-            outcomes: List[Outcome] = []
-            for i, fault in enumerate(plan):
-                run = self.target.run_experiment(fault, early_exit=config.early_exit)
-                outcome = self._classify(run, reference.outputs)
-                experiments.append(run)
-                outcomes.append(outcome)
-                if progress is not None:
-                    progress(i + 1, len(plan), outcome)
-        else:
-            experiments, outcomes = self._run_parallel(plan, workers)
-        wall = time.perf_counter() - started
+        with span("campaign"):
+            with span("reference_run"):
+                reference = self.target.run_reference()
+                if telemetry is not None and telemetry.metrics is not None:
+                    telemetry.metrics.gauge("reference_instructions").set(
+                        reference.total_instructions
+                    )
+            with span("set_up"):
+                space = self.location_space()
+                rng = np.random.default_rng(config.seed)
+                plan = sample_fault_plan(
+                    space=space,
+                    total_instructions=reference.total_instructions,
+                    count=config.faults,
+                    rng=rng,
+                )
+                partition_sizes = {
+                    partition: space.partition_size(partition)
+                    for partition in space.partitions
+                }
 
-        result = CampaignResult(
-            config=config,
-            experiments=experiments,
-            outcomes=outcomes,
-            reference_outputs=list(reference.outputs),
-            partition_sizes=partition_sizes,
-            wall_seconds=wall,
-        )
-        if self.database is not None:
-            self.database.store_campaign(result)
+            started = time.perf_counter()
+            with span("injection"):
+                if workers <= 1:
+                    experiments: List[ExperimentRun] = []
+                    outcomes: List[Outcome] = []
+                    for i, fault in enumerate(plan):
+                        run = self.target.run_experiment(
+                            fault, early_exit=config.early_exit
+                        )
+                        outcome = self._classify(run, reference.outputs)
+                        experiments.append(run)
+                        outcomes.append(outcome)
+                        if telemetry is not None:
+                            if telemetry.metrics is not None:
+                                record_outcome(telemetry.metrics, run, outcome)
+                            telemetry.emit(
+                                "experiment_finished",
+                                **experiment_event(i, run, outcome),
+                            )
+                        if progress is not None:
+                            progress(i + 1, len(plan), outcome)
+                else:
+                    experiments, outcomes = self._run_parallel(
+                        plan, workers, progress=progress, telemetry=telemetry
+                    )
+            wall = time.perf_counter() - started
+
+            with span("analysis"):
+                result = CampaignResult(
+                    config=config,
+                    experiments=experiments,
+                    outcomes=outcomes,
+                    reference_outputs=list(reference.outputs),
+                    partition_sizes=partition_sizes,
+                    wall_seconds=wall,
+                )
+                if self.database is not None:
+                    self.database.store_campaign(result)
+
+        if telemetry is not None:
+            telemetry.emit(
+                "campaign_finished", **campaign_finished_event(outcomes, wall)
+            )
+            telemetry.finish()
         return result
 
-    def _run_parallel(self, plan, workers):
-        """Fan the plan out over worker processes, preserving plan order."""
+    def _run_parallel(self, plan, workers, progress=None, telemetry=None):
+        """Fan the plan out over worker processes, preserving plan order.
+
+        Chunk results are consumed as they complete so the ``progress``
+        callback reports during parallel runs too; worker telemetry
+        (metrics registries, event shards) is merged at the end.
+        """
         import concurrent.futures
 
-        slices = [plan[i::workers] for i in range(workers)]
-        args = [
-            (
-                self.config.workload,
-                self.config.iterations,
-                self.config.watchdog_factor,
-                self.config.early_exit,
-                self.config.environment_factory,
-                chunk,
+        indexed = list(enumerate(plan))
+        slices = [indexed[i::workers] for i in range(workers)]
+        metrics_enabled = telemetry is not None and telemetry.metrics is not None
+        args = []
+        for worker_index, chunk in enumerate(slices):
+            if not chunk:
+                continue
+            shard = telemetry.shard_path(worker_index) if telemetry else None
+            args.append(
+                (
+                    self.config.workload,
+                    self.config.iterations,
+                    self.config.watchdog_factor,
+                    self.config.early_exit,
+                    self.config.environment_factory,
+                    chunk,
+                    worker_index,
+                    shard,
+                    metrics_enabled,
+                )
             )
-            for chunk in slices
-            if chunk
-        ]
-        by_fault = {}
+        by_index = {}
+        shards = []
+        done = 0
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-            for chunk_result in pool.map(_run_chunk, args):
-                for fault_label, run, outcome in chunk_result:
-                    by_fault[fault_label] = (run, outcome)
+            futures = [pool.submit(_run_chunk, a) for a in args]
+            for future in concurrent.futures.as_completed(futures):
+                worker_index, chunk_result, registry_dict, seconds = future.result()
+                for index, run, outcome in chunk_result:
+                    by_index[index] = (run, outcome)
+                    done += 1
+                    if progress is not None:
+                        progress(done, len(plan), outcome)
+                if telemetry is not None:
+                    if registry_dict is not None:
+                        telemetry.metrics.merge(
+                            MetricsRegistry.from_dict(registry_dict)
+                        )
+                    shard = telemetry.shard_path(worker_index)
+                    if shard is not None:
+                        shards.append(shard)
+                    telemetry.emit(
+                        "worker_chunk_done",
+                        ts=time.time(),
+                        worker=worker_index,
+                        experiments=len(chunk_result),
+                        seconds=seconds,
+                    )
+        if telemetry is not None and telemetry.events is not None and shards:
+            merge_event_shards(telemetry.events, sorted(shards))
         experiments = []
         outcomes = []
-        for fault in plan:
-            run, outcome = by_fault[fault.label()]
+        for index in range(len(plan)):
+            run, outcome = by_index[index]
             experiments.append(run)
             outcomes.append(outcome)
         return experiments, outcomes

@@ -11,11 +11,18 @@ from __future__ import annotations
 
 import json
 import sqlite3
+from datetime import datetime, timezone
 from typing import List, Optional, Tuple
 
 from repro.analysis.classify import Outcome, OutcomeCategory
 from repro.analysis.report import CampaignSummary, ClassifiedExperiment
 from repro.errors import DatabaseError
+
+#: Version stamped into newly stored campaign rows.  Version 1 is the
+#: original schema (no version/timestamp columns); version 2 added
+#: ``schema_version`` and ``created_at`` — rows migrated from a v1
+#: database keep ``schema_version = 1`` and a NULL ``created_at``.
+DB_SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaigns (
@@ -25,7 +32,9 @@ CREATE TABLE IF NOT EXISTS campaigns (
     seed INTEGER NOT NULL,
     iterations INTEGER NOT NULL,
     partition_sizes TEXT NOT NULL,
-    wall_seconds REAL NOT NULL
+    wall_seconds REAL NOT NULL,
+    schema_version INTEGER NOT NULL DEFAULT 1,
+    created_at TEXT
 );
 CREATE TABLE IF NOT EXISTS experiments (
     id INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -52,7 +61,28 @@ class CampaignDatabase:
         self.path = path
         self._conn = sqlite3.connect(path)
         self._conn.executescript(_SCHEMA)
+        self._migrate()
         self._conn.commit()
+
+    def _migrate(self) -> None:
+        """Bring a pre-existing database up to the current schema.
+
+        ``CREATE TABLE IF NOT EXISTS`` leaves older tables untouched, so
+        databases written before :data:`DB_SCHEMA_VERSION` 2 lack the
+        ``schema_version``/``created_at`` columns; add them in place.
+        Existing rows keep the defaults (version 1, NULL timestamp).
+        """
+        columns = {
+            row[1]
+            for row in self._conn.execute("PRAGMA table_info(campaigns)").fetchall()
+        }
+        if "schema_version" not in columns:
+            self._conn.execute(
+                "ALTER TABLE campaigns"
+                " ADD COLUMN schema_version INTEGER NOT NULL DEFAULT 1"
+            )
+        if "created_at" not in columns:
+            self._conn.execute("ALTER TABLE campaigns ADD COLUMN created_at TEXT")
 
     def close(self) -> None:
         """Close the underlying connection."""
@@ -73,7 +103,8 @@ class CampaignDatabase:
         config = result.config
         cursor = self._conn.execute(
             "INSERT INTO campaigns (name, faults, seed, iterations,"
-            " partition_sizes, wall_seconds) VALUES (?, ?, ?, ?, ?, ?)",
+            " partition_sizes, wall_seconds, schema_version, created_at)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 config.name,
                 config.faults,
@@ -81,6 +112,8 @@ class CampaignDatabase:
                 config.iterations,
                 json.dumps(result.partition_sizes),
                 result.wall_seconds,
+                DB_SCHEMA_VERSION,
+                datetime.now(timezone.utc).isoformat(),
             ),
         )
         campaign_id = cursor.lastrowid

@@ -30,8 +30,9 @@ from repro.errors import CampaignError
 from repro.faults.models import FaultDescriptor
 from repro.goofi.environment import EngineEnvironment
 from repro.tcc.codegen import CompiledProgram
+from repro.obs.metrics import DETECTION_LATENCY_BUCKETS, INSTRUCTIONS_BUCKETS
 from repro.thor.cpu import CPU, StepResult
-from repro.thor.edm import DetectionEvent
+from repro.thor.edm import DetectionEvent, add_detection_listener
 from repro.thor.scanchain import ScanChain
 
 
@@ -131,6 +132,7 @@ class TargetSystem:
         iterations: int = 650,
         watchdog_factor: float = 10.0,
         warm_start: bool = True,
+        metrics=None,
     ):
         if iterations <= 0:
             raise CampaignError("iterations must be positive")
@@ -142,6 +144,10 @@ class TargetSystem:
         self.cpu = CPU()
         self.scan_chain = ScanChain(self.cpu)
         self.reference: Optional[ReferenceRun] = None
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
+        #: every experiment records its instruction count, detection
+        #: latency and EDM firings (None: zero-overhead no-op).
+        self.metrics = metrics
 
     def _warm_start_workload(self) -> None:
         """Prime the controller-state globals to the steady operating point."""
@@ -211,6 +217,34 @@ class TargetSystem:
         self, fault: FaultDescriptor, early_exit: bool = True
     ) -> ExperimentRun:
         """Inject one fault and observe the run to its termination."""
+        metrics = self.metrics
+        if metrics is None:
+            return self._execute_experiment(fault, early_exit)
+        remove = add_detection_listener(
+            lambda event: metrics.counter(
+                "edm_firings", mechanism=event.mechanism.value
+            ).inc()
+        )
+        try:
+            run = self._execute_experiment(fault, early_exit)
+        finally:
+            remove()
+        metrics.histogram(
+            "instructions_per_experiment", INSTRUCTIONS_BUCKETS
+        ).observe(run.instructions_executed)
+        if run.detection is not None:
+            metrics.histogram(
+                "detection_latency_instructions", DETECTION_LATENCY_BUCKETS
+            ).observe(run.detection.instruction_index - fault.time)
+        if run.early_exit_iteration is not None:
+            metrics.counter("early_exits").inc()
+        if run.timed_out:
+            metrics.counter("timeouts").inc()
+        return run
+
+    def _execute_experiment(
+        self, fault: FaultDescriptor, early_exit: bool = True
+    ) -> ExperimentRun:
         reference = self.reference
         if reference is None:
             raise CampaignError("run_reference() must come first")

@@ -1,0 +1,70 @@
+"""Observability for fault-injection campaigns.
+
+Three primitives, bundled by :class:`Telemetry` and threaded through
+:meth:`repro.goofi.campaign.ScifiCampaign.run`:
+
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms with a lossless :meth:`~MetricsRegistry.merge` so
+  per-worker registries aggregate exactly;
+* :class:`Tracer` — nested ``span("injection")``-style phase timings;
+* :class:`EventLog` — schema-versioned JSONL event records, safe for
+  worker processes via per-worker shard files.
+
+Everything is opt-in: a campaign run without a telemetry bundle takes
+one ``is None`` branch per hook and allocates nothing.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventLog,
+    SCHEMA_VERSION,
+    merge_event_shards,
+    read_events,
+)
+from repro.obs.metrics import (
+    Counter,
+    DETECTION_LATENCY_BUCKETS,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    INSTRUCTIONS_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.summary import (
+    EventSummary,
+    render_events_summary,
+    summarize_events,
+)
+from repro.obs.telemetry import (
+    Telemetry,
+    campaign_finished_event,
+    campaign_started_event,
+    experiment_event,
+    record_outcome,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DETECTION_LATENCY_BUCKETS",
+    "EVENT_TYPES",
+    "EventLog",
+    "EventSummary",
+    "Gauge",
+    "Histogram",
+    "INSTRUCTIONS_BUCKETS",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "campaign_finished_event",
+    "campaign_started_event",
+    "experiment_event",
+    "merge_event_shards",
+    "read_events",
+    "record_outcome",
+    "render_events_summary",
+    "summarize_events",
+]

@@ -1,0 +1,135 @@
+"""Typed, schema-versioned JSONL campaign events.
+
+An :class:`EventLog` appends one JSON object per line to a file.  Every
+record carries ``schema_version`` and ``event``; the event types emitted
+by a campaign are
+
+* ``campaign_started`` — configuration echo (name, faults, seed,
+  iterations, partitions, workers) plus a wall-clock ``ts``;
+* ``experiment_finished`` — one per experiment, **deterministic** (no
+  timestamp): plan ``index``, fault target (partition/element/bit),
+  ``injection_time``, outcome ``category``, detecting ``mechanism``,
+  ``detected_iteration``, ``detection_latency`` (instructions from
+  injection to the detection event), ``early_exit_iteration``,
+  ``timed_out`` and ``instructions`` executed.  Because the payload is a
+  pure function of the experiment, serial and parallel campaigns produce
+  identical records;
+* ``worker_chunk_done`` — a worker process finished its plan slice;
+* ``campaign_finished`` — wall time plus per-category outcome counts;
+* ``span`` — one per tracer span (name, depth, seconds).
+
+Worker processes never share a file descriptor: each worker writes its
+own ``<path>.shard<N>`` file, and the parent merges the shards back into
+the main log in plan order (:func:`merge_event_shards`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import IO, Dict, Iterable, List, Optional
+
+from repro.errors import ObservabilityError
+
+#: Version stamped into (and required of) every event record.
+SCHEMA_VERSION = 1
+
+#: The event types a campaign emits.
+EVENT_TYPES = (
+    "campaign_started",
+    "experiment_finished",
+    "worker_chunk_done",
+    "campaign_finished",
+    "span",
+)
+
+
+class EventLog:
+    """An append-only JSONL sink for campaign events."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._file: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+
+    def emit(self, event: str, **payload: object) -> None:
+        """Append one event record (``schema_version`` added automatically)."""
+        if event not in EVENT_TYPES:
+            raise ObservabilityError(f"unknown event type {event!r}")
+        self.emit_record({"schema_version": SCHEMA_VERSION, "event": event, **payload})
+
+    def emit_record(self, record: Dict[str, object]) -> None:
+        """Append a pre-built record verbatim (used by the shard merge)."""
+        if self._file is None:
+            raise ObservabilityError(f"event log {self.path} is closed")
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def now() -> float:
+    """Wall-clock timestamp used by the non-deterministic events."""
+    return time.time()
+
+
+def read_events(path: str) -> List[Dict[str, object]]:
+    """Parse an event file, validating schema version and event types."""
+    events: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ObservabilityError(
+                    f"{path}:{line_number}: not valid JSON ({exc})"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ObservabilityError(f"{path}:{line_number}: not an object")
+            version = record.get("schema_version")
+            if version != SCHEMA_VERSION:
+                raise ObservabilityError(
+                    f"{path}:{line_number}: schema_version {version!r} "
+                    f"(supported: {SCHEMA_VERSION})"
+                )
+            if record.get("event") not in EVENT_TYPES:
+                raise ObservabilityError(
+                    f"{path}:{line_number}: unknown event {record.get('event')!r}"
+                )
+            events.append(record)
+    return events
+
+
+def merge_event_shards(log: EventLog, shard_paths: Iterable[str]) -> int:
+    """Merge worker shard files into ``log`` in plan order.
+
+    Each shard holds the ``experiment_finished`` records of one worker's
+    plan slice; the union is re-ordered by plan ``index`` so the merged
+    log is identical to a serial campaign's.  Shards are deleted after a
+    successful merge.  Returns the number of merged records.
+    """
+    merged: List[Dict[str, object]] = []
+    shard_paths = list(shard_paths)
+    for shard in shard_paths:
+        merged.extend(read_events(shard))
+    merged.sort(key=lambda record: record.get("index", 0))
+    for record in merged:
+        log.emit_record(record)
+    for shard in shard_paths:
+        os.remove(shard)
+    return len(merged)

@@ -1,0 +1,151 @@
+"""The telemetry bundle handed to a campaign run.
+
+:class:`Telemetry` groups the three observability primitives — a
+:class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.trace.Tracer` and an optional
+:class:`~repro.obs.events.EventLog` — behind one object that campaign
+code can treat uniformly.  A campaign run with ``telemetry=None`` (the
+default) takes a single ``is None`` branch per hook, so the instrumented
+code paths cost nothing when observability is off.
+
+The per-experiment recording helpers live here (not as methods) because
+the parallel path runs them inside worker processes against the worker's
+own registry/shard, while the serial path runs them in-process — both
+must record *identically* for worker merges to equal a serial run.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import ContextManager, Dict, Optional
+
+from repro.obs.events import EventLog, now
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class Telemetry:
+    """Metrics + tracing + events for one campaign run.
+
+    Args:
+        events_path: JSONL event-file destination (None: no event log).
+        metrics: collect a :class:`MetricsRegistry` (default True).
+        tracer: collect phase spans (default True).
+    """
+
+    def __init__(
+        self,
+        events_path: Optional[str] = None,
+        metrics: bool = True,
+        tracer: bool = True,
+    ):
+        self.metrics: Optional[MetricsRegistry] = MetricsRegistry() if metrics else None
+        self.tracer: Optional[Tracer] = Tracer() if tracer else None
+        self.events: Optional[EventLog] = (
+            EventLog(events_path) if events_path else None
+        )
+
+    def span(self, name: str) -> ContextManager:
+        """A tracer span, or a null context when tracing is off."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name)
+
+    def emit(self, event: str, **payload: object) -> None:
+        """Emit an event if an event log is attached."""
+        if self.events is not None:
+            self.events.emit(event, **payload)
+
+    def shard_path(self, worker_index: int) -> Optional[str]:
+        """The shard file a worker process should write, if events are on."""
+        if self.events is None:
+            return None
+        return f"{self.events.path}.shard{worker_index}"
+
+    def finish(self) -> None:
+        """Emit the tracer's spans and flush the event log."""
+        if self.events is not None:
+            if self.tracer is not None:
+                for span in self.tracer.spans:
+                    self.events.emit(
+                        "span",
+                        name=span.name,
+                        depth=span.depth,
+                        seconds=span.seconds,
+                    )
+            self.events.flush()
+
+    def close(self) -> None:
+        """Close the event log (idempotent)."""
+        if self.events is not None:
+            self.events.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+# -- shared recording helpers (serial path and worker processes) ---------------
+def record_outcome(registry: MetricsRegistry, run, outcome) -> None:
+    """Count one classified experiment into ``registry``.
+
+    Target-level metrics (instruction/latency histograms, EDM firings)
+    are recorded by :class:`~repro.goofi.target.TargetSystem` itself;
+    this adds the classification-dependent counters.
+    """
+    registry.counter(
+        "experiments",
+        partition=run.fault.target.partition,
+        category=outcome.category.value,
+    ).inc()
+    if outcome.mechanism is not None:
+        registry.counter("detections", mechanism=outcome.mechanism).inc()
+
+
+def experiment_event(index: int, run, outcome) -> Dict[str, object]:
+    """The deterministic ``experiment_finished`` payload for one run."""
+    detection_latency = None
+    if run.detection is not None:
+        detection_latency = run.detection.instruction_index - run.fault.time
+    return {
+        "index": index,
+        "partition": run.fault.target.partition,
+        "element": run.fault.target.element,
+        "bit": run.fault.target.bit,
+        "injection_time": run.fault.time,
+        "category": outcome.category.value,
+        "mechanism": outcome.mechanism,
+        "detected_iteration": run.detected_iteration,
+        "detection_latency": detection_latency,
+        "early_exit_iteration": run.early_exit_iteration,
+        "timed_out": run.timed_out,
+        "instructions": run.instructions_executed,
+    }
+
+
+def campaign_started_event(config, workers: int) -> Dict[str, object]:
+    """The ``campaign_started`` payload for a campaign configuration."""
+    return {
+        "ts": now(),
+        "name": config.name,
+        "faults": config.faults,
+        "seed": config.seed,
+        "iterations": config.iterations,
+        "partitions": list(config.partitions) if config.partitions else None,
+        "workers": workers,
+    }
+
+
+def campaign_finished_event(outcomes, wall_seconds: float) -> Dict[str, object]:
+    """The ``campaign_finished`` payload: wall time + outcome counts."""
+    counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        counts[outcome.category.value] = counts.get(outcome.category.value, 0) + 1
+    return {
+        "ts": now(),
+        "wall_seconds": wall_seconds,
+        "experiments": len(outcomes),
+        "outcomes": counts,
+    }

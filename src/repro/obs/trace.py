@@ -1,0 +1,68 @@
+"""Span-based phase tracing for campaign runs.
+
+The paper's §3.3 campaign flow has distinct phases — set-up, reference
+execution, injection, analysis — and a :class:`Tracer` records how wall
+time distributes across them.  A span is opened with
+
+.. code-block:: python
+
+    with tracer.span("injection"):
+        ...
+
+and spans nest: a span opened while another is active records its depth,
+so the rendered table shows the phase hierarchy.  Completed spans keep
+their start order, which for a campaign is the §3.3 phase order.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+
+@dataclass
+class Span:
+    """One completed (or still-open) phase timing.
+
+    Attributes:
+        name: phase label (``reference_run``, ``injection``, ...).
+        depth: nesting level; 0 for top-level spans.
+        seconds: wall duration; None while the span is still open.
+    """
+
+    name: str
+    depth: int
+    seconds: Optional[float] = None
+
+
+class Tracer:
+    """Records nested phase timings as :class:`Span` values."""
+
+    def __init__(self) -> None:
+        #: Completed and open spans in start order.
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Open a span; it closes (records its duration) on exit."""
+        record = Span(name=name, depth=len(self._stack))
+        self.spans.append(record)
+        self._stack.append(record)
+        started = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.seconds = time.perf_counter() - started
+            self._stack.pop()
+
+    def render(self) -> str:
+        """A fixed-width phase-timing table (indented by nesting depth)."""
+        lines = ["Phase timings"]
+        for span in self.spans:
+            label = "  " * (span.depth + 1) + span.name
+            seconds = f"{span.seconds:.4f} s" if span.seconds is not None else "(open)"
+            lines.append(f"{label:<40} {seconds:>12}")
+        return "\n".join(lines)

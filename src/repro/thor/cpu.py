@@ -27,7 +27,13 @@ from typing import Dict, List, Optional
 
 from repro.errors import MachineError
 from repro.thor.cache import DataCache
-from repro.thor.edm import DetectionEvent, HardwareDetection, Mechanism, raise_detection
+from repro.thor.edm import (
+    DetectionEvent,
+    HardwareDetection,
+    Mechanism,
+    notify_detection,
+    raise_detection,
+)
 from repro.thor.isa import (
     Instruction,
     NUM_GPRS,
@@ -311,6 +317,7 @@ class CPU:
                 instruction_index=self.instruction_index,
                 detail=event.detail,
             )
+            notify_detection(self.detection)
             return StepResult.DETECTED
 
     def _execute(self) -> StepResult:
