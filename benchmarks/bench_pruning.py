@@ -1,0 +1,49 @@
+"""Benchmark: def/use access-trace pruning of the fault plan.
+
+Runs one campaign with and without pruning (same workload, seed and
+plan), verifies full per-experiment outcome equivalence, and records the
+measured simulation reduction and wall-time win into
+``results/BENCH_pruning.json`` — the artifact the CI smoke step and the
+performance doc reference.
+"""
+
+import json
+
+from _common import bench_faults, bench_iterations, emit
+
+from repro.goofi import CampaignConfig, validate_pruning
+from repro.workloads import compile_algorithm_i
+
+
+def _measure():
+    config = CampaignConfig(
+        workload=compile_algorithm_i(),
+        name="pruning bench",
+        faults=bench_faults(),
+        iterations=bench_iterations(),
+    )
+    return validate_pruning(config)
+
+
+def test_pruning_reduction(benchmark):
+    report = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    payload = {
+        "faults": report.faults,
+        "simulated": report.simulated,
+        "predicted": report.predicted,
+        "reduction": round(report.reduction, 4),
+        "mismatches": len(report.mismatches),
+        "summaries_match": report.summaries_match,
+        "pruned_wall_seconds": round(report.pruned_wall_seconds, 3),
+        "unpruned_wall_seconds": round(report.unpruned_wall_seconds, 3),
+        "speedup": round(
+            report.unpruned_wall_seconds / report.pruned_wall_seconds, 2
+        )
+        if report.pruned_wall_seconds
+        else None,
+    }
+    emit("BENCH_pruning.json", json.dumps(payload, indent=2, sort_keys=True))
+    emit("pruning_validation.txt", report.render())
+
+    assert report.ok, report.render()
+    assert report.reduction >= 0.30

@@ -6,6 +6,7 @@ Usage (also available as ``python -m repro``):
 
     repro campaign  --algorithm II --faults 500 [--database results.db]
                     [--workers 4] [--events events.jsonl] [--metrics]
+                    [--prune] [--validate-pruning]
     repro obs       --events events.jsonl
     repro compare   --faults 500
     repro figure    --name fig03|fig04|fig05
@@ -59,7 +60,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         seed=args.seed,
         iterations=args.iterations,
         partitions=args.partitions,
+        prune=args.prune,
     )
+    if args.validate_pruning:
+        from repro.goofi.pruning import validate_pruning
+
+        report = validate_pruning(config, workers=args.workers)
+        print(report.render())
+        return 0 if report.ok else 1
     database = CampaignDatabase(args.database) if args.database else None
     telemetry = None
     if args.events or args.metrics:
@@ -260,6 +268,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="collect and print the campaign metrics registry",
+    )
+    campaign.add_argument(
+        "--prune",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="skip simulating faults whose outcome the reference run's "
+        "def/use access trace proves (see docs/performance.md)",
+    )
+    campaign.add_argument(
+        "--validate-pruning",
+        action="store_true",
+        help="run the campaign with and without pruning and fail "
+        "(exit 1) unless every per-experiment outcome matches",
     )
     campaign.set_defaults(func=_cmd_campaign)
 

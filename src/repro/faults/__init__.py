@@ -22,6 +22,7 @@ from repro.faults.bitflip import (
     float64_to_bits,
     bits_to_float64,
 )
+from repro.faults.liveness import AccessRecorder, Liveness, LivenessMap
 from repro.faults.models import (
     FaultDescriptor,
     FaultTarget,
@@ -45,6 +46,9 @@ __all__ = [
     "bits_to_float",
     "float64_to_bits",
     "bits_to_float64",
+    "AccessRecorder",
+    "Liveness",
+    "LivenessMap",
     "FaultDescriptor",
     "FaultTarget",
     "LocationSpace",

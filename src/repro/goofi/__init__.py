@@ -33,6 +33,13 @@ from repro.goofi.prerun import (
     PreRuntimeResult,
     sample_image_faults,
 )
+from repro.goofi.pruning import (
+    PrunedPlan,
+    ValidationReport,
+    preclassify_plan,
+    synthesize_run,
+    validate_pruning,
+)
 from repro.goofi.swifi import (
     ModelFault,
     ModelExperiment,
@@ -58,6 +65,11 @@ __all__ = [
     "PreRuntimeCampaign",
     "PreRuntimeResult",
     "sample_image_faults",
+    "PrunedPlan",
+    "ValidationReport",
+    "preclassify_plan",
+    "synthesize_run",
+    "validate_pruning",
     "TargetSystem",
     "ReferenceRun",
     "ExperimentRun",

@@ -10,7 +10,7 @@ from __future__ import annotations
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.errors import CampaignError
 from repro.faults.models import FaultDescriptor, LocationSpace, sample_fault_plan
 from repro.goofi.database import CampaignDatabase
 from repro.goofi.environment import EngineEnvironment
+from repro.goofi.pruning import preclassify_plan, synthesize_run
 from repro.goofi.target import ExperimentRun, TargetSystem
 from repro.obs.events import EventLog, merge_event_shards
 from repro.obs.metrics import MetricsRegistry
@@ -50,6 +51,11 @@ class CampaignConfig:
             fault-free iteration.
         early_exit: enable the provably-safe early termination when the
             faulted state re-converges to the reference.
+        prune: record the reference run's def/use access trace and skip
+            simulating faults whose outcome it proves (overwritten before
+            the next read, or never touched again) — the predicted
+            experiments classify identically to simulated ones, see
+            ``docs/performance.md``.  Off by default.
         environment_factory: builds the environment simulator.
     """
 
@@ -61,6 +67,7 @@ class CampaignConfig:
     partitions: Optional[List[str]] = None
     watchdog_factor: float = 10.0
     early_exit: bool = True
+    prune: bool = False
     environment_factory: Callable[[], EngineEnvironment] = EngineEnvironment
 
     def __post_init__(self) -> None:
@@ -209,11 +216,16 @@ class ScifiCampaign:
                 chunk results arrive, so ``done`` still counts every
                 experiment but outcomes report in completion order.
             workers: number of worker processes.  ``1`` (default) runs
-                serially in this process; ``N > 1`` splits the fault plan
-                into N contiguous slices executed in parallel — results
-                are bit-identical to the serial run (every experiment is
-                independent and fully determined by its fault), just
-                reordered back into plan order.
+                serially in this process; ``N > 1`` deals the fault plan
+                into N *strided* slices (``plan[i::N]``) executed in
+                parallel.  Striding (rather than contiguous blocks)
+                balances load even when plan order correlates with
+                experiment cost — e.g. a time-sorted plan, where early
+                injections simulate the longest suffix of the run and a
+                contiguous split would hand one worker all of them.
+                Results are bit-identical to the serial run (every
+                experiment is independent and fully determined by its
+                fault), just reordered back into plan order.
             telemetry: optional :class:`~repro.obs.Telemetry` bundle.
                 When given, the run records phase spans, per-experiment
                 metrics and JSONL events; per-worker registries/shards
@@ -231,7 +243,9 @@ class ScifiCampaign:
 
         with span("campaign"):
             with span("reference_run"):
-                reference = self.target.run_reference()
+                reference = self.target.run_reference(
+                    record_access=config.prune
+                )
                 if telemetry is not None and telemetry.metrics is not None:
                     telemetry.metrics.gauge("reference_instructions").set(
                         reference.total_instructions
@@ -250,18 +264,53 @@ class ScifiCampaign:
                     for partition in space.partitions
                 }
 
+            # Pre-classify against the def/use liveness map: predicted
+            # experiments are synthesised from the reference and never
+            # enter the injection loop below.
+            predicted_results: Dict[int, Tuple[ExperimentRun, Outcome]] = {}
+            live_plan: List[Tuple[int, FaultDescriptor]] = list(enumerate(plan))
+            if config.prune:
+                with span("pruning"):
+                    liveness = self.target.liveness
+                    if liveness is None:
+                        raise CampaignError(
+                            "pruning requested but no liveness map recorded"
+                        )
+                    pruned = preclassify_plan(plan, liveness)
+                    live_plan = pruned.live
+                    for index, fault, classification in pruned.predicted:
+                        run = synthesize_run(fault, classification, reference)
+                        predicted_results[index] = (
+                            run,
+                            self._classify(run, reference.outputs),
+                        )
+                    if telemetry is not None and telemetry.metrics is not None:
+                        for _i, _f, classification in pruned.predicted:
+                            telemetry.metrics.counter(
+                                "pruned_experiments",
+                                prediction=classification.value,
+                            ).inc()
+            if telemetry is not None and telemetry.metrics is not None:
+                telemetry.metrics.counter("simulated_experiments").inc(
+                    len(live_plan)
+                )
+
             started = time.perf_counter()
             with span("injection"):
                 if workers <= 1:
-                    experiments: List[ExperimentRun] = []
-                    outcomes: List[Outcome] = []
+                    by_index: Dict[int, Tuple[ExperimentRun, Outcome]] = dict(
+                        predicted_results
+                    )
                     for i, fault in enumerate(plan):
-                        run = self.target.run_experiment(
-                            fault, early_exit=config.early_exit
-                        )
-                        outcome = self._classify(run, reference.outputs)
-                        experiments.append(run)
-                        outcomes.append(outcome)
+                        pair = by_index.get(i)
+                        if pair is None:
+                            run = self.target.run_experiment(
+                                fault, early_exit=config.early_exit
+                            )
+                            outcome = self._classify(run, reference.outputs)
+                            by_index[i] = (run, outcome)
+                        else:
+                            run, outcome = pair
                         if telemetry is not None:
                             if telemetry.metrics is not None:
                                 record_outcome(telemetry.metrics, run, outcome)
@@ -271,9 +320,16 @@ class ScifiCampaign:
                             )
                         if progress is not None:
                             progress(i + 1, len(plan), outcome)
+                    experiments = [by_index[i][0] for i in range(len(plan))]
+                    outcomes = [by_index[i][1] for i in range(len(plan))]
                 else:
                     experiments, outcomes = self._run_parallel(
-                        plan, workers, progress=progress, telemetry=telemetry
+                        live_plan,
+                        len(plan),
+                        workers,
+                        progress=progress,
+                        telemetry=telemetry,
+                        predicted_results=predicted_results,
                     )
             wall = time.perf_counter() - started
 
@@ -296,17 +352,33 @@ class ScifiCampaign:
             telemetry.finish()
         return result
 
-    def _run_parallel(self, plan, workers, progress=None, telemetry=None):
-        """Fan the plan out over worker processes, preserving plan order.
+    def _run_parallel(
+        self,
+        live_plan,
+        total,
+        workers,
+        progress=None,
+        telemetry=None,
+        predicted_results=None,
+    ):
+        """Fan the live plan out over worker processes, preserving plan order.
 
-        Chunk results are consumed as they complete so the ``progress``
+        ``live_plan`` holds ``(plan index, fault)`` pairs that need
+        simulation; ``predicted_results`` maps the remaining plan indices
+        to their pruning-synthesised ``(run, outcome)`` pairs.  Chunk
+        results are consumed as they complete so the ``progress``
         callback reports during parallel runs too; worker telemetry
         (metrics registries, event shards) is merged at the end.
+
+        Predicted experiments are recorded into the parent's registry and
+        written to a pseudo-shard (index ``workers``, which no worker
+        uses) so the shard merge interleaves their events back into plan
+        order alongside the workers' simulated ones.
         """
         import concurrent.futures
 
-        indexed = list(enumerate(plan))
-        slices = [indexed[i::workers] for i in range(workers)]
+        predicted_results = predicted_results or {}
+        slices = [live_plan[i::workers] for i in range(workers)]
         metrics_enabled = telemetry is not None and telemetry.metrics is not None
         args = []
         for worker_index, chunk in enumerate(slices):
@@ -326,9 +398,30 @@ class ScifiCampaign:
                     metrics_enabled,
                 )
             )
-        by_index = {}
-        shards = []
+        by_index = dict(predicted_results)
+        # ``(worker index, path)`` pairs; ordered numerically before the
+        # merge.  Sorting the bare paths would be lexicographic —
+        # ``shard10`` before ``shard2`` — as soon as workers reach 10.
+        shards: List[Tuple[int, str]] = []
         done = 0
+        if predicted_results and telemetry is not None:
+            if telemetry.metrics is not None:
+                for run, outcome in predicted_results.values():
+                    record_outcome(telemetry.metrics, run, outcome)
+            predicted_shard = telemetry.shard_path(workers)
+            if predicted_shard is not None:
+                with EventLog(predicted_shard) as shard_log:
+                    for index in sorted(predicted_results):
+                        run, outcome = predicted_results[index]
+                        shard_log.emit(
+                            "experiment_finished",
+                            **experiment_event(index, run, outcome),
+                        )
+                shards.append((workers, predicted_shard))
+        for index in sorted(predicted_results):
+            done += 1
+            if progress is not None:
+                progress(done, total, predicted_results[index][1])
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_run_chunk, a) for a in args]
             for future in concurrent.futures.as_completed(futures):
@@ -337,7 +430,7 @@ class ScifiCampaign:
                     by_index[index] = (run, outcome)
                     done += 1
                     if progress is not None:
-                        progress(done, len(plan), outcome)
+                        progress(done, total, outcome)
                 if telemetry is not None:
                     if registry_dict is not None:
                         telemetry.metrics.merge(
@@ -345,7 +438,7 @@ class ScifiCampaign:
                         )
                     shard = telemetry.shard_path(worker_index)
                     if shard is not None:
-                        shards.append(shard)
+                        shards.append((worker_index, shard))
                     telemetry.emit(
                         "worker_chunk_done",
                         ts=time.time(),
@@ -354,10 +447,12 @@ class ScifiCampaign:
                         seconds=seconds,
                     )
         if telemetry is not None and telemetry.events is not None and shards:
-            merge_event_shards(telemetry.events, sorted(shards))
+            merge_event_shards(
+                telemetry.events, [path for _index, path in sorted(shards)]
+            )
         experiments = []
         outcomes = []
-        for index in range(len(plan)):
+        for index in range(total):
             run, outcome = by_index[index]
             experiments.append(run)
             outcomes.append(outcome)

@@ -21,8 +21,12 @@ from repro.errors import DatabaseError
 #: Version stamped into newly stored campaign rows.  Version 1 is the
 #: original schema (no version/timestamp columns); version 2 added
 #: ``schema_version`` and ``created_at`` — rows migrated from a v1
-#: database keep ``schema_version = 1`` and a NULL ``created_at``.
-DB_SCHEMA_VERSION = 2
+#: database keep ``schema_version = 1`` and a NULL ``created_at``;
+#: version 3 added ``experiments.provenance`` (``'simulated'`` or
+#: ``'predicted'`` — whether the outcome came from simulation or from
+#: the def/use pruning's prediction), defaulting migrated rows to
+#: ``'simulated'``, which is what every earlier version stored.
+DB_SCHEMA_VERSION = 3
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaigns (
@@ -49,7 +53,8 @@ CREATE TABLE IF NOT EXISTS experiments (
     max_deviation REAL NOT NULL,
     early_exit_iteration INTEGER,
     timed_out INTEGER NOT NULL,
-    instructions_executed INTEGER NOT NULL
+    instructions_executed INTEGER NOT NULL,
+    provenance TEXT NOT NULL DEFAULT 'simulated'
 );
 """
 
@@ -69,8 +74,11 @@ class CampaignDatabase:
 
         ``CREATE TABLE IF NOT EXISTS`` leaves older tables untouched, so
         databases written before :data:`DB_SCHEMA_VERSION` 2 lack the
-        ``schema_version``/``created_at`` columns; add them in place.
-        Existing rows keep the defaults (version 1, NULL timestamp).
+        ``schema_version``/``created_at`` columns and ones written
+        before version 3 lack ``experiments.provenance``; add them in
+        place.  Existing rows keep the defaults (version 1, NULL
+        timestamp, ``'simulated'`` provenance — correct, since pruning
+        did not exist when they were written).
         """
         columns = {
             row[1]
@@ -83,6 +91,17 @@ class CampaignDatabase:
             )
         if "created_at" not in columns:
             self._conn.execute("ALTER TABLE campaigns ADD COLUMN created_at TEXT")
+        experiment_columns = {
+            row[1]
+            for row in self._conn.execute(
+                "PRAGMA table_info(experiments)"
+            ).fetchall()
+        }
+        if "provenance" not in experiment_columns:
+            self._conn.execute(
+                "ALTER TABLE experiments"
+                " ADD COLUMN provenance TEXT NOT NULL DEFAULT 'simulated'"
+            )
 
     def close(self) -> None:
         """Close the underlying connection."""
@@ -133,14 +152,15 @@ class CampaignDatabase:
                     run.early_exit_iteration,
                     1 if run.timed_out else 0,
                     run.instructions_executed,
+                    "predicted" if getattr(run, "predicted", False) else "simulated",
                 )
             )
         self._conn.executemany(
             "INSERT INTO experiments (campaign_id, partition, element, bit,"
             " time, category, mechanism, first_failure_iteration,"
             " max_deviation, early_exit_iteration, timed_out,"
-            " instructions_executed)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            " instructions_executed, provenance)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             rows,
         )
         self._conn.commit()
@@ -192,3 +212,12 @@ class CampaignDatabase:
             (campaign_id,),
         )
         return [(str(m), int(c)) for m, c in cursor.fetchall()]
+
+    def provenance_counts(self, campaign_id: int) -> List[Tuple[str, int]]:
+        """Experiment counts per provenance (``simulated``/``predicted``)."""
+        cursor = self._conn.execute(
+            "SELECT provenance, COUNT(*) FROM experiments"
+            " WHERE campaign_id = ? GROUP BY provenance ORDER BY provenance",
+            (campaign_id,),
+        )
+        return [(str(p), int(c)) for p, c in cursor.fetchall()]

@@ -16,7 +16,6 @@ both effects.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import List
 
@@ -27,7 +26,7 @@ from repro.analysis.report import CampaignSummary, ClassifiedExperiment
 from repro.errors import CampaignError
 from repro.faults.models import FaultDescriptor, FaultTarget
 from repro.goofi.environment import EngineEnvironment
-from repro.goofi.target import ExperimentRun, TargetSystem
+from repro.goofi.target import ExperimentRun, TargetSystem, _hash_state
 from repro.tcc.codegen import CompiledProgram
 from repro.thor.cpu import StepResult
 from repro.thor.memory import WORD
@@ -110,16 +109,22 @@ class PreRuntimeCampaign:
         """The golden output sequence."""
         return list(self._reference.outputs)
 
-    def run_experiment(self, fault: ImageFault) -> ExperimentRun:
+    def run_experiment(
+        self, fault: ImageFault, early_exit: bool = True
+    ) -> ExperimentRun:
         """Execute one full run with the image mutation in place.
 
         Unlike SCIFI there is no checkpoint restart: the mutation exists
         from the first instruction, so the entire run is re-executed.
         The early-exit hash splice still applies — if the mutated system
         ever reaches a state identical to the golden run's at the same
-        boundary, the remainder is provably identical.  (That happens
-        only for mutations whose effect is erased, e.g. a flipped data
-        word that is overwritten before first use.)
+        boundary, the remainder is provably identical, so the reference
+        output suffix is spliced in.  That happens only for mutations
+        whose effect is erased — e.g. a flipped *data* word overwritten
+        before first use; a *code* word flip keeps the image (and thus
+        the state hash) different forever, so the splice never fires for
+        it.  ``early_exit=False`` disables the splice (a test asserts
+        outcomes are unchanged by it).
         """
         target = TargetSystem(
             self.workload,
@@ -162,13 +167,15 @@ class PreRuntimeCampaign:
                 run.final_state_differs = True
                 return run
             outputs.append(env.exchange(cpu.memory.mmio))
+            if early_exit and _hash_state(cpu, env) == self._reference.hashes[k + 1]:
+                outputs.extend(self._reference.outputs[k + 1 :])
+                run.early_exit_iteration = k + 1
+                run.final_state_differs = False
+                return run
         # The planted bit is itself a state difference, so an image fault
         # that was never overwritten counts as latent — the §4.1 scheme's
         # intent for surviving corruption.
-        digest = hashlib.blake2b(digest_size=16)
-        digest.update(cpu.state_bytes())
-        digest.update(env.state_bytes())
-        run.final_state_differs = digest.digest() != self._reference.hashes[-1]
+        run.final_state_differs = _hash_state(cpu, env) != self._reference.hashes[-1]
         return run
 
     def run(

@@ -1,0 +1,184 @@
+"""Fault-plan pruning from the reference run's def/use liveness.
+
+Given the :class:`~repro.faults.liveness.LivenessMap` recorded during
+``run_reference(record_access=True)``, :func:`preclassify_plan` splits a
+sampled fault plan into
+
+* **live** faults — the bit is read before any full overwrite, so only
+  simulation can tell the outcome; and
+* **predicted** faults — the bit is provably overwritten (written with an
+  independent value before its next read) or provably latent (never
+  touched again), so the experiment's result is known without running it.
+
+:func:`synthesize_run` turns a predicted fault into an
+:class:`~repro.goofi.target.ExperimentRun` that classifies — through the
+ordinary §4.1 classifier — into exactly the :class:`Outcome` the
+simulation would have produced: reference outputs with an unchanged
+final state for *overwritten*, reference outputs with a differing final
+state for *latent*.  Because :class:`Outcome` is a frozen dataclass,
+predicted and simulated outcomes compare equal, which is what lets
+:func:`validate_pruning` assert full per-experiment equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence, Tuple
+
+from repro.analysis.classify import Outcome
+from repro.analysis.report import render_outcome_table
+from repro.errors import CampaignError
+from repro.faults.liveness import Liveness, LivenessMap
+from repro.faults.models import FaultDescriptor
+from repro.goofi.target import ExperimentRun, ReferenceRun
+
+
+@dataclass
+class PrunedPlan:
+    """A fault plan split by the def/use pre-classification.
+
+    Attributes:
+        live: ``(plan index, fault)`` pairs that must be simulated.
+        predicted: ``(plan index, fault, classification)`` triples whose
+            outcome is provable from the reference trace.
+    """
+
+    live: List[Tuple[int, FaultDescriptor]]
+    predicted: List[Tuple[int, FaultDescriptor, Liveness]]
+
+    @property
+    def total(self) -> int:
+        """Size of the original plan."""
+        return len(self.live) + len(self.predicted)
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of experiments that need no simulation."""
+        return len(self.predicted) / self.total if self.total else 0.0
+
+
+def preclassify_plan(
+    plan: Sequence[FaultDescriptor], liveness: LivenessMap
+) -> PrunedPlan:
+    """Split a fault plan into live and predicted experiments."""
+    live: List[Tuple[int, FaultDescriptor]] = []
+    predicted: List[Tuple[int, FaultDescriptor, Liveness]] = []
+    for index, fault in enumerate(plan):
+        classification = liveness.classify_fault(fault)
+        if classification is Liveness.LIVE:
+            live.append((index, fault))
+        else:
+            predicted.append((index, fault, classification))
+    return PrunedPlan(live=live, predicted=predicted)
+
+
+def synthesize_run(
+    fault: FaultDescriptor,
+    classification: Liveness,
+    reference: ReferenceRun,
+) -> ExperimentRun:
+    """Build the run a predicted fault would have produced.
+
+    An overwritten fault re-converges to the reference, so its outputs
+    match and the final state is identical; a latent fault also delivers
+    the reference outputs (nothing ever read the bit) but the flip
+    survives into the final-state hash.
+    """
+    if classification is Liveness.LIVE:
+        raise CampaignError("live faults must be simulated, not synthesised")
+    return ExperimentRun(
+        fault=fault,
+        outputs=list(reference.outputs),
+        final_state_differs=classification is Liveness.LATENT,
+        predicted=True,
+    )
+
+
+# -- validation ----------------------------------------------------------------
+@dataclass
+class ValidationReport:
+    """Result of running one campaign with and without pruning.
+
+    Attributes:
+        faults: plan size.
+        simulated: experiments actually simulated in the pruned run.
+        predicted: experiments predicted from the liveness map.
+        mismatches: ``(plan index, pruned outcome, unpruned outcome)``
+            triples where the two runs disagree (must be empty).
+        summaries_match: the rendered Tables 2/3 summaries are identical.
+        pruned_wall_seconds: injection-phase wall time with pruning.
+        unpruned_wall_seconds: injection-phase wall time without.
+    """
+
+    faults: int
+    simulated: int
+    predicted: int
+    mismatches: List[Tuple[int, Outcome, Outcome]]
+    summaries_match: bool
+    pruned_wall_seconds: float
+    unpruned_wall_seconds: float
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of the plan that was not simulated."""
+        return self.predicted / self.faults if self.faults else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when pruning changed nothing observable."""
+        return not self.mismatches and self.summaries_match
+
+    def render(self) -> str:
+        """Human-readable validation verdict."""
+        lines = [
+            f"pruning validation over {self.faults} faults:",
+            f"  simulated            {self.simulated}",
+            f"  predicted            {self.predicted}"
+            f"  ({self.reduction:.1%} reduction)",
+            f"  outcome mismatches   {len(self.mismatches)}",
+            f"  summaries identical  {'yes' if self.summaries_match else 'NO'}",
+            f"  wall seconds         {self.pruned_wall_seconds:.2f} pruned"
+            f" vs {self.unpruned_wall_seconds:.2f} unpruned",
+        ]
+        for index, pruned, unpruned in self.mismatches[:10]:
+            lines.append(
+                f"  MISMATCH at plan index {index}: "
+                f"pruned={pruned.category.value} "
+                f"unpruned={unpruned.category.value}"
+            )
+        if len(self.mismatches) > 10:
+            lines.append(f"  ... and {len(self.mismatches) - 10} more")
+        lines.append("  verdict              " + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def validate_pruning(config, workers: int = 1) -> ValidationReport:
+    """Run one campaign twice — pruned and unpruned — and compare.
+
+    The comparison is total: per-experiment :class:`Outcome` equality at
+    every plan index plus byte-identical rendered summary tables.  Both
+    runs share the configuration (and thus the seed and fault plan), so
+    any difference is a pruning misclassification.
+    """
+    from repro.goofi.campaign import ScifiCampaign
+
+    pruned = ScifiCampaign(replace(config, prune=True)).run(workers=workers)
+    unpruned = ScifiCampaign(replace(config, prune=False)).run(workers=workers)
+    mismatches = [
+        (index, p, u)
+        for index, (p, u) in enumerate(zip(pruned.outcomes, unpruned.outcomes))
+        if p != u
+    ]
+    predicted = sum(1 for run in pruned.experiments if run.predicted)
+    return ValidationReport(
+        faults=len(pruned.experiments),
+        simulated=len(pruned.experiments) - predicted,
+        predicted=predicted,
+        mismatches=mismatches,
+        summaries_match=(
+            render_outcome_table(pruned.summary())
+            == render_outcome_table(unpruned.summary())
+        ),
+        pruned_wall_seconds=pruned.wall_seconds,
+        unpruned_wall_seconds=unpruned.wall_seconds,
+    )

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import CampaignError
+from repro.faults.liveness import AccessRecorder, LivenessMap
 from repro.faults.models import FaultDescriptor
 from repro.goofi.environment import EngineEnvironment
 from repro.tcc.codegen import CompiledProgram
@@ -101,6 +102,8 @@ class ExperimentRun:
             the reference (None if it never did).
         timed_out: the workload stopped yielding and the watchdog expired.
         instructions_executed: dynamic instructions actually simulated.
+        predicted: the run was synthesised from the reference by the
+            def/use pruning (no simulation happened).
     """
 
     fault: FaultDescriptor
@@ -111,6 +114,7 @@ class ExperimentRun:
     early_exit_iteration: Optional[int] = None
     timed_out: bool = False
     instructions_executed: int = 0
+    predicted: bool = False
 
 
 #: Workload variables primed when the run starts at an operating point
@@ -144,6 +148,10 @@ class TargetSystem:
         self.cpu = CPU()
         self.scan_chain = ScanChain(self.cpu)
         self.reference: Optional[ReferenceRun] = None
+        #: Def/use liveness of the reference run, populated by
+        #: :meth:`run_reference` with ``record_access=True`` (used by the
+        #: campaign's fault pruning); ``None`` otherwise.
+        self.liveness: Optional[LivenessMap] = None
         #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
         #: every experiment records its instruction count, detection
         #: latency and EDM firings (None: zero-overhead no-op).
@@ -161,8 +169,16 @@ class TargetSystem:
                 self.cpu.memory.poke(addresses[name], bits)
 
     # -- golden execution ------------------------------------------------------
-    def run_reference(self) -> ReferenceRun:
-        """Execute the workload fault-free and record all checkpoints."""
+    def run_reference(self, record_access: bool = False) -> ReferenceRun:
+        """Execute the workload fault-free and record all checkpoints.
+
+        With ``record_access=True`` the run additionally collects the
+        def/use access trace of every injectable state element (plus the
+        tracked data-space memory words) through the CPU/cache/memory
+        recorder hooks, and freezes it into :attr:`liveness` for the
+        campaign's fault pruning.  Recording changes nothing about the
+        reference itself — the hooks only observe.
+        """
         cpu = self.cpu
         env = self.environment
         cpu.load(self.workload.program)
@@ -171,6 +187,19 @@ class TargetSystem:
             self._warm_start_workload()
         env.write_inputs(cpu.memory.mmio)
 
+        recorder: Optional[AccessRecorder] = None
+        if record_access:
+            # Attach after load(): the loader rebuilds memory/cache and
+            # its pokes are initial state, not architectural accesses.
+            recorder = AccessRecorder()
+            layout = cpu.layout
+            recorder.track_memory_range(layout.rodata_base, layout.rodata_size)
+            recorder.track_memory_range(layout.data_base, layout.data_size)
+            recorder.track_memory_range(layout.stack_base, layout.stack_size)
+            cpu.recorder = recorder
+            cpu.cache.recorder = recorder
+            cpu.memory.recorder = recorder
+
         outputs: List[float] = []
         hashes: List[bytes] = [_hash_state(cpu, env)]
         snapshots: List[Dict[str, object]] = [self._snapshot()]
@@ -178,20 +207,29 @@ class TargetSystem:
         max_iteration = 0
         # Generous budget for the golden run; it must always yield.
         budget = 1_000_000
-        for k in range(self.iterations):
-            before = cpu.instruction_index
-            result = cpu.run(budget)
-            if result is not StepResult.YIELD:
-                raise CampaignError(
-                    f"reference run failed at iteration {k}: {result} "
-                    f"{cpu.detection}"
-                )
-            iteration_cost = cpu.instruction_index - before
-            max_iteration = max(max_iteration, iteration_cost)
-            outputs.append(env.exchange(cpu.memory.mmio))
-            hashes.append(_hash_state(cpu, env))
-            snapshots.append(self._snapshot())
-            instructions_at.append(cpu.instruction_index)
+        try:
+            for k in range(self.iterations):
+                before = cpu.instruction_index
+                result = cpu.run(budget)
+                if result is not StepResult.YIELD:
+                    raise CampaignError(
+                        f"reference run failed at iteration {k}: {result} "
+                        f"{cpu.detection}"
+                    )
+                iteration_cost = cpu.instruction_index - before
+                max_iteration = max(max_iteration, iteration_cost)
+                outputs.append(env.exchange(cpu.memory.mmio))
+                hashes.append(_hash_state(cpu, env))
+                snapshots.append(self._snapshot())
+                instructions_at.append(cpu.instruction_index)
+        finally:
+            cpu.recorder = None
+            cpu.cache.recorder = None
+            cpu.memory.recorder = None
+        if recorder is not None:
+            self.liveness = LivenessMap.from_recorder(
+                recorder, cpu.instruction_index
+            )
         self.reference = ReferenceRun(
             outputs=outputs,
             hashes=hashes,

@@ -11,9 +11,10 @@ by a campaign are
   ``injection_time``, outcome ``category``, detecting ``mechanism``,
   ``detected_iteration``, ``detection_latency`` (instructions from
   injection to the detection event), ``early_exit_iteration``,
-  ``timed_out`` and ``instructions`` executed.  Because the payload is a
-  pure function of the experiment, serial and parallel campaigns produce
-  identical records;
+  ``timed_out``, ``instructions`` executed and ``pruned`` (the outcome
+  was predicted by def/use pruning instead of simulated).  Because the
+  payload is a pure function of the experiment, serial and parallel
+  campaigns produce identical records;
 * ``worker_chunk_done`` — a worker process finished its plan slice;
 * ``campaign_finished`` — wall time plus per-category outcome counts;
 * ``span`` — one per tracer span (name, depth, seconds).

@@ -122,6 +122,7 @@ def experiment_event(index: int, run, outcome) -> Dict[str, object]:
         "early_exit_iteration": run.early_exit_iteration,
         "timed_out": run.timed_out,
         "instructions": run.instructions_executed,
+        "pruned": getattr(run, "predicted", False),
     }
 
 

@@ -61,22 +61,48 @@ class DataCache:
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
+        #: Optional access-trace recorder (duck-typed
+        #: :class:`repro.faults.liveness.AccessRecorder`); ``None``
+        #: outside a recording reference run.  The recording calls
+        #: mirror the *exact* reads the logic below performs — including
+        #: the hit-check's short circuit (the tag is only consulted on
+        #: valid lines), which is what makes tag bits of invalid lines
+        #: provably overwritten by the refill.
+        self.recorder = None
 
     # -- core operations -------------------------------------------------------
     def _evict(self, index: int, memory: MemoryMap) -> None:
         """Write back the line at ``index`` if it is valid and dirty."""
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.cache_read(index, "valid")
+            if self.valid[index]:
+                recorder.cache_read(index, "dirty")
+                if self.dirty[index]:
+                    recorder.cache_read(index, "tag")
+                    recorder.cache_read(index, "data")
         if self.valid[index] and self.dirty[index]:
             victim_address = line_address(int(self.tags[index]), index)
             self.writebacks += 1
             memory.write_data_word(victim_address, int(self.data[index]))
         self.valid[index] = 0
         self.dirty[index] = 0
+        if recorder is not None:
+            recorder.cache_write(index, "valid")
+            recorder.cache_write(index, "dirty")
 
     def read(self, address: int, memory: MemoryMap) -> int:
         """Read a cached word, refilling on a miss."""
         tag, index = split_address(address)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.cache_read(index, "valid")
+            if self.valid[index]:
+                recorder.cache_read(index, "tag")
         if self.valid[index] and int(self.tags[index]) == tag:
             self.hits += 1
+            if recorder is not None:
+                recorder.cache_read(index, "data")
             return int(self.data[index])
         self.misses += 1
         self._evict(index, memory)
@@ -85,20 +111,36 @@ class DataCache:
         self.tags[index] = tag
         self.valid[index] = 1
         self.dirty[index] = 0
+        if recorder is not None:
+            recorder.cache_write(index, "data")
+            recorder.cache_write(index, "tag")
+            recorder.cache_write(index, "valid")
+            recorder.cache_write(index, "dirty")
         return value
 
     def write(self, address: int, value: int, memory: MemoryMap) -> None:
         """Write a cached word (write-allocate, no refill for full lines)."""
         tag, index = split_address(address)
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.cache_read(index, "valid")
+            if self.valid[index]:
+                recorder.cache_read(index, "tag")
         if not (self.valid[index] and int(self.tags[index]) == tag):
             self.misses += 1
             self._evict(index, memory)
             self.tags[index] = tag
             self.valid[index] = 1
+            if recorder is not None:
+                recorder.cache_write(index, "tag")
+                recorder.cache_write(index, "valid")
         else:
             self.hits += 1
         self.data[index] = value & 0xFFFFFFFF
         self.dirty[index] = 1
+        if recorder is not None:
+            recorder.cache_write(index, "data")
+            recorder.cache_write(index, "dirty")
 
     def flush(self, memory: MemoryMap) -> None:
         """Write back all dirty lines and invalidate the cache."""
@@ -109,6 +151,10 @@ class DataCache:
         """Drop all lines without writing anything back."""
         self.valid[:] = 0
         self.dirty[:] = 0
+        if self.recorder is not None:
+            for index in range(LINES):
+                self.recorder.cache_write(index, "valid")
+                self.recorder.cache_write(index, "dirty")
 
     def reset_stats(self) -> None:
         """Zero the hit/miss/writeback counters."""

@@ -62,6 +62,14 @@ _U32 = 0xFFFFFFFF
 #: than exact zero, raise UNDERFLOW CHECK).
 _MIN_NORMAL = 2.0 ** -126
 
+#: Scan-chain element names by register-file index (r0..r7, then sp),
+#: used by the access-trace hooks.
+_REG_NAMES = tuple(f"r{i}" for i in range(NUM_GPRS)) + ("sp",)
+
+#: PSW bits the flag-setting path overwrites and the branch path reads.
+_FLAG_WRITE_MASK = FLAG_Z | FLAG_N | FLAG_C | FLAG_V
+_FLAG_READ_MASK = FLAG_Z | FLAG_N | FLAG_V
+
 _decode_memo: Dict[int, Optional[Instruction]] = {}
 
 
@@ -136,6 +144,11 @@ class CPU:
         self.last_svc: Optional[int] = None
         #: Optional detail-mode hook, called with a TraceEntry per step.
         self.trace_hook = None
+        #: Optional access-trace recorder (duck-typed
+        #: :class:`repro.faults.liveness.AccessRecorder`); attached only
+        #: during a recording reference run, ``None`` otherwise so the
+        #: hooks cost a single identity check.
+        self.recorder = None
 
     # -- program loading ------------------------------------------------------
     def load(self, program: Program) -> None:
@@ -168,15 +181,24 @@ class CPU:
     def _read_reg(self, index: int) -> int:
         if index > SP_INDEX:
             raise_detection(Mechanism.INSTRUCTION_ERROR, f"register field {index}")
+        if self.recorder is not None:
+            self.recorder.reg_read(_REG_NAMES[index])
         return self.regs[index]
 
     def _write_reg(self, index: int, value: int) -> None:
         if index > SP_INDEX:
             raise_detection(Mechanism.INSTRUCTION_ERROR, f"register field {index}")
+        if self.recorder is not None:
+            self.recorder.reg_write(_REG_NAMES[index])
         self.regs[index] = value & _U32
 
     # -- flags -----------------------------------------------------------------
     def _set_flags(self, z: bool, n: bool, c: bool, v: bool) -> None:
+        # The flag bits are overwritten regardless of their old values
+        # (the other PSW bits pass through untouched), so this records
+        # as a masked write.
+        if self.recorder is not None:
+            self.recorder.reg_write("psw", _FLAG_WRITE_MASK)
         self.psw &= ~(FLAG_Z | FLAG_N | FLAG_C | FLAG_V)
         if z:
             self.psw |= FLAG_Z
@@ -266,6 +288,9 @@ class CPU:
 
     # -- memory helpers --------------------------------------------------------------
     def _data_read(self, address: int) -> int:
+        if self.recorder is not None:
+            self.recorder.reg_write("mar")
+            self.recorder.reg_write("mdr")
         self.mar = address & _U32
         if self.memory.is_cacheable(address):
             value = self.cache.read(address, self.memory)
@@ -275,6 +300,9 @@ class CPU:
         return value
 
     def _data_write(self, address: int, value: int) -> None:
+        if self.recorder is not None:
+            self.recorder.reg_write("mar")
+            self.recorder.reg_write("mdr")
         self.mar = address & _U32
         self.mdr = value & _U32
         if self.memory.is_cacheable(address):
@@ -321,6 +349,9 @@ class CPU:
             return StepResult.DETECTED
 
     def _execute(self) -> StepResult:
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.now = self.instruction_index
         word = self.ir & _U32
         instruction = _decode_cached(word)
         if instruction is None:
@@ -328,11 +359,14 @@ class CPU:
                 Mechanism.INSTRUCTION_ERROR, f"illegal opcode {word >> 24:#x}"
             )
         assert instruction is not None
-        if instruction.opcode in PRIVILEGED_OPCODES and not self.supervisor:
-            raise_detection(
-                Mechanism.INSTRUCTION_ERROR,
-                f"privileged {instruction.opcode.name} in user mode",
-            )
+        if instruction.opcode in PRIVILEGED_OPCODES:
+            if recorder is not None:
+                recorder.reg_read("psw", FLAG_M)
+            if not self.supervisor:
+                raise_detection(
+                    Mechanism.INSTRUCTION_ERROR,
+                    f"privileged {instruction.opcode.name} in user mode",
+                )
         if self.trace_hook is not None:
             self.trace_hook(
                 TraceEntry(
@@ -357,7 +391,10 @@ class CPU:
         elif op is Opcode.SIG:
             self._check_signature(instruction.imm)
         elif op is Opcode.SETMODE:
-            self.supervisor = bool(self._read_reg(instruction.rs1) & 1)
+            mode = bool(self._read_reg(instruction.rs1) & 1)
+            if recorder is not None:
+                recorder.reg_write("psw", FLAG_M)
+            self.supervisor = mode
         elif op is Opcode.LDI:
             self._write_reg(instruction.rd, instruction.simm() & _U32)
         elif op is Opcode.LUI:
@@ -375,11 +412,17 @@ class CPU:
             address = (self._read_reg(instruction.rs1) + instruction.simm()) & _U32
             self._data_write(address, self._read_reg(instruction.rd))
         elif op is Opcode.PUSH:
+            # Stack ops read SP before rewriting it with a derived value;
+            # the read alone determines liveness, so it is all we record.
+            if recorder is not None:
+                recorder.reg_read("sp")
             sp = (self.regs[SP_INDEX] - WORD) & _U32
             self._check_stack_pointer(sp)
             self._data_write(sp, self._read_reg(instruction.rd))
             self.regs[SP_INDEX] = sp
         elif op is Opcode.POP:
+            if recorder is not None:
+                recorder.reg_read("sp")
             sp = self.regs[SP_INDEX]
             self._check_stack_pointer(sp)
             if sp >= self.layout.stack_top:
@@ -446,12 +489,16 @@ class CPU:
             if self._branch_taken(op):
                 next_pc = self._jump_target(self.pc + WORD * instruction.simm())
         elif op is Opcode.CALL:
+            if recorder is not None:
+                recorder.reg_read("sp")
             sp = (self.regs[SP_INDEX] - WORD) & _U32
             self._check_stack_pointer(sp)
             self._data_write(sp, (self.pc + WORD) & _U32)
             self.regs[SP_INDEX] = sp
             next_pc = self._jump_target(self.pc + WORD * instruction.simm())
         elif op is Opcode.RET:
+            if recorder is not None:
+                recorder.reg_read("sp")
             sp = self.regs[SP_INDEX]
             self._check_stack_pointer(sp)
             if sp >= self.layout.stack_top:
@@ -475,6 +522,8 @@ class CPU:
         return result
 
     def _branch_taken(self, op: Opcode) -> bool:
+        if self.recorder is not None:
+            self.recorder.reg_read("psw", _FLAG_READ_MASK)
         z = bool(self.psw & FLAG_Z)
         n = bool(self.psw & FLAG_N)
         v = bool(self.psw & FLAG_V)

@@ -170,6 +170,12 @@ class MemoryMap:
         self.data = _Ram(layout.data_base, layout.data_size)
         self.stack = _Ram(layout.stack_base, layout.stack_size)
         self.mmio = MMIODevice(layout.mmio_size)
+        #: Optional access-trace recorder (duck-typed
+        #: :class:`repro.faults.liveness.AccessRecorder`).  Only the
+        #: cacheable data space (rodata/data/stack) is recorded: code
+        #: words are touched by every instruction fetch and MMIO changes
+        #: under the environment's feet, so neither is prunable.
+        self.recorder = None
 
     # -- region predicates ---------------------------------------------------
     def _region_rams(self) -> Tuple[_Ram, ...]:
@@ -213,6 +219,8 @@ class MemoryMap:
             return self.mmio.read(address - self.layout.mmio_base)
         for ram in self._region_rams():
             if ram.contains(address):
+                if self.recorder is not None and self.is_cacheable(address):
+                    self.recorder.mem_read(address)
                 return ram.read(address)
         self._unmapped(address, "read")
         raise AssertionError("unreachable")
@@ -229,6 +237,8 @@ class MemoryMap:
             raise_detection(Mechanism.ADDRESS_ERROR, f"write to protected {address:#x}")
         for ram in (self.data, self.stack):
             if ram.contains(address):
+                if self.recorder is not None:
+                    self.recorder.mem_write(address)
                 ram.write(address, value)
                 return
         self._unmapped(address, "write")

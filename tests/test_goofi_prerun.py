@@ -92,3 +92,39 @@ class TestCampaign:
         a = campaign.run(faults=10, seed=5)
         b = campaign.run(faults=10, seed=5)
         assert [o.category for o in a.outcomes] == [o.category for o in b.outcomes]
+
+
+class TestEarlyExitSplice:
+    """The hash splice the run_experiment docstring promises."""
+
+    def test_overwritten_input_mirror_splices(self, campaign):
+        # The reference mirror ``r`` is rewritten from MMIO every
+        # iteration before it is read, so flipping its image bit is
+        # erased in the first iteration and the run re-converges.
+        address = campaign.workload.variable_addresses["r"]
+        fault = ImageFault(DATA_PARTITION, address, 31)
+        run = campaign.run_experiment(fault)
+        assert run.early_exit_iteration == 1
+        assert run.outputs == campaign.reference_outputs
+        assert not run.final_state_differs
+
+    def test_splice_does_not_change_outcomes(self, campaign):
+        plan = sample_image_faults(
+            campaign.workload, 20, np.random.default_rng(9)
+        )
+        for fault in plan:
+            fast = campaign.run_experiment(fault, early_exit=True)
+            slow = campaign.run_experiment(fault, early_exit=False)
+            assert fast.outputs == slow.outputs, fault.label()
+            assert fast.final_state_differs == slow.final_state_differs
+            assert (fast.detection is None) == (slow.detection is None)
+
+    def test_code_faults_never_splice(self, campaign):
+        # A code-image flip keeps the loaded image — and therefore the
+        # state hash — different from the reference forever.
+        plan = sample_image_faults(
+            campaign.workload, 15, np.random.default_rng(4), include_data=False
+        )
+        for fault in plan:
+            run = campaign.run_experiment(fault)
+            assert run.early_exit_iteration is None, fault.label()

@@ -243,6 +243,63 @@ class TestCampaignTelemetry:
         assert len(result.outcomes) == 3
 
 
+class TestShardMergeOrdering:
+    """Regression: shard paths must merge in numeric worker order.
+
+    ``sorted()`` over the bare paths is lexicographic, which puts
+    ``shard10`` before ``shard2`` as soon as there are ten workers; the
+    merge's plan-index sort is *stable*, so any records sharing an index
+    key would then interleave in the wrong order.
+    """
+
+    def test_equal_index_records_keep_numeric_worker_order(self, tmp_path):
+        from repro.obs.events import merge_event_shards
+
+        workers = 12
+        shards = []
+        for worker in range(workers):
+            shard = str(tmp_path / f"events.jsonl.shard{worker}")
+            with EventLog(shard) as log:
+                # No ``index`` field: every record sorts under the same
+                # key, so only the shard order decides the outcome.
+                log.emit("worker_chunk_done", worker=worker, experiments=1)
+            shards.append((worker, shard))
+        lexicographic = sorted(path for _worker, path in shards)
+        numeric = [path for worker, path in sorted(shards)]
+        assert lexicographic != numeric  # the bug this guards against
+
+        merged_path = str(tmp_path / "merged.jsonl")
+        log = EventLog(merged_path)
+        merge_event_shards(log, numeric)
+        log.close()
+        order = [e["worker"] for e in read_events(merged_path)]
+        assert order == list(range(workers))
+
+    def test_twelve_worker_merge_is_reproducible(
+        self, algorithm_i_compiled, tmp_path
+    ):
+        """Same seed, workers=12: the merged experiment records are in
+        plan order and byte-identical across repeated runs."""
+
+        def run(path):
+            with Telemetry(events_path=path) as telemetry:
+                ScifiCampaign(
+                    _config(algorithm_i_compiled, faults=24, iterations=20)
+                ).run(workers=12, telemetry=telemetry)
+            with open(path, "r", encoding="utf-8") as handle:
+                return [
+                    line
+                    for line in handle
+                    if '"event": "experiment_finished"' in line
+                ]
+
+        first = run(str(tmp_path / "first.jsonl"))
+        second = run(str(tmp_path / "second.jsonl"))
+        assert first == second
+        indices = [json.loads(line)["index"] for line in first]
+        assert indices == list(range(24))
+
+
 class TestEventSummary:
     def test_summarize_and_render(self, algorithm_i_compiled, tmp_path):
         path = str(tmp_path / "events.jsonl")
