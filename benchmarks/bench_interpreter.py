@@ -1,0 +1,212 @@
+#!/usr/bin/env python
+"""Benchmark: interpreter fast path, incremental hashing, shared reference.
+
+Measures the three optimisation layers this repo's campaign engine
+carries — predecoded dispatch tables, incremental boundary hashing and
+the shared golden reference across workers — against their in-tree
+baselines (``fast_dispatch=False``, ``incremental_hash=False``,
+``share_reference=False``, i.e. the pre-optimisation interpreter
+semantics, which are kept runnable precisely for this comparison).
+
+Records into ``results/BENCH_interpreter.json``:
+
+* reference-run instructions/sec, optimized vs. baseline;
+* end-to-end wall-clock of the default 500-fault campaign, serial and
+  ``--workers 4``, optimized vs. baseline;
+* the dynamic opcode mix (via :class:`repro.thor.profiler.Profiler`)
+  that justifies the dispatch-table ordering;
+* a golden-equivalence verdict: the optimized build must produce
+  bit-identical reference hashes, experiment outcomes and summary
+  tables against the baseline, serial and parallel.
+
+Exits non-zero when any equivalence check diverges — the CI smoke step
+runs ``bench_interpreter.py --quick`` and relies on that gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.report import render_outcome_table
+from repro.goofi.campaign import CampaignConfig, ScifiCampaign
+from repro.goofi.target import TargetSystem
+from repro.thor.profiler import Profiler
+from repro.workloads import compile_algorithm_ii
+
+RESULTS = Path(__file__).resolve().parent / "results" / "BENCH_interpreter.json"
+
+
+def measure_reference(workload, iterations, fast_dispatch, incremental_hash):
+    """Time one golden reference run; returns (instr/sec, ReferenceRun)."""
+    target = TargetSystem(
+        workload,
+        iterations=iterations,
+        fast_dispatch=fast_dispatch,
+        incremental_hash=incremental_hash,
+    )
+    started = time.perf_counter()
+    reference = target.run_reference()
+    seconds = time.perf_counter() - started
+    return reference.total_instructions / seconds, reference
+
+
+def measure_campaign(workload, faults, iterations, workers, optimized):
+    """Time one full campaign; returns (seconds, CampaignResult)."""
+    config = CampaignConfig(
+        workload=workload,
+        name="interpreter bench",
+        faults=faults,
+        iterations=iterations,
+        fast_dispatch=optimized,
+        incremental_hash=optimized,
+        share_reference=optimized,
+    )
+    started = time.perf_counter()
+    result = ScifiCampaign(config).run(workers=workers)
+    return time.perf_counter() - started, result
+
+
+def opcode_mix(workload, iterations, top=15):
+    """The reference run's dynamic opcode distribution."""
+    target = TargetSystem(workload, iterations=iterations)
+    with Profiler(target.cpu) as profiler:
+        target.run_reference()
+    report = profiler.report
+    return {
+        "total_instructions": report.total,
+        "top": [
+            {
+                "opcode": mnemonic,
+                "count": count,
+                "share": round(count / report.total, 4),
+            }
+            for mnemonic, count in report.by_opcode.most_common(top)
+        ],
+        "memory_traffic_share": round(report.memory_traffic_share(), 4),
+    }
+
+
+def references_identical(a, b):
+    return (
+        a.hashes == b.hashes
+        and a.outputs == b.outputs
+        and a.instructions_at == b.instructions_at
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke sizing: fewer faults/iterations, same checks",
+    )
+    parser.add_argument("--faults", type=int, default=None)
+    parser.add_argument("--iterations", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", type=Path, default=RESULTS)
+    args = parser.parse_args(argv)
+
+    faults = args.faults or (100 if args.quick else 500)
+    iterations = args.iterations or (200 if args.quick else 650)
+    workload = compile_algorithm_ii()
+
+    print(f"interpreter bench: faults={faults} iterations={iterations}")
+
+    # -- reference-run instruction rate ----------------------------------------
+    base_rate, base_ref = measure_reference(workload, iterations, False, False)
+    fast_rate, fast_ref = measure_reference(workload, iterations, True, True)
+    print(f"reference  baseline {base_rate:10.0f} instr/s")
+    print(f"reference  optimized {fast_rate:9.0f} instr/s  "
+          f"({fast_rate / base_rate:.2f}x)")
+
+    # Single-flag reference runs for the per-flag equivalence gate.
+    _rate, dispatch_only = measure_reference(workload, iterations, True, False)
+    _rate, hashing_only = measure_reference(workload, iterations, False, True)
+
+    # -- end-to-end campaigns --------------------------------------------------
+    base_serial_s, base_serial = measure_campaign(
+        workload, faults, iterations, 1, optimized=False
+    )
+    fast_serial_s, fast_serial = measure_campaign(
+        workload, faults, iterations, 1, optimized=True
+    )
+    print(f"serial     baseline {base_serial_s:8.2f} s")
+    print(f"serial     optimized {fast_serial_s:7.2f} s  "
+          f"({base_serial_s / fast_serial_s:.2f}x)")
+    base_par_s, base_par = measure_campaign(
+        workload, faults, iterations, args.workers, optimized=False
+    )
+    fast_par_s, fast_par = measure_campaign(
+        workload, faults, iterations, args.workers, optimized=True
+    )
+    print(f"workers={args.workers}  baseline {base_par_s:8.2f} s")
+    print(f"workers={args.workers}  optimized {fast_par_s:7.2f} s  "
+          f"({base_par_s / fast_par_s:.2f}x)")
+
+    # -- golden equivalence ----------------------------------------------------
+    table = render_outcome_table(base_serial.summary())
+    equivalence = {
+        "reference_bit_identical": references_identical(base_ref, fast_ref),
+        "reference_dispatch_flag_identical": references_identical(
+            base_ref, dispatch_only
+        ),
+        "reference_hashing_flag_identical": references_identical(
+            base_ref, hashing_only
+        ),
+        "serial_outcomes_identical": base_serial.outcomes
+        == fast_serial.outcomes,
+        "parallel_outcomes_identical": base_serial.outcomes
+        == base_par.outcomes
+        == fast_par.outcomes,
+        "summary_tables_identical": (
+            table
+            == render_outcome_table(fast_serial.summary())
+            == render_outcome_table(base_par.summary())
+            == render_outcome_table(fast_par.summary())
+        ),
+    }
+    ok = all(equivalence.values())
+    print("golden equivalence:", "OK" if ok else f"DIVERGED {equivalence}")
+
+    payload = {
+        "config": {
+            "workload": "Algorithm II",
+            "faults": faults,
+            "iterations": iterations,
+            "workers": args.workers,
+            "quick": args.quick,
+        },
+        "reference_run": {
+            "instructions": fast_ref.total_instructions,
+            "baseline_instr_per_sec": round(base_rate),
+            "optimized_instr_per_sec": round(fast_rate),
+            "speedup": round(fast_rate / base_rate, 2),
+        },
+        "campaign_serial": {
+            "baseline_seconds": round(base_serial_s, 3),
+            "optimized_seconds": round(fast_serial_s, 3),
+            "speedup": round(base_serial_s / fast_serial_s, 2),
+        },
+        f"campaign_workers{args.workers}": {
+            "baseline_seconds": round(base_par_s, 3),
+            "optimized_seconds": round(fast_par_s, 3),
+            "speedup": round(base_par_s / fast_par_s, 2),
+        },
+        "opcode_mix": opcode_mix(workload, iterations),
+        "golden_equivalence": equivalence,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

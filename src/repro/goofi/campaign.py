@@ -20,6 +20,7 @@ from repro.errors import CampaignError
 from repro.faults.models import FaultDescriptor, LocationSpace, sample_fault_plan
 from repro.goofi.database import CampaignDatabase
 from repro.goofi.environment import EngineEnvironment
+from repro.goofi.pool import ReferencePool, WorkerPayload, worker_target
 from repro.goofi.pruning import preclassify_plan, synthesize_run
 from repro.goofi.target import ExperimentRun, TargetSystem
 from repro.obs.events import EventLog, merge_event_shards
@@ -56,6 +57,15 @@ class CampaignConfig:
             the next read, or never touched again) — the predicted
             experiments classify identically to simulated ones, see
             ``docs/performance.md``.  Off by default.
+        share_reference: ship the parent's golden run to the workers
+            instead of having every worker recompute it (parallel runs
+            only; outcomes are identical either way).
+        fast_dispatch: use the predecoded dispatch-table interpreter;
+            ``False`` pins the legacy decode/execute chain.
+        incremental_hash: compute boundary digests incrementally from
+            cached clean-image prefixes; ``False`` rebuilds every digest
+            from scratch.  All three flags exist for the
+            golden-equivalence test and benchmark baselines.
         environment_factory: builds the environment simulator.
     """
 
@@ -68,6 +78,9 @@ class CampaignConfig:
     watchdog_factor: float = 10.0
     early_exit: bool = True
     prune: bool = False
+    share_reference: bool = True
+    fast_dispatch: bool = True
+    incremental_hash: bool = True
     environment_factory: Callable[[], EngineEnvironment] = EngineEnvironment
 
     def __post_init__(self) -> None:
@@ -118,10 +131,13 @@ def _null_span(_name: str):
 def _run_chunk(args):
     """Worker entry point: run one slice of a fault plan.
 
-    Top-level (picklable) by necessity; builds its own target system,
-    repeats the golden run (deterministic, so identical across workers)
-    and executes its chunk.  ``chunk`` carries ``(plan index, fault)``
-    pairs so telemetry can be re-ordered into plan order afterwards.
+    Top-level (picklable) by necessity; runs against the process-wide
+    target system built by the pool initializer — with a shared
+    reference the golden run was computed once in the parent and
+    shipped, otherwise the initializer recomputed it, but either way no
+    per-chunk reference run happens here.  ``chunk`` carries
+    ``(plan index, fault)`` pairs so telemetry can be re-ordered into
+    plan order afterwards.
 
     When telemetry is enabled the worker records into its own
     :class:`~repro.obs.MetricsRegistry` (returned as a dict for the
@@ -131,37 +147,29 @@ def _run_chunk(args):
     Returns ``(worker_index, results, registry_dict, seconds)`` where
     ``results`` holds ``(plan index, run, outcome)`` triples.
     """
-    (
-        workload,
-        iterations,
-        watchdog_factor,
-        early_exit,
-        environment_factory,
-        chunk,
-        worker_index,
-        shard_path,
-        metrics_enabled,
-    ) = args
+    chunk, worker_index, shard_path, metrics_enabled, early_exit = args
     registry = MetricsRegistry() if metrics_enabled else None
     events = EventLog(shard_path) if shard_path else None
-    target = TargetSystem(
-        workload=workload,
-        environment=environment_factory(),
-        iterations=iterations,
-        watchdog_factor=watchdog_factor,
-        metrics=registry,
-    )
+    target = worker_target()
     started = time.perf_counter()
-    reference = target.run_reference()
     results = []
-    for index, fault in chunk:
-        run = target.run_experiment(fault, early_exit=early_exit)
-        outcome = ScifiCampaign._classify(run, reference.outputs)
-        if registry is not None:
-            record_outcome(registry, run, outcome)
-        if events is not None:
-            events.emit("experiment_finished", **experiment_event(index, run, outcome))
-        results.append((index, run, outcome))
+    # The worker process outlives this chunk; reset the metrics binding
+    # afterwards so its EDM listener never leaks into the next phase.
+    target.metrics = registry
+    try:
+        reference_outputs = target.reference.outputs
+        for index, fault in chunk:
+            run = target.run_experiment(fault, early_exit=early_exit)
+            outcome = ScifiCampaign._classify(run, reference_outputs)
+            if registry is not None:
+                record_outcome(registry, run, outcome)
+            if events is not None:
+                events.emit(
+                    "experiment_finished", **experiment_event(index, run, outcome)
+                )
+            results.append((index, run, outcome))
+    finally:
+        target.metrics = None
     if events is not None:
         events.close()
     seconds = time.perf_counter() - started
@@ -188,6 +196,8 @@ class ScifiCampaign:
             environment=config.environment_factory(),
             iterations=config.iterations,
             watchdog_factor=config.watchdog_factor,
+            fast_dispatch=config.fast_dispatch,
+            incremental_hash=config.incremental_hash,
         )
 
     def location_space(self) -> LocationSpace:
@@ -207,6 +217,7 @@ class ScifiCampaign:
         progress: Optional[Callable[[int, int, Outcome], None]] = None,
         workers: int = 1,
         telemetry: Optional[Telemetry] = None,
+        pool: Optional[ReferencePool] = None,
     ) -> CampaignResult:
         """Execute the campaign: reference run, sampling, injection, analysis.
 
@@ -231,8 +242,15 @@ class ScifiCampaign:
                 metrics and JSONL events; per-worker registries/shards
                 are merged so serial and parallel runs report identical
                 aggregate telemetry.  ``None`` (default) is a no-op.
+            pool: optional :class:`~repro.goofi.pool.ReferencePool` to
+                run the parallel phase on.  The pool's warm workers are
+                reused (and left running for the caller's next phase);
+                without one the parallel path spins up and tears down
+                its own.  Implies the pool's worker count.
         """
         config = self.config
+        if pool is not None:
+            workers = pool.workers
         span = telemetry.span if telemetry is not None else _null_span
         if telemetry is not None:
             telemetry.emit(
@@ -241,6 +259,26 @@ class ScifiCampaign:
             if telemetry.metrics is not None and workers <= 1:
                 self.target.metrics = telemetry.metrics
 
+        try:
+            result = self._run_phases(
+                progress, workers, telemetry, span, pool
+            )
+        finally:
+            # The metrics binding registers a global EDM listener;
+            # unhook it so a later campaign (or pool phase) in the same
+            # process never double-counts detections.
+            self.target.metrics = None
+        return result
+
+    def _run_phases(
+        self,
+        progress,
+        workers: int,
+        telemetry: Optional[Telemetry],
+        span,
+        pool: Optional[ReferencePool],
+    ) -> CampaignResult:
+        config = self.config
         with span("campaign"):
             with span("reference_run"):
                 reference = self.target.run_reference(
@@ -330,6 +368,7 @@ class ScifiCampaign:
                         progress=progress,
                         telemetry=telemetry,
                         predicted_results=predicted_results,
+                        pool=pool,
                     )
             wall = time.perf_counter() - started
 
@@ -360,6 +399,7 @@ class ScifiCampaign:
         progress=None,
         telemetry=None,
         predicted_results=None,
+        pool=None,
     ):
         """Fan the live plan out over worker processes, preserving plan order.
 
@@ -369,6 +409,12 @@ class ScifiCampaign:
         results are consumed as they complete so the ``progress``
         callback reports during parallel runs too; worker telemetry
         (metrics registries, event shards) is merged at the end.
+
+        Workers come from a :class:`~repro.goofi.pool.ReferencePool`
+        initialised with the parent's golden run (unless
+        ``share_reference`` is off, in which case each worker recomputes
+        it — the legacy baseline).  A caller-supplied pool is reused and
+        left running; an internally created one is torn down here.
 
         Predicted experiments are recorded into the parent's registry and
         written to a pseudo-shard (index ``workers``, which no worker
@@ -386,18 +432,22 @@ class ScifiCampaign:
                 continue
             shard = telemetry.shard_path(worker_index) if telemetry else None
             args.append(
-                (
-                    self.config.workload,
-                    self.config.iterations,
-                    self.config.watchdog_factor,
-                    self.config.early_exit,
-                    self.config.environment_factory,
-                    chunk,
-                    worker_index,
-                    shard,
-                    metrics_enabled,
-                )
+                (chunk, worker_index, shard, metrics_enabled, self.config.early_exit)
             )
+        payload = WorkerPayload(
+            workload=self.config.workload,
+            iterations=self.config.iterations,
+            watchdog_factor=self.config.watchdog_factor,
+            environment_factory=self.config.environment_factory,
+            reference=(
+                self.target.reference if self.config.share_reference else None
+            ),
+            fast_dispatch=self.config.fast_dispatch,
+            incremental_hash=self.config.incremental_hash,
+        )
+        own_pool = pool is None
+        if pool is None:
+            pool = ReferencePool(workers)
         by_index = dict(predicted_results)
         # ``(worker index, path)`` pairs; ordered numerically before the
         # merge.  Sorting the bare paths would be lexicographic —
@@ -422,7 +472,8 @@ class ScifiCampaign:
             done += 1
             if progress is not None:
                 progress(done, total, predicted_results[index][1])
-        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        try:
+            pool.prepare(payload)
             futures = [pool.submit(_run_chunk, a) for a in args]
             for future in concurrent.futures.as_completed(futures):
                 worker_index, chunk_result, registry_dict, seconds = future.result()
@@ -446,6 +497,9 @@ class ScifiCampaign:
                         experiments=len(chunk_result),
                         seconds=seconds,
                     )
+        finally:
+            if own_pool:
+                pool.close()
         if telemetry is not None and telemetry.events is not None and shards:
             merge_event_shards(
                 telemetry.events, [path for _index, path in sorted(shards)]

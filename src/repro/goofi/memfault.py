@@ -16,7 +16,6 @@ Outcomes split three ways:
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import List
 
@@ -118,18 +117,12 @@ def run_memory_experiment(
             run.final_state_differs = True
             return run
         outputs.append(env.exchange(cpu.memory.mmio))
-        digest = hashlib.blake2b(digest_size=16)
-        digest.update(cpu.state_bytes())
-        digest.update(env.state_bytes())
-        if digest.digest() == reference.hashes[k + 1]:
+        if target.boundary_hash() == reference.hashes[k + 1]:
             outputs.extend(reference.outputs[k + 1 :])
             run.early_exit_iteration = k + 1
             run.final_state_differs = False
             return run
-    digest = hashlib.blake2b(digest_size=16)
-    digest.update(cpu.state_bytes())
-    digest.update(env.state_bytes())
-    run.final_state_differs = digest.digest() != reference.hashes[-1]
+    run.final_state_differs = target.boundary_hash() != reference.hashes[-1]
     return run
 
 

@@ -1,0 +1,176 @@
+"""A persistent worker pool that shares one golden reference run.
+
+Before this module existed, every campaign worker re-executed the full
+651-iteration golden reference before touching its first fault — pure
+redundancy, since the reference is deterministic and identical across
+workers.  :class:`ReferencePool` instead computes the
+:class:`~repro.goofi.target.ReferenceRun` once in the parent and ships
+its snapshots/hashes/outputs to each worker process through the executor
+*initializer*, so the payload is pickled once per process rather than
+once per task.  The pool is deliberately long-lived: the SCIFI
+injection phase, a pruning-validation re-run and a pre-runtime SWIFI
+phase can all reuse the same warm workers, as long as their payloads are
+compatible (:meth:`ReferencePool.prepare` re-initialises the pool only
+when they are not).
+
+Setting ``reference=None`` in the payload restores the legacy behaviour
+— each worker runs its own golden reference during initialisation —
+which the benchmark uses as the shared-reference baseline.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import CampaignError
+from repro.goofi.environment import EngineEnvironment
+from repro.goofi.target import ReferenceRun, TargetSystem
+from repro.tcc.codegen import CompiledProgram
+
+
+@dataclass
+class WorkerPayload:
+    """Everything a worker needs to build its target system once."""
+
+    workload: CompiledProgram
+    iterations: int
+    watchdog_factor: float
+    environment_factory: Callable[[], EngineEnvironment]
+    #: The parent's golden run, or ``None`` to make each worker compute
+    #: its own (the pre-optimisation baseline).
+    reference: Optional[ReferenceRun]
+    fast_dispatch: bool = True
+    incremental_hash: bool = True
+
+
+#: Per-process state, populated by :func:`_initialize_worker`.
+_WORKER_TARGET: Optional[TargetSystem] = None
+_WORKER_PAYLOAD: Optional[WorkerPayload] = None
+
+
+def _initialize_worker(payload: WorkerPayload) -> None:
+    """Executor initializer: build this process's target system.
+
+    With a shipped reference the worker only loads the program (the
+    loader also derives the control-flow signature successors the SIG
+    checks need) and adopts the parent's checkpoints; experiments then
+    start from restored snapshots.  Without one it re-runs the golden
+    reference, exactly as the legacy per-chunk workers did.
+    """
+    global _WORKER_TARGET, _WORKER_PAYLOAD
+    target = TargetSystem(
+        workload=payload.workload,
+        environment=payload.environment_factory(),
+        iterations=payload.iterations,
+        watchdog_factor=payload.watchdog_factor,
+        fast_dispatch=payload.fast_dispatch,
+        incremental_hash=payload.incremental_hash,
+    )
+    if payload.reference is None:
+        target.run_reference()
+    else:
+        target.cpu.load(payload.workload.program)
+        target.reference = payload.reference
+    _WORKER_TARGET = target
+    _WORKER_PAYLOAD = payload
+
+
+def worker_target() -> TargetSystem:
+    """The calling worker process's target system."""
+    if _WORKER_TARGET is None:
+        raise CampaignError("not inside an initialised pool worker")
+    return _WORKER_TARGET
+
+
+def worker_payload() -> WorkerPayload:
+    """The calling worker process's initialisation payload."""
+    if _WORKER_PAYLOAD is None:
+        raise CampaignError("not inside an initialised pool worker")
+    return _WORKER_PAYLOAD
+
+
+def _references_equivalent(
+    a: Optional[ReferenceRun], b: Optional[ReferenceRun]
+) -> bool:
+    """Two golden runs are interchangeable when their observable record
+    matches — deterministic runs of the same workload always do, so a
+    re-run (e.g. pruning validation) keeps the warm pool."""
+    if a is None or b is None:
+        return a is b
+    if a is b:
+        return True
+    return (
+        a.hashes == b.hashes
+        and a.instructions_at == b.instructions_at
+        and a.outputs == b.outputs
+    )
+
+
+class ReferencePool:
+    """A reusable process pool initialised with a :class:`WorkerPayload`.
+
+    Usage::
+
+        with ReferencePool(workers=4) as pool:
+            campaign_a.run(workers=4, pool=pool)
+            campaign_b.run(workers=4, pool=pool)   # workers stay warm
+    """
+
+    def __init__(self, workers: int):
+        if workers <= 0:
+            raise CampaignError("workers must be positive")
+        self.workers = workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._payload: Optional[WorkerPayload] = None
+
+    def _compatible(self, payload: WorkerPayload) -> bool:
+        current = self._payload
+        if current is None:
+            return False
+        return (
+            current.workload is payload.workload
+            and current.iterations == payload.iterations
+            and current.watchdog_factor == payload.watchdog_factor
+            and current.environment_factory is payload.environment_factory
+            and current.fast_dispatch == payload.fast_dispatch
+            and current.incremental_hash == payload.incremental_hash
+            and _references_equivalent(current.reference, payload.reference)
+        )
+
+    def prepare(self, payload: WorkerPayload) -> None:
+        """Ensure the pool's workers are initialised for ``payload``.
+
+        A no-op when the current workers are already compatible; an
+        incompatible payload shuts the pool down and spawns fresh
+        workers.
+        """
+        if self._executor is not None and self._compatible(payload):
+            return
+        self.close()
+        self._payload = payload
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_initialize_worker,
+            initargs=(payload,),
+        )
+
+    def submit(self, fn, *args) -> Future:
+        """Submit a task; :meth:`prepare` must have been called."""
+        if self._executor is None:
+            raise CampaignError("pool.prepare() must come before submit()")
+        return self._executor.submit(fn, *args)
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        self._payload = None
+
+    def __enter__(self) -> "ReferencePool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -17,7 +17,7 @@ both effects.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -26,7 +26,8 @@ from repro.analysis.report import CampaignSummary, ClassifiedExperiment
 from repro.errors import CampaignError
 from repro.faults.models import FaultDescriptor, FaultTarget
 from repro.goofi.environment import EngineEnvironment
-from repro.goofi.target import ExperimentRun, TargetSystem, _hash_state
+from repro.goofi.pool import ReferencePool, WorkerPayload, worker_payload, worker_target
+from repro.goofi.target import ExperimentRun, ReferenceRun, TargetSystem
 from repro.tcc.codegen import CompiledProgram
 from repro.thor.cpu import StepResult
 from repro.thor.memory import WORD
@@ -79,6 +80,109 @@ def sample_image_faults(
     return [locations[int(i)] for i in indices]
 
 
+def _execute_image_fault(
+    workload: CompiledProgram,
+    iterations: int,
+    environment_factory,
+    watchdog_factor: float,
+    reference: ReferenceRun,
+    fault: ImageFault,
+    early_exit: bool = True,
+    fast_dispatch: bool = True,
+    incremental_hash: bool = True,
+) -> ExperimentRun:
+    """Execute one full run with the image mutation in place.
+
+    Module-level so campaign workers can call it against their shipped
+    reference.  Unlike SCIFI there is no checkpoint restart: the
+    mutation exists from the first instruction, so the entire run is
+    re-executed on a fresh target system.
+    """
+    target = TargetSystem(
+        workload,
+        environment=environment_factory(),
+        iterations=iterations,
+        watchdog_factor=watchdog_factor,
+        fast_dispatch=fast_dispatch,
+        incremental_hash=incremental_hash,
+    )
+    cpu = target.cpu
+    env = target.environment
+    cpu.load(workload.program)
+    env.reset()
+    target._warm_start_workload()
+    # Plant the image fault before the first instruction runs.
+    mutated = cpu.memory.peek(fault.address) ^ (1 << fault.bit)
+    cpu.memory.poke(fault.address, mutated)
+    cpu.ir = cpu.memory.fetch_word(cpu.pc)  # refresh the prefetch
+    env.write_inputs(cpu.memory.mmio)
+
+    descriptor = FaultDescriptor(
+        FaultTarget(fault.partition, f"{fault.address:#x}", fault.bit), 0
+    )
+    outputs: List[float] = []
+    watchdog = int(reference.max_iteration_instructions * watchdog_factor) + 500
+    run = ExperimentRun(fault=descriptor, outputs=outputs)
+    for k in range(iterations):
+        result = cpu.run(watchdog)
+        run.instructions_executed = cpu.instruction_index
+        if result is StepResult.DETECTED:
+            run.detection = cpu.detection
+            run.detected_iteration = k
+            return run
+        if result is not StepResult.YIELD:
+            run.timed_out = True
+            held = outputs[-1] if outputs else env.initial_throttle()
+            while len(outputs) < iterations:
+                outputs.append(held)
+            run.final_state_differs = True
+            return run
+        outputs.append(env.exchange(cpu.memory.mmio))
+        if early_exit and target.boundary_hash() == reference.hashes[k + 1]:
+            outputs.extend(reference.outputs[k + 1 :])
+            run.early_exit_iteration = k + 1
+            run.final_state_differs = False
+            return run
+    # The planted bit is itself a state difference, so an image fault
+    # that was never overwritten counts as latent — the §4.1 scheme's
+    # intent for surviving corruption.
+    run.final_state_differs = target.boundary_hash() != reference.hashes[-1]
+    return run
+
+
+def _prerun_chunk(args):
+    """Pool-worker entry point: run one slice of an image-fault plan.
+
+    Uses the worker's shipped golden reference (outputs, hashes and the
+    watchdog-sizing iteration cost); each experiment still builds its
+    own fresh target, exactly as the serial path does.
+    """
+    chunk, early_exit = args
+    payload = worker_payload()
+    reference = worker_target().reference
+    results = []
+    for index, fault in chunk:
+        run = _execute_image_fault(
+            payload.workload,
+            payload.iterations,
+            payload.environment_factory,
+            payload.watchdog_factor,
+            reference,
+            fault,
+            early_exit=early_exit,
+            fast_dispatch=payload.fast_dispatch,
+            incremental_hash=payload.incremental_hash,
+        )
+        outcome = classify_experiment(
+            observed=run.outputs,
+            reference=reference.outputs,
+            detected_by=(run.detection.mechanism.value if run.detection else None),
+            final_state_differs=run.final_state_differs,
+        )
+        results.append((index, run, outcome))
+    return results
+
+
 class PreRuntimeCampaign:
     """A pre-runtime SWIFI campaign against a compiled workload."""
 
@@ -89,18 +193,24 @@ class PreRuntimeCampaign:
         environment_factory=EngineEnvironment,
         watchdog_factor: float = 10.0,
         name: str = "pre-runtime SWIFI",
+        fast_dispatch: bool = True,
+        incremental_hash: bool = True,
     ):
         self.workload = workload
         self.iterations = iterations
         self.environment_factory = environment_factory
         self.watchdog_factor = watchdog_factor
         self.name = name
+        self.fast_dispatch = fast_dispatch
+        self.incremental_hash = incremental_hash
         # The golden target provides the reference outputs and hashes.
         self._target = TargetSystem(
             workload,
             environment=environment_factory(),
             iterations=iterations,
             watchdog_factor=watchdog_factor,
+            fast_dispatch=fast_dispatch,
+            incremental_hash=incremental_hash,
         )
         self._reference = self._target.run_reference()
 
@@ -126,57 +236,31 @@ class PreRuntimeCampaign:
         it.  ``early_exit=False`` disables the splice (a test asserts
         outcomes are unchanged by it).
         """
-        target = TargetSystem(
+        return _execute_image_fault(
             self.workload,
-            environment=self.environment_factory(),
+            self.iterations,
+            self.environment_factory,
+            self.watchdog_factor,
+            self._reference,
+            fault,
+            early_exit=early_exit,
+            fast_dispatch=self.fast_dispatch,
+            incremental_hash=self.incremental_hash,
+        )
+
+    def _payload(self) -> WorkerPayload:
+        """The pool payload for this campaign's workers — identical in
+        shape to the SCIFI one, so a warm pool carries over between the
+        two phases."""
+        return WorkerPayload(
+            workload=self.workload,
             iterations=self.iterations,
             watchdog_factor=self.watchdog_factor,
+            environment_factory=self.environment_factory,
+            reference=self._reference,
+            fast_dispatch=self.fast_dispatch,
+            incremental_hash=self.incremental_hash,
         )
-        cpu = target.cpu
-        env = target.environment
-        cpu.load(self.workload.program)
-        env.reset()
-        target._warm_start_workload()
-        # Plant the image fault before the first instruction runs.
-        mutated = cpu.memory.peek(fault.address) ^ (1 << fault.bit)
-        cpu.memory.poke(fault.address, mutated)
-        cpu.ir = cpu.memory.fetch_word(cpu.pc)  # refresh the prefetch
-        env.write_inputs(cpu.memory.mmio)
-
-        descriptor = FaultDescriptor(
-            FaultTarget(fault.partition, f"{fault.address:#x}", fault.bit), 0
-        )
-        outputs: List[float] = []
-        watchdog = (
-            int(self._reference.max_iteration_instructions * self.watchdog_factor)
-            + 500
-        )
-        run = ExperimentRun(fault=descriptor, outputs=outputs)
-        for k in range(self.iterations):
-            result = cpu.run(watchdog)
-            run.instructions_executed = cpu.instruction_index
-            if result is StepResult.DETECTED:
-                run.detection = cpu.detection
-                run.detected_iteration = k
-                return run
-            if result is not StepResult.YIELD:
-                run.timed_out = True
-                held = outputs[-1] if outputs else env.initial_throttle()
-                while len(outputs) < self.iterations:
-                    outputs.append(held)
-                run.final_state_differs = True
-                return run
-            outputs.append(env.exchange(cpu.memory.mmio))
-            if early_exit and _hash_state(cpu, env) == self._reference.hashes[k + 1]:
-                outputs.extend(self._reference.outputs[k + 1 :])
-                run.early_exit_iteration = k + 1
-                run.final_state_differs = False
-                return run
-        # The planted bit is itself a state difference, so an image fault
-        # that was never overwritten counts as latent — the §4.1 scheme's
-        # intent for surviving corruption.
-        run.final_state_differs = _hash_state(cpu, env) != self._reference.hashes[-1]
-        return run
 
     def run(
         self,
@@ -184,32 +268,76 @@ class PreRuntimeCampaign:
         seed: int = 2001,
         include_data: bool = True,
         progress=None,
+        workers: int = 1,
+        pool: Optional[ReferencePool] = None,
     ) -> "PreRuntimeResult":
-        """Run a whole campaign and classify every experiment."""
+        """Run a whole campaign and classify every experiment.
+
+        ``workers > 1`` (or an explicit ``pool``) deals the plan into
+        strided slices executed by pool workers sharing this campaign's
+        golden reference; results are reassembled into plan order, so
+        they are identical to the serial run's.
+        """
         rng = np.random.default_rng(seed)
         plan = sample_image_faults(self.workload, faults, rng, include_data)
-        experiments: List[ExperimentRun] = []
-        outcomes: List[Outcome] = []
-        for i, fault in enumerate(plan):
-            run = self.run_experiment(fault)
-            outcome = classify_experiment(
-                observed=run.outputs,
-                reference=self._reference.outputs,
-                detected_by=(
-                    run.detection.mechanism.value if run.detection else None
-                ),
-                final_state_differs=run.final_state_differs,
-            )
-            experiments.append(run)
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(i + 1, len(plan), outcome)
+        if pool is not None:
+            workers = pool.workers
+        if workers > 1:
+            by_index = self._run_parallel(plan, workers, pool, progress)
+            experiments = [by_index[i][0] for i in range(len(plan))]
+            outcomes = [by_index[i][1] for i in range(len(plan))]
+        else:
+            experiments = []
+            outcomes = []
+            for i, fault in enumerate(plan):
+                run = self.run_experiment(fault)
+                outcome = classify_experiment(
+                    observed=run.outputs,
+                    reference=self._reference.outputs,
+                    detected_by=(
+                        run.detection.mechanism.value if run.detection else None
+                    ),
+                    final_state_differs=run.final_state_differs,
+                )
+                experiments.append(run)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(i + 1, len(plan), outcome)
         return PreRuntimeResult(
             name=self.name,
             experiments=experiments,
             outcomes=outcomes,
             reference_outputs=list(self._reference.outputs),
         )
+
+    def _run_parallel(self, plan, workers, pool, progress):
+        """Fan the plan out over shared-reference pool workers."""
+        from concurrent.futures import as_completed
+
+        own_pool = pool is None
+        if pool is None:
+            pool = ReferencePool(workers)
+        indexed = list(enumerate(plan))
+        slices = [indexed[i::workers] for i in range(workers)]
+        by_index = {}
+        done = 0
+        try:
+            pool.prepare(self._payload())
+            futures = [
+                pool.submit(_prerun_chunk, (chunk, True))
+                for chunk in slices
+                if chunk
+            ]
+            for future in as_completed(futures):
+                for index, run, outcome in future.result():
+                    by_index[index] = (run, outcome)
+                    done += 1
+                    if progress is not None:
+                        progress(done, len(plan), outcome)
+        finally:
+            if own_pool:
+                pool.close()
+        return by_index
 
 
 @dataclass

@@ -161,9 +161,17 @@ def validate_pruning(config, workers: int = 1) -> ValidationReport:
     any difference is a pruning misclassification.
     """
     from repro.goofi.campaign import ScifiCampaign
+    from repro.goofi.pool import ReferencePool
 
-    pruned = ScifiCampaign(replace(config, prune=True)).run(workers=workers)
-    unpruned = ScifiCampaign(replace(config, prune=False)).run(workers=workers)
+    if workers > 1:
+        # Both runs share one warm worker pool: the golden runs are
+        # value-identical, so the second campaign skips respawning.
+        with ReferencePool(workers) as pool:
+            pruned = ScifiCampaign(replace(config, prune=True)).run(pool=pool)
+            unpruned = ScifiCampaign(replace(config, prune=False)).run(pool=pool)
+    else:
+        pruned = ScifiCampaign(replace(config, prune=True)).run(workers=workers)
+        unpruned = ScifiCampaign(replace(config, prune=False)).run(workers=workers)
     mismatches = [
         (index, p, u)
         for index, (p, u) in enumerate(zip(pruned.outcomes, unpruned.outcomes))

@@ -23,8 +23,9 @@ from __future__ import annotations
 
 import hashlib
 import struct
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import CampaignError
 from repro.faults.liveness import AccessRecorder, LivenessMap
@@ -38,8 +39,54 @@ from repro.thor.scanchain import ScanChain
 
 
 def _hash_state(cpu: CPU, environment: EngineEnvironment) -> bytes:
+    """Incremental full-state boundary digest.
+
+    The code and rodata images almost never change between boundaries
+    (code is write-protected; only fault injection or a restore touches
+    them), so a blake2b hasher pre-fed with that prefix is cached on the
+    memory map, keyed by the regions' mutation versions, and merely
+    *copied* per boundary.  The volatile remainder — registers, cache,
+    data/stack RAM, MMIO, environment — is always hashed live; the
+    data/stack byte images themselves come from the regions'
+    version-keyed packed caches, so an untouched region costs one dict
+    probe instead of a repack.  Any version change (poke,
+    ``corrupt_word_bit``, restore) invalidates the prefix and falls back
+    to a full rebuild.  Digests are bit-identical to
+    :func:`_hash_state_fresh` by construction (same byte order, same
+    content) — an equivalence test enforces it.
+    """
+    memory = cpu.memory
+    key = (memory.code.version, memory.rodata.version)
+    cached = memory.hash_prefix_cache
+    if cached is None or cached[0] != key:
+        prefix = hashlib.blake2b(digest_size=16)
+        prefix.update(memory.code.state_bytes())
+        prefix.update(memory.rodata.state_bytes())
+        cached = (key, prefix)
+        memory.hash_prefix_cache = cached
+    digest = cached[1].copy()
+    digest.update(cpu.register_state_bytes())
+    digest.update(cpu.cache.state_bytes())
+    digest.update(memory.data.state_bytes())
+    digest.update(memory.stack.state_bytes())
+    digest.update(memory.mmio.state_bytes())
+    digest.update(environment.state_bytes())
+    return digest.digest()
+
+
+def _hash_state_fresh(cpu: CPU, environment: EngineEnvironment) -> bytes:
+    """:func:`_hash_state` rebuilt entirely from the live state, with no
+    cached prefix or packed images — the honest baseline used by the
+    ``incremental_hash=False`` flag and the digest-equivalence test."""
+    memory = cpu.memory
     digest = hashlib.blake2b(digest_size=16)
-    digest.update(cpu.state_bytes())
+    digest.update(memory.code.pack_fresh())
+    digest.update(memory.rodata.pack_fresh())
+    digest.update(cpu.register_state_bytes())
+    digest.update(cpu.cache.state_bytes())
+    digest.update(memory.data.pack_fresh())
+    digest.update(memory.stack.pack_fresh())
+    digest.update(memory.mmio.state_bytes())
     digest.update(environment.state_bytes())
     return digest.digest()
 
@@ -74,16 +121,9 @@ class ReferenceRun:
                 f"injection time {instruction_time} outside the run "
                 f"(0..{self.total_instructions - 1})"
             )
-        # instructions_at is sorted; linear scan from a bisect would be
-        # fine too, but the list is small (651 entries).
-        low, high = 0, len(self.instructions_at) - 1
-        while low < high:
-            mid = (low + high + 1) // 2
-            if self.instructions_at[mid] <= instruction_time:
-                low = mid
-            else:
-                high = mid - 1
-        return low
+        # instructions_at is sorted ascending; the rightmost boundary at
+        # or before instruction_time owns the iteration it falls in.
+        return bisect_right(self.instructions_at, instruction_time) - 1
 
 
 @dataclass
@@ -137,6 +177,8 @@ class TargetSystem:
         watchdog_factor: float = 10.0,
         warm_start: bool = True,
         metrics=None,
+        fast_dispatch: bool = True,
+        incremental_hash: bool = True,
     ):
         if iterations <= 0:
             raise CampaignError("iterations must be positive")
@@ -146,16 +188,50 @@ class TargetSystem:
         self.watchdog_factor = watchdog_factor
         self.warm_start = warm_start
         self.cpu = CPU()
+        #: ``False`` pins this target's CPU to the legacy decode/execute
+        #: chain (the golden-equivalence baseline).
+        self.cpu.fast_dispatch = fast_dispatch
+        self.incremental_hash = incremental_hash
+        self._hash: Callable[[CPU, EngineEnvironment], bytes] = (
+            _hash_state if incremental_hash else _hash_state_fresh
+        )
         self.scan_chain = ScanChain(self.cpu)
         self.reference: Optional[ReferenceRun] = None
         #: Def/use liveness of the reference run, populated by
         #: :meth:`run_reference` with ``record_access=True`` (used by the
         #: campaign's fault pruning); ``None`` otherwise.
         self.liveness: Optional[LivenessMap] = None
-        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when set,
-        #: every experiment records its instruction count, detection
-        #: latency and EDM firings (None: zero-overhead no-op).
+        self._metrics = None
+        self._remove_metrics_listener: Optional[Callable[[], None]] = None
         self.metrics = metrics
+
+    @property
+    def metrics(self):
+        """Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        set, every experiment records its instruction count, detection
+        latency and EDM firings (None: zero-overhead no-op)."""
+        return self._metrics
+
+    @metrics.setter
+    def metrics(self, registry) -> None:
+        # One EDM listener per campaign, registered here rather than per
+        # experiment: the detection-listener list is global, so owners
+        # must set ``metrics = None`` when the campaign finishes.
+        if self._remove_metrics_listener is not None:
+            self._remove_metrics_listener()
+            self._remove_metrics_listener = None
+        self._metrics = registry
+        if registry is not None:
+            def _count_detection(event: DetectionEvent) -> None:
+                registry.counter(
+                    "edm_firings", mechanism=event.mechanism.value
+                ).inc()
+
+            self._remove_metrics_listener = add_detection_listener(_count_detection)
+
+    def boundary_hash(self) -> bytes:
+        """The full-state digest at the current iteration boundary."""
+        return self._hash(self.cpu, self.environment)
 
     def _warm_start_workload(self) -> None:
         """Prime the controller-state globals to the steady operating point."""
@@ -201,7 +277,7 @@ class TargetSystem:
             cpu.memory.recorder = recorder
 
         outputs: List[float] = []
-        hashes: List[bytes] = [_hash_state(cpu, env)]
+        hashes: List[bytes] = [self.boundary_hash()]
         snapshots: List[Dict[str, object]] = [self._snapshot()]
         instructions_at: List[int] = [0]
         max_iteration = 0
@@ -219,7 +295,7 @@ class TargetSystem:
                 iteration_cost = cpu.instruction_index - before
                 max_iteration = max(max_iteration, iteration_cost)
                 outputs.append(env.exchange(cpu.memory.mmio))
-                hashes.append(_hash_state(cpu, env))
+                hashes.append(self.boundary_hash())
                 snapshots.append(self._snapshot())
                 instructions_at.append(cpu.instruction_index)
         finally:
@@ -255,18 +331,10 @@ class TargetSystem:
         self, fault: FaultDescriptor, early_exit: bool = True
     ) -> ExperimentRun:
         """Inject one fault and observe the run to its termination."""
-        metrics = self.metrics
+        metrics = self._metrics
         if metrics is None:
             return self._execute_experiment(fault, early_exit)
-        remove = add_detection_listener(
-            lambda event: metrics.counter(
-                "edm_firings", mechanism=event.mechanism.value
-            ).inc()
-        )
-        try:
-            run = self._execute_experiment(fault, early_exit)
-        finally:
-            remove()
+        run = self._execute_experiment(fault, early_exit)
         metrics.histogram(
             "instructions_per_experiment", INSTRUCTIONS_BUCKETS
         ).observe(run.instructions_executed)
@@ -329,10 +397,10 @@ class TargetSystem:
                 run.final_state_differs = True
                 return run
             outputs.append(env.exchange(cpu.memory.mmio))
-            if early_exit and _hash_state(cpu, env) == reference.hashes[k + 1]:
+            if early_exit and self.boundary_hash() == reference.hashes[k + 1]:
                 outputs.extend(reference.outputs[k + 1 :])
                 run.early_exit_iteration = k + 1
                 run.final_state_differs = False
                 return run
-        run.final_state_differs = _hash_state(cpu, env) != reference.hashes[-1]
+        run.final_state_differs = self.boundary_hash() != reference.hashes[-1]
         return run

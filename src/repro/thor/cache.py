@@ -18,9 +18,8 @@ the dominant detected outcome for cache faults in the paper's Table 2.
 
 from __future__ import annotations
 
-from typing import Dict
-
-import numpy as np
+import struct
+from typing import Dict, List
 
 from repro.thor.memory import MemoryMap
 
@@ -36,6 +35,8 @@ BITS_PER_LINE = 32 + TAG_BITS + 1 + 1
 #: Total injectable cache bits (the paper's 1824 cache state elements).
 TOTAL_BITS = LINES * BITS_PER_LINE
 
+_WORDS_STRUCT = struct.Struct(f"<{LINES}I")
+
 
 def split_address(address: int) -> "tuple[int, int]":
     """``(tag, index)`` of a word address."""
@@ -50,13 +51,19 @@ def line_address(tag: int, index: int) -> int:
 
 
 class DataCache:
-    """Direct-mapped write-back cache in front of data/stack RAM."""
+    """Direct-mapped write-back cache in front of data/stack RAM.
+
+    Line state lives in plain Python lists — the hit path is two list
+    reads and an integer compare, with none of the scalar boxing a
+    ``numpy`` array would add per access.  The serialised byte layout
+    (little-endian uint32 data/tags, uint8 valid/dirty) is unchanged.
+    """
 
     def __init__(self) -> None:
-        self.data = np.zeros(LINES, dtype=np.uint32)
-        self.tags = np.zeros(LINES, dtype=np.uint32)
-        self.valid = np.zeros(LINES, dtype=np.uint8)
-        self.dirty = np.zeros(LINES, dtype=np.uint8)
+        self.data: List[int] = [0] * LINES
+        self.tags: List[int] = [0] * LINES
+        self.valid: List[int] = [0] * LINES
+        self.dirty: List[int] = [0] * LINES
         #: Statistics, reset with :meth:`reset_stats`.
         self.hits = 0
         self.misses = 0
@@ -93,17 +100,18 @@ class DataCache:
 
     def read(self, address: int, memory: MemoryMap) -> int:
         """Read a cached word, refilling on a miss."""
-        tag, index = split_address(address)
+        index = (address >> OFFSET_BITS) & (LINES - 1)
+        tag = (address >> (OFFSET_BITS + INDEX_BITS)) & ((1 << TAG_BITS) - 1)
         recorder = self.recorder
         if recorder is not None:
             recorder.cache_read(index, "valid")
             if self.valid[index]:
                 recorder.cache_read(index, "tag")
-        if self.valid[index] and int(self.tags[index]) == tag:
+        if self.valid[index] and self.tags[index] == tag:
             self.hits += 1
             if recorder is not None:
                 recorder.cache_read(index, "data")
-            return int(self.data[index])
+            return self.data[index]
         self.misses += 1
         self._evict(index, memory)
         value = memory.read_data_word(address)
@@ -120,13 +128,14 @@ class DataCache:
 
     def write(self, address: int, value: int, memory: MemoryMap) -> None:
         """Write a cached word (write-allocate, no refill for full lines)."""
-        tag, index = split_address(address)
+        index = (address >> OFFSET_BITS) & (LINES - 1)
+        tag = (address >> (OFFSET_BITS + INDEX_BITS)) & ((1 << TAG_BITS) - 1)
         recorder = self.recorder
         if recorder is not None:
             recorder.cache_read(index, "valid")
             if self.valid[index]:
                 recorder.cache_read(index, "tag")
-        if not (self.valid[index] and int(self.tags[index]) == tag):
+        if not (self.valid[index] and self.tags[index] == tag):
             self.misses += 1
             self._evict(index, memory)
             self.tags[index] = tag
@@ -149,8 +158,8 @@ class DataCache:
 
     def invalidate(self) -> None:
         """Drop all lines without writing anything back."""
-        self.valid[:] = 0
-        self.dirty[:] = 0
+        self.valid = [0] * LINES
+        self.dirty = [0] * LINES
         if self.recorder is not None:
             for index in range(LINES):
                 self.recorder.cache_write(index, "valid")
@@ -164,26 +173,30 @@ class DataCache:
 
     # -- state access ----------------------------------------------------------
     def state_bytes(self) -> bytes:
-        """Deterministic serialisation for run-state hashing."""
+        """Deterministic serialisation for run-state hashing.
+
+        Always rebuilt from the live lists: tests and the scan chain
+        mutate the arrays in place, so this surface carries no cache of
+        its own (it is 32 lines — packing is cheap)."""
         return (
-            self.data.tobytes()
-            + self.tags.tobytes()
-            + self.valid.tobytes()
-            + self.dirty.tobytes()
+            _WORDS_STRUCT.pack(*[w & 0xFFFFFFFF for w in self.data])
+            + _WORDS_STRUCT.pack(*[t & 0xFFFFFFFF for t in self.tags])
+            + bytes(b & 0xFF for b in self.valid)
+            + bytes(b & 0xFF for b in self.dirty)
         )
 
-    def snapshot(self) -> Dict[str, np.ndarray]:
+    def snapshot(self) -> Dict[str, List[int]]:
         """A restorable copy of the cache arrays."""
         return {
-            "data": self.data.copy(),
-            "tags": self.tags.copy(),
-            "valid": self.valid.copy(),
-            "dirty": self.dirty.copy(),
+            "data": list(self.data),
+            "tags": list(self.tags),
+            "valid": list(self.valid),
+            "dirty": list(self.dirty),
         }
 
-    def restore(self, snapshot: Dict[str, np.ndarray]) -> None:
+    def restore(self, snapshot: Dict[str, List[int]]) -> None:
         """Restore arrays captured by :meth:`snapshot`."""
-        self.data = snapshot["data"].copy()
-        self.tags = snapshot["tags"].copy()
-        self.valid = snapshot["valid"].copy()
-        self.dirty = snapshot["dirty"].copy()
+        self.data = list(snapshot["data"])
+        self.tags = list(snapshot["tags"])
+        self.valid = list(snapshot["valid"])
+        self.dirty = list(snapshot["dirty"])

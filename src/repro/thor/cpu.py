@@ -16,6 +16,28 @@ the paper's Tables 2/3, 426 injectable bits):
 
 Detections freeze the CPU (the experiment's termination condition) and
 are reported as :class:`~repro.thor.edm.DetectionEvent` values.
+
+Dispatch
+--------
+
+The interpreter has two execution paths with identical observable
+behaviour:
+
+* **fast dispatch** (default): instruction words are *predecoded* into
+  per-word handler closures cached in :data:`_PREDECODE`.  A handler
+  carries its operand fields baked in and returns ``None`` (fall through
+  to ``pc + 4``), an ``int`` (branch target), or one of the
+  :data:`_YIELD`/:data:`_HALT` sentinels.  The cache is keyed by the raw
+  32-bit word, so a corrupted IR always dispatches through the corrupted
+  word's own handler — never a stale predecoded entry.
+* **traced dispatch**: the original decode + ``if``/``elif`` chain, used
+  whenever an access-trace recorder or a trace hook is attached (they
+  must observe every architectural access in order) or when
+  :attr:`CPU.fast_dispatch` is switched off for baseline measurements.
+
+Words whose register fields fall outside the register file (possible
+only under fault) fall back to the traced chain's semantics through a
+generic handler, preserving the exact detection ordering and messages.
 """
 
 from __future__ import annotations
@@ -23,7 +45,7 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import MachineError
 from repro.thor.cache import DataCache
@@ -57,10 +79,14 @@ PSW_MASK = (1 << PSW_BITS) - 1
 _INT_MIN = -(1 << 31)
 _INT_MAX = (1 << 31) - 1
 _U32 = 0xFFFFFFFF
+_SIGN = 0x80000000
+_TWO32 = 1 << 32
 
 #: Smallest normal single-precision magnitude (results below it, other
 #: than exact zero, raise UNDERFLOW CHECK).
 _MIN_NORMAL = 2.0 ** -126
+
+_INF = float("inf")
 
 #: Scan-chain element names by register-file index (r0..r7, then sp),
 #: used by the access-trace hooks.
@@ -69,6 +95,14 @@ _REG_NAMES = tuple(f"r{i}" for i in range(NUM_GPRS)) + ("sp",)
 #: PSW bits the flag-setting path overwrites and the branch path reads.
 _FLAG_WRITE_MASK = FLAG_Z | FLAG_N | FLAG_C | FLAG_V
 _FLAG_READ_MASK = FLAG_Z | FLAG_N | FLAG_V
+
+_STRUCT_I = struct.Struct("<I")
+_STRUCT_F = struct.Struct("<f")
+
+#: Register-file image: r0..r7 + sp, pc, psw, ir, mar, mdr, signature,
+#: halted flag — one struct keeps :meth:`CPU.register_state_bytes`
+#: byte-identical to the per-field serialisation it replaces.
+_REG_STATE_STRUCT = struct.Struct("<9IIHIIIi?")
 
 _decode_memo: Dict[int, Optional[Instruction]] = {}
 
@@ -122,6 +156,11 @@ def _float_to_bits(value: float) -> int:
 
 class CPU:
     """The simulated processor (one core, data cache, Table 1 EDMs)."""
+
+    #: Class-level default; set ``cpu.fast_dispatch = False`` to force the
+    #: original decode-and-branch interpreter (baseline measurements and
+    #: the golden-equivalence tests).
+    fast_dispatch: bool = True
 
     def __init__(self, layout: MemoryLayout = MemoryLayout()):
         self.layout = layout
@@ -349,6 +388,34 @@ class CPU:
             return StepResult.DETECTED
 
     def _execute(self) -> StepResult:
+        if (
+            self.recorder is None
+            and self.trace_hook is None
+            and self.fast_dispatch
+        ):
+            word = self.ir & _U32
+            handler = _PREDECODE.get(word)
+            if handler is None:
+                handler = _predecode(word)
+            r = handler(self)
+            self.instruction_index += 1
+            if r is None:
+                self.pc = (self.pc + WORD) & _U32
+            elif r.__class__ is int:
+                self.pc = r
+            elif r is _HALT:
+                # A halted CPU performs no further prefetch.
+                return StepResult.HALTED
+            else:  # _YIELD
+                self.pc = (self.pc + WORD) & _U32
+                self.ir = self.memory.fetch_word_cached(self.pc)
+                return StepResult.YIELD
+            self.ir = self.memory.fetch_word_cached(self.pc)
+            return StepResult.OK
+        return self._execute_traced()
+
+    def _execute_traced(self) -> StepResult:
+        """The original interpreter: decode, check, trace, execute."""
         recorder = self.recorder
         if recorder is not None:
             recorder.now = self.instruction_index
@@ -376,6 +443,20 @@ class CPU:
                     mnemonic=instruction.opcode.name,
                 )
             )
+        result, next_pc = self._execute_chain(word, instruction)
+        self.instruction_index += 1
+        if result is StepResult.HALTED:
+            # A halted CPU performs no further prefetch.
+            return result
+        self.pc = next_pc
+        self.ir = self.memory.fetch_word(self.pc)
+        return result
+
+    def _execute_chain(
+        self, word: int, instruction: Instruction
+    ) -> Tuple[StepResult, int]:
+        """Execute one decoded instruction; return ``(result, next pc)``."""
+        recorder = self.recorder
         next_pc = (self.pc + WORD) & _U32
         result = StepResult.OK
         op = instruction.opcode
@@ -513,13 +594,7 @@ class CPU:
         else:  # pragma: no cover - every opcode is handled above
             raise MachineError(f"unhandled opcode {op!r}")
 
-        self.instruction_index += 1
-        if result is StepResult.HALTED:
-            # A halted CPU performs no further prefetch.
-            return result
-        self.pc = next_pc
-        self.ir = self.memory.fetch_word(self.pc)
-        return result
+        return result, next_pc
 
     def _branch_taken(self, op: Opcode) -> bool:
         if self.recorder is not None:
@@ -569,25 +644,76 @@ class CPU:
     # -- convenience runners -----------------------------------------------------
     def run(self, max_instructions: int) -> StepResult:
         """Step until yield/halt/detection or the instruction budget ends."""
-        for _ in range(max_instructions):
-            result = self.step()
-            if result is not StepResult.OK:
-                return result
+        if (
+            self.recorder is not None
+            or self.trace_hook is not None
+            or not self.fast_dispatch
+        ):
+            for _ in range(max_instructions):
+                result = self.step()
+                if result is not StepResult.OK:
+                    return result
+            return StepResult.OK
+        # Fast inner loop: predecoded dispatch with the per-step flag
+        # checks hoisted out (nothing inside the loop can attach a
+        # recorder or trace hook).
+        if self.detection is not None:
+            return StepResult.DETECTED
+        if self.halted:
+            return StepResult.HALTED
+        self.last_svc = None
+        predecode_get = _PREDECODE.get
+        build = _predecode
+        fetch = self.memory.fetch_word_cached
+        index = self.instruction_index
+        try:
+            for _ in range(max_instructions):
+                word = self.ir & _U32
+                handler = predecode_get(word)
+                if handler is None:
+                    handler = build(word)
+                r = handler(self)
+                index += 1
+                if r is None:
+                    self.pc = (self.pc + WORD) & _U32
+                elif r.__class__ is int:
+                    self.pc = r
+                elif r is _HALT:
+                    self.instruction_index = index
+                    return StepResult.HALTED
+                else:  # _YIELD
+                    self.instruction_index = index
+                    self.pc = (self.pc + WORD) & _U32
+                    self.ir = fetch(self.pc)
+                    return StepResult.YIELD
+                self.ir = fetch(self.pc)
+        except HardwareDetection as event:
+            self.instruction_index = index
+            self.detection = DetectionEvent(
+                mechanism=event.mechanism,
+                pc=self.pc,
+                instruction_index=index,
+                detail=event.detail,
+            )
+            notify_detection(self.detection)
+            return StepResult.DETECTED
+        self.instruction_index = index
         return StepResult.OK
 
     # -- state access -------------------------------------------------------------
     def register_state_bytes(self) -> bytes:
         """Registers + PSW + latches, for run-state hashing."""
-        parts = [value.to_bytes(4, "little") for value in self.regs]
-        parts.append(self.pc.to_bytes(4, "little"))
-        parts.append((self.psw & PSW_MASK).to_bytes(2, "little"))
-        parts.append(self.ir.to_bytes(4, "little"))
-        parts.append(self.mar.to_bytes(4, "little"))
-        parts.append(self.mdr.to_bytes(4, "little"))
         sig = -1 if self.last_signature is None else self.last_signature
-        parts.append(sig.to_bytes(4, "little", signed=True))
-        parts.append(b"\x01" if self.halted else b"\x00")
-        return b"".join(parts)
+        return _REG_STATE_STRUCT.pack(
+            *self.regs,
+            self.pc,
+            self.psw & PSW_MASK,
+            self.ir,
+            self.mar,
+            self.mdr,
+            sig,
+            self.halted,
+        )
 
     def state_bytes(self) -> bytes:
         """Full target-system state (CPU + cache + memory)."""
@@ -641,3 +767,798 @@ _BRANCHES = frozenset(
         Opcode.BVS,
     }
 )
+
+
+# ---------------------------------------------------------------------------
+# Predecoded dispatch.
+#
+# Handlers take the CPU and return:
+#   None      -> fall through to pc + 4
+#   int       -> control transfer to that pc
+#   _YIELD    -> SVC executed (pc + 4, then yield to the environment)
+#   _HALT     -> CPU halted (no prefetch)
+# Detections propagate as HardwareDetection exceptions, exactly as in the
+# traced chain.  Handlers are built per *word*, so every operand field is
+# a closure constant; they never touch the recorder/trace hooks (the fast
+# path is only taken when neither is attached).
+# ---------------------------------------------------------------------------
+
+_YIELD = object()
+_HALT = object()
+
+_Handler = Callable[[CPU], object]
+
+_PREDECODE: Dict[int, _Handler] = {}
+_PREDECODE_CAP = 65536
+
+_SP = SP_INDEX
+
+
+def _fop_operands(cpu: CPU, rs1: int, rs2: int) -> Tuple[float, float]:
+    regs = cpu.regs
+    a = _STRUCT_F.unpack(_STRUCT_I.pack(regs[rs1]))[0]
+    if a != a:
+        raise_detection(Mechanism.ILLEGAL_OPERATION, "NaN operand")
+    b = _STRUCT_F.unpack(_STRUCT_I.pack(regs[rs2]))[0]
+    if b != b:
+        raise_detection(Mechanism.ILLEGAL_OPERATION, "NaN operand")
+    return a, b
+
+
+def _float_result_bits(value: float, operands_finite: bool) -> int:
+    try:
+        packed = _STRUCT_F.pack(value)
+    except OverflowError:
+        packed = _STRUCT_F.pack(_INF if value > 0 else -_INF)
+    rounded = _STRUCT_F.unpack(packed)[0]
+    if rounded != rounded:
+        raise_detection(Mechanism.ILLEGAL_OPERATION, "NaN result")
+    if rounded == _INF or rounded == -_INF:
+        if operands_finite:
+            raise_detection(Mechanism.OVERFLOW_CHECK, "float overflow")
+    elif value != 0.0 and abs(rounded) < _MIN_NORMAL:
+        raise_detection(Mechanism.UNDERFLOW_CHECK, "underflow/denormal result")
+    return _STRUCT_I.unpack(packed)[0]
+
+
+def _branch_resolve(cpu: CPU, offset: int) -> int:
+    target = (cpu.pc + offset) & _U32
+    layout = cpu.layout
+    if not layout.code_base <= target < layout.code_base + layout.code_size:
+        raise_detection(Mechanism.JUMP_ERROR, f"target {target:#x} outside code")
+    return target
+
+
+def _f_nop(instruction: Instruction) -> _Handler:
+    def nop(cpu: CPU):
+        return None
+
+    return nop
+
+
+def _f_halt(instruction: Instruction) -> _Handler:
+    name = instruction.opcode.name
+
+    def halt(cpu: CPU):
+        if not cpu.psw & FLAG_M:
+            raise_detection(
+                Mechanism.INSTRUCTION_ERROR, f"privileged {name} in user mode"
+            )
+        cpu.halted = True
+        return _HALT
+
+    return halt
+
+
+def _f_svc(instruction: Instruction) -> _Handler:
+    imm = instruction.imm
+
+    def svc(cpu: CPU):
+        cpu.last_svc = imm
+        return _YIELD
+
+    return svc
+
+
+def _f_sig(instruction: Instruction) -> _Handler:
+    imm = instruction.imm
+
+    def sig(cpu: CPU):
+        cpu._check_signature(imm)
+        return None
+
+    return sig
+
+
+def _f_setmode(instruction: Instruction) -> _Handler:
+    rs1 = instruction.rs1
+
+    def setmode(cpu: CPU):
+        if not cpu.psw & FLAG_M:
+            raise_detection(
+                Mechanism.INSTRUCTION_ERROR, "privileged SETMODE in user mode"
+            )
+        if cpu.regs[rs1] & 1:
+            cpu.psw |= FLAG_M
+        else:
+            cpu.psw &= ~FLAG_M
+        return None
+
+    return setmode
+
+
+def _f_ldi(instruction: Instruction) -> _Handler:
+    rd = instruction.rd
+    value = instruction.simm() & _U32
+
+    def ldi(cpu: CPU):
+        cpu.regs[rd] = value
+        return None
+
+    return ldi
+
+
+def _f_lui(instruction: Instruction) -> _Handler:
+    rd = instruction.rd
+    value = (instruction.imm << 16) & _U32
+
+    def lui(cpu: CPU):
+        cpu.regs[rd] = value
+        return None
+
+    return lui
+
+
+def _f_ori(instruction: Instruction) -> _Handler:
+    rd = instruction.rd
+    imm = instruction.imm
+
+    def ori(cpu: CPU):
+        cpu.regs[rd] |= imm
+        return None
+
+    return ori
+
+
+def _f_mov(instruction: Instruction) -> _Handler:
+    rd, rs1 = instruction.rd, instruction.rs1
+
+    def mov(cpu: CPU):
+        cpu.regs[rd] = cpu.regs[rs1]
+        return None
+
+    return mov
+
+
+def _f_ld(instruction: Instruction) -> _Handler:
+    rd, rs1, simm = instruction.rd, instruction.rs1, instruction.simm()
+
+    def ld(cpu: CPU):
+        address = (cpu.regs[rs1] + simm) & _U32
+        cpu.mar = address
+        memory = cpu.memory
+        if memory.is_cacheable(address):
+            value = cpu.cache.read(address, memory)
+        else:
+            value = memory.read_data_word(address)
+        cpu.mdr = value
+        cpu.regs[rd] = value
+        return None
+
+    return ld
+
+
+def _f_st(instruction: Instruction) -> _Handler:
+    rd, rs1, simm = instruction.rd, instruction.rs1, instruction.simm()
+
+    def st(cpu: CPU):
+        regs = cpu.regs
+        address = (regs[rs1] + simm) & _U32
+        value = regs[rd]
+        cpu.mar = address
+        cpu.mdr = value
+        memory = cpu.memory
+        if memory.is_cacheable(address):
+            cpu.cache.write(address, value, memory)
+        else:
+            memory.write_data_word(address, value)
+        return None
+
+    return st
+
+
+def _f_push(instruction: Instruction) -> _Handler:
+    rd = instruction.rd
+
+    def push(cpu: CPU):
+        regs = cpu.regs
+        sp = (regs[_SP] - WORD) & _U32
+        cpu._check_stack_pointer(sp)
+        value = regs[rd]
+        cpu.mar = sp
+        cpu.mdr = value
+        memory = cpu.memory
+        if memory.is_cacheable(sp):
+            cpu.cache.write(sp, value, memory)
+        else:
+            memory.write_data_word(sp, value)
+        regs[_SP] = sp
+        return None
+
+    return push
+
+
+def _f_pop(instruction: Instruction) -> _Handler:
+    rd = instruction.rd
+
+    def pop(cpu: CPU):
+        regs = cpu.regs
+        sp = regs[_SP]
+        cpu._check_stack_pointer(sp)
+        if sp >= cpu.layout.stack_top:
+            raise_detection(Mechanism.STORAGE_ERROR, "pop from empty stack")
+        cpu.mar = sp
+        memory = cpu.memory
+        if memory.is_cacheable(sp):
+            value = cpu.cache.read(sp, memory)
+        else:
+            value = memory.read_data_word(sp)
+        cpu.mdr = value
+        regs[rd] = value
+        regs[_SP] = (sp + WORD) & _U32
+        return None
+
+    return pop
+
+
+def _f_add(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def add(cpu: CPU):
+        regs = cpu.regs
+        a = regs[rs1]
+        if a & _SIGN:
+            a -= _TWO32
+        b = regs[rs2]
+        if b & _SIGN:
+            b -= _TWO32
+        result = a + b
+        if result > _INT_MAX or result < _INT_MIN:
+            raise_detection(Mechanism.OVERFLOW_CHECK, "integer add overflow")
+        regs[rd] = result & _U32
+        return None
+
+    return add
+
+
+def _f_sub(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def sub(cpu: CPU):
+        regs = cpu.regs
+        a = regs[rs1]
+        if a & _SIGN:
+            a -= _TWO32
+        b = regs[rs2]
+        if b & _SIGN:
+            b -= _TWO32
+        result = a - b
+        if result > _INT_MAX or result < _INT_MIN:
+            raise_detection(Mechanism.OVERFLOW_CHECK, "integer sub overflow")
+        regs[rd] = result & _U32
+        return None
+
+    return sub
+
+
+def _f_mul(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def mul(cpu: CPU):
+        regs = cpu.regs
+        a = regs[rs1]
+        if a & _SIGN:
+            a -= _TWO32
+        b = regs[rs2]
+        if b & _SIGN:
+            b -= _TWO32
+        result = a * b
+        if result > _INT_MAX or result < _INT_MIN:
+            raise_detection(Mechanism.OVERFLOW_CHECK, "integer mul overflow")
+        regs[rd] = result & _U32
+        return None
+
+    return mul
+
+
+def _f_div(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def div(cpu: CPU):
+        regs = cpu.regs
+        a = regs[rs1]
+        if a & _SIGN:
+            a -= _TWO32
+        b = regs[rs2]
+        if b & _SIGN:
+            b -= _TWO32
+        if b == 0:
+            raise_detection(Mechanism.DIVISION_CHECK, "integer divide by zero")
+        result = int(a / b)  # truncating division
+        if result > _INT_MAX or result < _INT_MIN:
+            raise_detection(Mechanism.OVERFLOW_CHECK, "integer div overflow")
+        regs[rd] = result & _U32
+        return None
+
+    return div
+
+
+def _f_and(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def and_(cpu: CPU):
+        regs = cpu.regs
+        regs[rd] = regs[rs1] & regs[rs2]
+        return None
+
+    return and_
+
+
+def _f_or(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def or_(cpu: CPU):
+        regs = cpu.regs
+        regs[rd] = regs[rs1] | regs[rs2]
+        return None
+
+    return or_
+
+
+def _f_xor(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def xor(cpu: CPU):
+        regs = cpu.regs
+        regs[rd] = regs[rs1] ^ regs[rs2]
+        return None
+
+    return xor
+
+
+def _f_shl(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def shl(cpu: CPU):
+        regs = cpu.regs
+        regs[rd] = (regs[rs1] << (regs[rs2] & 31)) & _U32
+        return None
+
+    return shl
+
+
+def _f_shr(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def shr(cpu: CPU):
+        regs = cpu.regs
+        regs[rd] = regs[rs1] >> (regs[rs2] & 31)
+        return None
+
+    return shr
+
+
+def _f_addi(instruction: Instruction) -> _Handler:
+    rd, rs1, simm = instruction.rd, instruction.rs1, instruction.simm()
+
+    def addi(cpu: CPU):
+        regs = cpu.regs
+        a = regs[rs1]
+        if a & _SIGN:
+            a -= _TWO32
+        result = a + simm
+        if result > _INT_MAX or result < _INT_MIN:
+            raise_detection(Mechanism.OVERFLOW_CHECK, "integer add overflow")
+        regs[rd] = result & _U32
+        return None
+
+    return addi
+
+
+def _f_cmp(instruction: Instruction) -> _Handler:
+    rs1, rs2 = instruction.rs1, instruction.rs2
+
+    def cmp_(cpu: CPU):
+        regs = cpu.regs
+        au = regs[rs1]
+        bu = regs[rs2]
+        a = au - _TWO32 if au & _SIGN else au
+        b = bu - _TWO32 if bu & _SIGN else bu
+        psw = cpu.psw & ~_FLAG_WRITE_MASK
+        if a == b:
+            psw |= FLAG_Z
+        if a < b:
+            psw |= FLAG_N
+        if au < bu:
+            psw |= FLAG_C
+        cpu.psw = psw
+        return None
+
+    return cmp_
+
+
+def _f_fadd(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def fadd(cpu: CPU):
+        a, b = _fop_operands(cpu, rs1, rs2)
+        cpu.regs[rd] = _float_result_bits(
+            a + b, abs(a) != _INF and abs(b) != _INF
+        )
+        return None
+
+    return fadd
+
+
+def _f_fsub(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def fsub(cpu: CPU):
+        a, b = _fop_operands(cpu, rs1, rs2)
+        cpu.regs[rd] = _float_result_bits(
+            a - b, abs(a) != _INF and abs(b) != _INF
+        )
+        return None
+
+    return fsub
+
+
+def _f_fmul(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def fmul(cpu: CPU):
+        a, b = _fop_operands(cpu, rs1, rs2)
+        cpu.regs[rd] = _float_result_bits(
+            a * b, abs(a) != _INF and abs(b) != _INF
+        )
+        return None
+
+    return fmul
+
+
+def _f_fdiv(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def fdiv(cpu: CPU):
+        a, b = _fop_operands(cpu, rs1, rs2)
+        finite = abs(a) != _INF and abs(b) != _INF
+        if b == 0.0:
+            raise_detection(Mechanism.DIVISION_CHECK, "float divide by zero")
+        cpu.regs[rd] = _float_result_bits(a / b, finite)
+        return None
+
+    return fdiv
+
+
+def _f_fcmp(instruction: Instruction) -> _Handler:
+    rs1, rs2 = instruction.rs1, instruction.rs2
+
+    def fcmp(cpu: CPU):
+        regs = cpu.regs
+        a = _STRUCT_F.unpack(_STRUCT_I.pack(regs[rs1]))[0]
+        b = _STRUCT_F.unpack(_STRUCT_I.pack(regs[rs2]))[0]
+        psw = cpu.psw & ~_FLAG_WRITE_MASK
+        if a != a or b != b:
+            psw |= FLAG_V
+        else:
+            if a == b:
+                psw |= FLAG_Z
+            if a < b:
+                psw |= FLAG_N
+        cpu.psw = psw
+        return None
+
+    return fcmp
+
+
+def _f_itof(instruction: Instruction) -> _Handler:
+    rd, rs1 = instruction.rd, instruction.rs1
+
+    def itof(cpu: CPU):
+        a = cpu.regs[rs1]
+        if a & _SIGN:
+            a -= _TWO32
+        cpu.regs[rd] = _float_result_bits(float(a), True)
+        return None
+
+    return itof
+
+
+def _f_ftoi(instruction: Instruction) -> _Handler:
+    rd, rs1 = instruction.rd, instruction.rs1
+
+    def ftoi(cpu: CPU):
+        value = _STRUCT_F.unpack(_STRUCT_I.pack(cpu.regs[rs1]))[0]
+        if value != value:
+            raise_detection(Mechanism.ILLEGAL_OPERATION, "NaN operand")
+        if not _INT_MIN <= value <= _INT_MAX:
+            raise_detection(Mechanism.OVERFLOW_CHECK, "float to int overflow")
+        cpu.regs[rd] = int(value) & _U32
+        return None
+
+    return ftoi
+
+
+def _f_fneg(instruction: Instruction) -> _Handler:
+    rd, rs1 = instruction.rd, instruction.rs1
+
+    def fneg(cpu: CPU):
+        cpu.regs[rd] = cpu.regs[rs1] ^ 0x80000000
+        return None
+
+    return fneg
+
+
+def _f_br(instruction: Instruction) -> _Handler:
+    offset = WORD * instruction.simm()
+
+    def br(cpu: CPU):
+        return _branch_resolve(cpu, offset)
+
+    return br
+
+
+def _branch_factory_set(mask: int):
+    """Branch taken when ``psw & mask`` is non-zero."""
+
+    def factory(instruction: Instruction) -> _Handler:
+        offset = WORD * instruction.simm()
+
+        def branch(cpu: CPU):
+            if cpu.psw & mask:
+                return _branch_resolve(cpu, offset)
+            return None
+
+        return branch
+
+    return factory
+
+
+def _branch_factory_clear(mask: int):
+    """Branch taken when every bit of ``mask`` is clear in the PSW."""
+
+    def factory(instruction: Instruction) -> _Handler:
+        offset = WORD * instruction.simm()
+
+        def branch(cpu: CPU):
+            if not cpu.psw & mask:
+                return _branch_resolve(cpu, offset)
+            return None
+
+        return branch
+
+    return factory
+
+
+def _f_call(instruction: Instruction) -> _Handler:
+    offset = WORD * instruction.simm()
+
+    def call(cpu: CPU):
+        regs = cpu.regs
+        sp = (regs[_SP] - WORD) & _U32
+        cpu._check_stack_pointer(sp)
+        value = (cpu.pc + WORD) & _U32
+        cpu.mar = sp
+        cpu.mdr = value
+        memory = cpu.memory
+        if memory.is_cacheable(sp):
+            cpu.cache.write(sp, value, memory)
+        else:
+            memory.write_data_word(sp, value)
+        regs[_SP] = sp
+        return _branch_resolve(cpu, offset)
+
+    return call
+
+
+def _f_ret(instruction: Instruction) -> _Handler:
+    def ret(cpu: CPU):
+        regs = cpu.regs
+        sp = regs[_SP]
+        cpu._check_stack_pointer(sp)
+        layout = cpu.layout
+        if sp >= layout.stack_top:
+            raise_detection(Mechanism.STORAGE_ERROR, "return with empty stack")
+        cpu.mar = sp
+        memory = cpu.memory
+        if memory.is_cacheable(sp):
+            target = cpu.cache.read(sp, memory)
+        else:
+            target = memory.read_data_word(sp)
+        cpu.mdr = target
+        regs[_SP] = (sp + WORD) & _U32
+        if not layout.code_base <= target < layout.code_base + layout.code_size:
+            raise_detection(Mechanism.JUMP_ERROR, f"target {target:#x} outside code")
+        return target
+
+    return ret
+
+
+def _f_jr(instruction: Instruction) -> _Handler:
+    rs1 = instruction.rs1
+
+    def jr(cpu: CPU):
+        target = cpu.regs[rs1]
+        layout = cpu.layout
+        if not layout.code_base <= target < layout.code_base + layout.code_size:
+            raise_detection(Mechanism.JUMP_ERROR, f"target {target:#x} outside code")
+        return target
+
+    return jr
+
+
+def _f_chk(instruction: Instruction) -> _Handler:
+    rd, rs1, rs2 = instruction.rd, instruction.rs1, instruction.rs2
+
+    def chk(cpu: CPU):
+        regs = cpu.regs
+        low = _STRUCT_F.unpack(_STRUCT_I.pack(regs[rd]))[0]
+        value = _STRUCT_F.unpack(_STRUCT_I.pack(regs[rs1]))[0]
+        high = _STRUCT_F.unpack(_STRUCT_I.pack(regs[rs2]))[0]
+        if not low <= value <= high:
+            raise_detection(
+                Mechanism.CONSTRAINT_ERROR,
+                f"{value!r} outside [{low!r}, {high!r}]",
+            )
+        return None
+
+    return chk
+
+
+_HANDLER_FACTORIES: Dict[Opcode, Callable[[Instruction], _Handler]] = {
+    Opcode.NOP: _f_nop,
+    Opcode.HALT: _f_halt,
+    Opcode.WFI: _f_halt,
+    Opcode.SVC: _f_svc,
+    Opcode.SIG: _f_sig,
+    Opcode.SETMODE: _f_setmode,
+    Opcode.LDI: _f_ldi,
+    Opcode.LUI: _f_lui,
+    Opcode.ORI: _f_ori,
+    Opcode.MOV: _f_mov,
+    Opcode.LD: _f_ld,
+    Opcode.ST: _f_st,
+    Opcode.PUSH: _f_push,
+    Opcode.POP: _f_pop,
+    Opcode.ADD: _f_add,
+    Opcode.SUB: _f_sub,
+    Opcode.MUL: _f_mul,
+    Opcode.DIV: _f_div,
+    Opcode.AND: _f_and,
+    Opcode.OR: _f_or,
+    Opcode.XOR: _f_xor,
+    Opcode.SHL: _f_shl,
+    Opcode.SHR: _f_shr,
+    Opcode.ADDI: _f_addi,
+    Opcode.CMP: _f_cmp,
+    Opcode.FADD: _f_fadd,
+    Opcode.FSUB: _f_fsub,
+    Opcode.FMUL: _f_fmul,
+    Opcode.FDIV: _f_fdiv,
+    Opcode.FCMP: _f_fcmp,
+    Opcode.ITOF: _f_itof,
+    Opcode.FTOI: _f_ftoi,
+    Opcode.FNEG: _f_fneg,
+    Opcode.BR: _f_br,
+    Opcode.BEQ: _branch_factory_set(FLAG_Z),
+    Opcode.BNE: _branch_factory_clear(FLAG_Z),
+    Opcode.BLT: _branch_factory_set(FLAG_N),
+    Opcode.BGE: _branch_factory_clear(FLAG_N | FLAG_V),
+    Opcode.BGT: _branch_factory_clear(FLAG_Z | FLAG_N | FLAG_V),
+    Opcode.BLE: _branch_factory_set(FLAG_Z | FLAG_N),
+    Opcode.BVS: _branch_factory_set(FLAG_V),
+    Opcode.CALL: _f_call,
+    Opcode.RET: _f_ret,
+    Opcode.JR: _f_jr,
+    Opcode.CHK: _f_chk,
+}
+
+#: Register fields each opcode actually consumes.  A word whose used
+#: fields fall outside the register file (only reachable through faults)
+#: keeps the traced chain's exact detection ordering via the generic
+#: fallback handler.
+_FIELDS_USED: Dict[Opcode, Tuple[str, ...]] = {
+    Opcode.NOP: (),
+    Opcode.HALT: (),
+    Opcode.WFI: (),
+    Opcode.SVC: (),
+    Opcode.SIG: (),
+    Opcode.SETMODE: ("rs1",),
+    Opcode.LDI: ("rd",),
+    Opcode.LUI: ("rd",),
+    Opcode.ORI: ("rd",),
+    Opcode.MOV: ("rd", "rs1"),
+    Opcode.LD: ("rd", "rs1"),
+    Opcode.ST: ("rd", "rs1"),
+    Opcode.PUSH: ("rd",),
+    Opcode.POP: ("rd",),
+    Opcode.ADD: ("rd", "rs1", "rs2"),
+    Opcode.SUB: ("rd", "rs1", "rs2"),
+    Opcode.MUL: ("rd", "rs1", "rs2"),
+    Opcode.DIV: ("rd", "rs1", "rs2"),
+    Opcode.AND: ("rd", "rs1", "rs2"),
+    Opcode.OR: ("rd", "rs1", "rs2"),
+    Opcode.XOR: ("rd", "rs1", "rs2"),
+    Opcode.SHL: ("rd", "rs1", "rs2"),
+    Opcode.SHR: ("rd", "rs1", "rs2"),
+    Opcode.ADDI: ("rd", "rs1"),
+    Opcode.CMP: ("rs1", "rs2"),
+    Opcode.FADD: ("rd", "rs1", "rs2"),
+    Opcode.FSUB: ("rd", "rs1", "rs2"),
+    Opcode.FMUL: ("rd", "rs1", "rs2"),
+    Opcode.FDIV: ("rd", "rs1", "rs2"),
+    Opcode.FCMP: ("rs1", "rs2"),
+    Opcode.ITOF: ("rd", "rs1"),
+    Opcode.FTOI: ("rd", "rs1"),
+    Opcode.FNEG: ("rd", "rs1"),
+    Opcode.BR: (),
+    Opcode.BEQ: (),
+    Opcode.BNE: (),
+    Opcode.BLT: (),
+    Opcode.BGE: (),
+    Opcode.BGT: (),
+    Opcode.BLE: (),
+    Opcode.BVS: (),
+    Opcode.CALL: (),
+    Opcode.RET: (),
+    Opcode.JR: ("rs1",),
+    Opcode.CHK: ("rd", "rs1", "rs2"),
+}
+
+
+def _general_handler(word: int, instruction: Instruction) -> _Handler:
+    """Fallback for words the specialised handlers cannot express.
+
+    Runs the traced chain body (without recorder/trace overhead — both
+    are known to be detached on the fast path) so out-of-range register
+    fields raise in exactly the order the original interpreter did,
+    e.g. PUSH with a bad ``rd`` still checks the stack pointer first.
+    """
+    privileged = instruction.opcode in PRIVILEGED_OPCODES
+
+    def general(cpu: CPU):
+        if privileged and not cpu.psw & FLAG_M:
+            raise_detection(
+                Mechanism.INSTRUCTION_ERROR,
+                f"privileged {instruction.opcode.name} in user mode",
+            )
+        result, next_pc = cpu._execute_chain(word, instruction)
+        if result is StepResult.OK:
+            return next_pc
+        if result is StepResult.YIELD:
+            return _YIELD
+        return _HALT
+
+    return general
+
+
+def _build_handler(word: int) -> _Handler:
+    instruction = _decode_cached(word)
+    if instruction is None:
+        detail = f"illegal opcode {word >> 24:#x}"
+
+        def illegal(cpu: CPU):
+            raise_detection(Mechanism.INSTRUCTION_ERROR, detail)
+
+        return illegal
+    for name in _FIELDS_USED[instruction.opcode]:
+        if getattr(instruction, name) > SP_INDEX:
+            return _general_handler(word, instruction)
+    return _HANDLER_FACTORIES[instruction.opcode](instruction)
+
+
+def _predecode(word: int) -> _Handler:
+    handler = _build_handler(word)
+    if len(_PREDECODE) < _PREDECODE_CAP:
+        _PREDECODE[word] = handler
+    return handler

@@ -18,14 +18,25 @@ ADDRESS ERROR; an in-space access that hits no region raises BUS ERROR
 recomputed on every write and verified on every read: flipping stored
 data *without* updating parity (the memory fault model) surfaces as
 DATA ERROR, the paper's "uncorrectable error in data read from memory".
+
+Dirty tracking
+--------------
+
+Each RAM region carries a :attr:`_Ram.version` counter, bumped by every
+mutation (write, restore, parity-preserving corruption).  The packed
+byte image used for run-state hashing is cached per version, so a
+boundary hash repacks only the regions that changed since the previous
+boundary — code and rodata almost never do.  Snapshots reuse the same
+packed images: they are immutable ``bytes``, so the 651 reference
+checkpoints share storage and pickle compactly for shipping to campaign
+workers.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
-
-import numpy as np
 
 from repro.errors import MachineError
 from repro.thor.edm import Mechanism, raise_detection
@@ -94,30 +105,78 @@ def _parity(value: int) -> int:
 
 
 class _Ram:
-    """A parity-protected word-array RAM region."""
+    """A parity-protected word-array RAM region.
+
+    Words and parity bits live in plain Python lists (the hot read/write
+    paths pay no scalar-boxing cost), serialised little-endian so the
+    byte image is identical to the former ``numpy.uint32``/``uint8``
+    layout on every platform.
+    """
 
     def __init__(self, base: int, size: int):
+        count = size // WORD
         self.base = base
-        self.words = np.zeros(size // WORD, dtype=np.uint32)
-        self.parity = np.zeros(size // WORD, dtype=np.uint8)
+        self.limit = base + count * WORD
+        self.words: List[int] = [0] * count
+        self.parity: List[int] = [0] * count
+        #: Mutation counter consumed by the packed-image cache.
+        self.version = 0
+        self._struct = struct.Struct(f"<{count}I")
+        self._packed: Tuple[int, bytes, bytes] = (0, b"\x00" * (count * WORD), b"\x00" * count)
 
     def contains(self, address: int) -> bool:
-        return self.base <= address < self.base + len(self.words) * WORD
+        return self.base <= address < self.limit
 
     def index(self, address: int) -> int:
         return (address - self.base) // WORD
 
     def read(self, address: int) -> int:
-        i = self.index(address)
-        value = int(self.words[i])
-        if _parity(value) != int(self.parity[i]):
+        i = (address - self.base) // WORD
+        value = self.words[i]
+        if _parity(value) != self.parity[i]:
             raise_detection(Mechanism.DATA_ERROR, f"parity at {address:#x}")
         return value
 
     def write(self, address: int, value: int) -> None:
-        i = self.index(address)
-        self.words[i] = value & 0xFFFFFFFF
-        self.parity[i] = _parity(value & 0xFFFFFFFF)
+        i = (address - self.base) // WORD
+        value &= 0xFFFFFFFF
+        self.words[i] = value
+        self.parity[i] = _parity(value)
+        self.version += 1
+
+    # -- serialisation ---------------------------------------------------------
+    def packed(self) -> Tuple[bytes, bytes]:
+        """``(words, parity)`` byte images, cached until the next mutation."""
+        cached = self._packed
+        if cached[0] != self.version:
+            cached = (
+                self.version,
+                self._struct.pack(*self.words),
+                bytes(self.parity),
+            )
+            self._packed = cached
+        return cached[1], cached[2]
+
+    def pack_fresh(self) -> bytes:
+        """Serialise from the authoritative lists, bypassing the version
+        cache (the uncached-hash baseline and its equivalence test)."""
+        return self._struct.pack(*self.words) + bytes(self.parity)
+
+    def state_bytes(self) -> bytes:
+        words, parity = self.packed()
+        return words + parity
+
+    def snapshot(self) -> Tuple[bytes, bytes]:
+        """A restorable (and compactly picklable) copy of the region."""
+        return self.packed()
+
+    def restore(self, snapshot: Tuple[bytes, bytes]) -> None:
+        words, parity = snapshot
+        self.words = list(self._struct.unpack(words))
+        self.parity = list(parity)
+        self.version += 1
+        # The snapshot bytes *are* the packed image — prime the cache.
+        self._packed = (self.version, words, parity)
 
 
 class MMIODevice:
@@ -170,6 +229,15 @@ class MemoryMap:
         self.data = _Ram(layout.data_base, layout.data_size)
         self.stack = _Ram(layout.stack_base, layout.stack_size)
         self.mmio = MMIODevice(layout.mmio_size)
+        #: Parity-verified code-region fetches, keyed by address.  Code
+        #: is write-protected, so entries stay valid until an unchecked
+        #: mutation (poke / corrupt_word_bit / restore) clears the cache.
+        self.fetch_cache: Dict[int, int] = {}
+        #: ``((code_version, rodata_version), hasher)`` — a blake2b
+        #: hasher pre-fed with the code+rodata image, copied by the
+        #: incremental boundary hash (:func:`repro.goofi.target._hash_state`)
+        #: and invalidated whenever either region's version moves.
+        self.hash_prefix_cache = None
         #: Optional access-trace recorder (duck-typed
         #: :class:`repro.faults.liveness.AccessRecorder`).  Only the
         #: cacheable data space (rodata/data/stack) is recorded: code
@@ -257,12 +325,29 @@ class MemoryMap:
         self._unmapped(address, "fetch")
         raise AssertionError("unreachable")
 
+    def fetch_word_cached(self, address: int) -> int:
+        """:meth:`fetch_word` with memoisation for code-region fetches.
+
+        The first fetch of a code word runs every check (alignment,
+        mapping, parity); subsequent fetches of the same address return
+        the verified value directly.  Unchecked mutations clear the
+        cache, so a corrupted code word is always re-verified.
+        """
+        value = self.fetch_cache.get(address, -1)
+        if value >= 0:
+            return value
+        value = self.fetch_word(address)
+        if self.code.contains(address):
+            self.fetch_cache[address] = value
+        return value
+
     # -- unchecked access (loader / injector / logger) -----------------------------
     def poke(self, address: int, value: int) -> None:
         """Write a word without checks, updating parity (loader use)."""
         for ram in self._region_rams():
             if ram.contains(address):
                 ram.write(address, value)
+                self.fetch_cache.clear()
                 return
         if self.in_mmio(address):
             self.mmio.write(address - self.layout.mmio_base, value)
@@ -273,7 +358,7 @@ class MemoryMap:
         """Read a word without checks or parity verification."""
         for ram in self._region_rams():
             if ram.contains(address):
-                return int(ram.words[ram.index(address)])
+                return ram.words[ram.index(address)]
         if self.in_mmio(address):
             return self.mmio.read(address - self.layout.mmio_base)
         raise MachineError(f"peek outside RAM/MMIO: {address:#x}")
@@ -289,7 +374,9 @@ class MemoryMap:
         for ram in self._region_rams():
             if ram.contains(address):
                 i = ram.index(address)
-                ram.words[i] = int(ram.words[i]) ^ (1 << bit)
+                ram.words[i] = ram.words[i] ^ (1 << bit)
+                ram.version += 1
+                self.fetch_cache.clear()
                 return
         raise MachineError(f"corrupt outside RAM: {address:#x}")
 
@@ -298,26 +385,33 @@ class MemoryMap:
         """All RAM contents + parity + MMIO, for run-state hashing."""
         parts: List[bytes] = []
         for ram in self._region_rams():
-            parts.append(ram.words.tobytes())
-            parts.append(ram.parity.tobytes())
+            parts.append(ram.state_bytes())
+        parts.append(self.mmio.state_bytes())
+        return b"".join(parts)
+
+    def state_bytes_fresh(self) -> bytes:
+        """:meth:`state_bytes` rebuilt from scratch, ignoring the packed
+        caches — the honest baseline the incremental hash is tested
+        against."""
+        parts: List[bytes] = []
+        for ram in self._region_rams():
+            parts.append(ram.pack_fresh())
         parts.append(self.mmio.state_bytes())
         return b"".join(parts)
 
     def snapshot(self) -> Dict[str, object]:
         """A restorable copy of all memory state."""
         return {
-            "code": (self.code.words.copy(), self.code.parity.copy()),
-            "rodata": (self.rodata.words.copy(), self.rodata.parity.copy()),
-            "data": (self.data.words.copy(), self.data.parity.copy()),
-            "stack": (self.stack.words.copy(), self.stack.parity.copy()),
+            "code": self.code.snapshot(),
+            "rodata": self.rodata.snapshot(),
+            "data": self.data.snapshot(),
+            "stack": self.stack.snapshot(),
             "mmio": dict(self.mmio.registers),
         }
 
     def restore(self, snapshot: Dict[str, object]) -> None:
         """Restore state captured by :meth:`snapshot`."""
         for name in ("code", "rodata", "data", "stack"):
-            words, parity = snapshot[name]  # type: ignore[misc]
-            ram = getattr(self, name)
-            ram.words = words.copy()
-            ram.parity = parity.copy()
+            getattr(self, name).restore(snapshot[name])
         self.mmio.registers = dict(snapshot["mmio"])  # type: ignore[arg-type]
+        self.fetch_cache.clear()

@@ -111,6 +111,12 @@ class TestFlipFloatBit:
     def test_double_flip_identity_property(self, value, bit):
         single = bits_to_float(float_to_bits(value))
         flipped = flip_float_bit(single, bit)
+        if flipped != flipped:
+            # Flipping an exponent bit of a large value can produce a
+            # signalling NaN, which the float->bits->float round trip
+            # quiets (sets mantissa bit 22), so the second flip cannot
+            # restore the original pattern.  Mirrors the double test.
+            return
         restored = flip_float_bit(flipped, bit)
         assert restored == single
 

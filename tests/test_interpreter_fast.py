@@ -1,0 +1,293 @@
+"""Golden-equivalence tests for the interpreter fast path.
+
+The optimisations under test — predecoded dispatch tables, incremental
+boundary hashing, and the shared reference run across campaign workers —
+must not change a single observable outcome.  Every test here compares
+the optimised configuration against the corresponding baseline flag
+(``fast_dispatch=False``, ``incremental_hash=False``,
+``share_reference=False``, serial vs. parallel) and requires
+bit-identical hashes, outcomes and summary tables.
+"""
+
+import struct
+
+import pytest
+
+from repro.analysis.report import render_outcome_table
+from repro.faults.models import FaultTarget
+from repro.goofi.campaign import CampaignConfig, ScifiCampaign
+from repro.goofi.pool import ReferencePool
+from repro.goofi.prerun import PreRuntimeCampaign
+from repro.goofi.target import TargetSystem, _hash_state, _hash_state_fresh
+from repro.obs.metrics import MetricsRegistry
+from repro.thor.cpu import CPU, PSW_MASK, StepResult
+from repro.thor.edm import _detection_listeners
+from repro.thor.scanchain import CACHE_PARTITION, REGISTER_PARTITION, ScanChain
+from repro.workloads import compile_algorithm_i, compile_algorithm_ii
+
+ITER = 60
+FAULTS = 40
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return compile_algorithm_ii()
+
+
+def _reference(workload, **kwargs):
+    target = TargetSystem(workload, iterations=ITER, **kwargs)
+    return target, target.run_reference()
+
+
+class TestDispatchEquivalence:
+    def test_reference_run_bit_identical(self, workload):
+        _fast_t, fast = _reference(workload, fast_dispatch=True)
+        _legacy_t, legacy = _reference(workload, fast_dispatch=False)
+        assert fast.hashes == legacy.hashes
+        assert fast.outputs == legacy.outputs
+        assert fast.instructions_at == legacy.instructions_at
+        assert fast.total_instructions == legacy.total_instructions
+        assert (
+            fast.max_iteration_instructions == legacy.max_iteration_instructions
+        )
+
+    def test_experiment_outcomes_bit_identical(self, workload):
+        results = {}
+        for fast in (True, False):
+            config = CampaignConfig(
+                workload=workload,
+                faults=FAULTS,
+                iterations=ITER,
+                fast_dispatch=fast,
+            )
+            results[fast] = ScifiCampaign(config).run()
+        assert results[True].outcomes == results[False].outcomes
+        for a, b in zip(results[True].experiments, results[False].experiments):
+            assert a.outputs == b.outputs
+            assert a.final_state_differs == b.final_state_differs
+            assert a.early_exit_iteration == b.early_exit_iteration
+            assert a.instructions_executed == b.instructions_executed
+            assert (a.detection is None) == (b.detection is None)
+            if a.detection is not None:
+                assert a.detection.mechanism is b.detection.mechanism
+                assert a.detection.detail == b.detection.detail
+        assert render_outcome_table(
+            results[True].summary()
+        ) == render_outcome_table(results[False].summary())
+
+    def test_prerun_outcomes_bit_identical(self, workload):
+        runs = {
+            fast: PreRuntimeCampaign(
+                workload, iterations=ITER, fast_dispatch=fast
+            ).run(12)
+            for fast in (True, False)
+        }
+        assert runs[True].outcomes == runs[False].outcomes
+        for a, b in zip(runs[True].experiments, runs[False].experiments):
+            assert a.outputs == b.outputs
+
+
+class TestIncrementalHashEquivalence:
+    def test_digests_identical_through_mutations(self, workload):
+        target, reference = _reference(workload)
+        cpu, env = target.cpu, target.environment
+        chain = target.scan_chain
+
+        def check(label):
+            assert _hash_state(cpu, env) == _hash_state_fresh(cpu, env), label
+
+        check("after reference run")
+        # Scan-chain flips (registers and cache partitions).
+        for spec in (
+            (REGISTER_PARTITION, "r3", 7),
+            (REGISTER_PARTITION, "psw", 1),
+            (CACHE_PARTITION, "line5.data", 13),
+            (CACHE_PARTITION, "line5.tag", 2),
+            (CACHE_PARTITION, "line9.valid", 0),
+        ):
+            chain.flip(FaultTarget(*spec))
+            check(f"after flip {spec}")
+        # Parity-preserving and parity-breaking memory mutations.
+        cpu.memory.poke(cpu.layout.data_base + 8, 0xDEADBEEF)
+        check("after data poke")
+        cpu.memory.poke(cpu.layout.code_base + 4, 0x01000000)
+        check("after code poke")
+        cpu.memory.corrupt_word_bit(cpu.layout.data_base + 16, 5)
+        check("after data corruption")
+        cpu.memory.corrupt_word_bit(cpu.layout.code_base + 8, 9)
+        check("after code corruption")
+        # Checkpoint restore and some execution.
+        target._restore(reference.snapshots[3])
+        check("after restore")
+        assert cpu.run(10_000) is StepResult.YIELD
+        check("after resumed execution")
+
+    def test_campaign_outcomes_identical_with_flag_off(self, workload):
+        results = {}
+        for incremental in (True, False):
+            config = CampaignConfig(
+                workload=workload,
+                faults=FAULTS,
+                iterations=ITER,
+                incremental_hash=incremental,
+            )
+            results[incremental] = ScifiCampaign(config).run()
+        assert results[True].outcomes == results[False].outcomes
+        for a, b in zip(results[True].experiments, results[False].experiments):
+            assert a.early_exit_iteration == b.early_exit_iteration
+            assert a.final_state_differs == b.final_state_differs
+        assert render_outcome_table(
+            results[True].summary()
+        ) == render_outcome_table(results[False].summary())
+
+    def test_reference_hashes_identical_with_flag_off(self, workload):
+        _t1, incremental = _reference(workload, incremental_hash=True)
+        _t2, fresh = _reference(workload, incremental_hash=False)
+        assert incremental.hashes == fresh.hashes
+
+
+class TestSharedReferenceEquivalence:
+    def test_parallel_shared_matches_serial(self, workload):
+        config = CampaignConfig(workload=workload, faults=FAULTS, iterations=ITER)
+        serial = ScifiCampaign(config).run()
+        shared = ScifiCampaign(config).run(workers=2)
+        unshared = ScifiCampaign(
+            CampaignConfig(
+                workload=workload,
+                faults=FAULTS,
+                iterations=ITER,
+                share_reference=False,
+            )
+        ).run(workers=2)
+        assert serial.outcomes == shared.outcomes == unshared.outcomes
+        table = render_outcome_table(serial.summary())
+        assert table == render_outcome_table(shared.summary())
+        assert table == render_outcome_table(unshared.summary())
+
+    def test_persistent_pool_reused_across_runs(self, workload):
+        config = CampaignConfig(workload=workload, faults=20, iterations=ITER)
+        serial = ScifiCampaign(config).run()
+        with ReferencePool(2) as pool:
+            first = ScifiCampaign(config).run(pool=pool)
+            executor = pool._executor
+            second = ScifiCampaign(config).run(pool=pool)
+            # Compatible payloads must not respawn the workers.
+            assert pool._executor is executor
+        assert serial.outcomes == first.outcomes == second.outcomes
+
+    def test_pool_reused_across_scifi_and_prerun_phases(self, workload):
+        config = CampaignConfig(workload=workload, faults=20, iterations=ITER)
+        prerun = PreRuntimeCampaign(workload, iterations=ITER)
+        serial_scifi = ScifiCampaign(config).run()
+        serial_pre = prerun.run(10)
+        with ReferencePool(2) as pool:
+            pooled_scifi = ScifiCampaign(config).run(pool=pool)
+            pooled_pre = prerun.run(10, pool=pool)
+        assert serial_scifi.outcomes == pooled_scifi.outcomes
+        assert serial_pre.outcomes == pooled_pre.outcomes
+
+    def test_prerun_parallel_matches_serial(self, workload):
+        campaign = PreRuntimeCampaign(workload, iterations=ITER)
+        serial = campaign.run(12)
+        parallel = campaign.run(12, workers=2)
+        assert serial.outcomes == parallel.outcomes
+        for a, b in zip(serial.experiments, parallel.experiments):
+            assert a.outputs == b.outputs
+
+
+class TestRegisterStateBytes:
+    def test_layout_matches_legacy_serialisation(self):
+        cpu = CPU()
+        cpu.regs = list(range(100, 109))
+        cpu.pc = 0x1040
+        cpu.psw = 0x83
+        cpu.ir = 0xDEADBEEF
+        cpu.mar = 0x2024
+        cpu.mdr = 0x42
+        cpu.last_signature = 7
+        cpu.halted = False
+        expected = (
+            b"".join(struct.pack("<I", v) for v in cpu.regs)
+            + struct.pack("<I", cpu.pc)
+            + struct.pack("<H", cpu.psw & PSW_MASK)
+            + struct.pack("<I", cpu.ir)
+            + struct.pack("<I", cpu.mar)
+            + struct.pack("<I", cpu.mdr)
+            + struct.pack("<i", 7)
+            + struct.pack("<?", False)
+        )
+        assert cpu.register_state_bytes() == expected
+        cpu.last_signature = None
+        cpu.halted = True
+        assert cpu.register_state_bytes().endswith(
+            struct.pack("<i", -1) + struct.pack("<?", True)
+        )
+
+
+class TestMetricsListenerLifecycle:
+    def test_single_listener_per_campaign(self, workload):
+        target = TargetSystem(workload, iterations=10)
+        before = len(_detection_listeners)
+        target.metrics = MetricsRegistry()
+        assert len(_detection_listeners) == before + 1
+        # Rebinding replaces, never stacks.
+        target.metrics = MetricsRegistry()
+        assert len(_detection_listeners) == before + 1
+        target.metrics = None
+        assert len(_detection_listeners) == before
+
+    def test_campaign_run_unhooks_listener(self, workload):
+        from repro.obs.telemetry import Telemetry
+
+        before = len(_detection_listeners)
+        config = CampaignConfig(workload=workload, faults=10, iterations=ITER)
+        telemetry = Telemetry(metrics=MetricsRegistry())
+        campaign = ScifiCampaign(config)
+        campaign.run(telemetry=telemetry)
+        assert len(_detection_listeners) == before
+        assert campaign.target.metrics is None
+
+    def test_edm_firings_still_counted(self, workload):
+        from repro.obs.telemetry import Telemetry
+
+        config = CampaignConfig(workload=workload, faults=FAULTS, iterations=ITER)
+        telemetry = Telemetry(metrics=MetricsRegistry())
+        result = ScifiCampaign(config).run(telemetry=telemetry)
+        detected = sum(
+            1 for run in result.experiments if run.detection is not None
+        )
+        counted = sum(
+            counter.value
+            for key, counter in telemetry.metrics.counters.items()
+            if key.startswith("edm_firings")
+        )
+        assert counted == detected
+
+
+class TestLocate:
+    def test_bisect_locate_boundaries(self, workload):
+        _target, reference = _reference(workload)
+        assert reference.locate(0) == 0
+        assert reference.locate(reference.instructions_at[1] - 1) == 0
+        assert reference.locate(reference.instructions_at[1]) == 1
+        assert reference.locate(reference.total_instructions - 1) == ITER - 1
+        last_start = reference.instructions_at[ITER - 1]
+        assert reference.locate(last_start) == ITER - 1
+
+    def test_locate_rejects_out_of_range(self, workload):
+        from repro.errors import CampaignError
+
+        _target, reference = _reference(workload)
+        with pytest.raises(CampaignError):
+            reference.locate(-1)
+        with pytest.raises(CampaignError):
+            reference.locate(reference.total_instructions)
+
+
+class TestAlgorithmIStillEquivalent:
+    def test_algorithm_i_fast_vs_legacy(self):
+        workload = compile_algorithm_i()
+        _t1, fast = _reference(workload, fast_dispatch=True)
+        _t2, legacy = _reference(workload, fast_dispatch=False)
+        assert fast.hashes == legacy.hashes
+        assert fast.outputs == legacy.outputs

@@ -80,7 +80,7 @@ class TestCacheBehaviour:
         cache.flush(memory)
         for i in range(8):
             assert memory.peek(base + 4 * i) == i + 1
-        assert not cache.valid.any()
+        assert not any(cache.valid)
 
     def test_invalidate_drops_dirty_data(self, memory):
         cache = DataCache()
