@@ -7,6 +7,7 @@ Usage (also available as ``python -m repro``):
     repro campaign  --algorithm II --faults 500 [--database results.db]
                     [--workers 4] [--events events.jsonl] [--metrics]
                     [--prune] [--validate-pruning]
+                    [--resume CAMPAIGN_ID] [--abort-after N] [--chaos JSON]
     repro obs       --events events.jsonl
     repro compare   --faults 500
     repro figure    --name fig03|fig04|fig05
@@ -27,7 +28,12 @@ import numpy as np
 from repro.analysis import render_comparison_table, render_outcome_table
 from repro.analysis.asciiplot import ascii_chart
 from repro.control import PIController
-from repro.errors import ObservabilityError
+from repro.errors import (
+    CampaignAborted,
+    CampaignError,
+    DatabaseError,
+    ObservabilityError,
+)
 from repro.faults.models import FaultDescriptor, FaultTarget
 from repro.goofi import (
     CampaignConfig,
@@ -53,6 +59,15 @@ def _workload(algorithm: str):
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     workload, name = _workload(args.algorithm)
+    chaos = None
+    if args.chaos:
+        import tempfile
+
+        from repro.goofi import ChaosSpec
+
+        chaos = ChaosSpec.from_json(
+            args.chaos, tempfile.mkdtemp(prefix="repro-chaos-")
+        )
     config = CampaignConfig(
         workload=workload,
         name=name,
@@ -61,6 +76,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         partitions=args.partitions,
         prune=args.prune,
+        chaos=chaos,
     )
     if args.validate_pruning:
         from repro.goofi.pruning import validate_pruning
@@ -68,6 +84,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         report = validate_pruning(config, workers=args.workers)
         print(report.render())
         return 0 if report.ok else 1
+    if args.resume is not None and not args.database:
+        raise SystemExit("--resume requires --database")
     database = CampaignDatabase(args.database) if args.database else None
     telemetry = None
     if args.events or args.metrics:
@@ -79,11 +97,39 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     def progress(done, total, outcome):
         if args.verbose and (done % 50 == 0 or done == total):
             print(f"  {done}/{total} ({outcome.category.value})", file=sys.stderr)
+        if args.abort_after is not None and done >= args.abort_after:
+            # The tests' kill switch: behaves exactly like Ctrl-C at
+            # this point of the campaign.
+            raise KeyboardInterrupt
 
     campaign = ScifiCampaign(config, database=database)
-    result = campaign.run(
-        progress=progress, workers=args.workers, telemetry=telemetry
-    )
+    try:
+        result = campaign.run(
+            progress=progress,
+            workers=args.workers,
+            telemetry=telemetry,
+            resume_from=args.resume,
+        )
+    except CampaignAborted as exc:
+        # Streamed results were flushed and the campaign row is marked
+        # aborted; 130 is the conventional SIGINT exit status.
+        print(f"campaign aborted: {exc}", file=sys.stderr)
+        if exc.campaign_id is not None and args.database:
+            print(
+                f"resume with: repro campaign ... --database {args.database}"
+                f" --resume {exc.campaign_id}",
+                file=sys.stderr,
+            )
+        return 130
+    except (CampaignError, DatabaseError) as exc:
+        # Resume refusals (fingerprint mismatch, unknown campaign id)
+        # are user errors, not crashes.
+        raise SystemExit(str(exc))
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+        if database is not None:
+            database.close()
     if args.dossier:
         from repro.analysis import campaign_dossier
 
@@ -99,11 +145,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             if telemetry.tracer is not None:
                 print()
                 print(telemetry.tracer.render())
-        telemetry.close()
         if args.events:
             print(f"events written to {args.events}")
     if database is not None:
-        database.close()
         print(f"stored in {args.database}")
     return 0
 
@@ -281,6 +325,33 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the campaign with and without pruning and fail "
         "(exit 1) unless every per-experiment outcome matches",
+    )
+    campaign.add_argument(
+        "--resume",
+        type=int,
+        default=None,
+        metavar="CAMPAIGN_ID",
+        help="continue the stored campaign with this id (requires "
+        "--database); only not-yet-completed experiments are simulated "
+        "and the summary is bit-identical to an uninterrupted run "
+        "(see docs/robustness.md)",
+    )
+    campaign.add_argument(
+        "--abort-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="interrupt the campaign (as if by Ctrl-C) once N "
+        "experiments are done — the crash-safety smoke tests' kill "
+        "switch",
+    )
+    campaign.add_argument(
+        "--chaos",
+        default=None,
+        metavar="JSON",
+        help="inject deterministic worker crashes, e.g. "
+        "'{\"crashes\": {\"3\": 1}, \"mode\": \"exit\"}' (chaos "
+        "testing only; see docs/robustness.md)",
     )
     campaign.set_defaults(func=_cmd_campaign)
 

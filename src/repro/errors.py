@@ -46,6 +46,19 @@ class CampaignError(ReproError):
     """A GOOFI campaign could not be executed as configured."""
 
 
+class CampaignAborted(CampaignError):
+    """A campaign was interrupted (SIGINT) after flushing its results.
+
+    Carries the database id of the aborted campaign, if one was being
+    persisted: the run can be continued with
+    ``ScifiCampaign.run(resume_from=campaign_id)`` (CLI: ``--resume``).
+    """
+
+    def __init__(self, message: str, campaign_id=None):
+        super().__init__(message)
+        self.campaign_id = campaign_id
+
+
 class DatabaseError(ReproError):
     """The results database rejected an operation."""
 

@@ -36,9 +36,18 @@ from repro.goofi.prerun import (
 from repro.goofi.pruning import (
     PrunedPlan,
     ValidationReport,
+    preclassify_pairs,
     preclassify_plan,
     synthesize_run,
     validate_pruning,
+)
+from repro.goofi.recovery import (
+    ChaosSpec,
+    RecoveryPolicy,
+    ResultSink,
+    backoff_seconds,
+    config_fingerprint,
+    workload_digest,
 )
 from repro.goofi.swifi import (
     ModelFault,
@@ -67,9 +76,16 @@ __all__ = [
     "sample_image_faults",
     "PrunedPlan",
     "ValidationReport",
+    "preclassify_pairs",
     "preclassify_plan",
     "synthesize_run",
     "validate_pruning",
+    "ChaosSpec",
+    "RecoveryPolicy",
+    "ResultSink",
+    "backoff_seconds",
+    "config_fingerprint",
+    "workload_digest",
     "TargetSystem",
     "ReferenceRun",
     "ExperimentRun",

@@ -3,11 +3,24 @@
 :class:`ScifiCampaign` drives a full scan-chain fault-injection campaign
 against the simulated CPU, following the paper's §3.3 flow and producing
 a Tables 2/3-ready :class:`~repro.analysis.report.CampaignSummary`.
+
+Campaign execution is crash-safe end to end (``docs/robustness.md``):
+classified outcomes stream into the database as chunks finish, failed
+worker chunks are requeued with capped exponential backoff and bisected
+to isolate poison experiments, a broken process pool is rebuilt (and
+ultimately degraded to serial execution), repeat offenders are recorded
+with ``provenance='quarantined'`` instead of aborting the run, SIGINT
+flushes in-flight results and marks the campaign ``aborted``, and
+``run(resume_from=...)`` continues an interrupted campaign to a summary
+bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
+import os
+import signal
 import time
+from collections import deque
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -16,14 +29,25 @@ import numpy as np
 
 from repro.analysis.classify import Outcome, classify_experiment
 from repro.analysis.report import CampaignSummary, ClassifiedExperiment
-from repro.errors import CampaignError
+from repro.errors import CampaignAborted, CampaignError
 from repro.faults.models import FaultDescriptor, LocationSpace, sample_fault_plan
 from repro.goofi.database import CampaignDatabase
 from repro.goofi.environment import EngineEnvironment
 from repro.goofi.pool import ReferencePool, WorkerPayload, worker_target
-from repro.goofi.pruning import preclassify_plan, synthesize_run
+from repro.goofi.pruning import preclassify_pairs, synthesize_run
+from repro.goofi.recovery import (
+    ChaosSpec,
+    RecoveryPolicy,
+    ResultSink,
+    backoff_seconds,
+    chaos_maybe_crash,
+    check_fingerprint,
+    config_fingerprint,
+    quarantined_run,
+    split_chunk,
+)
 from repro.goofi.target import ExperimentRun, TargetSystem
-from repro.obs.events import EventLog, merge_event_shards
+from repro.obs.events import EventLog, merge_event_shards, now
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.telemetry import (
     Telemetry,
@@ -67,6 +91,11 @@ class CampaignConfig:
             from scratch.  All three flags exist for the
             golden-equivalence test and benchmark baselines.
         environment_factory: builds the environment simulator.
+        recovery: retry/backoff/quarantine policy of the crash-safety
+            machinery (``docs/robustness.md``); never affects outcomes,
+            only how failures are survived.
+        chaos: optional deterministic worker-crash injection used by the
+            chaos tests and the CI smoke; ``None`` in production.
     """
 
     workload: CompiledProgram
@@ -82,6 +111,8 @@ class CampaignConfig:
     fast_dispatch: bool = True
     incremental_hash: bool = True
     environment_factory: Callable[[], EngineEnvironment] = EngineEnvironment
+    recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    chaos: Optional[ChaosSpec] = None
 
     def __post_init__(self) -> None:
         if self.faults <= 0:
@@ -96,11 +127,14 @@ class CampaignResult:
 
     Attributes:
         config: the campaign configuration.
-        experiments: raw per-experiment observations.
+        experiments: raw per-experiment observations.  For a resumed
+            campaign, experiments completed before the interruption are
+            reconstructed from the database (fault, termination fields
+            and outcome, but no output trace).
         outcomes: §4.1 classification per experiment (same order).
         reference_outputs: the golden output sequence.
         partition_sizes: injectable bits per partition.
-        wall_seconds: total injection-phase wall time.
+        wall_seconds: total injection-phase wall time (this run only).
     """
 
     config: CampaignConfig
@@ -128,6 +162,25 @@ def _null_span(_name: str):
     return nullcontext()
 
 
+@dataclass
+class _PendingChunk:
+    """A plan slice awaiting (re-)execution by a worker.
+
+    ``suspect`` marks a chunk that was in flight when the process pool
+    broke: a break takes down *every* in-flight future, so which chunk
+    killed the worker is unknowable from the exception alone.  Suspect
+    chunks are re-run in isolation (one in flight at a time) — a break
+    with a single active chunk has certain attribution, and only certain
+    kills count toward quarantine.  Without this, innocent experiments
+    that happened to share the pool with a poison one would accumulate
+    its kills and get quarantined alongside it.
+    """
+
+    items: List[Tuple[int, FaultDescriptor]]
+    attempt: int = 0
+    suspect: bool = False
+
+
 def _run_chunk(args):
     """Worker entry point: run one slice of a fault plan.
 
@@ -144,10 +197,10 @@ def _run_chunk(args):
     parent to merge) and writes ``experiment_finished`` events to its
     own shard file — worker processes never share a file descriptor.
 
-    Returns ``(worker_index, results, registry_dict, seconds)`` where
+    Returns ``(submission_id, results, registry_dict, seconds)`` where
     ``results`` holds ``(plan index, run, outcome)`` triples.
     """
-    chunk, worker_index, shard_path, metrics_enabled, early_exit = args
+    chunk, submission_id, shard_path, metrics_enabled, early_exit, chaos = args
     registry = MetricsRegistry() if metrics_enabled else None
     events = EventLog(shard_path) if shard_path else None
     target = worker_target()
@@ -159,6 +212,7 @@ def _run_chunk(args):
     try:
         reference_outputs = target.reference.outputs
         for index, fault in chunk:
+            chaos_maybe_crash(chaos, index)
             run = target.run_experiment(fault, early_exit=early_exit)
             outcome = ScifiCampaign._classify(run, reference_outputs)
             if registry is not None:
@@ -174,7 +228,7 @@ def _run_chunk(args):
         events.close()
     seconds = time.perf_counter() - started
     return (
-        worker_index,
+        submission_id,
         results,
         registry.to_dict() if registry is not None else None,
         seconds,
@@ -199,6 +253,10 @@ class ScifiCampaign:
             fast_dispatch=config.fast_dispatch,
             incremental_hash=config.incremental_hash,
         )
+        # Streaming-persistence state of the in-flight run, used by the
+        # abort path to flush and mark the campaign resumable.
+        self._sink: Optional[ResultSink] = None
+        self._campaign_id: Optional[int] = None
 
     def location_space(self) -> LocationSpace:
         """The injectable locations after partition restriction."""
@@ -218,6 +276,7 @@ class ScifiCampaign:
         workers: int = 1,
         telemetry: Optional[Telemetry] = None,
         pool: Optional[ReferencePool] = None,
+        resume_from: Optional[int] = None,
     ) -> CampaignResult:
         """Execute the campaign: reference run, sampling, injection, analysis.
 
@@ -247,10 +306,24 @@ class ScifiCampaign:
                 reused (and left running for the caller's next phase);
                 without one the parallel path spins up and tears down
                 its own.  Implies the pool's worker count.
+            resume_from: continue the stored campaign with this database
+                id: its completed experiments are reloaded, the fault
+                plan is re-derived from the stored seed/config (refusing
+                on any outcome-relevant mismatch) and only the remainder
+                is simulated.  The resumed summary is bit-identical to
+                an uninterrupted run's.  Requires a database.
+
+        Raises:
+            CampaignAborted: the run was interrupted (SIGINT); in-flight
+                results were flushed and the campaign row (if any) is
+                marked ``aborted`` — pass its id back as ``resume_from``
+                to continue.
         """
         config = self.config
         if pool is not None:
             workers = pool.workers
+        if resume_from is not None and self.database is None:
+            raise CampaignError("resume_from requires a campaign database")
         span = telemetry.span if telemetry is not None else _null_span
         if telemetry is not None:
             telemetry.emit(
@@ -259,16 +332,86 @@ class ScifiCampaign:
             if telemetry.metrics is not None and workers <= 1:
                 self.target.metrics = telemetry.metrics
 
+        self._sink = None
+        self._campaign_id = None
+        # A SIGINT must stop the campaign *between* database commits:
+        # the handler raises KeyboardInterrupt, the abort path below
+        # flushes in-flight results and marks the campaign resumable.
+        previous_handler = None
+        try:
+            previous_handler = signal.signal(signal.SIGINT, self._handle_sigint)
+        except ValueError:
+            previous_handler = None  # not in the main thread
+
         try:
             result = self._run_phases(
-                progress, workers, telemetry, span, pool
+                progress, workers, telemetry, span, pool, resume_from
             )
+        except KeyboardInterrupt:
+            campaign_id = self._abort(telemetry)
+            hint = (
+                f" — resume with run(resume_from={campaign_id})"
+                if campaign_id is not None
+                else ""
+            )
+            raise CampaignAborted(
+                f"campaign interrupted{hint}", campaign_id=campaign_id
+            ) from None
+        except BaseException:
+            # Flush whatever telemetry and results exist so post-mortem
+            # `repro obs` works, mark the campaign resumable, re-raise.
+            self._abort(telemetry)
+            raise
         finally:
+            if previous_handler is not None:
+                try:
+                    signal.signal(signal.SIGINT, previous_handler)
+                except ValueError:
+                    pass
             # The metrics binding registers a global EDM listener;
             # unhook it so a later campaign (or pool phase) in the same
             # process never double-counts detections.
             self.target.metrics = None
+            self._sink = None
         return result
+
+    @staticmethod
+    def _handle_sigint(_signum, _frame) -> None:
+        raise KeyboardInterrupt
+
+    def _abort(self, telemetry: Optional[Telemetry]) -> Optional[int]:
+        """Best-effort cleanup on interruption: flush streamed results,
+        mark the campaign row aborted (resumable), flush telemetry.
+
+        Never raises — the caller is already propagating the original
+        failure.
+        """
+        campaign_id = self._campaign_id
+        sink = self._sink
+        stored = 0
+        if sink is not None:
+            try:
+                sink.flush()
+            except Exception:
+                pass
+            stored = sink.stored
+        if campaign_id is not None and self.database is not None:
+            try:
+                self.database.abort_campaign(campaign_id)
+            except Exception:
+                pass
+        if telemetry is not None:
+            try:
+                telemetry.emit(
+                    "campaign_aborted",
+                    ts=now(),
+                    campaign_id=campaign_id,
+                    completed=stored,
+                )
+                telemetry.finish()
+            except Exception:
+                pass
+        return campaign_id
 
     def _run_phases(
         self,
@@ -277,6 +420,7 @@ class ScifiCampaign:
         telemetry: Optional[Telemetry],
         span,
         pool: Optional[ReferencePool],
+        resume_from: Optional[int],
     ) -> CampaignResult:
         config = self.config
         with span("campaign"):
@@ -302,11 +446,50 @@ class ScifiCampaign:
                     for partition in space.partitions
                 }
 
-            # Pre-classify against the def/use liveness map: predicted
-            # experiments are synthesised from the reference and never
-            # enter the injection loop below.
+            # Open (or reopen) the campaign row; completed experiments of
+            # a resumed campaign are reloaded and never re-simulated.
+            resumed_results: Dict[int, Tuple[ExperimentRun, Outcome]] = {}
+            campaign_id: Optional[int] = None
+            sink: Optional[ResultSink] = None
+            if self.database is not None:
+                fingerprint = config_fingerprint(config)
+                if resume_from is not None:
+                    with span("resume"):
+                        resumed_results = self._load_resume_state(
+                            resume_from, fingerprint, plan
+                        )
+                        campaign_id = resume_from
+                        if telemetry is not None:
+                            if telemetry.metrics is not None:
+                                telemetry.metrics.counter(
+                                    "resumed_experiments"
+                                ).inc(len(resumed_results))
+                            telemetry.emit(
+                                "campaign_resumed",
+                                ts=now(),
+                                campaign_id=campaign_id,
+                                completed=len(resumed_results),
+                            )
+                else:
+                    campaign_id = self.database.begin_campaign(
+                        config, partition_sizes, fingerprint
+                    )
+                sink = ResultSink(
+                    self.database, campaign_id, config.recovery.db_batch
+                )
+            self._sink = sink
+            self._campaign_id = campaign_id
+
+            # Pre-classify the remainder against the def/use liveness
+            # map: predicted experiments are synthesised from the
+            # reference and never enter the injection loop below.
+            remaining: List[Tuple[int, FaultDescriptor]] = [
+                (i, fault)
+                for i, fault in enumerate(plan)
+                if i not in resumed_results
+            ]
             predicted_results: Dict[int, Tuple[ExperimentRun, Outcome]] = {}
-            live_plan: List[Tuple[int, FaultDescriptor]] = list(enumerate(plan))
+            live_plan: List[Tuple[int, FaultDescriptor]] = remaining
             if config.prune:
                 with span("pruning"):
                     liveness = self.target.liveness
@@ -314,7 +497,7 @@ class ScifiCampaign:
                         raise CampaignError(
                             "pruning requested but no liveness map recorded"
                         )
-                    pruned = preclassify_plan(plan, liveness)
+                    pruned = preclassify_pairs(remaining, liveness)
                     live_plan = pruned.live
                     for index, fault, classification in pruned.predicted:
                         run = synthesize_run(fault, classification, reference)
@@ -336,30 +519,15 @@ class ScifiCampaign:
             started = time.perf_counter()
             with span("injection"):
                 if workers <= 1:
-                    by_index: Dict[int, Tuple[ExperimentRun, Outcome]] = dict(
-                        predicted_results
+                    experiments, outcomes = self._run_serial(
+                        plan,
+                        reference,
+                        telemetry,
+                        progress,
+                        predicted_results,
+                        resumed_results,
+                        sink,
                     )
-                    for i, fault in enumerate(plan):
-                        pair = by_index.get(i)
-                        if pair is None:
-                            run = self.target.run_experiment(
-                                fault, early_exit=config.early_exit
-                            )
-                            outcome = self._classify(run, reference.outputs)
-                            by_index[i] = (run, outcome)
-                        else:
-                            run, outcome = pair
-                        if telemetry is not None:
-                            if telemetry.metrics is not None:
-                                record_outcome(telemetry.metrics, run, outcome)
-                            telemetry.emit(
-                                "experiment_finished",
-                                **experiment_event(i, run, outcome),
-                            )
-                        if progress is not None:
-                            progress(i + 1, len(plan), outcome)
-                    experiments = [by_index[i][0] for i in range(len(plan))]
-                    outcomes = [by_index[i][1] for i in range(len(plan))]
                 else:
                     experiments, outcomes = self._run_parallel(
                         live_plan,
@@ -368,7 +536,9 @@ class ScifiCampaign:
                         progress=progress,
                         telemetry=telemetry,
                         predicted_results=predicted_results,
+                        resumed_results=resumed_results,
                         pool=pool,
+                        sink=sink,
                     )
             wall = time.perf_counter() - started
 
@@ -381,8 +551,9 @@ class ScifiCampaign:
                     partition_sizes=partition_sizes,
                     wall_seconds=wall,
                 )
-                if self.database is not None:
-                    self.database.store_campaign(result)
+                if sink is not None:
+                    sink.flush()
+                    self.database.finish_campaign(campaign_id, wall)
 
         if telemetry is not None:
             telemetry.emit(
@@ -391,6 +562,157 @@ class ScifiCampaign:
             telemetry.finish()
         return result
 
+    def _load_resume_state(
+        self,
+        campaign_id: int,
+        fingerprint: Dict[str, object],
+        plan: List[FaultDescriptor],
+    ) -> Dict[int, Tuple[ExperimentRun, Outcome]]:
+        """Reload a stored campaign's completed experiments.
+
+        Refuses when the stored configuration fingerprint diverges from
+        the current one, and cross-checks every stored fault against the
+        re-derived plan — any drift means the stored indices would not
+        identify the same experiments.
+        """
+        check_fingerprint(
+            self.database.campaign_fingerprint(campaign_id), fingerprint
+        )
+        stored = self.database.completed_experiments(campaign_id)
+        resumed: Dict[int, Tuple[ExperimentRun, Outcome]] = {}
+        for index, experiment in stored.items():
+            if index >= len(plan):
+                raise CampaignError(
+                    f"stored experiment index {index} exceeds the plan "
+                    f"({len(plan)} faults) — cannot resume"
+                )
+            fault = plan[index]
+            if (
+                fault.target.partition != experiment.partition
+                or fault.target.element != experiment.element
+                or fault.target.bit != experiment.bit
+                or fault.time != experiment.time
+            ):
+                raise CampaignError(
+                    f"stored experiment {index} ({experiment.partition}/"
+                    f"{experiment.element}[{experiment.bit}]@t={experiment.time}) "
+                    f"does not match the re-derived plan ({fault.label()}) "
+                    "— cannot resume"
+                )
+            run = ExperimentRun(
+                fault=fault,
+                outputs=[],
+                early_exit_iteration=experiment.early_exit_iteration,
+                timed_out=experiment.timed_out,
+                instructions_executed=experiment.instructions_executed,
+                predicted=experiment.provenance == "predicted",
+                quarantined=experiment.provenance == "quarantined",
+            )
+            resumed[index] = (run, experiment.outcome)
+        self.database.reopen_campaign(campaign_id)
+        return resumed
+
+    # -- serial execution ------------------------------------------------------
+    def _run_serial(
+        self,
+        plan,
+        reference,
+        telemetry,
+        progress,
+        predicted_results,
+        resumed_results,
+        sink,
+    ):
+        by_index: Dict[int, Tuple[ExperimentRun, Outcome]] = {}
+        by_index.update(resumed_results)
+        by_index.update(predicted_results)
+        for i, fault in enumerate(plan):
+            pair = by_index.get(i)
+            fresh = pair is None
+            if fresh:
+                pair = self._run_one_recovered(i, fault, reference.outputs, telemetry)
+                by_index[i] = pair
+            run, outcome = pair
+            if sink is not None and (fresh or i in predicted_results):
+                sink.add(i, run, outcome)
+            if telemetry is not None and i not in resumed_results:
+                if telemetry.metrics is not None:
+                    record_outcome(telemetry.metrics, run, outcome)
+                telemetry.emit(
+                    "experiment_finished",
+                    **experiment_event(i, run, outcome),
+                )
+            if progress is not None:
+                progress(i + 1, len(plan), outcome)
+        if sink is not None:
+            sink.flush()
+        experiments = [by_index[i][0] for i in range(len(plan))]
+        outcomes = [by_index[i][1] for i in range(len(plan))]
+        return experiments, outcomes
+
+    def _run_one_recovered(
+        self, index, fault, reference_outputs, telemetry
+    ) -> Tuple[ExperimentRun, Outcome]:
+        """One in-process experiment with retry, backoff and quarantine.
+
+        KeyboardInterrupt always propagates (the abort path handles it);
+        any other failure is retried up to the policy's budget and then
+        quarantined, so one poison experiment never sinks the campaign.
+        ``'exit'``-mode chaos is skipped here — it models a worker
+        process kill and must never take down the parent.
+        """
+        policy = self.config.recovery
+        chaos = self.config.chaos
+        failures = 0
+        while True:
+            try:
+                if chaos is not None and chaos.mode == "raise":
+                    chaos_maybe_crash(chaos, index)
+                run = self.target.run_experiment(
+                    fault, early_exit=self.config.early_exit
+                )
+                return run, self._classify(run, reference_outputs)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                failures += 1
+                if telemetry is not None:
+                    if telemetry.metrics is not None:
+                        telemetry.metrics.counter("retries").inc()
+                    telemetry.emit(
+                        "chunk_requeued",
+                        ts=now(),
+                        experiments=1,
+                        attempt=failures - 1,
+                        killed=False,
+                        reason=repr(exc),
+                    )
+                if failures >= policy.max_chunk_retries:
+                    return self._quarantine_pair(index, fault, telemetry)
+                policy.sleep(backoff_seconds(failures - 1, policy))
+
+    def _quarantine_pair(
+        self, index, fault, telemetry
+    ) -> Tuple[ExperimentRun, Outcome]:
+        """Record one experiment as quarantined (counter + event only;
+        the caller persists and classifies it like any other result)."""
+        run = quarantined_run(fault, self.target.reference.outputs)
+        outcome = self._classify(run, self.target.reference.outputs)
+        if telemetry is not None:
+            if telemetry.metrics is not None:
+                telemetry.metrics.counter("quarantined_experiments").inc()
+            telemetry.emit(
+                "experiment_quarantined",
+                ts=now(),
+                index=index,
+                partition=fault.target.partition,
+                element=fault.target.element,
+                bit=fault.target.bit,
+                injection_time=fault.time,
+            )
+        return run, outcome
+
+    # -- parallel execution ----------------------------------------------------
     def _run_parallel(
         self,
         live_plan,
@@ -399,66 +721,69 @@ class ScifiCampaign:
         progress=None,
         telemetry=None,
         predicted_results=None,
+        resumed_results=None,
         pool=None,
+        sink=None,
     ):
         """Fan the live plan out over worker processes, preserving plan order.
 
         ``live_plan`` holds ``(plan index, fault)`` pairs that need
-        simulation; ``predicted_results`` maps the remaining plan indices
-        to their pruning-synthesised ``(run, outcome)`` pairs.  Chunk
-        results are consumed as they complete so the ``progress``
-        callback reports during parallel runs too; worker telemetry
-        (metrics registries, event shards) is merged at the end.
+        simulation; ``predicted_results`` maps plan indices to their
+        pruning-synthesised pairs and ``resumed_results`` to pairs
+        reloaded from the database.  Chunk results are consumed as they
+        complete so the ``progress`` callback reports during parallel
+        runs too; worker telemetry (metrics registries, event shards) is
+        merged at the end.
 
-        Workers come from a :class:`~repro.goofi.pool.ReferencePool`
-        initialised with the parent's golden run (unless
-        ``share_reference`` is off, in which case each worker recomputes
-        it — the legacy baseline).  A caller-supplied pool is reused and
-        left running; an internally created one is torn down here.
+        This is the self-healing loop: a chunk whose worker raises is
+        requeued with capped exponential backoff, a chunk that breaks
+        the process pool triggers a pool rebuild, repeatedly failing
+        chunks are bisected to isolate the poison experiment, an
+        experiment that kills a worker twice (or exhausts its retry
+        budget) is quarantined, and when pool rebuilds are exhausted the
+        remainder runs serially in this process.  Every successful
+        chunk's results are streamed to the database before the next
+        chunk is consumed.
 
         Predicted experiments are recorded into the parent's registry and
-        written to a pseudo-shard (index ``workers``, which no worker
+        written to a pseudo-shard (submission id 0, which no worker
         uses) so the shard merge interleaves their events back into plan
         order alongside the workers' simulated ones.
         """
         import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
 
+        config = self.config
+        policy = config.recovery
         predicted_results = predicted_results or {}
-        slices = [live_plan[i::workers] for i in range(workers)]
+        resumed_results = resumed_results or {}
         metrics_enabled = telemetry is not None and telemetry.metrics is not None
-        args = []
-        for worker_index, chunk in enumerate(slices):
-            if not chunk:
-                continue
-            shard = telemetry.shard_path(worker_index) if telemetry else None
-            args.append(
-                (chunk, worker_index, shard, metrics_enabled, self.config.early_exit)
-            )
+        reference_outputs = self.target.reference.outputs
         payload = WorkerPayload(
-            workload=self.config.workload,
-            iterations=self.config.iterations,
-            watchdog_factor=self.config.watchdog_factor,
-            environment_factory=self.config.environment_factory,
-            reference=(
-                self.target.reference if self.config.share_reference else None
-            ),
-            fast_dispatch=self.config.fast_dispatch,
-            incremental_hash=self.config.incremental_hash,
+            workload=config.workload,
+            iterations=config.iterations,
+            watchdog_factor=config.watchdog_factor,
+            environment_factory=config.environment_factory,
+            reference=(self.target.reference if config.share_reference else None),
+            fast_dispatch=config.fast_dispatch,
+            incremental_hash=config.incremental_hash,
         )
         own_pool = pool is None
         if pool is None:
             pool = ReferencePool(workers)
-        by_index = dict(predicted_results)
-        # ``(worker index, path)`` pairs; ordered numerically before the
+        by_index: Dict[int, Tuple[ExperimentRun, Outcome]] = {}
+        by_index.update(resumed_results)
+        by_index.update(predicted_results)
+        # ``(submission id, path)`` pairs; ordered numerically before the
         # merge.  Sorting the bare paths would be lexicographic —
-        # ``shard10`` before ``shard2`` — as soon as workers reach 10.
+        # ``shard10`` before ``shard2`` — as soon as submissions reach 10.
         shards: List[Tuple[int, str]] = []
         done = 0
         if predicted_results and telemetry is not None:
             if telemetry.metrics is not None:
                 for run, outcome in predicted_results.values():
                     record_outcome(telemetry.metrics, run, outcome)
-            predicted_shard = telemetry.shard_path(workers)
+            predicted_shard = telemetry.shard_path(0)
             if predicted_shard is not None:
                 with EventLog(predicted_shard) as shard_log:
                     for index in sorted(predicted_results):
@@ -467,39 +792,229 @@ class ScifiCampaign:
                             "experiment_finished",
                             **experiment_event(index, run, outcome),
                         )
-                shards.append((workers, predicted_shard))
-        for index in sorted(predicted_results):
+                shards.append((0, predicted_shard))
+        if sink is not None:
+            for index in sorted(predicted_results):
+                run, outcome = predicted_results[index]
+                sink.add(index, run, outcome)
+            sink.flush()
+        for index in sorted(set(resumed_results) | set(predicted_results)):
             done += 1
             if progress is not None:
-                progress(done, total, predicted_results[index][1])
+                progress(done, total, by_index[index][1])
+
+        queue: deque = deque()
+        for chunk_items in (live_plan[i::workers] for i in range(workers)):
+            if chunk_items:
+                queue.append(_PendingChunk(list(chunk_items)))
+        active: Dict[object, Tuple[_PendingChunk, int, Optional[str]]] = {}
+        submission = 0
+        rebuilds = 0
+        kill_counts: Dict[int, int] = {}
+        fail_counts: Dict[int, int] = {}
+        fallback = False
+
+        def counter_inc(name: str, amount: int = 1) -> None:
+            if metrics_enabled:
+                telemetry.metrics.counter(name).inc(amount)
+
+        def emit(event: str, **payload_kv) -> None:
+            if telemetry is not None:
+                telemetry.emit(event, **payload_kv)
+
+        def record_result(index, run, outcome) -> None:
+            nonlocal done
+            by_index[index] = (run, outcome)
+            done += 1
+            if sink is not None:
+                sink.add(index, run, outcome)
+            if progress is not None:
+                progress(done, total, outcome)
+
+        def quarantine(index, fault) -> None:
+            run, outcome = self._quarantine_pair(index, fault, telemetry)
+            if metrics_enabled:
+                record_outcome(telemetry.metrics, run, outcome)
+            emit("experiment_finished", **experiment_event(index, run, outcome))
+            record_result(index, run, outcome)
+            if sink is not None:
+                sink.flush()
+
+        def handle_failure(
+            chunk: _PendingChunk,
+            shard,
+            killed: bool,
+            reason: str,
+            certain: bool = True,
+        ):
+            """Requeue, split or quarantine one failed chunk.
+
+            ``certain`` says the failure is attributable to this chunk
+            (an ordinary exception always is; a pool break only when the
+            chunk was alone in flight).  Only certain failures count
+            toward a single experiment's quarantine thresholds.
+            """
+            if shard is not None and os.path.exists(shard):
+                os.remove(shard)  # discard the dead worker's partial events
+            if len(chunk.items) == 1 and certain:
+                index, fault = chunk.items[0]
+                counts = kill_counts if killed else fail_counts
+                counts[index] = counts.get(index, 0) + 1
+                threshold = (
+                    policy.quarantine_after if killed else policy.max_chunk_retries
+                )
+                if counts[index] >= threshold:
+                    quarantine(index, fault)
+                    return
+            counter_inc("requeued_chunks")
+            counter_inc("retries", len(chunk.items))
+            emit(
+                "chunk_requeued",
+                ts=now(),
+                experiments=len(chunk.items),
+                attempt=chunk.attempt,
+                killed=killed,
+                reason=reason,
+            )
+            policy.sleep(backoff_seconds(chunk.attempt, policy))
+            suspect = chunk.suspect or killed
+            if len(chunk.items) > 1:
+                first, second = split_chunk(chunk.items)
+                queue.append(_PendingChunk(first, chunk.attempt + 1, suspect))
+                queue.append(_PendingChunk(second, chunk.attempt + 1, suspect))
+            else:
+                queue.append(_PendingChunk(chunk.items, chunk.attempt + 1, suspect))
+
+        def submit_chunk(chunk: _PendingChunk) -> bool:
+            """Submit one chunk; False when the pool turned out broken."""
+            nonlocal submission
+            submission += 1
+            shard = (
+                telemetry.shard_path(submission) if telemetry is not None else None
+            )
+            args = (
+                chunk.items,
+                submission,
+                shard,
+                metrics_enabled,
+                config.early_exit,
+                config.chaos,
+            )
+            try:
+                future = pool.submit(_run_chunk, args)
+            except BrokenProcessPool:
+                queue.appendleft(chunk)
+                return False
+            active[future] = (chunk, submission, shard)
+            return True
+
         try:
             pool.prepare(payload)
-            futures = [pool.submit(_run_chunk, a) for a in args]
-            for future in concurrent.futures.as_completed(futures):
-                worker_index, chunk_result, registry_dict, seconds = future.result()
-                for index, run, outcome in chunk_result:
-                    by_index[index] = (run, outcome)
-                    done += 1
-                    if progress is not None:
-                        progress(done, total, outcome)
-                if telemetry is not None:
-                    if registry_dict is not None:
-                        telemetry.metrics.merge(
-                            MetricsRegistry.from_dict(registry_dict)
-                        )
-                    shard = telemetry.shard_path(worker_index)
-                    if shard is not None:
-                        shards.append((worker_index, shard))
-                    telemetry.emit(
-                        "worker_chunk_done",
-                        ts=time.time(),
-                        worker=worker_index,
-                        experiments=len(chunk_result),
-                        seconds=seconds,
+            while (queue or active) and not fallback:
+                broken = False
+                # Suspect chunks (in flight during an earlier pool break)
+                # run in isolation — one in flight at a time — so a
+                # repeat break has certain attribution.  Everything else
+                # fans out normally.
+                while queue and not broken and not active:
+                    suspect = next((c for c in queue if c.suspect), None)
+                    if suspect is None:
+                        break
+                    queue.remove(suspect)
+                    broken = not submit_chunk(suspect)
+                if not active:
+                    while queue and not broken:
+                        broken = not submit_chunk(queue.popleft())
+                if active and not broken:
+                    in_flight = len(active)
+                    done_set, _pending = concurrent.futures.wait(
+                        list(active), return_when=concurrent.futures.FIRST_COMPLETED
                     )
+                    for future in done_set:
+                        chunk, chunk_submission, shard = active.pop(future)
+                        try:
+                            (_sub, chunk_result, registry_dict, seconds) = (
+                                future.result()
+                            )
+                        except BrokenProcessPool:
+                            broken = True
+                            handle_failure(
+                                chunk,
+                                shard,
+                                killed=True,
+                                reason="worker process died (pool broken)",
+                                certain=in_flight == 1,
+                            )
+                        except Exception as exc:
+                            handle_failure(
+                                chunk, shard, killed=False, reason=repr(exc)
+                            )
+                        else:
+                            for index, run, outcome in chunk_result:
+                                record_result(index, run, outcome)
+                            if sink is not None:
+                                sink.flush()
+                            if telemetry is not None:
+                                if registry_dict is not None:
+                                    telemetry.metrics.merge(
+                                        MetricsRegistry.from_dict(registry_dict)
+                                    )
+                                if shard is not None:
+                                    shards.append((chunk_submission, shard))
+                                telemetry.emit(
+                                    "worker_chunk_done",
+                                    ts=time.time(),
+                                    worker=chunk_submission,
+                                    experiments=len(chunk_result),
+                                    seconds=seconds,
+                                )
+                if broken:
+                    # The pool is unusable: every in-flight chunk is
+                    # lost.  Requeue them as suspects (any of them may
+                    # have killed the worker) and rebuild, degrading to
+                    # serial when the budget is out.
+                    for future, (chunk, _sub, shard) in list(active.items()):
+                        future.cancel()
+                        handle_failure(
+                            chunk,
+                            shard,
+                            killed=True,
+                            reason="chunk lost to a broken worker pool",
+                            certain=False,
+                        )
+                    active.clear()
+                    rebuilds += 1
+                    rebuilt = False
+                    if rebuilds <= policy.max_pool_rebuilds:
+                        emit("worker_pool_rebuilt", ts=now(), rebuilds=rebuilds)
+                        try:
+                            pool.rebuild(payload)
+                            rebuilt = True
+                        except Exception:
+                            rebuilt = False
+                    if not rebuilt:
+                        fallback = True
         finally:
             if own_pool:
                 pool.close()
+
+        if fallback and queue:
+            leftover = [item for chunk in queue for item in chunk.items]
+            queue.clear()
+            emit("serial_fallback", ts=now(), experiments=len(leftover))
+            for index, fault in leftover:
+                if index in by_index:
+                    continue
+                run, outcome = self._run_one_recovered(
+                    index, fault, reference_outputs, telemetry
+                )
+                if metrics_enabled:
+                    record_outcome(telemetry.metrics, run, outcome)
+                emit("experiment_finished", **experiment_event(index, run, outcome))
+                record_result(index, run, outcome)
+            if sink is not None:
+                sink.flush()
+
         if telemetry is not None and telemetry.events is not None and shards:
             merge_event_shards(
                 telemetry.events, [path for _index, path in sorted(shards)]

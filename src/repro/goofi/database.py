@@ -5,14 +5,25 @@ here it is SQLite (standard library), with one row per campaign and one
 per experiment.  The analysis phase can re-load stored campaigns into
 :class:`~repro.analysis.report.CampaignSummary` objects without re-running
 anything.
+
+Since schema v4 the store is also the campaign's crash-safety substrate
+(see ``docs/robustness.md``): campaigns carry a lifecycle ``status``
+(``running`` / ``complete`` / ``aborted``) and a configuration
+fingerprint, experiments carry their plan index, and results stream in
+through batched transactions (:meth:`CampaignDatabase.store_experiment_batch`)
+as chunks finish — so an interrupted campaign can be resumed from
+exactly the experiments already on disk.  Connections run in WAL
+journal mode with a busy timeout, making every commit durable against a
+process kill and tolerant of a concurrent reader.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+from dataclasses import dataclass
 from datetime import datetime, timezone
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.classify import Outcome, OutcomeCategory
 from repro.analysis.report import CampaignSummary, ClassifiedExperiment
@@ -25,8 +36,20 @@ from repro.errors import DatabaseError
 #: version 3 added ``experiments.provenance`` (``'simulated'`` or
 #: ``'predicted'`` — whether the outcome came from simulation or from
 #: the def/use pruning's prediction), defaulting migrated rows to
-#: ``'simulated'``, which is what every earlier version stored.
-DB_SCHEMA_VERSION = 3
+#: ``'simulated'``, which is what every earlier version stored;
+#: version 4 added crash-safe campaign lifecycle state:
+#: ``campaigns.status`` (``'running'``/``'complete'``/``'aborted'`` —
+#: migrated rows default to ``'complete'``, since pre-v4 rows were only
+#: ever written after a finished campaign), ``campaigns.config_json``
+#: (the resume fingerprint; NULL for migrated rows, which therefore
+#: refuse to resume), ``experiments.plan_index`` (NULL for migrated
+#: rows) plus a uniqueness index on ``(campaign_id, plan_index)``, and
+#: the ``'quarantined'`` provenance value for experiments that
+#: repeatedly crashed a worker.
+DB_SCHEMA_VERSION = 4
+
+#: Milliseconds a writer waits on a locked database before failing.
+BUSY_TIMEOUT_MS = 5_000
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS campaigns (
@@ -38,7 +61,9 @@ CREATE TABLE IF NOT EXISTS campaigns (
     partition_sizes TEXT NOT NULL,
     wall_seconds REAL NOT NULL,
     schema_version INTEGER NOT NULL DEFAULT 1,
-    created_at TEXT
+    created_at TEXT,
+    status TEXT NOT NULL DEFAULT 'complete',
+    config_json TEXT
 );
 CREATE TABLE IF NOT EXISTS experiments (
     id INTEGER PRIMARY KEY AUTOINCREMENT,
@@ -54,9 +79,69 @@ CREATE TABLE IF NOT EXISTS experiments (
     early_exit_iteration INTEGER,
     timed_out INTEGER NOT NULL,
     instructions_executed INTEGER NOT NULL,
-    provenance TEXT NOT NULL DEFAULT 'simulated'
+    provenance TEXT NOT NULL DEFAULT 'simulated',
+    plan_index INTEGER
 );
 """
+
+#: Guards streaming inserts against double-storing a plan index (NULLs —
+#: legacy rows — stay exempt, as SQLite treats them as distinct).
+_PLAN_INDEX_UNIQUE = (
+    "CREATE UNIQUE INDEX IF NOT EXISTS idx_experiments_campaign_plan"
+    " ON experiments(campaign_id, plan_index)"
+)
+
+_EXPERIMENT_INSERT = (
+    "INSERT INTO experiments (campaign_id, partition, element, bit,"
+    " time, category, mechanism, first_failure_iteration,"
+    " max_deviation, early_exit_iteration, timed_out,"
+    " instructions_executed, provenance, plan_index)"
+    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+)
+
+
+def _provenance(run) -> str:
+    """How a stored experiment's outcome was obtained."""
+    if getattr(run, "quarantined", False):
+        return "quarantined"
+    if getattr(run, "predicted", False):
+        return "predicted"
+    return "simulated"
+
+
+def _experiment_row(campaign_id: int, plan_index: Optional[int], run, outcome) -> Tuple:
+    return (
+        campaign_id,
+        run.fault.target.partition,
+        run.fault.target.element,
+        run.fault.target.bit,
+        run.fault.time,
+        outcome.category.value,
+        outcome.mechanism,
+        outcome.first_failure_iteration,
+        outcome.max_deviation,
+        run.early_exit_iteration,
+        1 if run.timed_out else 0,
+        run.instructions_executed,
+        _provenance(run),
+        plan_index,
+    )
+
+
+@dataclass(frozen=True)
+class StoredExperiment:
+    """One experiment row as needed to resume a campaign."""
+
+    plan_index: int
+    partition: str
+    element: str
+    bit: int
+    time: int
+    outcome: Outcome
+    early_exit_iteration: Optional[int]
+    timed_out: bool
+    instructions_executed: int
+    provenance: str
 
 
 class CampaignDatabase:
@@ -64,9 +149,16 @@ class CampaignDatabase:
 
     def __init__(self, path: str = ":memory:"):
         self.path = path
-        self._conn = sqlite3.connect(path)
+        self._conn = sqlite3.connect(path, timeout=BUSY_TIMEOUT_MS / 1000.0)
+        # WAL keeps committed batches durable across a process kill and
+        # lets a post-mortem reader open the file mid-campaign; both
+        # pragmas are no-ops for in-memory databases.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
         self._migrate()
+        self._conn.execute(_PLAN_INDEX_UNIQUE)
         self._conn.commit()
 
     def _migrate(self) -> None:
@@ -74,11 +166,14 @@ class CampaignDatabase:
 
         ``CREATE TABLE IF NOT EXISTS`` leaves older tables untouched, so
         databases written before :data:`DB_SCHEMA_VERSION` 2 lack the
-        ``schema_version``/``created_at`` columns and ones written
-        before version 3 lack ``experiments.provenance``; add them in
-        place.  Existing rows keep the defaults (version 1, NULL
-        timestamp, ``'simulated'`` provenance — correct, since pruning
-        did not exist when they were written).
+        ``schema_version``/``created_at`` columns, ones written before
+        version 3 lack ``experiments.provenance``, and ones written
+        before version 4 lack ``campaigns.status``/``config_json`` and
+        ``experiments.plan_index``; add them in place.  Existing rows
+        keep the defaults (version 1, NULL timestamp, ``'simulated'``
+        provenance, ``'complete'`` status, NULL fingerprint and plan
+        index — correct, since pre-v4 rows were only written for
+        finished campaigns and cannot be resumed).
         """
         columns = {
             row[1]
@@ -91,6 +186,13 @@ class CampaignDatabase:
             )
         if "created_at" not in columns:
             self._conn.execute("ALTER TABLE campaigns ADD COLUMN created_at TEXT")
+        if "status" not in columns:
+            self._conn.execute(
+                "ALTER TABLE campaigns"
+                " ADD COLUMN status TEXT NOT NULL DEFAULT 'complete'"
+            )
+        if "config_json" not in columns:
+            self._conn.execute("ALTER TABLE campaigns ADD COLUMN config_json TEXT")
         experiment_columns = {
             row[1]
             for row in self._conn.execute(
@@ -101,6 +203,10 @@ class CampaignDatabase:
             self._conn.execute(
                 "ALTER TABLE experiments"
                 " ADD COLUMN provenance TEXT NOT NULL DEFAULT 'simulated'"
+            )
+        if "plan_index" not in experiment_columns:
+            self._conn.execute(
+                "ALTER TABLE experiments ADD COLUMN plan_index INTEGER"
             )
 
     def close(self) -> None:
@@ -114,56 +220,120 @@ class CampaignDatabase:
         self.close()
 
     # -- writing ---------------------------------------------------------------
-    def store_campaign(self, result) -> int:
-        """Persist a :class:`~repro.goofi.campaign.CampaignResult`.
+    def begin_campaign(
+        self,
+        config,
+        partition_sizes: Dict[str, int],
+        fingerprint: Optional[Dict[str, object]] = None,
+    ) -> int:
+        """Open a campaign row in ``'running'`` state; experiments then
+        stream in through :meth:`store_experiment_batch` and the row is
+        closed by :meth:`finish_campaign` (or :meth:`abort_campaign`).
 
         Returns the new campaign's database id.
         """
-        config = result.config
-        cursor = self._conn.execute(
-            "INSERT INTO campaigns (name, faults, seed, iterations,"
-            " partition_sizes, wall_seconds, schema_version, created_at)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                config.name,
-                config.faults,
-                config.seed,
-                config.iterations,
-                json.dumps(result.partition_sizes),
-                result.wall_seconds,
-                DB_SCHEMA_VERSION,
-                datetime.now(timezone.utc).isoformat(),
-            ),
-        )
-        campaign_id = cursor.lastrowid
-        rows = []
-        for run, outcome in zip(result.experiments, result.outcomes):
-            rows.append(
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO campaigns (name, faults, seed, iterations,"
+                " partition_sizes, wall_seconds, schema_version, created_at,"
+                " status, config_json)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, 'running', ?)",
                 (
-                    campaign_id,
-                    run.fault.target.partition,
-                    run.fault.target.element,
-                    run.fault.target.bit,
-                    run.fault.time,
-                    outcome.category.value,
-                    outcome.mechanism,
-                    outcome.first_failure_iteration,
-                    outcome.max_deviation,
-                    run.early_exit_iteration,
-                    1 if run.timed_out else 0,
-                    run.instructions_executed,
-                    "predicted" if getattr(run, "predicted", False) else "simulated",
-                )
+                    config.name,
+                    config.faults,
+                    config.seed,
+                    config.iterations,
+                    json.dumps(partition_sizes),
+                    0.0,
+                    DB_SCHEMA_VERSION,
+                    datetime.now(timezone.utc).isoformat(),
+                    json.dumps(fingerprint, sort_keys=True)
+                    if fingerprint is not None
+                    else None,
+                ),
             )
-        self._conn.executemany(
-            "INSERT INTO experiments (campaign_id, partition, element, bit,"
-            " time, category, mechanism, first_failure_iteration,"
-            " max_deviation, early_exit_iteration, timed_out,"
-            " instructions_executed, provenance)"
-            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            rows,
-        )
-        self._conn.commit()
+        return int(cursor.lastrowid)
+
+    def store_experiment_batch(
+        self, campaign_id: int, batch: List[Tuple[int, object, object]]
+    ) -> None:
+        """Persist ``(plan_index, run, outcome)`` triples atomically.
+
+        One explicit transaction per batch: a crash between batches
+        loses nothing already committed, a crash mid-batch rolls the
+        whole batch back — a campaign row can never reference half an
+        insert.
+        """
+        if not batch:
+            return
+        rows = [
+            _experiment_row(campaign_id, plan_index, run, outcome)
+            for plan_index, run, outcome in batch
+        ]
+        with self._conn:
+            self._conn.executemany(_EXPERIMENT_INSERT, rows)
+
+    def finish_campaign(self, campaign_id: int, wall_seconds: float) -> None:
+        """Mark a streamed campaign complete, accumulating wall time
+        (a resumed campaign's total covers every partial run)."""
+        with self._conn:
+            self._conn.execute(
+                "UPDATE campaigns SET status = 'complete',"
+                " wall_seconds = wall_seconds + ? WHERE id = ?",
+                (wall_seconds, campaign_id),
+            )
+
+    def abort_campaign(self, campaign_id: int) -> None:
+        """Mark a campaign aborted (resumable); streamed rows remain."""
+        with self._conn:
+            self._conn.execute(
+                "UPDATE campaigns SET status = 'aborted' WHERE id = ?",
+                (campaign_id,),
+            )
+
+    def reopen_campaign(self, campaign_id: int) -> None:
+        """Flip a campaign back to ``'running'`` at resume time."""
+        with self._conn:
+            self._conn.execute(
+                "UPDATE campaigns SET status = 'running' WHERE id = ?",
+                (campaign_id,),
+            )
+
+    def store_campaign(self, result) -> int:
+        """Persist a whole :class:`~repro.goofi.campaign.CampaignResult`.
+
+        Kept for API compatibility (campaign runs stream incrementally
+        instead); the campaign row and every experiment commit in one
+        explicit transaction, so a crash mid-store can never leave a
+        campaign row with half its experiments.  Returns the campaign id.
+        """
+        config = result.config
+        rows_iter = zip(result.experiments, result.outcomes)
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO campaigns (name, faults, seed, iterations,"
+                " partition_sizes, wall_seconds, schema_version, created_at,"
+                " status)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, 'complete')",
+                (
+                    config.name,
+                    config.faults,
+                    config.seed,
+                    config.iterations,
+                    json.dumps(result.partition_sizes),
+                    result.wall_seconds,
+                    DB_SCHEMA_VERSION,
+                    datetime.now(timezone.utc).isoformat(),
+                ),
+            )
+            campaign_id = cursor.lastrowid
+            self._conn.executemany(
+                _EXPERIMENT_INSERT,
+                [
+                    _experiment_row(campaign_id, plan_index, run, outcome)
+                    for plan_index, (run, outcome) in enumerate(rows_iter)
+                ],
+            )
         return int(campaign_id)
 
     # -- reading ------------------------------------------------------------------
@@ -172,8 +342,73 @@ class CampaignDatabase:
         cursor = self._conn.execute("SELECT id, name, faults FROM campaigns")
         return [(int(i), str(n), int(f)) for i, n, f in cursor.fetchall()]
 
+    def campaign_status(self, campaign_id: int) -> str:
+        """Lifecycle state: ``'running'``, ``'complete'`` or ``'aborted'``."""
+        row = self._conn.execute(
+            "SELECT status FROM campaigns WHERE id = ?", (campaign_id,)
+        ).fetchone()
+        if row is None:
+            raise DatabaseError(f"no campaign with id {campaign_id}")
+        return str(row[0])
+
+    def campaign_fingerprint(self, campaign_id: int) -> Optional[Dict[str, object]]:
+        """The stored configuration fingerprint (None pre-v4)."""
+        row = self._conn.execute(
+            "SELECT config_json FROM campaigns WHERE id = ?", (campaign_id,)
+        ).fetchone()
+        if row is None:
+            raise DatabaseError(f"no campaign with id {campaign_id}")
+        return json.loads(row[0]) if row[0] is not None else None
+
+    def completed_experiments(self, campaign_id: int) -> Dict[int, StoredExperiment]:
+        """Every streamed experiment of a campaign, keyed by plan index.
+
+        The resume path re-derives the fault plan from the stored seed
+        and simulates only the indices missing here.
+        """
+        cursor = self._conn.execute(
+            "SELECT plan_index, partition, element, bit, time, category,"
+            " mechanism, first_failure_iteration, max_deviation,"
+            " early_exit_iteration, timed_out, instructions_executed,"
+            " provenance FROM experiments"
+            " WHERE campaign_id = ? AND plan_index IS NOT NULL"
+            " ORDER BY plan_index",
+            (campaign_id,),
+        )
+        completed: Dict[int, StoredExperiment] = {}
+        for row in cursor.fetchall():
+            (
+                plan_index, partition, element, bit, time, category,
+                mechanism, first_fail, max_dev, early_exit, timed_out,
+                instructions, provenance,
+            ) = row
+            completed[int(plan_index)] = StoredExperiment(
+                plan_index=int(plan_index),
+                partition=str(partition),
+                element=str(element),
+                bit=int(bit),
+                time=int(time),
+                outcome=Outcome(
+                    category=OutcomeCategory(category),
+                    mechanism=mechanism,
+                    first_failure_iteration=first_fail,
+                    max_deviation=max_dev,
+                ),
+                early_exit_iteration=early_exit,
+                timed_out=bool(timed_out),
+                instructions_executed=int(instructions),
+                provenance=str(provenance),
+            )
+        return completed
+
     def load_summary(self, campaign_id: int) -> CampaignSummary:
-        """Rebuild a :class:`CampaignSummary` from stored rows."""
+        """Rebuild a :class:`CampaignSummary` from stored rows.
+
+        Records come back in plan order for streamed (v4) campaigns —
+        parallel chunks commit in completion order, so insertion order
+        alone would vary run to run — and in insertion order for legacy
+        rows without a plan index.
+        """
         row = self._conn.execute(
             "SELECT name, partition_sizes FROM campaigns WHERE id = ?",
             (campaign_id,),
@@ -183,7 +418,8 @@ class CampaignDatabase:
         name, partition_sizes_json = row
         cursor = self._conn.execute(
             "SELECT partition, category, mechanism, first_failure_iteration,"
-            " max_deviation FROM experiments WHERE campaign_id = ?",
+            " max_deviation FROM experiments WHERE campaign_id = ?"
+            " ORDER BY (plan_index IS NULL), plan_index, id",
             (campaign_id,),
         )
         records = []
@@ -214,7 +450,8 @@ class CampaignDatabase:
         return [(str(m), int(c)) for m, c in cursor.fetchall()]
 
     def provenance_counts(self, campaign_id: int) -> List[Tuple[str, int]]:
-        """Experiment counts per provenance (``simulated``/``predicted``)."""
+        """Experiment counts per provenance
+        (``simulated``/``predicted``/``quarantined``)."""
         cursor = self._conn.execute(
             "SELECT provenance, COUNT(*) FROM experiments"
             " WHERE campaign_id = ? GROUP BY provenance ORDER BY provenance",

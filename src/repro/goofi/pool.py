@@ -162,6 +162,17 @@ class ReferencePool:
             raise CampaignError("pool.prepare() must come before submit()")
         return self._executor.submit(fn, *args)
 
+    def rebuild(self, payload: WorkerPayload) -> None:
+        """Replace a broken executor with fresh workers for ``payload``.
+
+        A worker process death leaves ``ProcessPoolExecutor`` permanently
+        broken (every later submit raises ``BrokenProcessPool``); the
+        campaign's recovery loop calls this to spawn a new pool and
+        requeue the lost chunks.
+        """
+        self.close()
+        self.prepare(payload)
+
     def close(self) -> None:
         """Shut the workers down (idempotent)."""
         if self._executor is not None:

@@ -311,7 +311,12 @@ class PreRuntimeCampaign:
         )
 
     def _run_parallel(self, plan, workers, pool, progress):
-        """Fan the plan out over shared-reference pool workers."""
+        """Fan the plan out over shared-reference pool workers.
+
+        A chunk whose worker fails (an exception or a process death) is
+        re-executed serially in this process — one bad worker never
+        loses any experiment, let alone the whole campaign.
+        """
         from concurrent.futures import as_completed
 
         own_pool = pool is None
@@ -320,16 +325,22 @@ class PreRuntimeCampaign:
         indexed = list(enumerate(plan))
         slices = [indexed[i::workers] for i in range(workers)]
         by_index = {}
+        lost = []
         done = 0
         try:
             pool.prepare(self._payload())
-            futures = [
-                pool.submit(_prerun_chunk, (chunk, True))
+            futures = {
+                pool.submit(_prerun_chunk, (chunk, True)): chunk
                 for chunk in slices
                 if chunk
-            ]
+            }
             for future in as_completed(futures):
-                for index, run, outcome in future.result():
+                try:
+                    chunk_result = future.result()
+                except Exception:
+                    lost.append(futures[future])
+                    continue
+                for index, run, outcome in chunk_result:
                     by_index[index] = (run, outcome)
                     done += 1
                     if progress is not None:
@@ -337,6 +348,23 @@ class PreRuntimeCampaign:
         finally:
             if own_pool:
                 pool.close()
+        for chunk in lost:
+            for index, fault in chunk:
+                if index in by_index:
+                    continue
+                run = self.run_experiment(fault)
+                outcome = classify_experiment(
+                    observed=run.outputs,
+                    reference=self._reference.outputs,
+                    detected_by=(
+                        run.detection.mechanism.value if run.detection else None
+                    ),
+                    final_state_differs=run.final_state_differs,
+                )
+                by_index[index] = (run, outcome)
+                done += 1
+                if progress is not None:
+                    progress(done, len(plan), outcome)
         return by_index
 
 

@@ -61,9 +61,18 @@ def preclassify_plan(
     plan: Sequence[FaultDescriptor], liveness: LivenessMap
 ) -> PrunedPlan:
     """Split a fault plan into live and predicted experiments."""
+    return preclassify_pairs(list(enumerate(plan)), liveness)
+
+
+def preclassify_pairs(
+    pairs: Sequence[Tuple[int, FaultDescriptor]], liveness: LivenessMap
+) -> PrunedPlan:
+    """:func:`preclassify_plan` over pre-indexed ``(plan index, fault)``
+    pairs — the resume path prunes only the not-yet-completed remainder
+    of a plan, whose indices are not contiguous."""
     live: List[Tuple[int, FaultDescriptor]] = []
     predicted: List[Tuple[int, FaultDescriptor, Liveness]] = []
-    for index, fault in enumerate(plan):
+    for index, fault in pairs:
         classification = liveness.classify_fault(fault)
         if classification is Liveness.LIVE:
             live.append((index, fault))

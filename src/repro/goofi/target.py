@@ -144,6 +144,9 @@ class ExperimentRun:
         instructions_executed: dynamic instructions actually simulated.
         predicted: the run was synthesised from the reference by the
             def/use pruning (no simulation happened).
+        quarantined: the experiment repeatedly crashed its worker and
+            was recorded with a conservative stand-in result instead of
+            a simulation (``provenance='quarantined'`` in the database).
     """
 
     fault: FaultDescriptor
@@ -155,6 +158,7 @@ class ExperimentRun:
     timed_out: bool = False
     instructions_executed: int = 0
     predicted: bool = False
+    quarantined: bool = False
 
 
 #: Workload variables primed when the run starts at an operating point

@@ -19,6 +19,21 @@ by a campaign are
 * ``campaign_finished`` — wall time plus per-category outcome counts;
 * ``span`` — one per tracer span (name, depth, seconds).
 
+Recovery events (see ``docs/robustness.md``) appear only when the
+crash-safety machinery acts:
+
+* ``campaign_resumed`` — a run continued a stored campaign
+  (``campaign_id``, ``completed`` experiment count);
+* ``campaign_aborted`` — the run was interrupted after flushing its
+  in-flight results (``campaign_id``, ``completed``);
+* ``chunk_requeued`` — a worker chunk failed and was retried, split, or
+  both (``experiments``, ``attempt``, ``killed``, ``reason``);
+* ``experiment_quarantined`` — one experiment crossed its crash budget
+  and was recorded with ``provenance='quarantined'`` (``index``);
+* ``worker_pool_rebuilt`` — the process pool broke and was respawned;
+* ``serial_fallback`` — pool rebuilds were exhausted and the remaining
+  experiments ran serially in the parent.
+
 Worker processes never share a file descriptor: each worker writes its
 own ``<path>.shard<N>`` file, and the parent merges the shards back into
 the main log in plan order (:func:`merge_event_shards`).
@@ -43,6 +58,12 @@ EVENT_TYPES = (
     "worker_chunk_done",
     "campaign_finished",
     "span",
+    "campaign_resumed",
+    "campaign_aborted",
+    "chunk_requeued",
+    "experiment_quarantined",
+    "worker_pool_rebuilt",
+    "serial_fallback",
 )
 
 

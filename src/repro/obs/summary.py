@@ -32,6 +32,13 @@ class EventSummary:
     detection_latencies: List[int] = field(default_factory=list)
     spans: List[Dict[str, object]] = field(default_factory=list)
     worker_chunks: int = 0
+    requeued_chunks: int = 0
+    retried_experiments: int = 0
+    quarantined: int = 0
+    pool_rebuilds: int = 0
+    serial_fallbacks: int = 0
+    resumed_experiments: int = 0
+    aborted: bool = False
 
 
 def summarize_events(events: Sequence[Dict[str, object]]) -> EventSummary:
@@ -70,6 +77,19 @@ def summarize_events(events: Sequence[Dict[str, object]]) -> EventSummary:
             summary.wall_seconds = float(record["wall_seconds"])
         elif kind == "span":
             summary.spans.append(record)
+        elif kind == "chunk_requeued":
+            summary.requeued_chunks += 1
+            summary.retried_experiments += int(record.get("experiments", 0))
+        elif kind == "experiment_quarantined":
+            summary.quarantined += 1
+        elif kind == "worker_pool_rebuilt":
+            summary.pool_rebuilds += 1
+        elif kind == "serial_fallback":
+            summary.serial_fallbacks += 1
+        elif kind == "campaign_resumed":
+            summary.resumed_experiments += int(record.get("completed", 0))
+        elif kind == "campaign_aborted":
+            summary.aborted = True
     return summary
 
 
@@ -144,6 +164,41 @@ def render_events_summary(events: Sequence[Dict[str, object]]) -> str:
                 f"  detected {100.0 * detected / part_total:6.2f}%"
                 f"  value failures {100.0 * failures / part_total:6.2f}%"
             )
+
+    recovery_acted = (
+        summary.requeued_chunks
+        or summary.quarantined
+        or summary.pool_rebuilds
+        or summary.serial_fallbacks
+        or summary.resumed_experiments
+        or summary.aborted
+    )
+    if recovery_acted:
+        lines.append("")
+        lines.append("Recovery")
+        if summary.resumed_experiments:
+            lines.append(
+                f"  resumed experiments            {summary.resumed_experiments:>8d}"
+            )
+        if summary.requeued_chunks:
+            lines.append(
+                f"  requeued chunks                {summary.requeued_chunks:>8d}"
+                f"  ({summary.retried_experiments} experiments retried)"
+            )
+        if summary.pool_rebuilds:
+            lines.append(
+                f"  worker pool rebuilds           {summary.pool_rebuilds:>8d}"
+            )
+        if summary.serial_fallbacks:
+            lines.append(
+                f"  serial fallbacks               {summary.serial_fallbacks:>8d}"
+            )
+        if summary.quarantined:
+            lines.append(
+                f"  quarantined experiments        {summary.quarantined:>8d}"
+            )
+        if summary.aborted:
+            lines.append("  campaign aborted (resumable)")
 
     if summary.mechanism_counts:
         lines.append("")

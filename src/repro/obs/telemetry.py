@@ -44,6 +44,7 @@ class Telemetry:
         self.events: Optional[EventLog] = (
             EventLog(events_path) if events_path else None
         )
+        self._finished = False
 
     def span(self, name: str) -> ContextManager:
         """A tracer span, or a null context when tracing is off."""
@@ -63,8 +64,17 @@ class Telemetry:
         return f"{self.events.path}.shard{worker_index}"
 
     def finish(self) -> None:
-        """Emit the tracer's spans and flush the event log."""
-        if self.events is not None:
+        """Emit the tracer's spans and flush the event log.
+
+        Idempotent: campaign runs call it in a ``finally``-style path so
+        a crashed or aborted campaign still flushes its events for
+        post-mortem ``repro obs`` — spans are emitted once, the flush
+        happens every time.
+        """
+        if self.events is None:
+            return
+        if not self._finished:
+            self._finished = True
             if self.tracer is not None:
                 for span in self.tracer.spans:
                     self.events.emit(
@@ -73,7 +83,7 @@ class Telemetry:
                         depth=span.depth,
                         seconds=span.seconds,
                     )
-            self.events.flush()
+        self.events.flush()
 
     def close(self) -> None:
         """Close the event log (idempotent)."""
