@@ -1,0 +1,132 @@
+"""Benchmark trend history: fold BENCH_*.json artifacts into a JSONL log.
+
+Each ``BENCH_<name>.json`` under ``benchmarks/results/`` is a snapshot
+of one benchmark run; this script appends them to
+``benchmarks/results/BENCH_history.jsonl``, one record per (git
+revision, bench), so CI runs accumulate a machine-readable performance
+trend instead of overwriting each other:
+
+.. code-block:: json
+
+    {"bench": "interpreter", "rev": "1a2b3c4", "ts": 1754600000.0,
+     "recorded": "2026-08-08T00:00:00+00:00", "data": {...}}
+
+Re-running at the same revision replaces that revision's records (the
+numbers may have been regenerated) rather than duplicating them.  Usage:
+
+.. code-block:: none
+
+    python benchmarks/trend.py [--results-dir DIR] [--history FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+HISTORY_NAME = "BENCH_history.jsonl"
+
+
+def git_revision() -> str:
+    """The current short git revision, or ``unknown`` outside a checkout."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+        return output or "unknown"
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def load_history(path: Path) -> list:
+    """Existing history records (malformed lines are dropped, reported)."""
+    if not path.exists():
+        return []
+    records = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            print(f"{path}:{number}: dropping malformed line", file=sys.stderr)
+            continue
+        if isinstance(record, dict) and "bench" in record and "rev" in record:
+            records.append(record)
+    return records
+
+
+def append_results(results_dir: Path, history_path: Path, rev: str) -> int:
+    """Fold every ``BENCH_*.json`` into the history; returns new count."""
+    snapshots = sorted(results_dir.glob("BENCH_*.json"))
+    fresh = []
+    now = time.time()
+    recorded = (
+        datetime.datetime.fromtimestamp(now, tz=datetime.timezone.utc)
+        .isoformat(timespec="seconds")
+    )
+    for snapshot in snapshots:
+        bench = snapshot.stem[len("BENCH_"):]
+        try:
+            data = json.loads(snapshot.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{snapshot}: skipped ({exc})", file=sys.stderr)
+            continue
+        fresh.append(
+            {
+                "bench": bench,
+                "rev": rev,
+                "ts": now,
+                "recorded": recorded,
+                "data": data,
+            }
+        )
+    if not fresh:
+        return 0
+    refreshed = {record["bench"] for record in fresh}
+    history = [
+        record
+        for record in load_history(history_path)
+        if not (record["rev"] == rev and record["bench"] in refreshed)
+    ]
+    history.extend(fresh)
+    with history_path.open("w", encoding="utf-8") as handle:
+        for record in history:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(fresh)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=RESULTS_DIR,
+        help="directory holding BENCH_*.json artifacts",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        help=f"history file (default: <results-dir>/{HISTORY_NAME})",
+    )
+    args = parser.parse_args(argv)
+    history_path = args.history or args.results_dir / HISTORY_NAME
+    rev = git_revision()
+    count = append_results(args.results_dir, history_path, rev)
+    print(f"{history_path}: recorded {count} bench snapshot(s) at rev {rev}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

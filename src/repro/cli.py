@@ -6,9 +6,14 @@ Usage (also available as ``python -m repro``):
 
     repro campaign  --algorithm II --faults 500 [--database results.db]
                     [--workers 4] [--events events.jsonl] [--metrics]
+                    [--metrics-snapshot metrics.json]
                     [--prune] [--validate-pruning]
                     [--resume CAMPAIGN_ID] [--abort-after N] [--chaos JSON]
-    repro obs       --events events.jsonl
+    repro obs       [summary] --events events.jsonl [--events more.jsonl]
+    repro obs       status --events events.jsonl [--json]
+    repro obs       watch  --events events.jsonl [--interval 2] [--once] [--json]
+    repro obs       export [--events events.jsonl] [--snapshot metrics.json]
+                    [--format prometheus|json] [--output FILE]
     repro compare   --faults 500
     repro figure    --name fig03|fig04|fig05
     repro listing   --algorithm I
@@ -20,8 +25,12 @@ Every command is deterministic for a given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import glob
+import json
+import os
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -42,7 +51,22 @@ from repro.goofi import (
     TargetSystem,
     trace_propagation,
 )
-from repro.obs import Telemetry, read_events, render_events_summary
+from repro.obs import (
+    CampaignFollower,
+    CampaignStatusReducer,
+    DEFAULT_STALL_AFTER,
+    MetricsRegistry,
+    Telemetry,
+    manifest_path_for,
+    prometheus_text,
+    read_events,
+    read_manifest,
+    read_snapshot,
+    registry_from_events,
+    render_events_summary,
+    render_status,
+    status_metrics,
+)
 from repro.plant import ClosedLoop, SAMPLE_TIME, paper_load_profile
 from repro.thor.disassembler import disassemble_program
 from repro.thor.scanchain import CACHE_PARTITION, REGISTER_PARTITION
@@ -88,11 +112,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         raise SystemExit("--resume requires --database")
     database = CampaignDatabase(args.database) if args.database else None
     telemetry = None
-    if args.events or args.metrics:
+    if args.events or args.metrics or args.metrics_snapshot:
         try:
-            telemetry = Telemetry(events_path=args.events)
+            # A resumed campaign appends to the original event log so the
+            # combined file carries the run's full history.
+            telemetry = Telemetry(
+                events_path=args.events,
+                append=args.resume is not None,
+                snapshot_path=args.metrics_snapshot,
+            )
         except OSError as exc:
-            raise SystemExit(f"cannot write {args.events}: {exc.strerror}")
+            raise SystemExit(f"cannot write {args.events}: {exc.strerror or exc}")
 
     def progress(done, total, outcome):
         if args.verbose and (done % 50 == 0 or done == total):
@@ -147,23 +177,153 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 print(telemetry.tracer.render())
         if args.events:
             print(f"events written to {args.events}")
+        if args.metrics_snapshot:
+            print(f"metrics snapshot at {args.metrics_snapshot}")
     if database is not None:
         print(f"stored in {args.database}")
     return 0
 
 
-def _cmd_obs(args: argparse.Namespace) -> int:
-    try:
-        events = read_events(args.events)
-    except OSError as exc:
-        raise SystemExit(f"cannot read {args.events}: {exc.strerror}")
-    except ObservabilityError as exc:
-        raise SystemExit(str(exc))  # read_events errors already carry the path
+def _expand_event_paths(patterns: List[str]) -> List[str]:
+    """Expand ``--events`` values: each may be a path or a glob pattern.
+
+    Unmatched non-glob paths are kept so the subsequent read reports a
+    proper "cannot read" error instead of silently summarizing nothing.
+    """
+    paths: List[str] = []
+    for pattern in patterns:
+        matches = sorted(glob.glob(pattern))
+        paths.extend(matches if matches else [pattern])
+    seen = set()
+    return [p for p in paths if not (p in seen or seen.add(p))]
+
+
+def _read_manifest_for(paths: List[str]) -> Optional[Dict[str, object]]:
+    """The first readable manifest sidecar among the event paths, if any."""
+    for path in paths:
+        sidecar = manifest_path_for(path)
+        if os.path.exists(sidecar):
+            try:
+                return read_manifest(sidecar)
+            except (OSError, ObservabilityError):
+                return None
+    return None
+
+
+def _fold_status(followers, args: argparse.Namespace):
+    """One poll across all followers, folded into a status snapshot."""
+    reducer = args._reducer
+    for follower in followers:
+        reducer.fold_many(follower.poll())
+    status = reducer.status(now=time.time())
+    status.manifest = _read_manifest_for([f.path for f in followers])
+    return status
+
+
+def _print_status(status, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(status.to_dict(), sort_keys=True), flush=True)
+    else:
+        print(render_status(status), flush=True)
+
+
+def _obs_summary(paths: List[str]) -> int:
+    events: List[Dict[str, object]] = []
+    for path in paths:
+        try:
+            events.extend(read_events(path))
+        except OSError as exc:
+            raise SystemExit(f"cannot read {path}: {exc.strerror or exc}")
+        except ObservabilityError as exc:
+            raise SystemExit(str(exc))  # read_events errors already carry the path
     try:
         print(render_events_summary(events))
     except ObservabilityError as exc:
-        raise SystemExit(f"{args.events}: {exc}")
+        raise SystemExit(f"{', '.join(paths)}: {exc}")
     return 0
+
+
+def _obs_status(args: argparse.Namespace, paths: List[str]) -> int:
+    if not any(os.path.exists(path) for path in paths):
+        raise SystemExit(f"cannot read {paths[0]}: no such file")
+    followers = [CampaignFollower(path) for path in paths]
+    _print_status(_fold_status(followers, args), args.json)
+    return 0
+
+
+def _obs_watch(args: argparse.Namespace, paths: List[str]) -> int:
+    followers = [CampaignFollower(path) for path in paths]
+    try:
+        while True:
+            status = _fold_status(followers, args)
+            _print_status(status, args.json)
+            if args.once or status.state in ("finished", "aborted"):
+                return 0
+            time.sleep(args.interval)
+            if not args.json:
+                print(flush=True)  # frame separator
+    except KeyboardInterrupt:
+        return 130
+
+
+def _obs_export(args: argparse.Namespace, paths: List[str]) -> int:
+    if not paths and not args.snapshot:
+        raise SystemExit("repro obs export: provide --events and/or --snapshot")
+    registry = MetricsRegistry()
+    snapshot_ts = None
+    if args.snapshot:
+        try:
+            snapshot_ts, snapped = read_snapshot(args.snapshot)
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.snapshot}: {exc.strerror or exc}")
+        except ObservabilityError as exc:
+            raise SystemExit(str(exc))
+        registry.merge(snapped)
+    if paths:
+        records: List[Dict[str, object]] = []
+        for follower in (CampaignFollower(path) for path in paths):
+            records.extend(follower.poll())
+        if not args.snapshot:
+            # No live registry available: rebuild the classification
+            # counters from the stream itself.
+            registry.merge(registry_from_events(records))
+        reducer = args._reducer
+        reducer.fold_many(records)
+        registry.merge(status_metrics(reducer.status(now=time.time())))
+    if args.format == "prometheus":
+        text = prometheus_text(registry)
+    else:
+        text = (
+            json.dumps(
+                {"ts": snapshot_ts, "metrics": registry.to_dict()},
+                sort_keys=True,
+                indent=2,
+            )
+            + "\n"
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"metrics written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    paths = _expand_event_paths(args.events or [])
+    if not paths and args.mode != "export":
+        raise SystemExit("repro obs: --events is required")
+    # One reducer per invocation, shared by the poll helpers so `watch`
+    # folds incrementally across frames.
+    args._reducer = CampaignStatusReducer(stall_after=args.stall_after)
+    if args.mode == "summary":
+        return _obs_summary(paths)
+    if args.mode == "status":
+        return _obs_status(args, paths)
+    if args.mode == "watch":
+        return _obs_watch(args, paths)
+    return _obs_export(args, paths)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -314,6 +474,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect and print the campaign metrics registry",
     )
     campaign.add_argument(
+        "--metrics-snapshot",
+        default=None,
+        metavar="PATH",
+        help="periodically dump the metrics registry to this JSON file "
+        "so 'repro obs export' can scrape the running campaign",
+    )
+    campaign.add_argument(
         "--prune",
         action=argparse.BooleanOptionalAction,
         default=False,
@@ -355,8 +522,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.set_defaults(func=_cmd_campaign)
 
-    obs = sub.add_parser("obs", help="summarize a campaign telemetry event file")
-    obs.add_argument("--events", required=True, help="JSONL event file to analyse")
+    obs = sub.add_parser(
+        "obs",
+        help="inspect campaign telemetry: summary, live status, watch, export",
+    )
+    obs.add_argument(
+        "mode",
+        nargs="?",
+        default="summary",
+        choices=["summary", "status", "watch", "export"],
+        help="summary: post-hoc report (default); status: one live "
+        "progress/health snapshot; watch: re-render status until the "
+        "campaign ends; export: Prometheus/JSON metrics",
+    )
+    obs.add_argument(
+        "--events",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="JSONL event file; repeatable, glob patterns allowed "
+        "(e.g. 'runs/*.jsonl') — multiple files are merged",
+    )
+    obs.add_argument(
+        "--json",
+        action="store_true",
+        help="status/watch: print the machine-readable snapshot instead "
+        "of the human panel",
+    )
+    obs.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="watch: poll interval (default: 2)",
+    )
+    obs.add_argument(
+        "--once",
+        action="store_true",
+        help="watch: render a single frame and exit",
+    )
+    obs.add_argument(
+        "--stall-after",
+        type=float,
+        default=DEFAULT_STALL_AFTER,
+        metavar="SECONDS",
+        help="seconds without a heartbeat before a worker (or the "
+        f"campaign) is reported stalled (default: {DEFAULT_STALL_AFTER:g})",
+    )
+    obs.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="export: metrics snapshot file written by "
+        "'repro campaign --metrics-snapshot'",
+    )
+    obs.add_argument(
+        "--format",
+        choices=["prometheus", "json"],
+        default="prometheus",
+        help="export: output format (default: prometheus text exposition)",
+    )
+    obs.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="export: write to this file instead of stdout",
+    )
     obs.set_defaults(func=_cmd_obs)
 
     compare = sub.add_parser("compare", help="Algorithm I vs II (Table 4)")
@@ -396,7 +627,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe early (`... | head`, `grep -q`):
+        # the conventional silent exit, 128 + SIGPIPE.  stdout's fd is
+        # pointed at devnull so interpreter shutdown does not raise
+        # while flushing the broken stream.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

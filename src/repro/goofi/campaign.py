@@ -49,11 +49,13 @@ from repro.goofi.recovery import (
 from repro.goofi.target import ExperimentRun, TargetSystem
 from repro.obs.events import EventLog, merge_event_shards, now
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.status import write_manifest
 from repro.obs.telemetry import (
     Telemetry,
     campaign_finished_event,
     campaign_started_event,
     experiment_event,
+    heartbeat_event,
     record_outcome,
 )
 from repro.plant.profiles import ITERATIONS
@@ -196,11 +198,23 @@ def _run_chunk(args):
     :class:`~repro.obs.MetricsRegistry` (returned as a dict for the
     parent to merge) and writes ``experiment_finished`` events to its
     own shard file — worker processes never share a file descriptor.
+    Every ``heartbeat_every`` experiments (and once at chunk end) the
+    worker also appends a ``worker_heartbeat`` record and flushes the
+    shard, so a live ``repro obs status`` poll of the shard files sees
+    per-worker progress and throughput while the chunk is still running.
 
     Returns ``(submission_id, results, registry_dict, seconds)`` where
     ``results`` holds ``(plan index, run, outcome)`` triples.
     """
-    chunk, submission_id, shard_path, metrics_enabled, early_exit, chaos = args
+    (
+        chunk,
+        submission_id,
+        shard_path,
+        metrics_enabled,
+        early_exit,
+        chaos,
+        heartbeat_every,
+    ) = args
     registry = MetricsRegistry() if metrics_enabled else None
     events = EventLog(shard_path) if shard_path else None
     target = worker_target()
@@ -221,6 +235,20 @@ def _run_chunk(args):
                 events.emit(
                     "experiment_finished", **experiment_event(index, run, outcome)
                 )
+                done = len(results) + 1
+                if done == len(chunk) or (
+                    heartbeat_every and done % heartbeat_every == 0
+                ):
+                    events.emit(
+                        "worker_heartbeat",
+                        **heartbeat_event(
+                            worker=submission_id,
+                            done=done,
+                            total=len(chunk),
+                            seconds=time.perf_counter() - started,
+                        ),
+                    )
+                    events.flush()
             results.append((index, run, outcome))
     finally:
         target.metrics = None
@@ -257,6 +285,7 @@ class ScifiCampaign:
         # abort path to flush and mark the campaign resumable.
         self._sink: Optional[ResultSink] = None
         self._campaign_id: Optional[int] = None
+        self._workers: int = 1
 
     def location_space(self) -> LocationSpace:
         """The injectable locations after partition restriction."""
@@ -411,7 +440,56 @@ class ScifiCampaign:
                 telemetry.finish()
             except Exception:
                 pass
+            try:
+                self._write_manifest(telemetry, "aborted", self._workers)
+            except Exception:
+                pass
         return campaign_id
+
+    def _write_manifest(
+        self,
+        telemetry: Optional[Telemetry],
+        status: str,
+        workers: int,
+        wall_seconds: Optional[float] = None,
+    ) -> None:
+        """(Re)write the campaign's ``manifest.json`` sidecar.
+
+        The manifest maps the event stream back to its identity and
+        artifacts — config fingerprint, seed, campaign id, database and
+        snapshot paths — so ``repro obs status`` (and the service tier
+        above it) can correlate a log with its stored results without
+        parsing either.
+        """
+        if telemetry is None or telemetry.manifest_path is None:
+            return
+        config = self.config
+        write_manifest(
+            telemetry.manifest_path,
+            {
+                "status": status,
+                "name": config.name,
+                "seed": config.seed,
+                "faults": config.faults,
+                "iterations": config.iterations,
+                "workers": workers,
+                "fingerprint": config_fingerprint(config),
+                "campaign_id": self._campaign_id,
+                "wall_seconds": wall_seconds,
+                "updated_ts": now(),
+                "artifacts": {
+                    "events": telemetry.events.path,
+                    "database": (
+                        self.database.path if self.database is not None else None
+                    ),
+                    "metrics_snapshot": (
+                        telemetry.snapshotter.path
+                        if telemetry.snapshotter is not None
+                        else None
+                    ),
+                },
+            },
+        )
 
     def _run_phases(
         self,
@@ -479,6 +557,15 @@ class ScifiCampaign:
                 )
             self._sink = sink
             self._campaign_id = campaign_id
+            self._workers = workers
+            if telemetry is not None:
+                # Leftover shards of an earlier aborted run over the same
+                # path would feed stale records to live status polls (and
+                # the end-of-run merge); the manifest makes the fresh run
+                # discoverable before its first experiment lands.
+                telemetry.remove_stale_shards()
+                self._write_manifest(telemetry, "running", workers)
+                telemetry.checkpoint()
 
             # Pre-classify the remainder against the def/use liveness
             # map: predicted experiments are synthesised from the
@@ -560,6 +647,7 @@ class ScifiCampaign:
                 "campaign_finished", **campaign_finished_event(outcomes, wall)
             )
             telemetry.finish()
+            self._write_manifest(telemetry, "complete", workers, wall_seconds=wall)
         return result
 
     def _load_resume_state(
@@ -626,6 +714,8 @@ class ScifiCampaign:
         by_index: Dict[int, Tuple[ExperimentRun, Outcome]] = {}
         by_index.update(resumed_results)
         by_index.update(predicted_results)
+        heartbeat_every = self.config.recovery.heartbeat_every
+        started = time.perf_counter()
         for i, fault in enumerate(plan):
             pair = by_index.get(i)
             fresh = pair is None
@@ -644,8 +734,27 @@ class ScifiCampaign:
                 )
             if progress is not None:
                 progress(i + 1, len(plan), outcome)
+            if (
+                telemetry is not None
+                and heartbeat_every
+                and (i + 1) % heartbeat_every == 0
+            ):
+                # The serial loop is "worker 0": same liveness surface as
+                # a parallel run, flushed so live polls see progress.
+                telemetry.emit(
+                    "worker_heartbeat",
+                    **heartbeat_event(
+                        worker=0,
+                        done=i + 1,
+                        total=len(plan),
+                        seconds=time.perf_counter() - started,
+                    ),
+                )
+                telemetry.checkpoint()
         if sink is not None:
             sink.flush()
+        if telemetry is not None:
+            telemetry.checkpoint()
         experiments = [by_index[i][0] for i in range(len(plan))]
         outcomes = [by_index[i][1] for i in range(len(plan))]
         return experiments, outcomes
@@ -899,6 +1008,7 @@ class ScifiCampaign:
                 metrics_enabled,
                 config.early_exit,
                 config.chaos,
+                policy.heartbeat_every,
             )
             try:
                 future = pool.submit(_run_chunk, args)
@@ -968,6 +1078,10 @@ class ScifiCampaign:
                                     experiments=len(chunk_result),
                                     seconds=seconds,
                                 )
+                                # Chunk boundary: push the live surface
+                                # (event flush + due metrics snapshot)
+                                # so status polls see this chunk.
+                                telemetry.checkpoint()
                 if broken:
                     # The pool is unusable: every in-flight chunk is
                     # lost.  Requeue them as suspects (any of them may
@@ -994,31 +1108,49 @@ class ScifiCampaign:
                             rebuilt = False
                     if not rebuilt:
                         fallback = True
+        except BaseException:
+            # Interrupted (SIGINT) or crashed mid-injection: the chunks
+            # that did complete have both durable results (the sink
+            # flushed them) and closed shard files — splice those events
+            # into the main log before propagating, so the on-disk
+            # stream matches the database and a resumed run can append
+            # the remainder to a complete history.
+            try:
+                self._merge_worker_shards(telemetry, shards)
+            except Exception:
+                pass
+            raise
         finally:
             if own_pool:
                 pool.close()
 
-        if fallback and queue:
-            leftover = [item for chunk in queue for item in chunk.items]
-            queue.clear()
-            emit("serial_fallback", ts=now(), experiments=len(leftover))
-            for index, fault in leftover:
-                if index in by_index:
-                    continue
-                run, outcome = self._run_one_recovered(
-                    index, fault, reference_outputs, telemetry
-                )
-                if metrics_enabled:
-                    record_outcome(telemetry.metrics, run, outcome)
-                emit("experiment_finished", **experiment_event(index, run, outcome))
-                record_result(index, run, outcome)
-            if sink is not None:
-                sink.flush()
+        try:
+            if fallback and queue:
+                leftover = [item for chunk in queue for item in chunk.items]
+                queue.clear()
+                emit("serial_fallback", ts=now(), experiments=len(leftover))
+                for index, fault in leftover:
+                    if index in by_index:
+                        continue
+                    run, outcome = self._run_one_recovered(
+                        index, fault, reference_outputs, telemetry
+                    )
+                    if metrics_enabled:
+                        record_outcome(telemetry.metrics, run, outcome)
+                    emit(
+                        "experiment_finished", **experiment_event(index, run, outcome)
+                    )
+                    record_result(index, run, outcome)
+                if sink is not None:
+                    sink.flush()
+        except BaseException:
+            try:
+                self._merge_worker_shards(telemetry, shards)
+            except Exception:
+                pass
+            raise
 
-        if telemetry is not None and telemetry.events is not None and shards:
-            merge_event_shards(
-                telemetry.events, [path for _index, path in sorted(shards)]
-            )
+        self._merge_worker_shards(telemetry, shards)
         experiments = []
         outcomes = []
         for index in range(total):
@@ -1026,6 +1158,22 @@ class ScifiCampaign:
             experiments.append(run)
             outcomes.append(outcome)
         return experiments, outcomes
+
+    @staticmethod
+    def _merge_worker_shards(
+        telemetry: Optional[Telemetry], shards: List[Tuple[int, str]]
+    ) -> None:
+        """Splice completed worker shards into the main event log.
+
+        Consumes ``shards`` so a second call (e.g. the normal-path merge
+        after an exception-path merge already ran) is a no-op.
+        """
+        if telemetry is not None and telemetry.events is not None and shards:
+            merge_event_shards(
+                telemetry.events, [path for _index, path in sorted(shards)]
+            )
+            shards.clear()
+            telemetry.events.flush()
 
     @staticmethod
     def _classify(run: ExperimentRun, reference_outputs: List[float]) -> Outcome:

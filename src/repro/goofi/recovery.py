@@ -54,6 +54,11 @@ class RecoveryPolicy:
         max_pool_rebuilds: times a broken process pool is rebuilt before
             the campaign degrades to serial in-process execution.
         db_batch: experiments per streaming database transaction.
+        heartbeat_every: experiments between two ``worker_heartbeat``
+            events (and live event-log flushes) in the execution loops;
+            the cadence of the live status surface (`docs/
+            observability.md`).  Like every knob here it never affects
+            outcomes and is not part of the campaign fingerprint.
         sleep: injectable delay function (tests replace it to avoid
             real waiting); never part of the campaign fingerprint.
     """
@@ -64,6 +69,7 @@ class RecoveryPolicy:
     backoff_cap: float = 2.0
     max_pool_rebuilds: int = 2
     db_batch: int = 32
+    heartbeat_every: int = 25
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
 

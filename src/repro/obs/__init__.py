@@ -19,8 +19,19 @@ from repro.obs.events import (
     EventLog,
     SCHEMA_VERSION,
     merge_event_shards,
+    parse_event_line,
     read_events,
 )
+from repro.obs.export import (
+    MetricsSnapshotter,
+    parse_metric_key,
+    prometheus_text,
+    read_snapshot,
+    registry_from_events,
+    status_metrics,
+    write_snapshot,
+)
+from repro.obs.follow import CampaignFollower, EventFollower
 from repro.obs.metrics import (
     Counter,
     DETECTION_LATENCY_BUCKETS,
@@ -29,6 +40,17 @@ from repro.obs.metrics import (
     Histogram,
     INSTRUCTIONS_BUCKETS,
     MetricsRegistry,
+)
+from repro.obs.status import (
+    CampaignStatus,
+    CampaignStatusReducer,
+    DEFAULT_STALL_AFTER,
+    WorkerHealth,
+    campaign_status,
+    manifest_path_for,
+    read_manifest,
+    render_status,
+    write_manifest,
 )
 from repro.obs.summary import (
     EventSummary,
@@ -40,31 +62,52 @@ from repro.obs.telemetry import (
     campaign_finished_event,
     campaign_started_event,
     experiment_event,
+    heartbeat_event,
     record_outcome,
 )
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
+    "CampaignFollower",
+    "CampaignStatus",
+    "CampaignStatusReducer",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_STALL_AFTER",
     "DETECTION_LATENCY_BUCKETS",
     "EVENT_TYPES",
+    "EventFollower",
     "EventLog",
     "EventSummary",
     "Gauge",
     "Histogram",
     "INSTRUCTIONS_BUCKETS",
     "MetricsRegistry",
+    "MetricsSnapshotter",
     "SCHEMA_VERSION",
     "Span",
     "Telemetry",
     "Tracer",
+    "WorkerHealth",
     "campaign_finished_event",
     "campaign_started_event",
+    "campaign_status",
     "experiment_event",
+    "heartbeat_event",
+    "manifest_path_for",
     "merge_event_shards",
+    "parse_event_line",
+    "parse_metric_key",
+    "prometheus_text",
     "read_events",
+    "read_manifest",
+    "read_snapshot",
     "record_outcome",
+    "registry_from_events",
     "render_events_summary",
+    "render_status",
+    "status_metrics",
     "summarize_events",
+    "write_manifest",
+    "write_snapshot",
 ]

@@ -16,6 +16,11 @@ by a campaign are
   payload is a pure function of the experiment, serial and parallel
   campaigns produce identical records;
 * ``worker_chunk_done`` — a worker process finished its plan slice;
+* ``worker_heartbeat`` — periodic liveness/throughput report from the
+  execution loop (``ts``, ``pid``, ``worker`` submission id, ``done``/
+  ``total`` within the current chunk, ``seconds`` busy so far and
+  ``throughput`` in experiments/s); the live status layer
+  (``repro.obs.status``) folds these into per-worker health;
 * ``campaign_finished`` — wall time plus per-category outcome counts;
 * ``span`` — one per tracer span (name, depth, seconds).
 
@@ -56,6 +61,7 @@ EVENT_TYPES = (
     "campaign_started",
     "experiment_finished",
     "worker_chunk_done",
+    "worker_heartbeat",
     "campaign_finished",
     "span",
     "campaign_resumed",
@@ -68,11 +74,29 @@ EVENT_TYPES = (
 
 
 class EventLog:
-    """An append-only JSONL sink for campaign events."""
+    """An append-only JSONL sink for campaign events.
 
-    def __init__(self, path: str):
+    ``mode`` is ``"w"`` (truncate — a fresh campaign) or ``"a"``
+    (append — a resumed campaign continues the original run's log, so
+    the combined file carries the full event history).  Appending to a
+    file whose last line was torn by a crash is safe for readers: the
+    incremental follower (:mod:`repro.obs.follow`) tolerates a partial
+    line mid-stream, and a new record always starts after the previous
+    write's trailing newline.
+    """
+
+    def __init__(self, path: str, mode: str = "w"):
+        if mode not in ("w", "a"):
+            raise ObservabilityError(f"event log mode must be 'w' or 'a', not {mode!r}")
         self.path = path
-        self._file: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        self._file: Optional[IO[str]] = open(path, mode, encoding="utf-8")
+        # A torn final line (crash mid-write) must not swallow the next
+        # record: appending starts on a fresh line.
+        if mode == "a" and self._file.tell() > 0:
+            with open(path, "rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                if probe.read(1) != b"\n":
+                    self._file.write("\n")
 
     def emit(self, event: str, **payload: object) -> None:
         """Append one event record (``schema_version`` added automatically)."""
@@ -107,33 +131,38 @@ def now() -> float:
     return time.time()
 
 
+def parse_event_line(line: str, where: str) -> Optional[Dict[str, object]]:
+    """Parse and validate one JSONL event line (``None`` for blank lines).
+
+    ``where`` prefixes error messages, conventionally ``path:line``.
+    """
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        record = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(f"{where}: not valid JSON ({exc})") from exc
+    if not isinstance(record, dict):
+        raise ObservabilityError(f"{where}: not an object")
+    version = record.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ObservabilityError(
+            f"{where}: schema_version {version!r} (supported: {SCHEMA_VERSION})"
+        )
+    if record.get("event") not in EVENT_TYPES:
+        raise ObservabilityError(f"{where}: unknown event {record.get('event')!r}")
+    return record
+
+
 def read_events(path: str) -> List[Dict[str, object]]:
     """Parse an event file, validating schema version and event types."""
     events: List[Dict[str, object]] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ObservabilityError(
-                    f"{path}:{line_number}: not valid JSON ({exc})"
-                ) from exc
-            if not isinstance(record, dict):
-                raise ObservabilityError(f"{path}:{line_number}: not an object")
-            version = record.get("schema_version")
-            if version != SCHEMA_VERSION:
-                raise ObservabilityError(
-                    f"{path}:{line_number}: schema_version {version!r} "
-                    f"(supported: {SCHEMA_VERSION})"
-                )
-            if record.get("event") not in EVENT_TYPES:
-                raise ObservabilityError(
-                    f"{path}:{line_number}: unknown event {record.get('event')!r}"
-                )
-            events.append(record)
+            record = parse_event_line(line, f"{path}:{line_number}")
+            if record is not None:
+                events.append(record)
     return events
 
 
@@ -142,14 +171,21 @@ def merge_event_shards(log: EventLog, shard_paths: Iterable[str]) -> int:
 
     Each shard holds the ``experiment_finished`` records of one worker's
     plan slice; the union is re-ordered by plan ``index`` so the merged
-    log is identical to a serial campaign's.  Shards are deleted after a
-    successful merge.  Returns the number of merged records.
+    log is identical to a serial campaign's.  Records without an
+    ``index`` (e.g. ``worker_heartbeat`` liveness reports) are appended
+    *after* the experiment block, preserving their shard order — sorting
+    them under a default key would splice timestamped diagnostics into
+    the deterministic experiment sequence at position 0.  Shards are
+    deleted after a successful merge.  Returns the number of merged
+    records.
     """
     merged: List[Dict[str, object]] = []
     shard_paths = list(shard_paths)
     for shard in shard_paths:
         merged.extend(read_events(shard))
-    merged.sort(key=lambda record: record.get("index", 0))
+    # Sort is stable: experiment records order by plan index, everything
+    # else keeps its relative (numeric shard, emission) order at the end.
+    merged.sort(key=lambda record: (0, record["index"]) if "index" in record else (1, 0))
     for record in merged:
         log.emit_record(record)
     for shard in shard_paths:

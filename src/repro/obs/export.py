@@ -1,0 +1,288 @@
+"""Exporting campaign metrics: Prometheus text format and snapshots.
+
+Two consumers need the :class:`~repro.obs.metrics.MetricsRegistry`
+outside the producing process:
+
+* a scrape endpoint — :func:`prometheus_text` renders a registry in the
+  Prometheus text exposition format (version 0.0.4), with the
+  repository's ``name{a=b}`` instrument keys mapped onto ``repro_``-
+  prefixed metric families and proper label escaping;
+* a live poller — :class:`MetricsSnapshotter` periodically dumps the
+  registry as an atomic JSON file next to the event log, so ``repro obs
+  export`` (and later the service tier) can expose a *running*
+  campaign's metrics without sharing its process.
+
+For event files recorded without a snapshot, :func:`registry_from_events`
+rebuilds the classification counters from the stream, and
+:func:`status_metrics` gauges a :class:`~repro.obs.status.CampaignStatus`
+snapshot (progress, ETA, worker health) so one scrape carries both.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.status import CampaignStatus
+
+#: Version stamped into every metrics snapshot file.
+SNAPSHOT_VERSION = 1
+
+_NAME_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def parse_metric_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a registry key (``name{a=1,b=2}`` or ``name``) back apart."""
+    if "{" not in key:
+        return key, {}
+    if not key.endswith("}"):
+        raise ObservabilityError(f"malformed metric key {key!r}")
+    name, _, inner = key.partition("{")
+    labels: Dict[str, str] = {}
+    for pair in inner[:-1].split(","):
+        if not pair:
+            continue
+        label, sep, value = pair.partition("=")
+        if not sep:
+            raise ObservabilityError(f"malformed metric key {key!r}")
+        labels[label] = value
+    return name, labels
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    return prefix + _NAME_SANITIZE.sub("_", name)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_text(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_LABEL_SANITIZE.sub("_", label)}="{_escape_label_value(str(value))}"'
+        for label, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Counters are exported as ``<prefix><name>_total``, gauges as
+    ``<prefix><name>`` and histograms as the conventional
+    ``_bucket``/``_sum``/``_count`` triple with cumulative ``le``
+    buckets.  Families are sorted by name so the output is stable for
+    tests and diffs.
+    """
+    lines: List[str] = []
+
+    grouped: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for key, counter in registry.counters.items():
+        name, labels = parse_metric_key(key)
+        grouped.setdefault(name, []).append((labels, counter.value))
+    for name in sorted(grouped):
+        family = _metric_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {family} counter")
+        for labels, value in grouped[name]:
+            lines.append(f"{family}{_label_text(labels)} {_format_value(value)}")
+
+    gauge_grouped: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for key, gauge in registry.gauges.items():
+        if gauge.value is None:
+            continue
+        name, labels = parse_metric_key(key)
+        gauge_grouped.setdefault(name, []).append((labels, gauge.value))
+    for name in sorted(gauge_grouped):
+        family = _metric_name(name, prefix)
+        lines.append(f"# TYPE {family} gauge")
+        for labels, value in gauge_grouped[name]:
+            lines.append(f"{family}{_label_text(labels)} {_format_value(value)}")
+
+    histogram_grouped: Dict[str, List[Tuple[Dict[str, str], object]]] = {}
+    for key, histogram in registry.histograms.items():
+        name, labels = parse_metric_key(key)
+        histogram_grouped.setdefault(name, []).append((labels, histogram))
+    for name in sorted(histogram_grouped):
+        family = _metric_name(name, prefix)
+        lines.append(f"# TYPE {family} histogram")
+        for labels, histogram in histogram_grouped[name]:
+            cumulative = 0
+            for bound, count in zip(histogram.buckets, histogram.counts):
+                cumulative += count
+                lines.append(
+                    f"{family}_bucket"
+                    f"{_label_text(labels, {'le': _format_value(bound)})}"
+                    f" {cumulative}"
+                )
+            lines.append(
+                f"{family}_bucket{_label_text(labels, {'le': '+Inf'})}"
+                f" {histogram.count}"
+            )
+            lines.append(
+                f"{family}_sum{_label_text(labels)} {_format_value(histogram.total)}"
+            )
+            lines.append(f"{family}_count{_label_text(labels)} {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+# -- periodic snapshot files ----------------------------------------------------
+def write_snapshot(path: str, registry: MetricsRegistry, ts: Optional[float] = None) -> None:
+    """Atomically write one metrics snapshot file."""
+    payload = {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "ts": time.time() if ts is None else ts,
+        "metrics": registry.to_dict(),
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    handle, temp = tempfile.mkstemp(prefix=".metrics-", dir=directory)
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as file:
+            json.dump(payload, file, sort_keys=True)
+            file.write("\n")
+        os.replace(temp, path)
+    except BaseException:
+        try:
+            os.remove(temp)
+        except OSError:
+            pass
+        raise
+
+
+def read_snapshot(path: str) -> Tuple[float, MetricsRegistry]:
+    """Read a snapshot file back into ``(ts, registry)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or payload.get("snapshot_version") != SNAPSHOT_VERSION:
+        raise ObservabilityError(
+            f"{path}: not a metrics snapshot (snapshot_version "
+            f"{payload.get('snapshot_version')!r}, supported {SNAPSHOT_VERSION})"
+        )
+    return float(payload["ts"]), MetricsRegistry.from_dict(payload["metrics"])
+
+
+class MetricsSnapshotter:
+    """Rate-limited snapshot writer the campaign calls at chunk boundaries.
+
+    ``maybe_write`` is cheap to call often: it re-serialises the registry
+    only when ``every`` seconds have passed since the last write (or when
+    forced, e.g. at campaign end/abort so the final state is never
+    stale).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        every: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.path = path
+        self.every = every
+        self._clock = clock
+        self._last: Optional[float] = None
+        self.writes = 0
+
+    def maybe_write(self, registry: Optional[MetricsRegistry], force: bool = False) -> bool:
+        """Write a snapshot if due; returns whether one was written."""
+        if registry is None:
+            return False
+        now = self._clock()
+        if not force and self._last is not None and now - self._last < self.every:
+            return False
+        write_snapshot(self.path, registry)
+        self._last = now
+        self.writes += 1
+        return True
+
+
+# -- deriving metrics from other telemetry --------------------------------------
+def registry_from_events(events: Sequence[Dict[str, object]]) -> MetricsRegistry:
+    """Rebuild the classification counters from an event stream.
+
+    Covers campaigns recorded with ``--events`` but without a metrics
+    snapshot: ``experiments``/``detections`` counters and the recovery
+    counters are reconstructed exactly; target-internal histograms
+    (latency, instructions) exist only in a real registry and are not
+    recoverable here.
+    """
+    registry = MetricsRegistry()
+    seen_indices: set = set()
+    for record in events:
+        kind = record.get("event")
+        if kind == "experiment_finished":
+            index = record.get("index")
+            if index in seen_indices:
+                continue
+            seen_indices.add(index)
+            registry.counter(
+                "experiments",
+                partition=str(record.get("partition")),
+                category=str(record.get("category")),
+            ).inc()
+            mechanism = record.get("mechanism")
+            if mechanism is not None:
+                registry.counter("detections", mechanism=str(mechanism)).inc()
+            if record.get("pruned"):
+                registry.counter("pruned_experiments").inc()
+        elif kind == "chunk_requeued":
+            registry.counter("requeued_chunks").inc()
+            registry.counter("retries").inc(int(record.get("experiments", 0)))
+        elif kind == "experiment_quarantined":
+            registry.counter("quarantined_experiments").inc()
+        elif kind == "worker_pool_rebuilt":
+            registry.counter("worker_pool_rebuilds").inc()
+        elif kind == "serial_fallback":
+            registry.counter("serial_fallbacks").inc()
+        elif kind == "campaign_resumed":
+            registry.counter("resumed_experiments").inc(
+                int(record.get("completed", 0))
+            )
+    return registry
+
+
+def status_metrics(status: CampaignStatus) -> MetricsRegistry:
+    """Gauge a status snapshot (progress, rate, health) for scraping."""
+    registry = MetricsRegistry()
+    registry.gauge("campaign_experiments_total").set(status.total)
+    registry.gauge("campaign_experiments_done").set(status.done)
+    registry.gauge("campaign_experiments_pruned").set(status.pruned)
+    registry.gauge("campaign_experiments_resumed").set(status.resumed)
+    registry.gauge("campaign_workers").set(status.workers)
+    state_values = {"running": 1, "finished": 2, "aborted": 3, "stalled": 4}
+    registry.gauge("campaign_state").set(state_values.get(status.state, 0))
+    if status.throughput is not None:
+        registry.gauge("campaign_throughput_experiments_per_second").set(
+            status.throughput
+        )
+    if status.eta_seconds is not None:
+        registry.gauge("campaign_eta_seconds").set(status.eta_seconds)
+    if status.elapsed_seconds is not None:
+        registry.gauge("campaign_elapsed_seconds").set(status.elapsed_seconds)
+    stalled = sum(1 for health in status.worker_health if health.state == "stalled")
+    if status.worker_health:
+        registry.gauge("campaign_workers_stalled").set(stalled)
+    for category, count in status.outcome_counts.items():
+        registry.gauge("campaign_outcomes", category=category).set(count)
+    return registry

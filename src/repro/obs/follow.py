@@ -1,0 +1,125 @@
+"""Incremental, partial-line-tolerant following of live event logs.
+
+A campaign streams its JSONL event log while it runs (`docs/
+observability.md`), which means a reader polling the file mid-run sees
+an *unfinished* stream: the final line may be torn (a write in
+progress, or the tail of a crashed process), worker shard files appear
+and disappear as chunks complete, and a resumed campaign appends to the
+original file.  :func:`repro.obs.events.read_events` — built for
+post-hoc analysis — rejects such files; this module reads them.
+
+* :class:`EventFollower` tails one JSONL file: each :meth:`~
+  EventFollower.poll` returns the records completed since the last
+  poll, buffering a trailing partial line until its newline arrives and
+  resetting cleanly when the file is truncated or replaced.
+* :class:`CampaignFollower` tails a campaign's whole event surface: the
+  main log plus any live ``<path>.shard<N>`` worker files, which it
+  rediscovers on every poll.  Shard records are re-read from the main
+  log after the end-of-run merge; the status reducer
+  (:mod:`repro.obs.status`) deduplicates, so the combined stream is
+  safe to fold at any moment of the campaign's life.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from typing import Dict, List
+
+from repro.obs.events import parse_event_line
+
+
+class EventFollower:
+    """Tail one JSONL event file incrementally.
+
+    The follower never keeps the file open between polls (the writer may
+    rotate or delete it), tracking a byte offset instead.  A poll reads
+    everything past the offset, returns the complete lines as validated
+    records and retains a trailing partial line in an internal buffer —
+    the next poll prepends it, so a record torn across two polls is
+    still delivered exactly once.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.offset = 0
+        self._partial = ""
+        self._line_number = 0
+
+    def poll(self) -> List[Dict[str, object]]:
+        """Records newly completed since the last poll (possibly none).
+
+        A missing file yields no records (the campaign may not have
+        started writing yet); a file smaller than the stored offset is
+        treated as truncated/replaced and re-read from the start.
+        """
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []
+        if size < self.offset:
+            # Truncated or replaced (e.g. a fresh campaign reusing the
+            # path): forget everything and start over.
+            self.offset = 0
+            self._partial = ""
+            self._line_number = 0
+        if size == self.offset and not self._partial:
+            return []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            handle.seek(self.offset)
+            chunk = handle.read()
+            self.offset = handle.tell()
+        data = self._partial + chunk
+        lines = data.split("\n")
+        # No trailing newline: the writer is mid-record.  Hold the tail
+        # back; it is not an error, just an incomplete stream.
+        self._partial = lines.pop()
+        records: List[Dict[str, object]] = []
+        for line in lines:
+            self._line_number += 1
+            record = parse_event_line(line, f"{self.path}:{self._line_number}")
+            if record is not None:
+                records.append(record)
+        return records
+
+    @property
+    def pending_partial(self) -> bool:
+        """True when a torn trailing line is buffered awaiting its newline."""
+        return bool(self._partial)
+
+
+class CampaignFollower:
+    """Tail a campaign's main event log plus its live worker shards.
+
+    Parallel campaigns write per-worker ``<events>.shard<N>`` files and
+    merge them into the main log only as chunks (or the whole run)
+    complete, so the main log alone under-reports a live run.  Each
+    :meth:`poll` re-globs for shard files, tails every known one and
+    concatenates the new records after the main log's.  Records observed
+    first in a shard will be observed again once merged into the main
+    log; fold the stream with :class:`repro.obs.status.CampaignStatusReducer`,
+    whose experiment/heartbeat accounting is idempotent.
+    """
+
+    def __init__(self, path: str, shards: bool = True):
+        self.path = path
+        self.shards = shards
+        self._main = EventFollower(path)
+        self._shard_followers: Dict[str, EventFollower] = {}
+
+    def poll(self) -> List[Dict[str, object]]:
+        """New records from the main log, then from each live shard."""
+        records = self._main.poll()
+        if not self.shards:
+            return records
+        for shard in sorted(glob.glob(glob.escape(self.path) + ".shard*")):
+            follower = self._shard_followers.get(shard)
+            if follower is None:
+                follower = self._shard_followers[shard] = EventFollower(shard)
+            records.extend(follower.poll())
+        # Forget followers of deleted (merged) shards so a very long
+        # campaign does not accumulate one per chunk submission.
+        for shard in list(self._shard_followers):
+            if not os.path.exists(shard):
+                del self._shard_followers[shard]
+        return records

@@ -32,6 +32,7 @@ class EventSummary:
     detection_latencies: List[int] = field(default_factory=list)
     spans: List[Dict[str, object]] = field(default_factory=list)
     worker_chunks: int = 0
+    heartbeats: int = 0
     requeued_chunks: int = 0
     retried_experiments: int = 0
     quarantined: int = 0
@@ -73,6 +74,8 @@ def summarize_events(events: Sequence[Dict[str, object]]) -> EventSummary:
                 summary.detection_latencies.append(int(latency))
         elif kind == "worker_chunk_done":
             summary.worker_chunks += 1
+        elif kind == "worker_heartbeat":
+            summary.heartbeats += 1
         elif kind == "campaign_finished":
             summary.wall_seconds = float(record["wall_seconds"])
         elif kind == "span":
@@ -136,6 +139,8 @@ def render_events_summary(events: Sequence[Dict[str, object]]) -> str:
     meta += f", {summary.workers} worker(s)"
     if summary.worker_chunks:
         meta += f", {summary.worker_chunks} chunk(s)"
+    if summary.heartbeats:
+        meta += f", {summary.heartbeats} heartbeat(s)"
     if summary.wall_seconds is not None:
         meta += f", {summary.wall_seconds:.2f} s wall"
     lines.append(meta)

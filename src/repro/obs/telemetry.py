@@ -16,11 +16,15 @@ must record *identically* for worker merges to equal a serial run.
 
 from __future__ import annotations
 
+import glob
+import os
 from contextlib import nullcontext
 from typing import ContextManager, Dict, Optional
 
 from repro.obs.events import EventLog, now
+from repro.obs.export import MetricsSnapshotter
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.status import manifest_path_for
 from repro.obs.trace import Tracer
 
 
@@ -31,6 +35,14 @@ class Telemetry:
         events_path: JSONL event-file destination (None: no event log).
         metrics: collect a :class:`MetricsRegistry` (default True).
         tracer: collect phase spans (default True).
+        append: open the event log in append mode — a resumed campaign
+            continues the original run's log instead of truncating it,
+            so the combined file holds the campaign's full history.
+        snapshot_path: periodically dump the metrics registry to this
+            JSON file (atomic writes; see
+            :class:`~repro.obs.export.MetricsSnapshotter`) so a live
+            campaign's metrics can be exported from another process.
+        snapshot_every: minimum seconds between two snapshot writes.
     """
 
     def __init__(
@@ -38,11 +50,19 @@ class Telemetry:
         events_path: Optional[str] = None,
         metrics: bool = True,
         tracer: bool = True,
+        append: bool = False,
+        snapshot_path: Optional[str] = None,
+        snapshot_every: float = 2.0,
     ):
         self.metrics: Optional[MetricsRegistry] = MetricsRegistry() if metrics else None
         self.tracer: Optional[Tracer] = Tracer() if tracer else None
         self.events: Optional[EventLog] = (
-            EventLog(events_path) if events_path else None
+            EventLog(events_path, mode="a" if append else "w") if events_path else None
+        )
+        self.snapshotter: Optional[MetricsSnapshotter] = (
+            MetricsSnapshotter(snapshot_path, every=snapshot_every)
+            if snapshot_path and metrics
+            else None
         )
         self._finished = False
 
@@ -63,14 +83,57 @@ class Telemetry:
             return None
         return f"{self.events.path}.shard{worker_index}"
 
+    @property
+    def manifest_path(self) -> Optional[str]:
+        """The campaign manifest sidecar path, if events are on."""
+        if self.events is None:
+            return None
+        return manifest_path_for(self.events.path)
+
+    def remove_stale_shards(self) -> int:
+        """Delete leftover shard files from an earlier (aborted) run.
+
+        A crashed parallel campaign can leave partial ``.shard<N>``
+        files behind; a new run over the same events path must not let a
+        live status poll (or the end-of-run merge) pick up their stale
+        records.  Returns the number removed.
+        """
+        if self.events is None:
+            return 0
+        stale = glob.glob(glob.escape(self.events.path) + ".shard*")
+        for path in stale:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        return len(stale)
+
+    def checkpoint(self) -> None:
+        """Make the live telemetry surface current: flush the event log
+        and, when due, write a metrics snapshot.
+
+        Campaign code calls this at chunk boundaries (and every
+        ``RecoveryPolicy.heartbeat_every`` serial experiments), which is
+        what makes ``repro obs status``/``watch`` able to read a running
+        campaign — without the flush, buffered events would sit in this
+        process until the run ended.
+        """
+        if self.events is not None:
+            self.events.flush()
+        if self.snapshotter is not None:
+            self.snapshotter.maybe_write(self.metrics)
+
     def finish(self) -> None:
         """Emit the tracer's spans and flush the event log.
 
         Idempotent: campaign runs call it in a ``finally``-style path so
         a crashed or aborted campaign still flushes its events for
         post-mortem ``repro obs`` — spans are emitted once, the flush
-        happens every time.
+        happens every time.  The final metrics snapshot is forced so the
+        exported file never lags the campaign's end state.
         """
+        if self.snapshotter is not None:
+            self.snapshotter.maybe_write(self.metrics, force=True)
         if self.events is None:
             return
         if not self._finished:
@@ -133,6 +196,29 @@ def experiment_event(index: int, run, outcome) -> Dict[str, object]:
         "timed_out": run.timed_out,
         "instructions": run.instructions_executed,
         "pruned": getattr(run, "predicted", False),
+    }
+
+
+def heartbeat_event(
+    worker: int, done: int, total: int, seconds: float
+) -> Dict[str, object]:
+    """The ``worker_heartbeat`` payload for one liveness report.
+
+    Emitted by the execution loops — the worker chunk loop into its
+    shard, the serial loop into the main log — every
+    ``RecoveryPolicy.heartbeat_every`` experiments, carrying chunk
+    progress and throughput.  ``pid`` identifies the reporting process
+    across chunk submissions, which is what the status reducer keys
+    per-worker health on.
+    """
+    return {
+        "ts": now(),
+        "pid": os.getpid(),
+        "worker": worker,
+        "done": done,
+        "total": total,
+        "seconds": seconds,
+        "throughput": (done / seconds) if seconds > 0 else None,
     }
 
 
