@@ -100,12 +100,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         iterations=args.iterations,
         partitions=args.partitions,
         prune=args.prune,
+        collapse=args.collapse,
+        batch_size=args.batch_size,
         chaos=chaos,
     )
     if args.validate_pruning:
         from repro.goofi.pruning import validate_pruning
 
         report = validate_pruning(config, workers=args.workers)
+        print(report.render())
+        return 0 if report.ok else 1
+    if args.validate_collapse:
+        from repro.goofi.pruning import validate_collapse
+
+        report = validate_collapse(config, workers=args.workers)
         print(report.render())
         return 0 if report.ok else 1
     if args.resume is not None and not args.database:
@@ -492,6 +500,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the campaign with and without pruning and fail "
         "(exit 1) unless every per-experiment outcome matches",
+    )
+    campaign.add_argument(
+        "--collapse",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="simulate one representative per outcome-equivalence class "
+        "of live faults and replay its result for the rest "
+        "(see docs/performance.md)",
+    )
+    campaign.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        metavar="K",
+        help="live faults simulated concurrently through one shared "
+        "dispatch loop (default: 1, classic one-at-a-time execution)",
+    )
+    campaign.add_argument(
+        "--validate-collapse",
+        action="store_true",
+        help="run the campaign with pruning+collapse+batching and "
+        "against the plain baseline; fail (exit 1) unless every "
+        "per-experiment outcome matches",
     )
     campaign.add_argument(
         "--resume",

@@ -34,7 +34,12 @@ from repro.faults.models import FaultDescriptor, LocationSpace, sample_fault_pla
 from repro.goofi.database import CampaignDatabase
 from repro.goofi.environment import EngineEnvironment
 from repro.goofi.pool import ReferencePool, WorkerPayload, worker_target
-from repro.goofi.pruning import preclassify_pairs, synthesize_run
+from repro.goofi.pruning import (
+    collapse_live_plan,
+    preclassify_pairs,
+    replay_equivalent,
+    synthesize_run,
+)
 from repro.goofi.recovery import (
     ChaosSpec,
     RecoveryPolicy,
@@ -83,6 +88,16 @@ class CampaignConfig:
             the next read, or never touched again) — the predicted
             experiments classify identically to simulated ones, see
             ``docs/performance.md``.  Off by default.
+        collapse: group live faults into outcome-equivalence classes
+            (same first live read consuming the same delivered value),
+            simulate one representative per class and replay its result
+            for the rest (``provenance='equivalent'``).  Also records
+            the access trace.  Off by default.
+        batch_size: live faults simulated concurrently through one
+            shared dispatch loop (each on its own lane of CPU/cache/
+            environment state); ``1`` (default) pins the classic one-
+            at-a-time execution.  Like ``collapse``, proven outcome-
+            invariant by the golden-equivalence gate.
         share_reference: ship the parent's golden run to the workers
             instead of having every worker recompute it (parallel runs
             only; outcomes are identical either way).
@@ -109,6 +124,8 @@ class CampaignConfig:
     watchdog_factor: float = 10.0
     early_exit: bool = True
     prune: bool = False
+    collapse: bool = False
+    batch_size: int = 1
     share_reference: bool = True
     fast_dispatch: bool = True
     incremental_hash: bool = True
@@ -121,6 +138,8 @@ class CampaignConfig:
             raise CampaignError("faults must be positive")
         if self.iterations <= 0:
             raise CampaignError("iterations must be positive")
+        if self.batch_size <= 0:
+            raise CampaignError("batch_size must be positive")
 
 
 @dataclass
@@ -192,7 +211,10 @@ def _run_chunk(args):
     shipped, otherwise the initializer recomputed it, but either way no
     per-chunk reference run happens here.  ``chunk`` carries
     ``(plan index, fault)`` pairs so telemetry can be re-ordered into
-    plan order afterwards.
+    plan order afterwards.  With ``batch_size > 1`` the chunk is cut
+    into groups of that size and each group runs through the target's
+    shared-dispatch batch engine — outcome-identical to one-at-a-time
+    execution, just cheaper per instruction.
 
     When telemetry is enabled the worker records into its own
     :class:`~repro.obs.MetricsRegistry` (returned as a dict for the
@@ -214,6 +236,7 @@ def _run_chunk(args):
         early_exit,
         chaos,
         heartbeat_every,
+        batch_size,
     ) = args
     registry = MetricsRegistry() if metrics_enabled else None
     events = EventLog(shard_path) if shard_path else None
@@ -221,37 +244,48 @@ def _run_chunk(args):
     started = time.perf_counter()
     results = []
     # The worker process outlives this chunk; reset the metrics binding
-    # afterwards so its EDM listener never leaks into the next phase.
+    # (and the per-chunk batch size) afterwards so neither leaks into
+    # the next phase.
     target.metrics = registry
+    previous_batch = target.batch_size
+    target.batch_size = max(1, int(batch_size))
     try:
         reference_outputs = target.reference.outputs
-        for index, fault in chunk:
-            chaos_maybe_crash(chaos, index)
-            run = target.run_experiment(fault, early_exit=early_exit)
-            outcome = ScifiCampaign._classify(run, reference_outputs)
-            if registry is not None:
-                record_outcome(registry, run, outcome)
-            if events is not None:
-                events.emit(
-                    "experiment_finished", **experiment_event(index, run, outcome)
-                )
-                done = len(results) + 1
-                if done == len(chunk) or (
-                    heartbeat_every and done % heartbeat_every == 0
-                ):
+        group_size = target.batch_size
+        for start in range(0, len(chunk), group_size):
+            group = chunk[start : start + group_size]
+            for index, _fault in group:
+                chaos_maybe_crash(chaos, index)
+            runs = target.run_experiment_batch(
+                [fault for _index, fault in group], early_exit
+            )
+            for (index, fault), run in zip(group, runs):
+                outcome = ScifiCampaign._classify(run, reference_outputs)
+                if registry is not None:
+                    record_outcome(registry, run, outcome)
+                if events is not None:
                     events.emit(
-                        "worker_heartbeat",
-                        **heartbeat_event(
-                            worker=submission_id,
-                            done=done,
-                            total=len(chunk),
-                            seconds=time.perf_counter() - started,
-                        ),
+                        "experiment_finished",
+                        **experiment_event(index, run, outcome),
                     )
-                    events.flush()
-            results.append((index, run, outcome))
+                    done = len(results) + 1
+                    if done == len(chunk) or (
+                        heartbeat_every and done % heartbeat_every == 0
+                    ):
+                        events.emit(
+                            "worker_heartbeat",
+                            **heartbeat_event(
+                                worker=submission_id,
+                                done=done,
+                                total=len(chunk),
+                                seconds=time.perf_counter() - started,
+                            ),
+                        )
+                        events.flush()
+                results.append((index, run, outcome))
     finally:
         target.metrics = None
+        target.batch_size = previous_batch
     if events is not None:
         events.close()
     seconds = time.perf_counter() - started
@@ -280,6 +314,8 @@ class ScifiCampaign:
             watchdog_factor=config.watchdog_factor,
             fast_dispatch=config.fast_dispatch,
             incremental_hash=config.incremental_hash,
+            batch_size=config.batch_size,
+            environment_factory=config.environment_factory,
         )
         # Streaming-persistence state of the in-flight run, used by the
         # abort path to flush and mark the campaign resumable.
@@ -504,7 +540,7 @@ class ScifiCampaign:
         with span("campaign"):
             with span("reference_run"):
                 reference = self.target.run_reference(
-                    record_access=config.prune
+                    record_access=config.prune or config.collapse
                 )
                 if telemetry is not None and telemetry.metrics is not None:
                     telemetry.metrics.gauge("reference_instructions").set(
@@ -598,6 +634,37 @@ class ScifiCampaign:
                                 "pruned_experiments",
                                 prediction=classification.value,
                             ).inc()
+            # Equivalence collapse: group the live remainder into
+            # outcome-equivalence classes; only class representatives
+            # stay in the live plan, the members replay their
+            # representative's simulated result once it exists.
+            equivalence_classes: Dict[int, List[Tuple[int, FaultDescriptor]]] = {}
+            if config.collapse:
+                with span("collapse"):
+                    liveness = self.target.liveness
+                    if liveness is None:
+                        raise CampaignError(
+                            "collapse requested but no liveness map recorded"
+                        )
+                    collapsed = collapse_live_plan(live_plan, liveness)
+                    live_plan = collapsed.representatives
+                    equivalence_classes = collapsed.members
+                    if telemetry is not None:
+                        if telemetry.metrics is not None:
+                            telemetry.metrics.counter(
+                                "collapsed_experiments"
+                            ).inc(collapsed.collapsed)
+                            telemetry.metrics.counter(
+                                "equivalence_classes"
+                            ).inc(collapsed.classes)
+                        telemetry.emit(
+                            "equivalence_collapse",
+                            ts=now(),
+                            live=len(live_plan) + collapsed.collapsed,
+                            representatives=len(live_plan),
+                            classes=collapsed.classes,
+                            collapsed=collapsed.collapsed,
+                        )
             if telemetry is not None and telemetry.metrics is not None:
                 telemetry.metrics.counter("simulated_experiments").inc(
                     len(live_plan)
@@ -614,6 +681,8 @@ class ScifiCampaign:
                         predicted_results,
                         resumed_results,
                         sink,
+                        live_plan=live_plan,
+                        equivalence_classes=equivalence_classes,
                     )
                 else:
                     experiments, outcomes = self._run_parallel(
@@ -626,6 +695,7 @@ class ScifiCampaign:
                         resumed_results=resumed_results,
                         pool=pool,
                         sink=sink,
+                        equivalence_classes=equivalence_classes,
                     )
             wall = time.perf_counter() - started
 
@@ -695,12 +765,58 @@ class ScifiCampaign:
                 instructions_executed=experiment.instructions_executed,
                 predicted=experiment.provenance == "predicted",
                 quarantined=experiment.provenance == "quarantined",
+                equivalent=experiment.provenance == "equivalent",
+                representative_index=experiment.representative_index,
             )
             resumed[index] = (run, experiment.outcome)
         self.database.reopen_campaign(campaign_id)
         return resumed
 
     # -- serial execution ------------------------------------------------------
+    def _replay_equivalents(
+        self, rep_index, run, outcome, equivalence_classes, by_index, streamable
+    ) -> None:
+        """Copy a representative's simulated result to its class members.
+
+        A quarantined stand-in proves nothing about the class, so its
+        members are left unresolved and fall through to individual
+        simulation.  The classification is reused as-is: it depends
+        only on fields :func:`replay_equivalent` copies verbatim.
+        """
+        members = equivalence_classes.get(rep_index)
+        if not members or run.quarantined:
+            return
+        for m_index, m_fault in members:
+            if m_index in by_index:
+                continue
+            m_run = replay_equivalent(m_fault, run, rep_index)
+            by_index[m_index] = (m_run, outcome)
+            streamable.add(m_index)
+
+    def _run_batch_recovered(
+        self, group, reference_outputs, telemetry
+    ) -> List[Tuple[ExperimentRun, Outcome]]:
+        """One batched group with the same failure semantics as the
+        per-experiment path: any failure (chaos included) falls back to
+        :meth:`_run_one_recovered` per fault, which owns all retry,
+        backoff and quarantine accounting."""
+        chaos = self.config.chaos
+        try:
+            if chaos is not None and chaos.mode == "raise":
+                for index, _fault in group:
+                    chaos_maybe_crash(chaos, index)
+            runs = self.target.run_experiment_batch(
+                [fault for _index, fault in group], self.config.early_exit
+            )
+        except KeyboardInterrupt:
+            raise
+        except Exception:
+            return [
+                self._run_one_recovered(index, fault, reference_outputs, telemetry)
+                for index, fault in group
+            ]
+        return [(run, self._classify(run, reference_outputs)) for run in runs]
+
     def _run_serial(
         self,
         plan,
@@ -710,20 +826,48 @@ class ScifiCampaign:
         predicted_results,
         resumed_results,
         sink,
+        live_plan=None,
+        equivalence_classes=None,
     ):
         by_index: Dict[int, Tuple[ExperimentRun, Outcome]] = {}
         by_index.update(resumed_results)
         by_index.update(predicted_results)
+        equivalence_classes = equivalence_classes or {}
+        # Indices the sink must store besides the freshly simulated
+        # ones: predictions, batched pre-simulations, equivalence
+        # replays.
+        streamable = set(predicted_results)
         heartbeat_every = self.config.recovery.heartbeat_every
         started = time.perf_counter()
+        if self.config.batch_size > 1 and live_plan:
+            # Batched pre-simulation: live faults run in groups through
+            # the shared dispatch loop; the plan loop below then streams
+            # and reports the stored pairs in plan order, exactly as the
+            # one-at-a-time path would have.
+            pending = [(i, f) for i, f in live_plan if i not in by_index]
+            size = self.config.batch_size
+            for start in range(0, len(pending), size):
+                group = pending[start : start + size]
+                pairs = self._run_batch_recovered(
+                    group, reference.outputs, telemetry
+                )
+                for (i, _fault), pair in zip(group, pairs):
+                    by_index[i] = pair
+                    streamable.add(i)
+                    self._replay_equivalents(
+                        i, pair[0], pair[1], equivalence_classes, by_index, streamable
+                    )
         for i, fault in enumerate(plan):
             pair = by_index.get(i)
             fresh = pair is None
             if fresh:
                 pair = self._run_one_recovered(i, fault, reference.outputs, telemetry)
                 by_index[i] = pair
+                self._replay_equivalents(
+                    i, pair[0], pair[1], equivalence_classes, by_index, streamable
+                )
             run, outcome = pair
-            if sink is not None and (fresh or i in predicted_results):
+            if sink is not None and (fresh or i in streamable):
                 sink.add(i, run, outcome)
             if telemetry is not None and i not in resumed_results:
                 if telemetry.metrics is not None:
@@ -833,6 +977,7 @@ class ScifiCampaign:
         resumed_results=None,
         pool=None,
         sink=None,
+        equivalence_classes=None,
     ):
         """Fan the live plan out over worker processes, preserving plan order.
 
@@ -858,6 +1003,12 @@ class ScifiCampaign:
         written to a pseudo-shard (submission id 0, which no worker
         uses) so the shard merge interleaves their events back into plan
         order alongside the workers' simulated ones.
+
+        With equivalence collapse the live plan holds only class
+        representatives; each member's result is replayed in the parent
+        as its representative's chunk arrives.  A representative that
+        ends up quarantined replays nothing — its members are requeued
+        as an ordinary chunk and simulated individually.
         """
         import concurrent.futures
         from concurrent.futures.process import BrokenProcessPool
@@ -866,6 +1017,7 @@ class ScifiCampaign:
         policy = config.recovery
         predicted_results = predicted_results or {}
         resumed_results = resumed_results or {}
+        equivalence_classes = equivalence_classes or {}
         metrics_enabled = telemetry is not None and telemetry.metrics is not None
         reference_outputs = self.target.reference.outputs
         payload = WorkerPayload(
@@ -948,6 +1100,25 @@ class ScifiCampaign:
             record_result(index, run, outcome)
             if sink is not None:
                 sink.flush()
+            # A quarantined representative proves nothing about its
+            # equivalence class: simulate the members individually.
+            members = equivalence_classes.pop(index, None)
+            if members:
+                queue.append(_PendingChunk(list(members)))
+
+        def replay_members(index, run, outcome) -> None:
+            """Replay an arrived representative's result for its class."""
+            for m_index, m_fault in equivalence_classes.get(index, ()):
+                if m_index in by_index:
+                    continue
+                m_run = replay_equivalent(m_fault, run, index)
+                if metrics_enabled:
+                    record_outcome(telemetry.metrics, m_run, outcome)
+                emit(
+                    "experiment_finished",
+                    **experiment_event(m_index, m_run, outcome),
+                )
+                record_result(m_index, m_run, outcome)
 
         def handle_failure(
             chunk: _PendingChunk,
@@ -1009,6 +1180,7 @@ class ScifiCampaign:
                 config.early_exit,
                 config.chaos,
                 policy.heartbeat_every,
+                config.batch_size,
             )
             try:
                 future = pool.submit(_run_chunk, args)
@@ -1019,7 +1191,15 @@ class ScifiCampaign:
             return True
 
         try:
-            pool.prepare(payload)
+            if pool.prepare(payload):
+                # A warm pool was torn down because its workers were
+                # built for an incompatible payload — surface the cost.
+                counter_inc("pool_respawns")
+                emit(
+                    "worker_pool_respawned",
+                    ts=now(),
+                    reason=pool.last_respawn_reason,
+                )
             while (queue or active) and not fallback:
                 broken = False
                 # Suspect chunks (in flight during an earlier pool break)
@@ -1062,6 +1242,7 @@ class ScifiCampaign:
                         else:
                             for index, run, outcome in chunk_result:
                                 record_result(index, run, outcome)
+                                replay_members(index, run, outcome)
                             if sink is not None:
                                 sink.flush()
                             if telemetry is not None:
@@ -1129,7 +1310,9 @@ class ScifiCampaign:
                 leftover = [item for chunk in queue for item in chunk.items]
                 queue.clear()
                 emit("serial_fallback", ts=now(), experiments=len(leftover))
-                for index, fault in leftover:
+                pending = deque(leftover)
+                while pending:
+                    index, fault = pending.popleft()
                     if index in by_index:
                         continue
                     run, outcome = self._run_one_recovered(
@@ -1141,6 +1324,12 @@ class ScifiCampaign:
                         "experiment_finished", **experiment_event(index, run, outcome)
                     )
                     record_result(index, run, outcome)
+                    if run.quarantined:
+                        # No replay from a stand-in result: the class
+                        # members join the serial queue instead.
+                        pending.extend(equivalence_classes.get(index, ()))
+                    else:
+                        replay_members(index, run, outcome)
                 if sink is not None:
                     sink.flush()
         except BaseException:

@@ -45,8 +45,13 @@ from repro.errors import DatabaseError
 #: refuse to resume), ``experiments.plan_index`` (NULL for migrated
 #: rows) plus a uniqueness index on ``(campaign_id, plan_index)``, and
 #: the ``'quarantined'`` provenance value for experiments that
-#: repeatedly crashed a worker.
-DB_SCHEMA_VERSION = 4
+#: repeatedly crashed a worker;
+#: version 5 added equivalence collapse: the ``'equivalent'``
+#: provenance value for experiments replayed from an outcome-equivalent
+#: class representative, and ``experiments.representative_index`` (the
+#: representative's plan index; NULL for every other provenance and for
+#: migrated rows).
+DB_SCHEMA_VERSION = 5
 
 #: Milliseconds a writer waits on a locked database before failing.
 BUSY_TIMEOUT_MS = 5_000
@@ -80,7 +85,8 @@ CREATE TABLE IF NOT EXISTS experiments (
     timed_out INTEGER NOT NULL,
     instructions_executed INTEGER NOT NULL,
     provenance TEXT NOT NULL DEFAULT 'simulated',
-    plan_index INTEGER
+    plan_index INTEGER,
+    representative_index INTEGER
 );
 """
 
@@ -95,8 +101,9 @@ _EXPERIMENT_INSERT = (
     "INSERT INTO experiments (campaign_id, partition, element, bit,"
     " time, category, mechanism, first_failure_iteration,"
     " max_deviation, early_exit_iteration, timed_out,"
-    " instructions_executed, provenance, plan_index)"
-    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+    " instructions_executed, provenance, plan_index,"
+    " representative_index)"
+    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
 )
 
 
@@ -106,6 +113,8 @@ def _provenance(run) -> str:
         return "quarantined"
     if getattr(run, "predicted", False):
         return "predicted"
+    if getattr(run, "equivalent", False):
+        return "equivalent"
     return "simulated"
 
 
@@ -125,6 +134,7 @@ def _experiment_row(campaign_id: int, plan_index: Optional[int], run, outcome) -
         run.instructions_executed,
         _provenance(run),
         plan_index,
+        getattr(run, "representative_index", None),
     )
 
 
@@ -142,6 +152,7 @@ class StoredExperiment:
     timed_out: bool
     instructions_executed: int
     provenance: str
+    representative_index: Optional[int] = None
 
 
 class CampaignDatabase:
@@ -167,13 +178,16 @@ class CampaignDatabase:
         ``CREATE TABLE IF NOT EXISTS`` leaves older tables untouched, so
         databases written before :data:`DB_SCHEMA_VERSION` 2 lack the
         ``schema_version``/``created_at`` columns, ones written before
-        version 3 lack ``experiments.provenance``, and ones written
-        before version 4 lack ``campaigns.status``/``config_json`` and
-        ``experiments.plan_index``; add them in place.  Existing rows
-        keep the defaults (version 1, NULL timestamp, ``'simulated'``
-        provenance, ``'complete'`` status, NULL fingerprint and plan
-        index — correct, since pre-v4 rows were only written for
-        finished campaigns and cannot be resumed).
+        version 3 lack ``experiments.provenance``, ones written before
+        version 4 lack ``campaigns.status``/``config_json`` and
+        ``experiments.plan_index``, and ones written before version 5
+        lack ``experiments.representative_index``; add them in place.
+        Existing rows keep the defaults (version 1, NULL timestamp,
+        ``'simulated'`` provenance, ``'complete'`` status, NULL
+        fingerprint, plan index and representative index — correct,
+        since pre-v4 rows were only written for finished campaigns and
+        cannot be resumed, and no pre-v5 row was ever an equivalence
+        replay).
         """
         columns = {
             row[1]
@@ -207,6 +221,10 @@ class CampaignDatabase:
         if "plan_index" not in experiment_columns:
             self._conn.execute(
                 "ALTER TABLE experiments ADD COLUMN plan_index INTEGER"
+            )
+        if "representative_index" not in experiment_columns:
+            self._conn.execute(
+                "ALTER TABLE experiments ADD COLUMN representative_index INTEGER"
             )
 
     def close(self) -> None:
@@ -370,7 +388,7 @@ class CampaignDatabase:
             "SELECT plan_index, partition, element, bit, time, category,"
             " mechanism, first_failure_iteration, max_deviation,"
             " early_exit_iteration, timed_out, instructions_executed,"
-            " provenance FROM experiments"
+            " provenance, representative_index FROM experiments"
             " WHERE campaign_id = ? AND plan_index IS NOT NULL"
             " ORDER BY plan_index",
             (campaign_id,),
@@ -380,7 +398,7 @@ class CampaignDatabase:
             (
                 plan_index, partition, element, bit, time, category,
                 mechanism, first_fail, max_dev, early_exit, timed_out,
-                instructions, provenance,
+                instructions, provenance, representative_index,
             ) = row
             completed[int(plan_index)] = StoredExperiment(
                 plan_index=int(plan_index),
@@ -398,6 +416,11 @@ class CampaignDatabase:
                 timed_out=bool(timed_out),
                 instructions_executed=int(instructions),
                 provenance=str(provenance),
+                representative_index=(
+                    int(representative_index)
+                    if representative_index is not None
+                    else None
+                ),
             )
         return completed
 
@@ -451,7 +474,7 @@ class CampaignDatabase:
 
     def provenance_counts(self, campaign_id: int) -> List[Tuple[str, int]]:
         """Experiment counts per provenance
-        (``simulated``/``predicted``/``quarantined``)."""
+        (``simulated``/``predicted``/``equivalent``/``quarantined``)."""
         cursor = self._conn.execute(
             "SELECT provenance, COUNT(*) FROM experiments"
             " WHERE campaign_id = ? GROUP BY provenance ORDER BY provenance",

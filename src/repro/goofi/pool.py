@@ -67,6 +67,7 @@ def _initialize_worker(payload: WorkerPayload) -> None:
         watchdog_factor=payload.watchdog_factor,
         fast_dispatch=payload.fast_dispatch,
         incremental_hash=payload.incremental_hash,
+        environment_factory=payload.environment_factory,
     )
     if payload.reference is None:
         target.run_reference()
@@ -89,6 +90,35 @@ def worker_payload() -> WorkerPayload:
     if _WORKER_PAYLOAD is None:
         raise CampaignError("not inside an initialised pool worker")
     return _WORKER_PAYLOAD
+
+
+def _factories_equivalent(a, b) -> bool:
+    """Whether two environment factories build interchangeable workers.
+
+    Identity is sufficient but not necessary: the common factories are
+    module-level classes or functions, and a caller that rebuilds an
+    equal configuration (``dataclasses.replace``, a re-import, a fresh
+    ``functools.partial``) hands over a *different object* naming the
+    *same behaviour*.  Comparing the importable identity — module plus
+    qualname — keeps the warm pool in those cases.  Factories without a
+    stable importable identity (lambdas, local functions: their
+    qualname contains ``<lambda>`` or ``<locals>``, so one name can
+    cover many distinct behaviours) only ever match by identity.
+    """
+    if a is b:
+        return True
+    fingerprint = (
+        getattr(a, "__module__", None),
+        getattr(a, "__qualname__", None),
+    )
+    if fingerprint != (
+        getattr(b, "__module__", None),
+        getattr(b, "__qualname__", None),
+    ):
+        return False
+    if fingerprint[0] is None or fingerprint[1] is None:
+        return False
+    return "<lambda>" not in fingerprint[1] and "<locals>" not in fingerprint[1]
 
 
 def _references_equivalent(
@@ -124,30 +154,54 @@ class ReferencePool:
         self.workers = workers
         self._executor: Optional[ProcessPoolExecutor] = None
         self._payload: Optional[WorkerPayload] = None
+        #: Why the last :meth:`prepare` had to tear down a warm pool
+        #: (the incompatible payload field), or ``None``.
+        self.last_respawn_reason: Optional[str] = None
 
-    def _compatible(self, payload: WorkerPayload) -> bool:
+    def _incompatibility(self, payload: WorkerPayload) -> Optional[str]:
+        """The first payload field that makes the warm workers unusable,
+        or ``None`` when they are compatible."""
         current = self._payload
         if current is None:
-            return False
-        return (
-            current.workload is payload.workload
-            and current.iterations == payload.iterations
-            and current.watchdog_factor == payload.watchdog_factor
-            and current.environment_factory is payload.environment_factory
-            and current.fast_dispatch == payload.fast_dispatch
-            and current.incremental_hash == payload.incremental_hash
-            and _references_equivalent(current.reference, payload.reference)
-        )
+            return "uninitialised"
+        if current.workload is not payload.workload:
+            return "workload"
+        if current.iterations != payload.iterations:
+            return "iterations"
+        if current.watchdog_factor != payload.watchdog_factor:
+            return "watchdog_factor"
+        if not _factories_equivalent(
+            current.environment_factory, payload.environment_factory
+        ):
+            return "environment_factory"
+        if current.fast_dispatch != payload.fast_dispatch:
+            return "fast_dispatch"
+        if current.incremental_hash != payload.incremental_hash:
+            return "incremental_hash"
+        if not _references_equivalent(current.reference, payload.reference):
+            return "reference"
+        return None
 
-    def prepare(self, payload: WorkerPayload) -> None:
+    def _compatible(self, payload: WorkerPayload) -> bool:
+        return self._payload is not None and self._incompatibility(payload) is None
+
+    def prepare(self, payload: WorkerPayload) -> bool:
         """Ensure the pool's workers are initialised for ``payload``.
 
         A no-op when the current workers are already compatible; an
         incompatible payload shuts the pool down and spawns fresh
-        workers.
+        workers.  Returns ``True`` exactly when a *warm* pool had to be
+        torn down (a forced respawn — :attr:`last_respawn_reason` then
+        names the offending payload field), ``False`` for a no-op or a
+        cold first spawn.
         """
-        if self._executor is not None and self._compatible(payload):
-            return
+        respawn = False
+        if self._executor is not None:
+            reason = self._incompatibility(payload)
+            if reason is None:
+                return False
+            respawn = True
+            self.last_respawn_reason = reason
         self.close()
         self._payload = payload
         self._executor = ProcessPoolExecutor(
@@ -155,6 +209,7 @@ class ReferencePool:
             initializer=_initialize_worker,
             initargs=(payload,),
         )
+        return respawn
 
     def submit(self, fn, *args) -> Future:
         """Submit a task; :meth:`prepare` must have been called."""

@@ -70,6 +70,8 @@ EVENT_TYPES = (
     "experiment_quarantined",
     "worker_pool_rebuilt",
     "serial_fallback",
+    "equivalence_collapse",
+    "worker_pool_respawned",
 )
 
 

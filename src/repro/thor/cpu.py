@@ -64,7 +64,7 @@ from repro.thor.isa import (
     SP_INDEX,
     decode,
 )
-from repro.thor.memory import MemoryLayout, MemoryMap, WORD
+from repro.thor.memory import MemoryLayout, MemoryMap, WORD, _parity
 from repro.thor.program import Program
 
 # PSW bit positions.
@@ -221,7 +221,7 @@ class CPU:
         if index > SP_INDEX:
             raise_detection(Mechanism.INSTRUCTION_ERROR, f"register field {index}")
         if self.recorder is not None:
-            self.recorder.reg_read(_REG_NAMES[index])
+            self.recorder.reg_read(_REG_NAMES[index], value=self.regs[index])
         return self.regs[index]
 
     def _write_reg(self, index: int, value: int) -> None:
@@ -428,7 +428,7 @@ class CPU:
         assert instruction is not None
         if instruction.opcode in PRIVILEGED_OPCODES:
             if recorder is not None:
-                recorder.reg_read("psw", FLAG_M)
+                recorder.reg_read("psw", FLAG_M, self.psw)
             if not self.supervisor:
                 raise_detection(
                     Mechanism.INSTRUCTION_ERROR,
@@ -496,14 +496,14 @@ class CPU:
             # Stack ops read SP before rewriting it with a derived value;
             # the read alone determines liveness, so it is all we record.
             if recorder is not None:
-                recorder.reg_read("sp")
+                recorder.reg_read("sp", value=self.regs[SP_INDEX])
             sp = (self.regs[SP_INDEX] - WORD) & _U32
             self._check_stack_pointer(sp)
             self._data_write(sp, self._read_reg(instruction.rd))
             self.regs[SP_INDEX] = sp
         elif op is Opcode.POP:
             if recorder is not None:
-                recorder.reg_read("sp")
+                recorder.reg_read("sp", value=self.regs[SP_INDEX])
             sp = self.regs[SP_INDEX]
             self._check_stack_pointer(sp)
             if sp >= self.layout.stack_top:
@@ -571,7 +571,7 @@ class CPU:
                 next_pc = self._jump_target(self.pc + WORD * instruction.simm())
         elif op is Opcode.CALL:
             if recorder is not None:
-                recorder.reg_read("sp")
+                recorder.reg_read("sp", value=self.regs[SP_INDEX])
             sp = (self.regs[SP_INDEX] - WORD) & _U32
             self._check_stack_pointer(sp)
             self._data_write(sp, (self.pc + WORD) & _U32)
@@ -579,7 +579,7 @@ class CPU:
             next_pc = self._jump_target(self.pc + WORD * instruction.simm())
         elif op is Opcode.RET:
             if recorder is not None:
-                recorder.reg_read("sp")
+                recorder.reg_read("sp", value=self.regs[SP_INDEX])
             sp = self.regs[SP_INDEX]
             self._check_stack_pointer(sp)
             if sp >= self.layout.stack_top:
@@ -598,7 +598,7 @@ class CPU:
 
     def _branch_taken(self, op: Opcode) -> bool:
         if self.recorder is not None:
-            self.recorder.reg_read("psw", _FLAG_READ_MASK)
+            self.recorder.reg_read("psw", _FLAG_READ_MASK, self.psw)
         z = bool(self.psw & FLAG_Z)
         n = bool(self.psw & FLAG_N)
         v = bool(self.psw & FLAG_V)
@@ -1562,3 +1562,802 @@ def _predecode(word: int) -> _Handler:
     if len(_PREDECODE) < _PREDECODE_CAP:
         _PREDECODE[word] = handler
     return handler
+
+
+# ---------------------------------------------------------------------------
+# Batched multi-fault execution.
+#
+# A fault-injection campaign replays the same program under K different
+# corruptions.  The lanes share every immutable artefact — the code
+# image, the decode results, the predecoded dispatch table — and differ
+# only in mutable machine state, so the campaign driver keeps the lanes'
+# register files, PSWs, cache line arrays and RAM images side by side
+# (a structure of arrays: ``regs``/``psw``/``cache.data``/... per lane)
+# and runs each lane's next slice through *one* shared dispatch loop.
+#
+# :class:`BatchEngine` is that loop.  Instead of per-word handler
+# closures it predecodes words into flat ``(op, a, b, c)`` tuples in a
+# table shared by every lane of every engine in the process, and
+# executes the hot opcodes inline with the lane's state hoisted into
+# loop locals: an LD hit is three range compares and two list reads,
+# with none of the closure-call and attribute-lookup overhead of the
+# handler path.  Cold operations (cache misses, un-cached accesses,
+# HALT/SETMODE, words with out-of-range register fields) delegate to
+# the exact code the handler path runs, so observable behaviour —
+# results, flags, detection mechanisms, messages, ordering, counters —
+# is identical to :meth:`CPU.run` instruction for instruction.
+# ---------------------------------------------------------------------------
+
+#: Batch entry op ids, ordered by expected dynamic frequency (the
+#: dispatch chain below tests them in this order).
+_B_GENERIC = 0
+_B_LD = 1
+_B_ST = 2
+_B_ADDI = 3
+_B_CMP = 4
+_B_BSET = 5
+_B_BCLR = 6
+_B_FMUL = 7
+_B_FADD = 8
+_B_MOV = 9
+_B_BR = 10
+_B_SIG = 11
+_B_ADD = 12
+_B_SUB = 13
+_B_FSUB = 14
+_B_FDIV = 15
+_B_FCMP = 16
+_B_PUSH = 17
+_B_POP = 18
+_B_CALL = 19
+_B_RET = 20
+_B_LDI = 21
+_B_LUI = 22
+_B_ORI = 23
+_B_MUL = 24
+_B_DIV = 25
+_B_AND = 26
+_B_OR = 27
+_B_XOR = 28
+_B_SHL = 29
+_B_SHR = 30
+_B_ITOF = 31
+_B_FTOI = 32
+_B_FNEG = 33
+_B_CHK = 34
+_B_JR = 35
+_B_SVC = 36
+_B_NOP = 37
+
+#: One predecoded batch entry: ``(op, a, b, c)`` with op-specific
+#: operand meaning; generic entries carry the handler closure in ``a``.
+_BatchEntry = Tuple[int, object, int, int]
+
+_BATCH_ENTRIES: Dict[int, _BatchEntry] = {}
+
+
+def _b3(op: int):
+    """Entry factory for three-register-field opcodes."""
+
+    def build(i: Instruction) -> _BatchEntry:
+        return (op, i.rd, i.rs1, i.rs2)
+
+    return build
+
+
+def _b_bset(mask: int):
+    def build(i: Instruction) -> _BatchEntry:
+        return (_B_BSET, mask, WORD * i.simm(), 0)
+
+    return build
+
+
+def _b_bclr(mask: int):
+    def build(i: Instruction) -> _BatchEntry:
+        return (_B_BCLR, mask, WORD * i.simm(), 0)
+
+    return build
+
+
+_BATCH_FACTORIES: Dict[Opcode, Callable[[Instruction], _BatchEntry]] = {
+    Opcode.NOP: lambda i: (_B_NOP, 0, 0, 0),
+    Opcode.SVC: lambda i: (_B_SVC, i.imm, 0, 0),
+    Opcode.SIG: lambda i: (_B_SIG, i.imm, 0, 0),
+    Opcode.LDI: lambda i: (_B_LDI, i.rd, i.simm() & _U32, 0),
+    Opcode.LUI: lambda i: (_B_LUI, i.rd, (i.imm << 16) & _U32, 0),
+    Opcode.ORI: lambda i: (_B_ORI, i.rd, i.imm, 0),
+    Opcode.MOV: lambda i: (_B_MOV, i.rd, i.rs1, 0),
+    Opcode.LD: lambda i: (_B_LD, i.rd, i.rs1, i.simm()),
+    Opcode.ST: lambda i: (_B_ST, i.rd, i.rs1, i.simm()),
+    Opcode.PUSH: lambda i: (_B_PUSH, i.rd, 0, 0),
+    Opcode.POP: lambda i: (_B_POP, i.rd, 0, 0),
+    Opcode.ADD: _b3(_B_ADD),
+    Opcode.SUB: _b3(_B_SUB),
+    Opcode.MUL: _b3(_B_MUL),
+    Opcode.DIV: _b3(_B_DIV),
+    Opcode.AND: _b3(_B_AND),
+    Opcode.OR: _b3(_B_OR),
+    Opcode.XOR: _b3(_B_XOR),
+    Opcode.SHL: _b3(_B_SHL),
+    Opcode.SHR: _b3(_B_SHR),
+    Opcode.ADDI: lambda i: (_B_ADDI, i.rd, i.rs1, i.simm()),
+    Opcode.CMP: lambda i: (_B_CMP, i.rs1, i.rs2, 0),
+    Opcode.FADD: _b3(_B_FADD),
+    Opcode.FSUB: _b3(_B_FSUB),
+    Opcode.FMUL: _b3(_B_FMUL),
+    Opcode.FDIV: _b3(_B_FDIV),
+    Opcode.FCMP: lambda i: (_B_FCMP, i.rs1, i.rs2, 0),
+    Opcode.ITOF: lambda i: (_B_ITOF, i.rd, i.rs1, 0),
+    Opcode.FTOI: lambda i: (_B_FTOI, i.rd, i.rs1, 0),
+    Opcode.FNEG: lambda i: (_B_FNEG, i.rd, i.rs1, 0),
+    Opcode.BR: lambda i: (_B_BR, WORD * i.simm(), 0, 0),
+    Opcode.BEQ: _b_bset(FLAG_Z),
+    Opcode.BNE: _b_bclr(FLAG_Z),
+    Opcode.BLT: _b_bset(FLAG_N),
+    Opcode.BGE: _b_bclr(FLAG_N | FLAG_V),
+    Opcode.BGT: _b_bclr(FLAG_Z | FLAG_N | FLAG_V),
+    Opcode.BLE: _b_bset(FLAG_Z | FLAG_N),
+    Opcode.BVS: _b_bset(FLAG_V),
+    Opcode.CALL: lambda i: (_B_CALL, WORD * i.simm(), 0, 0),
+    Opcode.RET: lambda i: (_B_RET, 0, 0, 0),
+    Opcode.JR: lambda i: (_B_JR, i.rs1, 0, 0),
+    Opcode.CHK: _b3(_B_CHK),
+    # HALT / WFI / SETMODE run once per experiment at most; they stay on
+    # the generic path.
+}
+
+
+def _batch_entry(word: int) -> _BatchEntry:
+    """Predecode ``word`` into a batch entry, sharing the process-wide
+    table.  Words the inline arms cannot express exactly (privileged
+    ops, illegal words, out-of-range register fields) get a generic
+    entry around the handler path's own closure."""
+    instruction = _decode_cached(word)
+    entry: Optional[_BatchEntry] = None
+    if instruction is not None:
+        factory = _BATCH_FACTORIES.get(instruction.opcode)
+        if factory is not None:
+            for name in _FIELDS_USED[instruction.opcode]:
+                if getattr(instruction, name) > SP_INDEX:
+                    factory = None
+                    break
+        if factory is not None:
+            entry = factory(instruction)
+    if entry is None:
+        handler = _PREDECODE.get(word)
+        if handler is None:
+            handler = _predecode(word)
+        entry = (_B_GENERIC, handler, 0, 0)
+    if len(_BATCH_ENTRIES) < _PREDECODE_CAP:
+        _BATCH_ENTRIES[word] = entry
+    return entry
+
+
+
+def _batch_miss_read(cache, memory, address: int, line: int, tag: int) -> int:
+    """:meth:`DataCache.read`'s miss path for a known-cacheable address
+    with no recorder attached, with the delegated chain's region scans
+    and per-call rechecks flattened out.  Mutation order matches the
+    original exactly — including what is (and is not) updated when the
+    victim write-back or the refill read raises a detection."""
+    cache.misses += 1
+    valid = cache.valid
+    dirty = cache.dirty
+    if valid[line] and dirty[line]:
+        victim = (cache.tags[line] << 7) | (line << 2)
+        cache.writebacks += 1
+        layout = memory.layout
+        if layout.data_base <= victim < layout.data_base + layout.data_size:
+            ram = memory.data
+        elif layout.stack_base <= victim < layout.stack_base + layout.stack_size:
+            ram = memory.stack
+        else:
+            ram = None
+        if ram is None:
+            # Corrupted tags send write-backs anywhere: keep the fully
+            # checked path (protected regions, MMIO, unmapped space).
+            memory.write_data_word(victim, int(cache.data[line]))
+        else:
+            i = (victim - ram.base) >> 2
+            value = cache.data[line] & _U32
+            ram.words[i] = value
+            ram.parity[i] = _parity(value)
+            ram.version += 1
+    valid[line] = 0
+    dirty[line] = 0
+    if address % WORD:
+        raise_detection(Mechanism.ADDRESS_ERROR, f"unaligned {address:#x}")
+    layout = memory.layout
+    if layout.data_base <= address < layout.data_base + layout.data_size:
+        ram = memory.data
+    elif layout.stack_base <= address < layout.stack_base + layout.stack_size:
+        ram = memory.stack
+    else:
+        ram = memory.rodata
+    i = (address - ram.base) >> 2
+    value = ram.words[i]
+    if _parity(value) != ram.parity[i]:
+        raise_detection(Mechanism.DATA_ERROR, f"parity at {address:#x}")
+    cache.data[line] = value
+    cache.tags[line] = tag
+    valid[line] = 1
+    return value
+
+
+def _batch_miss_write(
+    cache, memory, address: int, value: int, line: int, tag: int
+) -> None:
+    """:meth:`DataCache.write`'s miss path (write-allocate, no refill)
+    for a known-cacheable address with no recorder attached."""
+    cache.misses += 1
+    if cache.valid[line] and cache.dirty[line]:
+        victim = (cache.tags[line] << 7) | (line << 2)
+        cache.writebacks += 1
+        layout = memory.layout
+        if layout.data_base <= victim < layout.data_base + layout.data_size:
+            ram = memory.data
+        elif layout.stack_base <= victim < layout.stack_base + layout.stack_size:
+            ram = memory.stack
+        else:
+            ram = None
+        if ram is None:
+            memory.write_data_word(victim, int(cache.data[line]))
+        else:
+            i = (victim - ram.base) >> 2
+            old = cache.data[line] & _U32
+            ram.words[i] = old
+            ram.parity[i] = _parity(old)
+            ram.version += 1
+    cache.tags[line] = tag
+    cache.valid[line] = 1
+    cache.data[line] = value & _U32
+    cache.dirty[line] = 1
+
+
+class BatchEngine:
+    """One shared dispatch loop for a batch of faulty lanes.
+
+    The engine owns no per-lane state: callers keep K independent
+    :class:`CPU` lanes (plus their caches/memories) and feed each
+    lane's next execution slice through :meth:`run`, which behaves
+    exactly like :meth:`CPU.run` with fast dispatch — same results,
+    same detection events, same cache statistics — but executes hot
+    opcodes inline over the lane's hoisted state arrays instead of
+    calling per-word closures.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        #: Word -> entry table, shared process-wide (content-addressed
+        #: by the raw instruction word, so lanes with corrupted IRs
+        #: dispatch through the corrupted word's own entry).
+        self.entries = _BATCH_ENTRIES
+
+    def run(self, cpu: CPU, max_instructions: int) -> StepResult:
+        """Run one lane until yield/halt/detection or budget end."""
+        if (
+            cpu.recorder is not None
+            or cpu.trace_hook is not None
+            or not cpu.fast_dispatch
+        ):
+            # Tracing lanes must observe every access (and a CPU with
+            # fast dispatch switched off is a baseline-measurement
+            # configuration): take the exact non-batched path.
+            return cpu.run(max_instructions)
+        if cpu.detection is not None:
+            return StepResult.DETECTED
+        if cpu.halted:
+            return StepResult.HALTED
+        cpu.last_svc = None
+
+        # Lane state, hoisted for the duration of the slice.  ``regs``
+        # and the cache line lists are mutated in place, so they need
+        # no write-back; scalars are synced at every exit below.
+        regs = cpu.regs
+        pc = cpu.pc
+        psw = cpu.psw
+        ir = cpu.ir & _U32
+        mar = cpu.mar
+        mdr = cpu.mdr
+        last_sig = cpu.last_signature
+        index = cpu.instruction_index
+        successors = cpu.signature_successors
+
+        memory = cpu.memory
+        cache = cpu.cache
+        layout = cpu.layout
+        cache_valid = cache.valid
+        cache_tags = cache.tags
+        cache_data = cache.data
+        miss_read = _batch_miss_read
+        miss_write = _batch_miss_write
+        read_word = memory.read_data_word
+        write_word = memory.write_data_word
+        fetch = memory.fetch_word_cached
+        fc_get = memory.fetch_cache.get
+        hits = 0
+
+        code_base = layout.code_base
+        code_end = code_base + layout.code_size
+        rodata_base = layout.rodata_base
+        rodata_end = rodata_base + layout.rodata_size
+        data_base = layout.data_base
+        data_end = data_base + layout.data_size
+        stack_base = layout.stack_base
+        stack_top = layout.stack_top
+
+        entries_get = self.entries.get
+        build = _batch_entry
+        unpack_f = _STRUCT_F.unpack
+        pack_i = _STRUCT_I.pack
+
+        try:
+            for _ in range(max_instructions):
+                word = ir
+                entry = entries_get(word)
+                if entry is None:
+                    entry = build(word)
+                op = entry[0]
+                if op == _B_LD:
+                    address = (regs[entry[2]] + entry[3]) & _U32
+                    mar = address
+                    if (
+                        data_base <= address < data_end
+                        or stack_base <= address < stack_top
+                        or rodata_base <= address < rodata_end
+                    ):
+                        line = (address >> 2) & 31
+                        tag = (address >> 7) & 0x7FFFFF
+                        if cache_valid[line] and cache_tags[line] == tag:
+                            hits += 1
+                            value = cache_data[line]
+                        else:
+                            value = miss_read(cache, memory, address, line, tag)
+                    else:
+                        value = read_word(address)
+                    mdr = value
+                    regs[entry[1]] = value
+                elif op == _B_ST:
+                    address = (regs[entry[2]] + entry[3]) & _U32
+                    value = regs[entry[1]]
+                    mar = address
+                    mdr = value
+                    if (
+                        data_base <= address < data_end
+                        or stack_base <= address < stack_top
+                        or rodata_base <= address < rodata_end
+                    ):
+                        line = (address >> 2) & 31
+                        tag = (address >> 7) & 0x7FFFFF
+                        if cache_valid[line] and cache_tags[line] == tag:
+                            hits += 1
+                            cache_data[line] = value
+                            cache.dirty[line] = 1
+                        else:
+                            miss_write(cache, memory, address, value, line, tag)
+                    else:
+                        write_word(address, value)
+                elif op == _B_ADDI:
+                    a = regs[entry[2]]
+                    if a & _SIGN:
+                        a -= _TWO32
+                    result = a + entry[3]
+                    if result > _INT_MAX or result < _INT_MIN:
+                        raise_detection(
+                            Mechanism.OVERFLOW_CHECK, "integer add overflow"
+                        )
+                    regs[entry[1]] = result & _U32
+                elif op == _B_CMP:
+                    au = regs[entry[1]]
+                    bu = regs[entry[2]]
+                    a = au - _TWO32 if au & _SIGN else au
+                    b = bu - _TWO32 if bu & _SIGN else bu
+                    psw &= ~_FLAG_WRITE_MASK
+                    if a == b:
+                        psw |= FLAG_Z
+                    if a < b:
+                        psw |= FLAG_N
+                    if au < bu:
+                        psw |= FLAG_C
+                elif op == _B_BSET:
+                    if psw & entry[1]:
+                        target = (pc + entry[2]) & _U32
+                        if not code_base <= target < code_end:
+                            raise_detection(
+                                Mechanism.JUMP_ERROR,
+                                f"target {target:#x} outside code",
+                            )
+                        index += 1
+                        pc = target
+                        ir = fc_get(pc, -1)
+                        if ir < 0:
+                            ir = fetch(pc)
+                        continue
+                elif op == _B_BCLR:
+                    if not psw & entry[1]:
+                        target = (pc + entry[2]) & _U32
+                        if not code_base <= target < code_end:
+                            raise_detection(
+                                Mechanism.JUMP_ERROR,
+                                f"target {target:#x} outside code",
+                            )
+                        index += 1
+                        pc = target
+                        ir = fc_get(pc, -1)
+                        if ir < 0:
+                            ir = fetch(pc)
+                        continue
+                elif op == _B_FMUL or op == _B_FADD or op == _B_FSUB:
+                    a = unpack_f(pack_i(regs[entry[2]]))[0]
+                    if a != a:
+                        raise_detection(Mechanism.ILLEGAL_OPERATION, "NaN operand")
+                    b = unpack_f(pack_i(regs[entry[3]]))[0]
+                    if b != b:
+                        raise_detection(Mechanism.ILLEGAL_OPERATION, "NaN operand")
+                    if op == _B_FMUL:
+                        value = a * b
+                    elif op == _B_FADD:
+                        value = a + b
+                    else:
+                        value = a - b
+                    regs[entry[1]] = _float_result_bits(
+                        value, abs(a) != _INF and abs(b) != _INF
+                    )
+                elif op == _B_MOV:
+                    regs[entry[1]] = regs[entry[2]]
+                elif op == _B_BR:
+                    target = (pc + entry[1]) & _U32
+                    if not code_base <= target < code_end:
+                        raise_detection(
+                            Mechanism.JUMP_ERROR, f"target {target:#x} outside code"
+                        )
+                    index += 1
+                    pc = target
+                    ir = fc_get(pc, -1)
+                    if ir < 0:
+                        ir = fetch(pc)
+                    continue
+                elif op == _B_SIG:
+                    sig = entry[1]
+                    if not successors:
+                        last_sig = sig
+                    else:
+                        if last_sig is not None:
+                            allowed = successors.get(last_sig)
+                            if allowed is None or sig not in allowed:
+                                raise_detection(
+                                    Mechanism.CONTROL_FLOW_ERROR,
+                                    f"signature {last_sig} -> {sig}",
+                                )
+                        last_sig = sig
+                elif op == _B_ADD or op == _B_SUB:
+                    a = regs[entry[2]]
+                    if a & _SIGN:
+                        a -= _TWO32
+                    b = regs[entry[3]]
+                    if b & _SIGN:
+                        b -= _TWO32
+                    result = a + b if op == _B_ADD else a - b
+                    if result > _INT_MAX or result < _INT_MIN:
+                        raise_detection(
+                            Mechanism.OVERFLOW_CHECK,
+                            "integer add overflow"
+                            if op == _B_ADD
+                            else "integer sub overflow",
+                        )
+                    regs[entry[1]] = result & _U32
+                elif op == _B_FDIV:
+                    a = unpack_f(pack_i(regs[entry[2]]))[0]
+                    if a != a:
+                        raise_detection(Mechanism.ILLEGAL_OPERATION, "NaN operand")
+                    b = unpack_f(pack_i(regs[entry[3]]))[0]
+                    if b != b:
+                        raise_detection(Mechanism.ILLEGAL_OPERATION, "NaN operand")
+                    finite = abs(a) != _INF and abs(b) != _INF
+                    if b == 0.0:
+                        raise_detection(
+                            Mechanism.DIVISION_CHECK, "float divide by zero"
+                        )
+                    regs[entry[1]] = _float_result_bits(a / b, finite)
+                elif op == _B_FCMP:
+                    a = unpack_f(pack_i(regs[entry[1]]))[0]
+                    b = unpack_f(pack_i(regs[entry[2]]))[0]
+                    psw &= ~_FLAG_WRITE_MASK
+                    if a != a or b != b:
+                        psw |= FLAG_V
+                    else:
+                        if a == b:
+                            psw |= FLAG_Z
+                        if a < b:
+                            psw |= FLAG_N
+                elif op == _B_PUSH:
+                    sp = (regs[_SP] - WORD) & _U32
+                    if sp % WORD or not stack_base <= sp <= stack_top:
+                        raise_detection(
+                            Mechanism.STORAGE_ERROR, f"sp {sp:#x} outside stack"
+                        )
+                    value = regs[entry[1]]
+                    mar = sp
+                    mdr = value
+                    if (
+                        data_base <= sp < data_end
+                        or stack_base <= sp < stack_top
+                        or rodata_base <= sp < rodata_end
+                    ):
+                        line = (sp >> 2) & 31
+                        tag = (sp >> 7) & 0x7FFFFF
+                        if cache_valid[line] and cache_tags[line] == tag:
+                            hits += 1
+                            cache_data[line] = value
+                            cache.dirty[line] = 1
+                        else:
+                            miss_write(cache, memory, sp, value, line, tag)
+                    else:
+                        write_word(sp, value)
+                    regs[_SP] = sp
+                elif op == _B_POP:
+                    sp = regs[_SP]
+                    if sp % WORD or not stack_base <= sp <= stack_top:
+                        raise_detection(
+                            Mechanism.STORAGE_ERROR, f"sp {sp:#x} outside stack"
+                        )
+                    if sp >= stack_top:
+                        raise_detection(
+                            Mechanism.STORAGE_ERROR, "pop from empty stack"
+                        )
+                    mar = sp
+                    line = (sp >> 2) & 31
+                    tag = (sp >> 7) & 0x7FFFFF
+                    if cache_valid[line] and cache_tags[line] == tag:
+                        hits += 1
+                        value = cache_data[line]
+                    else:
+                        value = miss_read(cache, memory, sp, line, tag)
+                    mdr = value
+                    regs[entry[1]] = value
+                    regs[_SP] = (sp + WORD) & _U32
+                elif op == _B_CALL:
+                    sp = (regs[_SP] - WORD) & _U32
+                    if sp % WORD or not stack_base <= sp <= stack_top:
+                        raise_detection(
+                            Mechanism.STORAGE_ERROR, f"sp {sp:#x} outside stack"
+                        )
+                    value = (pc + WORD) & _U32
+                    mar = sp
+                    mdr = value
+                    if (
+                        data_base <= sp < data_end
+                        or stack_base <= sp < stack_top
+                        or rodata_base <= sp < rodata_end
+                    ):
+                        line = (sp >> 2) & 31
+                        tag = (sp >> 7) & 0x7FFFFF
+                        if cache_valid[line] and cache_tags[line] == tag:
+                            hits += 1
+                            cache_data[line] = value
+                            cache.dirty[line] = 1
+                        else:
+                            miss_write(cache, memory, sp, value, line, tag)
+                    else:
+                        write_word(sp, value)
+                    regs[_SP] = sp
+                    target = (pc + entry[1]) & _U32
+                    if not code_base <= target < code_end:
+                        raise_detection(
+                            Mechanism.JUMP_ERROR, f"target {target:#x} outside code"
+                        )
+                    index += 1
+                    pc = target
+                    ir = fc_get(pc, -1)
+                    if ir < 0:
+                        ir = fetch(pc)
+                    continue
+                elif op == _B_RET:
+                    sp = regs[_SP]
+                    if sp % WORD or not stack_base <= sp <= stack_top:
+                        raise_detection(
+                            Mechanism.STORAGE_ERROR, f"sp {sp:#x} outside stack"
+                        )
+                    if sp >= stack_top:
+                        raise_detection(
+                            Mechanism.STORAGE_ERROR, "return with empty stack"
+                        )
+                    mar = sp
+                    line = (sp >> 2) & 31
+                    tag = (sp >> 7) & 0x7FFFFF
+                    if cache_valid[line] and cache_tags[line] == tag:
+                        hits += 1
+                        target = cache_data[line]
+                    else:
+                        target = miss_read(cache, memory, sp, line, tag)
+                    mdr = target
+                    regs[_SP] = (sp + WORD) & _U32
+                    if not code_base <= target < code_end:
+                        raise_detection(
+                            Mechanism.JUMP_ERROR, f"target {target:#x} outside code"
+                        )
+                    index += 1
+                    pc = target
+                    ir = fc_get(pc, -1)
+                    if ir < 0:
+                        ir = fetch(pc)
+                    continue
+                elif op == _B_LDI or op == _B_LUI:
+                    regs[entry[1]] = entry[2]
+                elif op == _B_ORI:
+                    regs[entry[1]] |= entry[2]
+                elif op == _B_MUL:
+                    a = regs[entry[2]]
+                    if a & _SIGN:
+                        a -= _TWO32
+                    b = regs[entry[3]]
+                    if b & _SIGN:
+                        b -= _TWO32
+                    result = a * b
+                    if result > _INT_MAX or result < _INT_MIN:
+                        raise_detection(
+                            Mechanism.OVERFLOW_CHECK, "integer mul overflow"
+                        )
+                    regs[entry[1]] = result & _U32
+                elif op == _B_DIV:
+                    a = regs[entry[2]]
+                    if a & _SIGN:
+                        a -= _TWO32
+                    b = regs[entry[3]]
+                    if b & _SIGN:
+                        b -= _TWO32
+                    if b == 0:
+                        raise_detection(
+                            Mechanism.DIVISION_CHECK, "integer divide by zero"
+                        )
+                    result = int(a / b)  # truncating division
+                    if result > _INT_MAX or result < _INT_MIN:
+                        raise_detection(
+                            Mechanism.OVERFLOW_CHECK, "integer div overflow"
+                        )
+                    regs[entry[1]] = result & _U32
+                elif op == _B_AND:
+                    regs[entry[1]] = regs[entry[2]] & regs[entry[3]]
+                elif op == _B_OR:
+                    regs[entry[1]] = regs[entry[2]] | regs[entry[3]]
+                elif op == _B_XOR:
+                    regs[entry[1]] = regs[entry[2]] ^ regs[entry[3]]
+                elif op == _B_SHL:
+                    regs[entry[1]] = (
+                        regs[entry[2]] << (regs[entry[3]] & 31)
+                    ) & _U32
+                elif op == _B_SHR:
+                    regs[entry[1]] = regs[entry[2]] >> (regs[entry[3]] & 31)
+                elif op == _B_ITOF:
+                    a = regs[entry[2]]
+                    if a & _SIGN:
+                        a -= _TWO32
+                    regs[entry[1]] = _float_result_bits(float(a), True)
+                elif op == _B_FTOI:
+                    value = unpack_f(pack_i(regs[entry[2]]))[0]
+                    if value != value:
+                        raise_detection(Mechanism.ILLEGAL_OPERATION, "NaN operand")
+                    if not _INT_MIN <= value <= _INT_MAX:
+                        raise_detection(
+                            Mechanism.OVERFLOW_CHECK, "float to int overflow"
+                        )
+                    regs[entry[1]] = int(value) & _U32
+                elif op == _B_FNEG:
+                    regs[entry[1]] = regs[entry[2]] ^ 0x80000000
+                elif op == _B_CHK:
+                    low = unpack_f(pack_i(regs[entry[1]]))[0]
+                    value = unpack_f(pack_i(regs[entry[2]]))[0]
+                    high = unpack_f(pack_i(regs[entry[3]]))[0]
+                    if not low <= value <= high:
+                        raise_detection(
+                            Mechanism.CONSTRAINT_ERROR,
+                            f"{value!r} outside [{low!r}, {high!r}]",
+                        )
+                elif op == _B_JR:
+                    target = regs[entry[1]]
+                    if not code_base <= target < code_end:
+                        raise_detection(
+                            Mechanism.JUMP_ERROR, f"target {target:#x} outside code"
+                        )
+                    index += 1
+                    pc = target
+                    ir = fc_get(pc, -1)
+                    if ir < 0:
+                        ir = fetch(pc)
+                    continue
+                elif op == _B_SVC:
+                    cpu.last_svc = entry[1]
+                    index += 1
+                    pc = (pc + WORD) & _U32
+                    ir = fc_get(pc, -1)
+                    if ir < 0:
+                        ir = fetch(pc)
+                    cpu.pc = pc
+                    cpu.psw = psw
+                    cpu.ir = ir
+                    cpu.mar = mar
+                    cpu.mdr = mdr
+                    cpu.last_signature = last_sig
+                    cpu.instruction_index = index
+                    cache.hits += hits
+                    return StepResult.YIELD
+                elif op == _B_NOP:
+                    pass
+                else:  # _B_GENERIC: delegate to the handler path.
+                    cpu.pc = pc
+                    cpu.psw = psw
+                    cpu.mar = mar
+                    cpu.mdr = mdr
+                    cpu.last_signature = last_sig
+                    try:
+                        r = entry[1](cpu)
+                    finally:
+                        psw = cpu.psw
+                        mar = cpu.mar
+                        mdr = cpu.mdr
+                        last_sig = cpu.last_signature
+                    index += 1
+                    if r is None:
+                        pc = (pc + WORD) & _U32
+                    elif r.__class__ is int:
+                        pc = r
+                    elif r is _HALT:
+                        cpu.pc = pc
+                        cpu.psw = psw
+                        cpu.ir = ir
+                        cpu.mar = mar
+                        cpu.mdr = mdr
+                        cpu.last_signature = last_sig
+                        cpu.instruction_index = index
+                        cache.hits += hits
+                        return StepResult.HALTED
+                    else:  # _YIELD
+                        pc = (pc + WORD) & _U32
+                        ir = fc_get(pc, -1)
+                        if ir < 0:
+                            ir = fetch(pc)
+                        cpu.pc = pc
+                        cpu.psw = psw
+                        cpu.ir = ir
+                        cpu.mar = mar
+                        cpu.mdr = mdr
+                        cpu.last_signature = last_sig
+                        cpu.instruction_index = index
+                        cache.hits += hits
+                        return StepResult.YIELD
+                    ir = fc_get(pc, -1)
+                    if ir < 0:
+                        ir = fetch(pc)
+                    continue
+                index += 1
+                pc = (pc + WORD) & _U32
+                ir = fc_get(pc, -1)
+                if ir < 0:
+                    ir = fetch(pc)
+        except HardwareDetection as event:
+            cpu.pc = pc
+            cpu.psw = psw
+            cpu.ir = ir
+            cpu.mar = mar
+            cpu.mdr = mdr
+            cpu.last_signature = last_sig
+            cpu.instruction_index = index
+            cache.hits += hits
+            cpu.detection = DetectionEvent(
+                mechanism=event.mechanism,
+                pc=pc,
+                instruction_index=index,
+                detail=event.detail,
+            )
+            notify_detection(cpu.detection)
+            return StepResult.DETECTED
+        cpu.pc = pc
+        cpu.psw = psw
+        cpu.ir = ir
+        cpu.mar = mar
+        cpu.mdr = mdr
+        cpu.last_signature = last_sig
+        cpu.instruction_index = index
+        cache.hits += hits
+        return StepResult.OK

@@ -288,7 +288,9 @@ class MemoryMap:
         for ram in self._region_rams():
             if ram.contains(address):
                 if self.recorder is not None and self.is_cacheable(address):
-                    self.recorder.mem_read(address)
+                    value = ram.read(address)
+                    self.recorder.mem_read(address, value)
+                    return value
                 return ram.read(address)
         self._unmapped(address, "read")
         raise AssertionError("unreachable")
