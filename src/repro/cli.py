@@ -102,6 +102,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         prune=args.prune,
         collapse=args.collapse,
         batch_size=args.batch_size,
+        delta_dataplane=args.delta_dataplane,
+        locality_sort=args.locality_sort,
         chaos=chaos,
     )
     if args.validate_pruning:
@@ -516,6 +518,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="live faults simulated concurrently through one shared "
         "dispatch loop (default: 1, classic one-at-a-time execution)",
+    )
+    campaign.add_argument(
+        "--delta-dataplane",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="store the reference as base+deltas and restore experiments "
+        "through an undo log of touched words (default: on; "
+        "--no-delta-dataplane pins the legacy full-copy plane, see "
+        "docs/performance.md)",
+    )
+    campaign.add_argument(
+        "--locality-sort",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="execute live faults in injection-time order with "
+        "throughput-adaptive worker chunks (default: on; results are "
+        "reported in plan order either way)",
     )
     campaign.add_argument(
         "--validate-collapse",

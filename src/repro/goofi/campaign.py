@@ -18,6 +18,7 @@ bit-identical to an uninterrupted one.
 from __future__ import annotations
 
 import os
+import pickle
 import signal
 import time
 from collections import deque
@@ -107,6 +108,18 @@ class CampaignConfig:
             cached clean-image prefixes; ``False`` rebuilds every digest
             from scratch.  All three flags exist for the
             golden-equivalence test and benchmark baselines.
+        delta_dataplane: store the reference as a base snapshot plus
+            per-iteration deltas and restore experiment state by
+            unwinding an undo log of the touched words (see
+            ``docs/performance.md``); ``False`` pins the legacy
+            full-copy snapshot/restore plane.  Outcome-invariant, gated
+            by the golden-equivalence suite.
+        locality_sort: execute live faults in injection-time order so
+            consecutive experiments restore to nearby boundaries (the
+            delta cursor's cheap path), and size parallel chunks
+            adaptively from measured worker throughput.  Results are
+            still streamed, stored and reported in plan order;
+            outcome-invariant like the other scheduling flags.
         environment_factory: builds the environment simulator.
         recovery: retry/backoff/quarantine policy of the crash-safety
             machinery (``docs/robustness.md``); never affects outcomes,
@@ -129,6 +142,8 @@ class CampaignConfig:
     share_reference: bool = True
     fast_dispatch: bool = True
     incremental_hash: bool = True
+    delta_dataplane: bool = True
+    locality_sort: bool = True
     environment_factory: Callable[[], EngineEnvironment] = EngineEnvironment
     recovery: RecoveryPolicy = field(default_factory=RecoveryPolicy)
     chaos: Optional[ChaosSpec] = None
@@ -283,6 +298,17 @@ def _run_chunk(args):
                         )
                         events.flush()
                 results.append((index, run, outcome))
+        if events is not None:
+            # Delta-restore counters accumulated over this chunk.  These
+            # are schedule-dependent (they vary with chunk composition),
+            # so they travel as shard events, never through the metrics
+            # registry whose serial/parallel equality is a tested
+            # invariant.
+            stats = target.take_dataplane_stats()
+            if stats is not None:
+                events.emit(
+                    "dataplane_stats", ts=now(), worker=submission_id, **stats
+                )
     finally:
         target.metrics = None
         target.batch_size = previous_batch
@@ -316,6 +342,7 @@ class ScifiCampaign:
             incremental_hash=config.incremental_hash,
             batch_size=config.batch_size,
             environment_factory=config.environment_factory,
+            delta_dataplane=config.delta_dataplane,
         )
         # Streaming-persistence state of the in-flight run, used by the
         # abort path to flush and mark the campaign resumable.
@@ -351,16 +378,17 @@ class ScifiCampaign:
                 chunk results arrive, so ``done`` still counts every
                 experiment but outcomes report in completion order.
             workers: number of worker processes.  ``1`` (default) runs
-                serially in this process; ``N > 1`` deals the fault plan
-                into N *strided* slices (``plan[i::N]``) executed in
-                parallel.  Striding (rather than contiguous blocks)
-                balances load even when plan order correlates with
-                experiment cost — e.g. a time-sorted plan, where early
-                injections simulate the longest suffix of the run and a
-                contiguous split would hand one worker all of them.
-                Results are bit-identical to the serial run (every
-                experiment is independent and fully determined by its
-                fault), just reordered back into plan order.
+                serially in this process; ``N > 1`` fans the live plan
+                out over N processes.  With ``locality_sort`` (default)
+                the plan is executed in injection-time order through
+                adaptively sized chunks drawn on demand (see
+                ``docs/performance.md``); with it off the plan is dealt
+                into N *strided* slices (``plan[i::N]``), which balances
+                load even when plan order correlates with experiment
+                cost.  Results are bit-identical to the serial run
+                either way (every experiment is independent and fully
+                determined by its fault), just reordered back into plan
+                order.
             telemetry: optional :class:`~repro.obs.Telemetry` bundle.
                 When given, the run records phase spans, per-experiment
                 metrics and JSONL events; per-worker registries/shards
@@ -545,6 +573,13 @@ class ScifiCampaign:
                 if telemetry is not None and telemetry.metrics is not None:
                     telemetry.metrics.gauge("reference_instructions").set(
                         reference.total_instructions
+                    )
+                    # What one worker initialisation would ship.  Set in
+                    # _run_phases (not the worker fan-out) so serial and
+                    # parallel registries stay identical — a tested
+                    # invariant.
+                    telemetry.metrics.gauge("reference_payload_bytes").set(
+                        len(pickle.dumps(reference))
                     )
             with span("set_up"):
                 space = self.location_space()
@@ -839,19 +874,35 @@ class ScifiCampaign:
         streamable = set(predicted_results)
         heartbeat_every = self.config.recovery.heartbeat_every
         started = time.perf_counter()
-        if self.config.batch_size > 1 and live_plan:
-            # Batched pre-simulation: live faults run in groups through
-            # the shared dispatch loop; the plan loop below then streams
-            # and reports the stored pairs in plan order, exactly as the
-            # one-at-a-time path would have.
+        if live_plan and (self.config.batch_size > 1 or self.config.locality_sort):
+            # Pre-simulation: live faults run ahead of the plan loop —
+            # in injection-time order when locality sorting is on (so
+            # consecutive experiments restore to nearby boundaries, the
+            # delta cursor's cheap path), and in groups through the
+            # shared dispatch loop when batching is on.  The plan loop
+            # below then streams and reports the stored pairs in plan
+            # order, exactly as the one-at-a-time path would have.
             pending = [(i, f) for i, f in live_plan if i not in by_index]
+            if self.config.locality_sort:
+                pending.sort(key=lambda item: item[1].time)
             size = self.config.batch_size
-            for start in range(0, len(pending), size):
-                group = pending[start : start + size]
-                pairs = self._run_batch_recovered(
-                    group, reference.outputs, telemetry
-                )
-                for (i, _fault), pair in zip(group, pairs):
+            if size > 1:
+                for start in range(0, len(pending), size):
+                    group = pending[start : start + size]
+                    pairs = self._run_batch_recovered(
+                        group, reference.outputs, telemetry
+                    )
+                    for (i, _fault), pair in zip(group, pairs):
+                        by_index[i] = pair
+                        streamable.add(i)
+                        self._replay_equivalents(
+                            i, pair[0], pair[1], equivalence_classes, by_index, streamable
+                        )
+            else:
+                for i, fault in pending:
+                    pair = self._run_one_recovered(
+                        i, fault, reference.outputs, telemetry
+                    )
                     by_index[i] = pair
                     streamable.add(i)
                     self._replay_equivalents(
@@ -898,6 +949,9 @@ class ScifiCampaign:
         if sink is not None:
             sink.flush()
         if telemetry is not None:
+            stats = self.target.take_dataplane_stats()
+            if stats is not None:
+                telemetry.emit("dataplane_stats", ts=now(), worker=0, **stats)
             telemetry.checkpoint()
         experiments = [by_index[i][0] for i in range(len(plan))]
         outcomes = [by_index[i][1] for i in range(len(plan))]
@@ -1028,6 +1082,7 @@ class ScifiCampaign:
             reference=(self.target.reference if config.share_reference else None),
             fast_dispatch=config.fast_dispatch,
             incremental_hash=config.incremental_hash,
+            delta_dataplane=config.delta_dataplane,
         )
         own_pool = pool is None
         if pool is None:
@@ -1065,9 +1120,29 @@ class ScifiCampaign:
                 progress(done, total, by_index[index][1])
 
         queue: deque = deque()
-        for chunk_items in (live_plan[i::workers] for i in range(workers)):
-            if chunk_items:
-                queue.append(_PendingChunk(list(chunk_items)))
+        reservoir: deque = deque()
+        chunk_size = 0
+        if config.locality_sort:
+            # Locality-aware scheduling: the live plan is executed in
+            # injection-time order (consecutive experiments restore to
+            # nearby boundaries, the delta cursor's cheap path) and cut
+            # into contiguous chunks drawn on demand, sized so one chunk
+            # costs about ``target_chunk_seconds`` at the measured
+            # throughput — small chunks near the end keep the straggler
+            # tail short.  Plan order is restored when results arrive,
+            # so outcomes, storage and merged telemetry are unchanged.
+            reservoir.extend(sorted(live_plan, key=lambda item: item[1].time))
+            chunk_size = max(
+                policy.min_chunk_size,
+                min(
+                    policy.max_chunk_size,
+                    max(1, len(reservoir) // (workers * 8)),
+                ),
+            )
+        else:
+            for chunk_items in (live_plan[i::workers] for i in range(workers)):
+                if chunk_items:
+                    queue.append(_PendingChunk(list(chunk_items)))
         active: Dict[object, Tuple[_PendingChunk, int, Optional[str]]] = {}
         submission = 0
         rebuilds = 0
@@ -1200,7 +1275,7 @@ class ScifiCampaign:
                     ts=now(),
                     reason=pool.last_respawn_reason,
                 )
-            while (queue or active) and not fallback:
+            while (queue or reservoir or active) and not fallback:
                 broken = False
                 # Suspect chunks (in flight during an earlier pool break)
                 # run in isolation — one in flight at a time — so a
@@ -1215,6 +1290,19 @@ class ScifiCampaign:
                 if not active:
                     while queue and not broken:
                         broken = not submit_chunk(queue.popleft())
+                # Draw fresh chunks from the sorted reservoir to keep
+                # every worker busy — but never alongside a suspect,
+                # whose isolation is what makes a repeat pool break
+                # attributable.
+                if not broken and not any(
+                    entry[0].suspect for entry in active.values()
+                ):
+                    while reservoir and not broken and len(active) < workers:
+                        items = [
+                            reservoir.popleft()
+                            for _ in range(min(chunk_size, len(reservoir)))
+                        ]
+                        broken = not submit_chunk(_PendingChunk(items))
                 if active and not broken:
                     in_flight = len(active)
                     done_set, _pending = concurrent.futures.wait(
@@ -1245,6 +1333,29 @@ class ScifiCampaign:
                                 replay_members(index, run, outcome)
                             if sink is not None:
                                 sink.flush()
+                            if (
+                                config.locality_sort
+                                and chunk_result
+                                and seconds > 0
+                            ):
+                                # Throughput feedback: aim the next chunk
+                                # at ~target_chunk_seconds of work.
+                                rate = len(chunk_result) / seconds
+                                new_size = max(
+                                    policy.min_chunk_size,
+                                    min(
+                                        policy.max_chunk_size,
+                                        int(rate * policy.target_chunk_seconds),
+                                    ),
+                                )
+                                if new_size != chunk_size:
+                                    chunk_size = new_size
+                                    emit(
+                                        "chunk_resized",
+                                        ts=now(),
+                                        size=new_size,
+                                        rate=rate,
+                                    )
                             if telemetry is not None:
                                 if registry_dict is not None:
                                     telemetry.metrics.merge(
@@ -1306,9 +1417,11 @@ class ScifiCampaign:
                 pool.close()
 
         try:
-            if fallback and queue:
+            if fallback and (queue or reservoir):
                 leftover = [item for chunk in queue for item in chunk.items]
+                leftover.extend(reservoir)
                 queue.clear()
+                reservoir.clear()
                 emit("serial_fallback", ts=now(), experiments=len(leftover))
                 pending = deque(leftover)
                 while pending:
@@ -1340,6 +1453,12 @@ class ScifiCampaign:
             raise
 
         self._merge_worker_shards(telemetry, shards)
+        if telemetry is not None:
+            # Restores the *parent* target performed (the serial
+            # fallback); zero in a healthy parallel run.
+            stats = self.target.take_dataplane_stats()
+            if stats is not None and any(stats.values()):
+                emit("dataplane_stats", ts=now(), worker=0, **stats)
         experiments = []
         outcomes = []
         for index in range(total):

@@ -1,0 +1,777 @@
+"""The delta data plane: dirty-tracked checkpoints and O(touched) restores.
+
+The classic data plane stores one *full* restorable snapshot per
+iteration boundary (651 of them for the default workload) and restores
+the complete machine before every experiment.  Both costs are
+proportional to total state size, while the state that actually changes
+per control iteration — and the state an experiment actually corrupts —
+is a few dozen words.  This module replaces both O(state) operations
+with O(touched) ones:
+
+* :class:`DeltaRecorder` / :class:`CheckpointStore` — the reference run
+  keeps one base snapshot plus a per-iteration *delta* (changed
+  registers, cache lines, RAM words, the tiny MMIO/environment state).
+  ``snapshots[k]`` still materialises a legacy full snapshot — by
+  replaying deltas forward from the nearest materialised checkpoint,
+  with permanent anchors every :data:`ANCHOR_EVERY` boundaries and a
+  small LRU of recently materialised states — so every existing
+  consumer keeps working, but the stored (and pickled-to-workers)
+  payload shrinks by orders of magnitude.
+
+* :class:`MachineCursor` — per-experiment restore via an undo log.
+  While a faulty execution runs, every first mutation of a RAM word is
+  recorded by the armed :attr:`repro.thor.memory._Ram.undo` log; the
+  next experiment rewinds by writing back only the touched words, then
+  reaches its target boundary by replaying forward deltas.  Registers,
+  cache lines, MMIO and environment state are small enough to re-seat
+  wholesale from a saved copy.  Any code path the cursor cannot see — a
+  wholesale :meth:`_Ram.restore` disarms the log — poisons the cursor,
+  which falls back to a legacy full restore and re-arms.
+
+* :class:`SplicedOutputs` — experiment output sequences that *share*
+  the reference prefix (and the early-exit suffix) instead of copying
+  them, so per-experiment output memory is O(simulated iterations).
+
+Golden equivalence is the design rule throughout: a campaign run
+through this data plane produces bit-identical outcomes, hashes and
+summary tables to the full-copy path (``delta_dataplane=False``).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from collections import OrderedDict
+from itertools import chain, islice
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.thor.memory import _parity
+
+#: A permanent materialised checkpoint is kept every this-many
+#: boundaries, bounding any materialisation to < ANCHOR_EVERY delta
+#: replays while adding ~1.5% of the classic snapshot-list memory.
+ANCHOR_EVERY = 64
+
+#: Recently materialised non-anchor boundaries kept for reuse
+#: (locality-sorted schedules revisit adjacent boundaries).
+LRU_SIZE = 4
+
+#: A cursor walks at most this many deltas forward from its rewound
+#: boundary; farther targets use a full restore (comparable cost, and
+#: it re-anchors the checkpoint store along the way).
+FORWARD_REPLAY_LIMIT = 64
+
+_RAM_REGIONS = ("code", "rodata", "data", "stack")
+
+#: Delta tuple layout: ``(regs, scalars, cache, ram, mmio, env)`` where
+#: ``regs``/``cache``/``ram`` hold only *changed* entries and
+#: ``scalars``/``mmio``/``env`` are complete (they are a handful of
+#: words each, and storing them whole makes applying a delta
+#: order-independent of the previous scalar state).
+Delta = Tuple[tuple, tuple, tuple, tuple, tuple, tuple]
+
+
+# -- wire format ---------------------------------------------------------------
+# Deltas are kept structured in memory (tuples apply fast), but pickle
+# as a zlib-compressed binary stream: a delta is ~a hundred small
+# integers, which pickled as Python objects cost ~5 bytes each, while
+# the fixed-width encoding below plus compression shrinks the shipped
+# reference payload by another ~7x.  The round trip is exact — every
+# field is a bounded integer or an IEEE double.
+_SCALARS_STRUCT = struct.Struct("<IIIIIqQB")
+_REG_CHANGE = struct.Struct("<BI")
+_CACHE_CHANGE = struct.Struct("<BIIBB")
+_RAM_HEADER = struct.Struct("<BH")
+_RAM_CHANGE = struct.Struct("<HI")
+_MMIO_CHANGE = struct.Struct("<II")
+_ENV_HEADER = struct.Struct("<BI")
+
+
+def _encode_deltas(deltas: List["Delta"]) -> bytes:
+    out = bytearray()
+    for regs_delta, scalars, cache_delta, ram_delta, mmio, env in deltas:
+        out.append(len(regs_delta))
+        for i, v in regs_delta:
+            out += _REG_CHANGE.pack(i, v)
+        pc, psw, ir, mar, mdr, signature, index, halted = scalars
+        out += _SCALARS_STRUCT.pack(
+            pc,
+            psw,
+            ir,
+            mar,
+            mdr,
+            -1 if signature is None else signature,
+            index,
+            1 if halted else 0,
+        )
+        out.append(len(cache_delta))
+        for entry in cache_delta:
+            out += _CACHE_CHANGE.pack(*entry)
+        out.append(len(ram_delta))
+        for name, changes in ram_delta:
+            out += _RAM_HEADER.pack(_RAM_REGIONS.index(name), len(changes))
+            for change in changes:
+                out += _RAM_CHANGE.pack(*change)
+        out.append(len(mmio))
+        for pair in mmio:
+            out += _MMIO_CHANGE.pack(*pair)
+        engine, iteration = env
+        out += _ENV_HEADER.pack(len(engine), iteration)
+        out += struct.pack(f"<{len(engine)}d", *engine)
+    return zlib.compress(bytes(out), 6)
+
+
+def _decode_deltas(blob: bytes) -> List["Delta"]:
+    raw = zlib.decompress(blob)
+    deltas: List[Delta] = []
+    pos = 0
+    size = len(raw)
+    while pos < size:
+        count = raw[pos]
+        pos += 1
+        regs_delta = tuple(
+            _REG_CHANGE.unpack_from(raw, pos + i * _REG_CHANGE.size)
+            for i in range(count)
+        )
+        pos += count * _REG_CHANGE.size
+        pc, psw, ir, mar, mdr, signature, index, halted = (
+            _SCALARS_STRUCT.unpack_from(raw, pos)
+        )
+        pos += _SCALARS_STRUCT.size
+        scalars = (
+            pc,
+            psw,
+            ir,
+            mar,
+            mdr,
+            None if signature == -1 else signature,
+            index,
+            bool(halted),
+        )
+        count = raw[pos]
+        pos += 1
+        cache_delta = tuple(
+            _CACHE_CHANGE.unpack_from(raw, pos + i * _CACHE_CHANGE.size)
+            for i in range(count)
+        )
+        pos += count * _CACHE_CHANGE.size
+        regions = raw[pos]
+        pos += 1
+        ram_delta = []
+        for _ in range(regions):
+            name_index, changed = _RAM_HEADER.unpack_from(raw, pos)
+            pos += _RAM_HEADER.size
+            changes = tuple(
+                _RAM_CHANGE.unpack_from(raw, pos + i * _RAM_CHANGE.size)
+                for i in range(changed)
+            )
+            pos += changed * _RAM_CHANGE.size
+            ram_delta.append((_RAM_REGIONS[name_index], changes))
+        count = raw[pos]
+        pos += 1
+        mmio = tuple(
+            _MMIO_CHANGE.unpack_from(raw, pos + i * _MMIO_CHANGE.size)
+            for i in range(count)
+        )
+        pos += count * _MMIO_CHANGE.size
+        floats, iteration = _ENV_HEADER.unpack_from(raw, pos)
+        pos += _ENV_HEADER.size
+        engine = struct.unpack_from(f"<{floats}d", raw, pos)
+        pos += floats * 8
+        deltas.append(
+            (regs_delta, scalars, cache_delta, tuple(ram_delta), mmio, (engine, iteration))
+        )
+    return deltas
+
+
+def _cpu_scalars(cpu) -> tuple:
+    return (
+        cpu.pc,
+        cpu.psw,
+        cpu.ir,
+        cpu.mar,
+        cpu.mdr,
+        cpu.last_signature,
+        cpu.instruction_index,
+        cpu.halted,
+    )
+
+
+class DeltaRecorder:
+    """Builds a :class:`CheckpointStore` during the reference run.
+
+    Construct at the first boundary (after load/warm-start), call
+    :meth:`record` after every iteration, then :meth:`finish`.  The diff
+    is computed against a retained copy of the previous boundary; RAM
+    regions short-circuit on their mutation version, so the
+    write-protected code/rodata images are never rescanned.
+    """
+
+    def __init__(self, cpu, environment):
+        self._cpu = cpu
+        self._env = environment
+        self.base: Dict[str, object] = {
+            "cpu": cpu.snapshot(),
+            "env": environment.snapshot(),
+        }
+        self.deltas: List[Delta] = []
+        cache = cpu.cache
+        memory = cpu.memory
+        self._prev_regs = list(cpu.regs)
+        self._prev_cache = (
+            list(cache.data),
+            list(cache.tags),
+            list(cache.valid),
+            list(cache.dirty),
+        )
+        self._prev_ram = {
+            name: (getattr(memory, name).version, list(getattr(memory, name).words))
+            for name in _RAM_REGIONS
+        }
+
+    def record(self) -> None:
+        """Append the delta from the previous boundary to the current one."""
+        cpu = self._cpu
+        memory = cpu.memory
+        cache = cpu.cache
+
+        prev_regs = self._prev_regs
+        regs = cpu.regs
+        regs_delta = tuple(
+            (i, v) for i, v in enumerate(regs) if v != prev_regs[i]
+        )
+        if regs_delta:
+            self._prev_regs = list(regs)
+
+        prev_data, prev_tags, prev_valid, prev_dirty = self._prev_cache
+        data, tags, valid, dirty = cache.data, cache.tags, cache.valid, cache.dirty
+        cache_delta = tuple(
+            (i, data[i], tags[i], valid[i], dirty[i])
+            for i in range(len(data))
+            if (
+                data[i] != prev_data[i]
+                or tags[i] != prev_tags[i]
+                or valid[i] != prev_valid[i]
+                or dirty[i] != prev_dirty[i]
+            )
+        )
+        if cache_delta:
+            self._prev_cache = (list(data), list(tags), list(valid), list(dirty))
+
+        ram_delta = []
+        for name in _RAM_REGIONS:
+            ram = getattr(memory, name)
+            version, prev_words = self._prev_ram[name]
+            if ram.version == version:
+                continue
+            words = ram.words
+            changed = tuple(
+                (i, w) for i, w in enumerate(words) if w != prev_words[i]
+            )
+            if changed:
+                ram_delta.append((name, changed))
+            self._prev_ram[name] = (ram.version, list(words))
+
+        self.deltas.append(
+            (
+                regs_delta,
+                _cpu_scalars(cpu),
+                cache_delta,
+                tuple(ram_delta),
+                tuple(sorted(memory.mmio.registers.items())),
+                (tuple(self._env.engine.state_vector()), self._env.iteration),
+            )
+        )
+
+    def finish(self) -> "CheckpointStore":
+        return CheckpointStore(self.base, self.deltas)
+
+
+class CheckpointStore:
+    """Base snapshot + per-boundary deltas, presenting the legacy
+    ``snapshots[k]`` interface.
+
+    ``store[k]`` (and :meth:`snapshot_at`) materialise the full legacy
+    snapshot dict for boundary ``k``.  Materialisation replays deltas
+    forward from the nearest already-materialised boundary; permanent
+    anchors every :data:`ANCHOR_EVERY` boundaries plus a small LRU keep
+    that replay short for arbitrary access patterns, and *O(1)* for the
+    sorted ones locality-aware scheduling produces.  Untouched RAM
+    regions (code/rodata in practice) share the base's immutable packed
+    bytes, so materialised snapshots stay cheap.
+
+    Only ``base`` and ``deltas`` are pickled; anchors and the LRU are
+    transient and rebuilt lazily in the receiving process.
+    """
+
+    def __init__(self, base: Dict[str, object], deltas: List[Delta]):
+        self.base = base
+        self.deltas = deltas
+        self._init_transients()
+
+    # -- pickling ---------------------------------------------------------------
+    def __getstate__(self) -> Dict[str, object]:
+        return {"base": self.base, "blob": _encode_deltas(self.deltas)}
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.base = state["base"]
+        self.deltas = _decode_deltas(state["blob"])  # type: ignore[arg-type]
+        self._init_transients()
+
+    def _init_transients(self) -> None:
+        base_memory: Dict[str, object] = self.base["cpu"]["memory"]  # type: ignore[index]
+        self._structs = {
+            name: struct.Struct(f"<{len(base_memory[name][0]) // 4}I")
+            for name in _RAM_REGIONS
+        }
+        self._anchors: Dict[int, Dict[str, object]] = {0: self._work_from_base()}
+        self._lru: "OrderedDict[int, Dict[str, object]]" = OrderedDict()
+
+    # -- container protocol ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.deltas) + 1
+
+    def __getitem__(self, boundary: int) -> Dict[str, object]:
+        return self.snapshot_at(boundary)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return (self.snapshot_at(k) for k in range(len(self)))
+
+    # -- working-state machinery -------------------------------------------------
+    # A "working state" is the mutable intermediate representation a
+    # delta can be applied to without unpacking untouched RAM regions:
+    # regions absent from ``ram`` are still bit-identical to the base.
+    def _work_from_base(self) -> Dict[str, object]:
+        cpu: Dict[str, object] = self.base["cpu"]  # type: ignore[assignment]
+        cache: Dict[str, List[int]] = cpu["cache"]  # type: ignore[assignment]
+        env: Dict[str, object] = self.base["env"]  # type: ignore[assignment]
+        return {
+            "regs": list(cpu["regs"]),  # type: ignore[call-overload]
+            "scalars": (
+                cpu["pc"],
+                cpu["psw"],
+                cpu["ir"],
+                cpu["mar"],
+                cpu["mdr"],
+                cpu["last_signature"],
+                cpu["instruction_index"],
+                cpu["halted"],
+            ),
+            "cache": (
+                list(cache["data"]),
+                list(cache["tags"]),
+                list(cache["valid"]),
+                list(cache["dirty"]),
+            ),
+            "ram": {},
+            "mmio": dict(cpu["memory"]["mmio"]),  # type: ignore[index]
+            "env": (tuple(env["engine"]), env["iteration"]),  # type: ignore[arg-type]
+        }
+
+    @staticmethod
+    def _copy_work(work: Dict[str, object]) -> Dict[str, object]:
+        return {
+            "regs": list(work["regs"]),  # type: ignore[call-overload]
+            "scalars": work["scalars"],
+            "cache": tuple(list(arr) for arr in work["cache"]),  # type: ignore[union-attr]
+            "ram": {name: list(words) for name, words in work["ram"].items()},  # type: ignore[union-attr]
+            "mmio": dict(work["mmio"]),  # type: ignore[arg-type]
+            "env": work["env"],
+        }
+
+    def _apply(self, work: Dict[str, object], delta: Delta) -> None:
+        regs_delta, scalars, cache_delta, ram_delta, mmio, env = delta
+        regs: List[int] = work["regs"]  # type: ignore[assignment]
+        for i, v in regs_delta:
+            regs[i] = v
+        work["scalars"] = scalars
+        data, tags, valid, dirty = work["cache"]  # type: ignore[misc]
+        for i, d, t, vl, dy in cache_delta:
+            data[i] = d
+            tags[i] = t
+            valid[i] = vl
+            dirty[i] = dy
+        ram: Dict[str, List[int]] = work["ram"]  # type: ignore[assignment]
+        base_memory: Dict[str, object] = self.base["cpu"]["memory"]  # type: ignore[index]
+        for name, changes in ram_delta:
+            words = ram.get(name)
+            if words is None:
+                words = list(self._structs[name].unpack(base_memory[name][0]))  # type: ignore[index]
+                ram[name] = words
+            for i, w in changes:
+                words[i] = w
+        work["mmio"] = dict(mmio)
+        work["env"] = env
+
+    def _materialize(self, boundary: int) -> Dict[str, object]:
+        anchors = self._anchors
+        cached = anchors.get(boundary)
+        if cached is not None:
+            return cached
+        lru = self._lru
+        cached = lru.get(boundary)
+        if cached is not None:
+            lru.move_to_end(boundary)
+            return cached
+        nearest = max(k for k in chain(anchors, lru) if k <= boundary)
+        work = self._copy_work(
+            anchors[nearest] if nearest in anchors else lru[nearest]
+        )
+        deltas = self.deltas
+        for t in range(nearest, boundary):
+            self._apply(work, deltas[t])
+            passed = t + 1
+            if (
+                passed != boundary
+                and passed % ANCHOR_EVERY == 0
+                and passed not in anchors
+            ):
+                anchors[passed] = self._copy_work(work)
+        if boundary % ANCHOR_EVERY == 0:
+            anchors[boundary] = work
+        else:
+            lru[boundary] = work
+            while len(lru) > LRU_SIZE:
+                lru.popitem(last=False)
+        return work
+
+    def snapshot_at(self, boundary: int) -> Dict[str, object]:
+        """The legacy full snapshot dict for ``boundary``."""
+        count = len(self)
+        if boundary < 0:
+            boundary += count
+        if not 0 <= boundary < count:
+            raise IndexError(boundary)
+        return self._emit(self._materialize(boundary))
+
+    def _emit(self, work: Dict[str, object]) -> Dict[str, object]:
+        base_memory: Dict[str, object] = self.base["cpu"]["memory"]  # type: ignore[index]
+        ram: Dict[str, List[int]] = work["ram"]  # type: ignore[assignment]
+        memory: Dict[str, object] = {}
+        for name in _RAM_REGIONS:
+            words = ram.get(name)
+            if words is None:
+                # Untouched since the base: share its immutable bytes.
+                memory[name] = base_memory[name]
+            else:
+                memory[name] = (
+                    self._structs[name].pack(*words),
+                    bytes(_parity(w) for w in words),
+                )
+        memory["mmio"] = dict(work["mmio"])  # type: ignore[arg-type]
+        pc, psw, ir, mar, mdr, last_signature, instruction_index, halted = (
+            work["scalars"]  # type: ignore[misc]
+        )
+        data, tags, valid, dirty = work["cache"]  # type: ignore[misc]
+        engine, iteration = work["env"]  # type: ignore[misc]
+        return {
+            "cpu": {
+                "regs": list(work["regs"]),  # type: ignore[call-overload]
+                "pc": pc,
+                "psw": psw,
+                "ir": ir,
+                "mar": mar,
+                "mdr": mdr,
+                "last_signature": last_signature,
+                "instruction_index": instruction_index,
+                "halted": halted,
+                "cache": {
+                    "data": list(data),
+                    "tags": list(tags),
+                    "valid": list(valid),
+                    "dirty": list(dirty),
+                },
+                "memory": memory,
+            },
+            "env": {"engine": list(engine), "iteration": iteration},
+        }
+
+
+class MachineCursor:
+    """Seats one machine (CPU + environment) at reference boundaries
+    with O(touched) cost between consecutive experiments.
+
+    :meth:`begin` must be called before every faulty execution.  It
+    rewinds whatever the previous experiment dirtied (via the armed RAM
+    undo logs plus a saved copy of the small state), walks forward
+    deltas to the requested boundary, and re-arms.  Whenever its
+    invariants cannot be proven — different reference, disarmed undo
+    log (an external wholesale restore), backward or far-forward target,
+    or a legacy snapshot list — it falls back to a full restore.
+
+    Stat counters (``words_touched``, ``replayed_iterations``,
+    ``full_restores``) accumulate until :meth:`take_stats`.
+    """
+
+    def __init__(self, cpu, environment):
+        self.cpu = cpu
+        self.environment = environment
+        self.boundary: Optional[int] = None
+        self._saved: Optional[tuple] = None
+        self._reference = None
+        self.words_touched = 0
+        self.replayed_iterations = 0
+        self.full_restores = 0
+
+    def invalidate(self) -> None:
+        """Forget everything; the next :meth:`begin` fully restores."""
+        self.boundary = None
+        self._saved = None
+        self._reference = None
+        memory = self.cpu.memory
+        for name in _RAM_REGIONS:
+            getattr(memory, name).undo = None
+
+    def take_stats(self) -> Tuple[int, int, int]:
+        """``(words_touched, replayed_iterations, full_restores)`` since
+        the previous call; resets the counters."""
+        stats = (self.words_touched, self.replayed_iterations, self.full_restores)
+        self.words_touched = 0
+        self.replayed_iterations = 0
+        self.full_restores = 0
+        return stats
+
+    # -- the seat operation ------------------------------------------------------
+    def begin(self, reference, boundary: int) -> None:
+        """Seat the machine at ``reference``'s boundary ``boundary``."""
+        cpu = self.cpu
+        memory = cpu.memory
+        rams = tuple(getattr(memory, name) for name in _RAM_REGIONS)
+        store = reference.snapshots
+        at = self.boundary
+        armed = (
+            self._reference is reference
+            and self._saved is not None
+            and at is not None
+            and all(ram.undo is not None for ram in rams)
+        )
+        if (
+            armed
+            and isinstance(store, CheckpointStore)
+            and at <= boundary <= at + FORWARD_REPLAY_LIMIT
+        ):
+            self.words_touched += self._rewind(rams)
+            if boundary != at:
+                self._walk(store, at, boundary)
+                self.replayed_iterations += boundary - at
+                self._capture(boundary)
+            return
+        # Full restore: either the fast path's invariants don't hold or
+        # the target is behind/far ahead of the rewound boundary.
+        snapshot = (
+            store.snapshot_at(boundary)
+            if isinstance(store, CheckpointStore)
+            else store[boundary]
+        )
+        cpu.restore(snapshot["cpu"])
+        self.environment.restore(snapshot["env"])
+        self.full_restores += 1
+        self._reference = reference
+        self._capture(boundary)
+
+    def _rewind(self, rams) -> int:
+        """Unwind the previous experiment: write back undone RAM words
+        and re-seat the saved small state.  Leaves the machine at
+        ``self.boundary`` with empty, armed undo logs."""
+        touched = 0
+        memory = self.cpu.memory
+        code_touched = False
+        for ram in rams:
+            undo = ram.undo
+            if undo:
+                words = ram.words
+                parity = ram.parity
+                for i, (w, p) in undo.items():
+                    words[i] = w
+                    parity[i] = p
+                ram.version += 1
+                touched += len(undo)
+                if ram is memory.code or ram is memory.rodata:
+                    code_touched = True
+                undo.clear()
+        if code_touched:
+            memory.fetch_cache.clear()
+        regs, scalars, cache_saved, mmio_saved, env_saved = self._saved  # type: ignore[misc]
+        cpu = self.cpu
+        cpu.regs[:] = regs
+        (
+            cpu.pc,
+            cpu.psw,
+            cpu.ir,
+            cpu.mar,
+            cpu.mdr,
+            cpu.last_signature,
+            cpu.instruction_index,
+            cpu.halted,
+        ) = scalars
+        cpu.detection = None
+        cache = cpu.cache
+        data, tags, valid, dirty = cache_saved
+        cache.data[:] = data
+        cache.tags[:] = tags
+        cache.valid[:] = valid
+        cache.dirty[:] = dirty
+        registers = memory.mmio.registers
+        registers.clear()
+        registers.update(mmio_saved)
+        self.environment.restore(env_saved)
+        return touched
+
+    def _walk(self, store: CheckpointStore, start: int, stop: int) -> None:
+        """Apply deltas ``start..stop-1`` to the live (clean) machine.
+
+        RAM/cache/register writes go directly to the arrays — the undo
+        logs are armed but *empty*, and replaying the fault-free
+        reference forward must not be recorded as experiment damage.
+        """
+        cpu = self.cpu
+        memory = cpu.memory
+        cache = cpu.cache
+        regs = cpu.regs
+        data, tags, valid, dirty = cache.data, cache.tags, cache.valid, cache.dirty
+        deltas = store.deltas
+        code_touched = False
+        delta = deltas[stop - 1]
+        for t in range(start, stop):
+            regs_delta, _scalars, cache_delta, ram_delta, _mmio, _env = deltas[t]
+            for i, v in regs_delta:
+                regs[i] = v
+            for i, d, tg, vl, dy in cache_delta:
+                data[i] = d
+                tags[i] = tg
+                valid[i] = vl
+                dirty[i] = dy
+            for name, changes in ram_delta:
+                ram = getattr(memory, name)
+                words = ram.words
+                parity = ram.parity
+                for i, w in changes:
+                    words[i] = w
+                    parity[i] = _parity(w)
+                ram.version += 1
+                if name == "code" or name == "rodata":
+                    code_touched = True
+        if code_touched:
+            memory.fetch_cache.clear()
+        _regs, scalars, _cache, _ram, mmio, env = delta
+        (
+            cpu.pc,
+            cpu.psw,
+            cpu.ir,
+            cpu.mar,
+            cpu.mdr,
+            cpu.last_signature,
+            cpu.instruction_index,
+            cpu.halted,
+        ) = scalars
+        cpu.detection = None
+        registers = memory.mmio.registers
+        registers.clear()
+        registers.update(mmio)
+        engine, iteration = env
+        self.environment.engine.set_state_vector(list(engine))
+        self.environment.iteration = iteration
+
+    def _capture(self, boundary: int) -> None:
+        """Save the small state at ``boundary`` and arm the undo logs."""
+        cpu = self.cpu
+        cache = cpu.cache
+        memory = cpu.memory
+        self._saved = (
+            list(cpu.regs),
+            _cpu_scalars(cpu),
+            (
+                list(cache.data),
+                list(cache.tags),
+                list(cache.valid),
+                list(cache.dirty),
+            ),
+            dict(memory.mmio.registers),
+            self.environment.snapshot(),
+        )
+        for name in _RAM_REGIONS:
+            getattr(memory, name).undo = {}
+        self.boundary = boundary
+
+
+class SplicedOutputs(Sequence):
+    """An experiment's output sequence as prefix-view + own outputs +
+    optional suffix-view over the reference outputs.
+
+    Behaves like the ``List[float]`` it replaces — length, indexing,
+    slicing, iteration, equality against any sequence, ``np.asarray``
+    via ``__array__`` — but stores only the outputs the experiment
+    actually produced.  Pickling flattens to a plain list (the receiver
+    must not need the sender's reference object).
+    """
+
+    __slots__ = ("_source", "_prefix_len", "_mid", "_tail_start")
+
+    def __init__(self, source: Sequence[float], prefix_len: int):
+        self._source = source
+        self._prefix_len = prefix_len
+        self._mid: List[float] = []
+        self._tail_start: Optional[int] = None
+
+    def append(self, value: float) -> None:
+        if self._tail_start is not None:
+            raise ValueError("cannot append after the tail was spliced")
+        self._mid.append(value)
+
+    def splice_tail(self, start: int) -> None:
+        """Terminate with the reference suffix ``source[start:]``."""
+        self._tail_start = start
+
+    def __len__(self) -> int:
+        length = self._prefix_len + len(self._mid)
+        if self._tail_start is not None:
+            length += len(self._source) - self._tail_start
+        return length
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self)[index]
+        length = len(self)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError("SplicedOutputs index out of range")
+        if index < self._prefix_len:
+            return self._source[index]
+        index -= self._prefix_len
+        mid = self._mid
+        if index < len(mid):
+            return mid[index]
+        return self._source[self._tail_start + index - len(mid)]  # type: ignore[operator]
+
+    def __iter__(self) -> Iterator[float]:
+        parts = [islice(iter(self._source), self._prefix_len), iter(self._mid)]
+        if self._tail_start is not None:
+            parts.append(islice(iter(self._source), self._tail_start, None))
+        return chain(*parts)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (SplicedOutputs, list, tuple)):
+            if len(self) != len(other):
+                return False
+            return all(a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return f"SplicedOutputs({list(self)!r})"
+
+    def __array__(self, dtype=None, copy=None):
+        import numpy
+
+        return numpy.array(list(self), dtype=dtype)
+
+    def __reduce__(self):
+        # Cross-process (or cross-pickle) the view flattens to a plain
+        # list: receivers never depend on the sender's reference object.
+        return (list, (list(self),))

@@ -132,14 +132,16 @@ def trace_propagation(
     if reference is None:
         raise CampaignError("run_reference() must come first")
     start_iteration = reference.locate(fault.time)
+    # The scratch golden twin needs a full checkpoint image; the primary
+    # (faulted) machine seats through the target's data plane, which
+    # costs O(touched state) between consecutive replays.
     snapshot = reference.snapshots[start_iteration]
 
     faulted = target.cpu
     golden = CPU(target.cpu.layout)
     golden.load(target.workload.program)
-    faulted.restore(snapshot["cpu"])  # type: ignore[arg-type]
+    target.restore_boundary(start_iteration)
     golden.restore(snapshot["cpu"])  # type: ignore[arg-type]
-    target.environment.restore(snapshot["env"])  # type: ignore[arg-type]
 
     replay = fault.time - reference.instructions_at[start_iteration]
     for _ in range(replay):

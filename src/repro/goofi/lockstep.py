@@ -78,12 +78,13 @@ class LockstepTarget:
         if reference is None:
             raise CampaignError("run_reference() must come first")
         start_iteration = reference.locate(fault.time)
+        # The slave needs a full checkpoint image; the master seats
+        # through the inner target's data plane (O(touched) restores).
         snapshot = reference.snapshots[start_iteration]
         master = self.inner.cpu
         env = self.inner.environment
-        master.restore(snapshot["cpu"])  # type: ignore[arg-type]
+        self.inner.restore_boundary(start_iteration)
         self.slave.restore(snapshot["cpu"])  # type: ignore[arg-type]
-        env.restore(snapshot["env"])  # type: ignore[arg-type]
 
         replay = fault.time - reference.instructions_at[start_iteration]
         for _ in range(replay):

@@ -86,9 +86,7 @@ def run_memory_experiment(
         raise CampaignError("run_reference() must come first")
     if not 0 <= fault.iteration < target.iterations:
         raise CampaignError("fault iteration outside the run")
-    snapshot = reference.snapshots[fault.iteration]
-    target.cpu.restore(snapshot["cpu"])  # type: ignore[arg-type]
-    target.environment.restore(snapshot["env"])  # type: ignore[arg-type]
+    target.restore_boundary(fault.iteration)
     target.cpu.memory.corrupt_word_bit(fault.address, fault.bit)
 
     descriptor = FaultDescriptor(

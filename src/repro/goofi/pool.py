@@ -43,6 +43,11 @@ class WorkerPayload:
     reference: Optional[ReferenceRun]
     fast_dispatch: bool = True
     incremental_hash: bool = True
+    #: Selects the worker target's snapshot/restore data plane (delta
+    #: checkpoints + undo-log cursors vs legacy full copies).  Shipped
+    #: explicitly so a golden-equivalence validation comparing the two
+    #: planes never reuses the other leg's warm workers.
+    delta_dataplane: bool = True
 
 
 #: Per-process state, populated by :func:`_initialize_worker`.
@@ -68,6 +73,7 @@ def _initialize_worker(payload: WorkerPayload) -> None:
         fast_dispatch=payload.fast_dispatch,
         incremental_hash=payload.incremental_hash,
         environment_factory=payload.environment_factory,
+        delta_dataplane=payload.delta_dataplane,
     )
     if payload.reference is None:
         target.run_reference()
@@ -178,6 +184,8 @@ class ReferencePool:
             return "fast_dispatch"
         if current.incremental_hash != payload.incremental_hash:
             return "incremental_hash"
+        if current.delta_dataplane != payload.delta_dataplane:
+            return "delta_dataplane"
         if not _references_equivalent(current.reference, payload.reference):
             return "reference"
         return None

@@ -50,6 +50,7 @@ from repro.analysis.report import render_outcome_table
 from repro.errors import CampaignError
 from repro.faults.liveness import Liveness, LivenessMap
 from repro.faults.models import FaultDescriptor
+from repro.goofi.dataplane import SplicedOutputs
 from repro.goofi.target import ExperimentRun, ReferenceRun
 
 
@@ -117,7 +118,10 @@ def synthesize_run(
         raise CampaignError("live faults must be simulated, not synthesised")
     return ExperimentRun(
         fault=fault,
-        outputs=list(reference.outputs),
+        # A view over the (immutable) golden outputs: predicted runs
+        # deliver the reference trace verbatim, so there is nothing to
+        # copy — pickling flattens the view for worker transport.
+        outputs=SplicedOutputs(reference.outputs, len(reference.outputs)),
         final_state_differs=classification is Liveness.LATENT,
         predicted=True,
     )
@@ -234,7 +238,10 @@ def replay_equivalent(
         )
     return ExperimentRun(
         fault=fault,
-        outputs=list(representative.outputs),
+        # Shares the representative's outputs by view, not by copy.
+        outputs=SplicedOutputs(
+            representative.outputs, len(representative.outputs)
+        ),
         detection=representative.detection,
         detected_iteration=representative.detected_iteration,
         final_state_differs=representative.final_state_differs,

@@ -59,6 +59,13 @@ class RecoveryPolicy:
             the cadence of the live status surface (`docs/
             observability.md`).  Like every knob here it never affects
             outcomes and is not part of the campaign fingerprint.
+        target_chunk_seconds: the locality-aware scheduler's target wall
+            time per worker chunk; completed-chunk throughput feeds back
+            into the next chunk's size so slow phases keep chunks small
+            (short straggler tails) and fast phases amortise dispatch
+            overhead over larger ones.
+        min_chunk_size: lower bound on an adaptively sized chunk.
+        max_chunk_size: upper bound on an adaptively sized chunk.
         sleep: injectable delay function (tests replace it to avoid
             real waiting); never part of the campaign fingerprint.
     """
@@ -70,6 +77,9 @@ class RecoveryPolicy:
     max_pool_rebuilds: int = 2
     db_batch: int = 32
     heartbeat_every: int = 25
+    target_chunk_seconds: float = 1.0
+    min_chunk_size: int = 4
+    max_chunk_size: int = 128
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
 

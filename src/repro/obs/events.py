@@ -39,6 +39,16 @@ crash-safety machinery acts:
 * ``serial_fallback`` — pool rebuilds were exhausted and the remaining
   experiments ran serially in the parent.
 
+Data-plane diagnostics (``docs/performance.md``) are schedule-dependent
+and therefore live in the event stream, never in the metrics registry
+(whose serial/parallel equality is a tested invariant):
+
+* ``dataplane_stats`` — delta-restore counters drained from one
+  execution loop (``worker``, ``restore_words_touched``,
+  ``delta_replay_iterations``, ``full_restores``);
+* ``chunk_resized`` — the locality-aware scheduler adapted its chunk
+  size to the measured worker throughput (``size``, ``rate``).
+
 Worker processes never share a file descriptor: each worker writes its
 own ``<path>.shard<N>`` file, and the parent merges the shards back into
 the main log in plan order (:func:`merge_event_shards`).
@@ -72,6 +82,8 @@ EVENT_TYPES = (
     "serial_fallback",
     "equivalence_collapse",
     "worker_pool_respawned",
+    "dataplane_stats",
+    "chunk_resized",
 )
 
 

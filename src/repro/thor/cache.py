@@ -195,8 +195,9 @@ class DataCache:
         }
 
     def restore(self, snapshot: Dict[str, List[int]]) -> None:
-        """Restore arrays captured by :meth:`snapshot`."""
-        self.data = list(snapshot["data"])
-        self.tags = list(snapshot["tags"])
-        self.valid = list(snapshot["valid"])
-        self.dirty = list(snapshot["dirty"])
+        """Restore arrays captured by :meth:`snapshot` (in place, so
+        steady-state restores allocate nothing)."""
+        self.data[:] = snapshot["data"]
+        self.tags[:] = snapshot["tags"]
+        self.valid[:] = snapshot["valid"]
+        self.dirty[:] = snapshot["dirty"]

@@ -741,7 +741,7 @@ class CPU:
 
     def restore(self, snapshot: Dict[str, object]) -> None:
         """Restore state captured by :meth:`snapshot`."""
-        self.regs = list(snapshot["regs"])  # type: ignore[arg-type]
+        self.regs[:] = snapshot["regs"]  # type: ignore[arg-type]
         self.pc = snapshot["pc"]  # type: ignore[assignment]
         self.psw = snapshot["psw"]  # type: ignore[assignment]
         self.ir = snapshot["ir"]  # type: ignore[assignment]
@@ -1760,6 +1760,9 @@ def _batch_miss_read(cache, memory, address: int, line: int, tag: int) -> int:
         else:
             i = (victim - ram.base) >> 2
             value = cache.data[line] & _U32
+            undo = ram.undo
+            if undo is not None and i not in undo:
+                undo[i] = (ram.words[i], ram.parity[i])
             ram.words[i] = value
             ram.parity[i] = _parity(value)
             ram.version += 1
@@ -1805,6 +1808,9 @@ def _batch_miss_write(
         else:
             i = (victim - ram.base) >> 2
             old = cache.data[line] & _U32
+            undo = ram.undo
+            if undo is not None and i not in undo:
+                undo[i] = (ram.words[i], ram.parity[i])
             ram.words[i] = old
             ram.parity[i] = _parity(old)
             ram.version += 1

@@ -121,6 +121,15 @@ class _Ram:
         self.parity: List[int] = [0] * count
         #: Mutation counter consumed by the packed-image cache.
         self.version = 0
+        #: Optional undo log: ``{index: (old_word, old_parity)}`` armed
+        #: by the delta data plane (:mod:`repro.goofi.dataplane`) before
+        #: a faulty execution.  Every first mutation of a word records
+        #: its prior value, so the experiment can be unwound by writing
+        #: back only the touched set instead of unpacking the full
+        #: region.  A wholesale :meth:`restore` sets it back to ``None``
+        #: — the poison signal that tells a cursor its log no longer
+        #: describes the live state.
+        self.undo: "Dict[int, Tuple[int, int]] | None" = None
         self._struct = struct.Struct(f"<{count}I")
         self._packed: Tuple[int, bytes, bytes] = (0, b"\x00" * (count * WORD), b"\x00" * count)
 
@@ -140,6 +149,9 @@ class _Ram:
     def write(self, address: int, value: int) -> None:
         i = (address - self.base) // WORD
         value &= 0xFFFFFFFF
+        undo = self.undo
+        if undo is not None and i not in undo:
+            undo[i] = (self.words[i], self.parity[i])
         self.words[i] = value
         self.parity[i] = _parity(value)
         self.version += 1
@@ -172,9 +184,13 @@ class _Ram:
 
     def restore(self, snapshot: Tuple[bytes, bytes]) -> None:
         words, parity = snapshot
-        self.words = list(self._struct.unpack(words))
-        self.parity = list(parity)
+        # In place: steady-state restores reuse the existing lists
+        # instead of allocating fresh ones per call.
+        self.words[:] = self._struct.unpack(words)
+        self.parity[:] = parity
         self.version += 1
+        # A wholesale overwrite invalidates any armed undo log.
+        self.undo = None
         # The snapshot bytes *are* the packed image — prime the cache.
         self._packed = (self.version, words, parity)
 
@@ -376,6 +392,9 @@ class MemoryMap:
         for ram in self._region_rams():
             if ram.contains(address):
                 i = ram.index(address)
+                undo = ram.undo
+                if undo is not None and i not in undo:
+                    undo[i] = (ram.words[i], ram.parity[i])
                 ram.words[i] = ram.words[i] ^ (1 << bit)
                 ram.version += 1
                 self.fetch_cache.clear()
