@@ -1,0 +1,134 @@
+"""Benchmark: campaign-service queue overhead.
+
+Runs the same campaign twice with identical persistence (streamed
+SQLite database + JSONL event log): once directly through
+:class:`ScifiCampaign` and once as a queue job through
+:class:`~repro.service.CampaignService` (submit, lease, heartbeats,
+ack, summary artifact).  Gates:
+
+1. golden equivalence — the service leg's ``experiment_finished``
+   sequence and summary artifact are byte-identical to what the direct
+   leg produces;
+2. queue-mode overhead stays within ``OVERHEAD_CEILING`` (10%) of the
+   direct executor's wall-clock at the default 500-fault campaign.
+
+The queue's per-campaign cost is a constant handful of SQLite
+statements (one enqueue, one lease, a heartbeat every
+``heartbeat_every`` experiments, one ack), so the measured overhead
+shrinks as campaigns grow; the 10% ceiling leaves head-room for the
+single-core CI runner's run-to-run noise at the reduced CI size.
+The snapshot lands in ``results/BENCH_service.json`` and is folded
+into ``BENCH_history.jsonl`` by ``trend.py``.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from _common import bench_faults, bench_iterations, emit
+
+from repro.analysis.report import render_outcome_table
+from repro.goofi import CampaignConfig, CampaignDatabase, ScifiCampaign
+from repro.obs import Telemetry
+from repro.service import CampaignService
+from repro.workloads import compile_algorithm_i
+
+#: Queue-mode wall-clock must stay within this fraction over direct.
+OVERHEAD_CEILING = 0.10
+
+
+def _config(faults=None, iterations=None):
+    return CampaignConfig(
+        workload=compile_algorithm_i(),
+        name="service bench",
+        faults=faults or bench_faults(),
+        iterations=iterations or bench_iterations(),
+        seed=2001,
+    )
+
+
+def _rendered(result) -> str:
+    summary = result.summary()
+    text = render_outcome_table(summary)
+    severe = summary.severe_share_of_value_failures()
+    return text + f"\nsevere share of value failures: {severe.format()}\n"
+
+
+def _finished_lines(path):
+    with open(path, "rb") as handle:
+        return [line for line in handle if b'"experiment_finished"' in line]
+
+
+def _direct_leg(tmp):
+    """The baseline: one campaign, database + events, no queue."""
+    db = CampaignDatabase(os.path.join(tmp, "direct.db"))
+    telemetry = Telemetry(
+        os.path.join(tmp, "direct-events.jsonl"), metrics=False, tracer=False
+    )
+    start = time.perf_counter()
+    result = ScifiCampaign(_config(), database=db).run(telemetry=telemetry)
+    seconds = time.perf_counter() - start
+    telemetry.close()
+    db.close()
+    return result, seconds
+
+
+def _service_leg(tmp):
+    """The same campaign as a leased queue job, client to summary."""
+    with CampaignService(os.path.join(tmp, "service")) as service:
+        start = time.perf_counter()
+        campaign_id = service.submit_campaign(_config())
+        outcome = service.run_once("bench-worker")
+        seconds = time.perf_counter() - start
+        assert outcome == "done", outcome
+        events = service.events_path(campaign_id)
+        summary = os.path.join(service.campaign_dir(campaign_id), "summary.txt")
+    return events, summary, seconds
+
+
+def _measure():
+    # One small warm-up campaign settles imports and allocator state so
+    # neither leg pays first-run costs.
+    ScifiCampaign(_config(faults=8, iterations=20)).run()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        direct_result, direct_seconds = _direct_leg(tmp)
+        events, summary, service_seconds = _service_leg(tmp)
+        direct_lines = _finished_lines(
+            os.path.join(tmp, "direct-events.jsonl")
+        )
+        service_lines = _finished_lines(events)
+        with open(summary, "r", encoding="utf-8") as handle:
+            summary_text = handle.read()
+    return {
+        "direct_seconds": direct_seconds,
+        "service_seconds": service_seconds,
+        "events_identical": service_lines == direct_lines,
+        "summary_identical": summary_text == _rendered(direct_result),
+        "experiments": len(service_lines),
+    }
+
+
+def test_service_overhead(benchmark):
+    measured = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    overhead = (
+        measured["service_seconds"] / measured["direct_seconds"] - 1.0
+    )
+    snapshot = {
+        "faults": bench_faults(),
+        "iterations": bench_iterations(),
+        "direct_seconds": round(measured["direct_seconds"], 3),
+        "service_seconds": round(measured["service_seconds"], 3),
+        "overhead": round(overhead, 4),
+        "overhead_ceiling": OVERHEAD_CEILING,
+        "events_identical": measured["events_identical"],
+        "summary_identical": measured["summary_identical"],
+        "experiments": measured["experiments"],
+    }
+    emit("BENCH_service.json", json.dumps(snapshot, indent=2, sort_keys=True))
+
+    # Equivalence before speed: the queue must not change the campaign.
+    assert measured["events_identical"], snapshot
+    assert measured["summary_identical"], snapshot
+    assert measured["experiments"] == bench_faults(), snapshot
+    assert overhead <= OVERHEAD_CEILING, snapshot

@@ -14,12 +14,21 @@ Usage (also available as ``python -m repro``):
     repro obs       watch  --events events.jsonl [--interval 2] [--once] [--json]
     repro obs       export [--events events.jsonl] [--snapshot metrics.json]
                     [--format prometheus|json] [--output FILE]
+    repro serve     --root runs/ [--workers N] [--once] [--ttl 30]
+    repro submit    --root runs/ --algorithm II --faults 500
+    repro status    --root runs/ [--campaign ID] [--json]
+    repro cancel    --root runs/ --campaign ID
     repro compare   --faults 500
     repro figure    --name fig03|fig04|fig05
     repro listing   --algorithm I
     repro propagate --element line3.data --bit 30 --time 12000
 
 Every command is deterministic for a given ``--seed``.
+
+Exit codes for interrupted campaigns distinguish who stopped the run:
+130 for operator Ctrl-C (SIGINT), 143 for SIGTERM, and 75
+(``EX_TEMPFAIL``) for queue-driven aborts — a cancel request or a
+revoked lease — which a wrapper may safely retry or resume.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from repro.errors import (
     CampaignError,
     DatabaseError,
     ObservabilityError,
+    ServiceError,
 )
 from repro.faults.models import FaultDescriptor, FaultTarget
 from repro.goofi import (
@@ -81,7 +91,8 @@ def _workload(algorithm: str):
     raise SystemExit(f"unknown algorithm {algorithm!r} (use I or II)")
 
 
-def _cmd_campaign(args: argparse.Namespace) -> int:
+def _config_from_args(args: argparse.Namespace) -> CampaignConfig:
+    """Build a campaign configuration from the shared config flags."""
     workload, name = _workload(args.algorithm)
     chaos = None
     if args.chaos:
@@ -92,7 +103,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         chaos = ChaosSpec.from_json(
             args.chaos, tempfile.mkdtemp(prefix="repro-chaos-")
         )
-    config = CampaignConfig(
+    return CampaignConfig(
         workload=workload,
         name=name,
         faults=args.faults,
@@ -106,6 +117,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         locality_sort=args.locality_sort,
         chaos=chaos,
     )
+
+
+#: ``CampaignAborted.reason`` → process exit status.  Only operator
+#: interrupts get the conventional signal codes; queue-driven aborts
+#: (cancel requested, lease revoked) exit 75, BSD's ``EX_TEMPFAIL``.
+_ABORT_EXIT_CODES = {"sigint": 130, "sigterm": 143}
+_ABORT_EXIT_DEFAULT = 75
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
     if args.validate_pruning:
         from repro.goofi.pruning import validate_pruning
 
@@ -152,15 +174,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
     except CampaignAborted as exc:
         # Streamed results were flushed and the campaign row is marked
-        # aborted; 130 is the conventional SIGINT exit status.
-        print(f"campaign aborted: {exc}", file=sys.stderr)
+        # aborted.  The exit code says who stopped the run: operator
+        # SIGINT/SIGTERM get the conventional 128+signal codes, while a
+        # queue-driven abort (cancel, revoked lease) exits 75 so
+        # wrappers can tell the two apart and retry/resume safely.
+        print(f"campaign aborted ({exc.reason}): {exc}", file=sys.stderr)
         if exc.campaign_id is not None and args.database:
             print(
                 f"resume with: repro campaign ... --database {args.database}"
                 f" --resume {exc.campaign_id}",
                 file=sys.stderr,
             )
-        return 130
+        return _ABORT_EXIT_CODES.get(exc.reason, _ABORT_EXIT_DEFAULT)
     except (CampaignError, DatabaseError) as exc:
         # Resume refusals (fingerprint mismatch, unknown campaign id)
         # are user errors, not crashes.
@@ -191,6 +216,179 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             print(f"metrics snapshot at {args.metrics_snapshot}")
     if database is not None:
         print(f"stored in {args.database}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import CampaignService
+
+    if args.detach:
+        import subprocess
+
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--root",
+            args.root,
+            "--workers",
+            "1",
+            "--ttl",
+            str(args.ttl),
+            "--poll",
+            str(args.poll),
+        ]
+        if args.once:
+            command.append("--once")
+        pids = []
+        for index in range(args.workers):
+            worker_id = args.worker_id or f"serve-{os.getpid()}"
+            child = subprocess.Popen(
+                command + ["--worker-id", f"{worker_id}-{index}"],
+                start_new_session=True,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            pids.append(child.pid)
+        print(
+            f"started {len(pids)} detached worker(s) on {args.root}:"
+            f" pids {' '.join(str(p) for p in pids)}"
+        )
+        return 0
+
+    worker_id = args.worker_id or f"serve-{os.getpid()}"
+
+    def _loop(name: str, counts: List[int], slot: int) -> None:
+        # Each worker keeps its own service handle: SQLite connections
+        # and campaign databases never cross threads.
+        with CampaignService(args.root) as service:
+            try:
+                counts[slot] = service.serve(
+                    name,
+                    ttl=args.ttl,
+                    poll=args.poll,
+                    once=args.once,
+                    kill_after=args.kill_after,
+                )
+            except CampaignAborted:
+                # The lease was already released; the campaign resumes
+                # under the next worker to claim it.
+                pass
+
+    if args.workers <= 1:
+        with CampaignService(args.root) as service:
+            try:
+                resolved = service.serve(
+                    worker_id,
+                    ttl=args.ttl,
+                    poll=args.poll,
+                    once=args.once,
+                    kill_after=args.kill_after,
+                )
+            except CampaignAborted as exc:
+                print(f"worker interrupted ({exc.reason}): {exc}", file=sys.stderr)
+                return _ABORT_EXIT_CODES.get(exc.reason, _ABORT_EXIT_DEFAULT)
+        print(f"{worker_id}: resolved {resolved} campaign job(s)")
+        return 0
+
+    import threading
+
+    counts = [0] * args.workers
+    threads = [
+        threading.Thread(
+            target=_loop, args=(f"{worker_id}-{index}", counts, index)
+        )
+        for index in range(args.workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    print(f"{worker_id}: resolved {sum(counts)} campaign job(s)")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import CampaignService
+
+    config = _config_from_args(args)
+    with CampaignService(args.root) as service:
+        campaign_id = service.submit_campaign(
+            config, workers=args.campaign_workers
+        )
+    print(f"campaign {campaign_id} queued under {args.root}")
+    print(f"watch with: repro status --root {args.root} --campaign {campaign_id}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import CampaignService, service_status_lines
+
+    with CampaignService(args.root) as service:
+        if args.campaign is None:
+            if args.json:
+                print(
+                    json.dumps(
+                        {
+                            "campaigns": service.list_campaigns(),
+                            "stale_leases": service.queue.stale_leases(),
+                        },
+                        sort_keys=True,
+                    )
+                )
+            else:
+                for line in service_status_lines(service):
+                    print(line)
+                stale = service.queue.stale_leases()
+                if stale:
+                    print(f"{stale} stale lease(s) expired over the queue lifetime")
+            return 0
+        try:
+            state, snapshot = service.status_snapshot(args.campaign)
+        except ServiceError as exc:
+            raise SystemExit(str(exc))
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "campaign_id": args.campaign,
+                        "job": state,
+                        "campaign": (
+                            snapshot.to_dict() if snapshot is not None else None
+                        ),
+                    },
+                    sort_keys=True,
+                )
+            )
+            return 0
+        lease = state.get("lease")
+        holder = ""
+        if isinstance(lease, dict):
+            stale = " (stale)" if lease.get("stale") else ""
+            holder = f", leased by {lease['worker']}{stale}"
+        print(f"campaign {args.campaign}: {state['status']}{holder}")
+        if state.get("expiries"):
+            print(f"lease expiries so far: {state['expiries']}")
+        if snapshot is not None:
+            print()
+            print(render_status(snapshot))
+        return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.service import CampaignService
+
+    with CampaignService(args.root) as service:
+        try:
+            status = service.cancel(args.campaign)
+        except ServiceError as exc:
+            raise SystemExit(str(exc))
+    print(f"campaign {args.campaign}: {status}")
+    if status not in ("cancelled",):
+        print(
+            "cancel requested; the leasing worker aborts at its next heartbeat",
+        )
     return 0
 
 
@@ -446,6 +644,64 @@ def _cmd_propagate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """The campaign-configuration flags shared by ``campaign`` and
+    ``submit`` (both build a :class:`CampaignConfig` from them)."""
+    parser.add_argument("--algorithm", default="I")
+    parser.add_argument("--faults", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=2001)
+    parser.add_argument("--iterations", type=int, default=650)
+    parser.add_argument("--partitions", nargs="*", default=None)
+    parser.add_argument(
+        "--prune",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="skip simulating faults whose outcome the reference run's "
+        "def/use access trace proves (see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--collapse",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="simulate one representative per outcome-equivalence class "
+        "of live faults and replay its result for the rest "
+        "(see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        metavar="K",
+        help="live faults simulated concurrently through one shared "
+        "dispatch loop (default: 1, classic one-at-a-time execution)",
+    )
+    parser.add_argument(
+        "--delta-dataplane",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="store the reference as base+deltas and restore experiments "
+        "through an undo log of touched words (default: on; "
+        "--no-delta-dataplane pins the legacy full-copy plane, see "
+        "docs/performance.md)",
+    )
+    parser.add_argument(
+        "--locality-sort",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="execute live faults in injection-time order with "
+        "throughput-adaptive worker chunks (default: on; results are "
+        "reported in plan order either way)",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="JSON",
+        help="inject deterministic worker crashes, e.g. "
+        "'{\"crashes\": {\"3\": 1}, \"mode\": \"exit\"}' (chaos "
+        "testing only; see docs/robustness.md)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -455,11 +711,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     campaign = sub.add_parser("campaign", help="run one SCIFI campaign")
-    campaign.add_argument("--algorithm", default="I")
-    campaign.add_argument("--faults", type=int, default=200)
-    campaign.add_argument("--seed", type=int, default=2001)
-    campaign.add_argument("--iterations", type=int, default=650)
-    campaign.add_argument("--partitions", nargs="*", default=None)
+    _add_config_arguments(campaign)
     campaign.add_argument("--database", default=None)
     campaign.add_argument(
         "--dossier",
@@ -491,50 +743,10 @@ def build_parser() -> argparse.ArgumentParser:
         "so 'repro obs export' can scrape the running campaign",
     )
     campaign.add_argument(
-        "--prune",
-        action=argparse.BooleanOptionalAction,
-        default=False,
-        help="skip simulating faults whose outcome the reference run's "
-        "def/use access trace proves (see docs/performance.md)",
-    )
-    campaign.add_argument(
         "--validate-pruning",
         action="store_true",
         help="run the campaign with and without pruning and fail "
         "(exit 1) unless every per-experiment outcome matches",
-    )
-    campaign.add_argument(
-        "--collapse",
-        action=argparse.BooleanOptionalAction,
-        default=False,
-        help="simulate one representative per outcome-equivalence class "
-        "of live faults and replay its result for the rest "
-        "(see docs/performance.md)",
-    )
-    campaign.add_argument(
-        "--batch-size",
-        type=int,
-        default=1,
-        metavar="K",
-        help="live faults simulated concurrently through one shared "
-        "dispatch loop (default: 1, classic one-at-a-time execution)",
-    )
-    campaign.add_argument(
-        "--delta-dataplane",
-        action=argparse.BooleanOptionalAction,
-        default=True,
-        help="store the reference as base+deltas and restore experiments "
-        "through an undo log of touched words (default: on; "
-        "--no-delta-dataplane pins the legacy full-copy plane, see "
-        "docs/performance.md)",
-    )
-    campaign.add_argument(
-        "--locality-sort",
-        action=argparse.BooleanOptionalAction,
-        default=True,
-        help="execute live faults in injection-time order with "
-        "throughput-adaptive worker chunks (default: on; results are "
-        "reported in plan order either way)",
     )
     campaign.add_argument(
         "--validate-collapse",
@@ -562,15 +774,103 @@ def build_parser() -> argparse.ArgumentParser:
         "experiments are done — the crash-safety smoke tests' kill "
         "switch",
     )
-    campaign.add_argument(
-        "--chaos",
-        default=None,
-        metavar="JSON",
-        help="inject deterministic worker crashes, e.g. "
-        "'{\"crashes\": {\"3\": 1}, \"mode\": \"exit\"}' (chaos "
-        "testing only; see docs/robustness.md)",
-    )
     campaign.set_defaults(func=_cmd_campaign)
+
+    serve = sub.add_parser(
+        "serve", help="run campaign-service queue workers on a root directory"
+    )
+    serve.add_argument(
+        "--root", required=True, help="service root (queue + campaign dirs)"
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="queue workers to run (default: 1)",
+    )
+    serve.add_argument(
+        "--once",
+        action="store_true",
+        help="exit once the queue is drained instead of polling forever",
+    )
+    serve.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="idle poll interval (default: 0.5)",
+    )
+    serve.add_argument(
+        "--ttl",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="lease time-to-live; a worker that stops heartbeating for "
+        "this long loses its campaign to the next worker (default: 30)",
+    )
+    serve.add_argument(
+        "--worker-id",
+        default=None,
+        help="lease-holder name (default: serve-<pid>)",
+    )
+    serve.add_argument(
+        "--detach",
+        action="store_true",
+        help="spawn the workers as detached background processes and exit",
+    )
+    serve.add_argument(
+        "--kill-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="SIGKILL this worker once N experiments are done — the "
+        "chaos smoke tests' machine-loss switch",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="queue a campaign for the service workers"
+    )
+    submit.add_argument(
+        "--root", required=True, help="service root (queue + campaign dirs)"
+    )
+    _add_config_arguments(submit)
+    submit.add_argument(
+        "--campaign-workers",
+        type=int,
+        default=1,
+        metavar="K",
+        help="worker processes the campaign's injection phase uses "
+        "(default: 1, serial)",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="queue + live progress of service campaigns"
+    )
+    status.add_argument(
+        "--root", required=True, help="service root (queue + campaign dirs)"
+    )
+    status.add_argument(
+        "--campaign",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="one campaign's job state and live status (default: list all)",
+    )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable snapshot instead of the panel",
+    )
+    status.set_defaults(func=_cmd_status)
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running campaign")
+    cancel.add_argument(
+        "--root", required=True, help="service root (queue + campaign dirs)"
+    )
+    cancel.add_argument("--campaign", type=int, required=True, metavar="ID")
+    cancel.set_defaults(func=_cmd_cancel)
 
     obs = sub.add_parser(
         "obs",

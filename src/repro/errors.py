@@ -47,16 +47,41 @@ class CampaignError(ReproError):
 
 
 class CampaignAborted(CampaignError):
-    """A campaign was interrupted (SIGINT) after flushing its results.
+    """A campaign was interrupted after flushing its in-flight results.
 
     Carries the database id of the aborted campaign, if one was being
     persisted: the run can be continued with
     ``ScifiCampaign.run(resume_from=campaign_id)`` (CLI: ``--resume``).
+    ``reason`` distinguishes operator interrupts from queue-driven
+    aborts so the CLI can map each to its own exit code: ``"sigint"``
+    (Ctrl-C, exit 130), ``"sigterm"`` (supervisor stop, exit 143) or a
+    service reason such as ``"cancel"`` / ``"lease-revoked"`` (exit 75,
+    ``EX_TEMPFAIL`` — the job is retryable).
     """
 
-    def __init__(self, message: str, campaign_id=None):
+    def __init__(self, message: str, campaign_id=None, reason: str = "sigint"):
         super().__init__(message)
         self.campaign_id = campaign_id
+        self.reason = reason
+
+
+class AbortRequested(KeyboardInterrupt):
+    """An externally requested campaign abort (cancel, lease revoked).
+
+    Deliberately a :class:`KeyboardInterrupt` subclass: raising it from
+    a progress callback routes through the campaign's existing
+    graceful-abort path (flush sink, mark aborted, emit
+    ``campaign_aborted``) while carrying a machine-readable ``reason``
+    the CLI maps to a non-130 exit code.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class ServiceError(ReproError):
+    """The campaign service rejected an operation (unknown job, bad root)."""
 
 
 class DatabaseError(ReproError):

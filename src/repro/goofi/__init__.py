@@ -60,6 +60,7 @@ from repro.goofi.swifi import (
     sample_model_faults,
 )
 from repro.goofi.target import ExperimentRun, ReferenceRun, TargetSystem
+from repro.goofi.workqueue import ExpiredLease, LeasedJob, NackOutcome, WorkQueue
 
 __all__ = [
     "CampaignConfig",
@@ -101,4 +102,8 @@ __all__ = [
     "ModelExperiment",
     "run_model_campaign",
     "sample_model_faults",
+    "WorkQueue",
+    "LeasedJob",
+    "NackOutcome",
+    "ExpiredLease",
 ]

@@ -10,9 +10,15 @@ worker chunks are requeued with capped exponential backoff and bisected
 to isolate poison experiments, a broken process pool is rebuilt (and
 ultimately degraded to serial execution), repeat offenders are recorded
 with ``provenance='quarantined'`` instead of aborting the run, SIGINT
-flushes in-flight results and marks the campaign ``aborted``, and
-``run(resume_from=...)`` continues an interrupted campaign to a summary
-bit-identical to an uninterrupted one.
+and SIGTERM flush in-flight results and mark the campaign ``aborted``,
+and ``run(resume_from=...)`` continues an interrupted campaign to a
+summary bit-identical to an uninterrupted one.
+
+Chunk dispatch runs through the lease-based
+:class:`~repro.goofi.workqueue.WorkQueue` (the retry/split/quarantine
+bookkeeping above lives in its ``nack``), so the same queue semantics
+serve this one-box ``ProcessPoolExecutor`` and the multi-process
+campaign service (:mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ import numpy as np
 
 from repro.analysis.classify import Outcome, classify_experiment
 from repro.analysis.report import CampaignSummary, ClassifiedExperiment
-from repro.errors import CampaignAborted, CampaignError
+from repro.errors import AbortRequested, CampaignAborted, CampaignError
 from repro.faults.models import FaultDescriptor, LocationSpace, sample_fault_plan
 from repro.goofi.database import CampaignDatabase
 from repro.goofi.environment import EngineEnvironment
@@ -50,9 +56,9 @@ from repro.goofi.recovery import (
     check_fingerprint,
     config_fingerprint,
     quarantined_run,
-    split_chunk,
 )
 from repro.goofi.target import ExperimentRun, TargetSystem
+from repro.goofi.workqueue import LeasedJob, WorkQueue
 from repro.obs.events import EventLog, merge_event_shards, now
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.status import write_manifest
@@ -196,25 +202,6 @@ class CampaignResult:
 def _null_span(_name: str):
     """The zero-overhead stand-in for a tracer span."""
     return nullcontext()
-
-
-@dataclass
-class _PendingChunk:
-    """A plan slice awaiting (re-)execution by a worker.
-
-    ``suspect`` marks a chunk that was in flight when the process pool
-    broke: a break takes down *every* in-flight future, so which chunk
-    killed the worker is unknowable from the exception alone.  Suspect
-    chunks are re-run in isolation (one in flight at a time) — a break
-    with a single active chunk has certain attribution, and only certain
-    kills count toward quarantine.  Without this, innocent experiments
-    that happened to share the pool with a poison one would accumulate
-    its kills and get quarantined alongside it.
-    """
-
-    items: List[Tuple[int, FaultDescriptor]]
-    attempt: int = 0
-    suspect: bool = False
 
 
 def _run_chunk(args):
@@ -407,10 +394,15 @@ class ScifiCampaign:
                 an uninterrupted run's.  Requires a database.
 
         Raises:
-            CampaignAborted: the run was interrupted (SIGINT); in-flight
-                results were flushed and the campaign row (if any) is
-                marked ``aborted`` — pass its id back as ``resume_from``
-                to continue.
+            CampaignAborted: the run was interrupted (SIGINT, SIGTERM or
+                an :class:`~repro.errors.AbortRequested` raised from the
+                progress callback); in-flight results were flushed and
+                the campaign row (if any) is marked ``aborted`` — pass
+                its id back as ``resume_from`` to continue.  The
+                exception's ``reason`` says which (``"sigint"``,
+                ``"sigterm"``, or the requested reason such as
+                ``"cancel"``), which the CLI maps to distinct exit
+                codes.
         """
         config = self.config
         if pool is not None:
@@ -427,39 +419,49 @@ class ScifiCampaign:
 
         self._sink = None
         self._campaign_id = None
-        # A SIGINT must stop the campaign *between* database commits:
-        # the handler raises KeyboardInterrupt, the abort path below
-        # flushes in-flight results and marks the campaign resumable.
-        previous_handler = None
-        try:
-            previous_handler = signal.signal(signal.SIGINT, self._handle_sigint)
-        except ValueError:
-            previous_handler = None  # not in the main thread
+        # A SIGINT (operator Ctrl-C) or SIGTERM (service supervisor
+        # stopping a worker) must stop the campaign *between* database
+        # commits: the handlers raise KeyboardInterrupt (SIGTERM through
+        # the AbortRequested subclass, so the reason survives), and the
+        # abort path below flushes in-flight results and marks the
+        # campaign resumable.
+        previous_handlers: List[Tuple[int, object]] = []
+        for signum, handler in (
+            (signal.SIGINT, self._handle_sigint),
+            (signal.SIGTERM, self._handle_sigterm),
+        ):
+            try:
+                previous_handlers.append((signum, signal.signal(signum, handler)))
+            except ValueError:
+                pass  # not in the main thread
 
         try:
             result = self._run_phases(
                 progress, workers, telemetry, span, pool, resume_from
             )
-        except KeyboardInterrupt:
-            campaign_id = self._abort(telemetry)
+        except KeyboardInterrupt as exc:
+            reason = getattr(exc, "reason", None) or "sigint"
+            campaign_id = self._abort(telemetry, reason=reason)
             hint = (
                 f" — resume with run(resume_from={campaign_id})"
                 if campaign_id is not None
                 else ""
             )
             raise CampaignAborted(
-                f"campaign interrupted{hint}", campaign_id=campaign_id
+                f"campaign interrupted{hint}",
+                campaign_id=campaign_id,
+                reason=reason,
             ) from None
         except BaseException:
             # Flush whatever telemetry and results exist so post-mortem
             # `repro obs` works, mark the campaign resumable, re-raise.
-            self._abort(telemetry)
+            self._abort(telemetry, reason="error")
             raise
         finally:
-            if previous_handler is not None:
+            for signum, previous in previous_handlers:
                 try:
-                    signal.signal(signal.SIGINT, previous_handler)
-                except ValueError:
+                    signal.signal(signum, previous)
+                except (ValueError, TypeError):
                     pass
             # The metrics binding registers a global EDM listener;
             # unhook it so a later campaign (or pool phase) in the same
@@ -472,7 +474,13 @@ class ScifiCampaign:
     def _handle_sigint(_signum, _frame) -> None:
         raise KeyboardInterrupt
 
-    def _abort(self, telemetry: Optional[Telemetry]) -> Optional[int]:
+    @staticmethod
+    def _handle_sigterm(_signum, _frame) -> None:
+        raise AbortRequested("sigterm")
+
+    def _abort(
+        self, telemetry: Optional[Telemetry], reason: str = "sigint"
+    ) -> Optional[int]:
         """Best-effort cleanup on interruption: flush streamed results,
         mark the campaign row aborted (resumable), flush telemetry.
 
@@ -500,6 +508,7 @@ class ScifiCampaign:
                     ts=now(),
                     campaign_id=campaign_id,
                     completed=stored,
+                    reason=reason,
                 )
                 telemetry.finish()
             except Exception:
@@ -1119,7 +1128,22 @@ class ScifiCampaign:
             if progress is not None:
                 progress(done, total, by_index[index][1])
 
-        queue: deque = deque()
+        # Chunk dispatch runs through the lease-based work queue — in
+        # the campaign database when there is one (so the queue tables
+        # are inspectable next to the results), else a private in-memory
+        # queue.  The parent leases jobs on behalf of its pool workers;
+        # retry, split and quarantine accounting is the queue's ``nack``.
+        work = (
+            self.database.work_queue(policy)
+            if self.database is not None
+            else WorkQueue(policy=policy)
+        )
+        topic = f"campaign-{self._campaign_id or 0}-chunks"
+        # Stale rows from an earlier aborted run over the same campaign
+        # would replay already-completed chunks; this run re-derives its
+        # remaining plan from the results table instead.
+        work.purge(topic)
+        lease_worker = f"pool-{os.getpid()}"
         reservoir: deque = deque()
         chunk_size = 0
         if config.locality_sort:
@@ -1129,8 +1153,11 @@ class ScifiCampaign:
             # into contiguous chunks drawn on demand, sized so one chunk
             # costs about ``target_chunk_seconds`` at the measured
             # throughput — small chunks near the end keep the straggler
-            # tail short.  Plan order is restored when results arrive,
-            # so outcomes, storage and merged telemetry are unchanged.
+            # tail short.  Chunks enter the queue as they are drawn (a
+            # targeted lease keeps an older requeued job from being
+            # claimed in their place).  Plan order is restored when
+            # results arrive, so outcomes, storage and merged telemetry
+            # are unchanged.
             reservoir.extend(sorted(live_plan, key=lambda item: item[1].time))
             chunk_size = max(
                 policy.min_chunk_size,
@@ -1142,12 +1169,10 @@ class ScifiCampaign:
         else:
             for chunk_items in (live_plan[i::workers] for i in range(workers)):
                 if chunk_items:
-                    queue.append(_PendingChunk(list(chunk_items)))
-        active: Dict[object, Tuple[_PendingChunk, int, Optional[str]]] = {}
+                    work.enqueue(list(chunk_items), topic=topic)
+        active: Dict[object, Tuple[LeasedJob, int, Optional[str]]] = {}
         submission = 0
         rebuilds = 0
-        kill_counts: Dict[int, int] = {}
-        fail_counts: Dict[int, int] = {}
         fallback = False
 
         def counter_inc(name: str, amount: int = 1) -> None:
@@ -1179,7 +1204,7 @@ class ScifiCampaign:
             # equivalence class: simulate the members individually.
             members = equivalence_classes.pop(index, None)
             if members:
-                queue.append(_PendingChunk(list(members)))
+                work.enqueue(list(members), topic=topic)
 
         def replay_members(index, run, outcome) -> None:
             """Replay an arrived representative's result for its class."""
@@ -1196,59 +1221,63 @@ class ScifiCampaign:
                 record_result(m_index, m_run, outcome)
 
         def handle_failure(
-            chunk: _PendingChunk,
+            job: LeasedJob,
             shard,
             killed: bool,
             reason: str,
             certain: bool = True,
         ):
-            """Requeue, split or quarantine one failed chunk.
+            """Nack one failed job: the queue requeues, splits or — once
+            a single experiment crosses its kill/failure budget —
+            declares it exhausted, at which point it is quarantined here.
 
-            ``certain`` says the failure is attributable to this chunk
+            ``certain`` says the failure is attributable to this job
             (an ordinary exception always is; a pool break only when the
-            chunk was alone in flight).  Only certain failures count
+            job was alone in flight).  Only certain failures count
             toward a single experiment's quarantine thresholds.
             """
             if shard is not None and os.path.exists(shard):
                 os.remove(shard)  # discard the dead worker's partial events
-            if len(chunk.items) == 1 and certain:
-                index, fault = chunk.items[0]
-                counts = kill_counts if killed else fail_counts
-                counts[index] = counts.get(index, 0) + 1
-                threshold = (
-                    policy.quarantine_after if killed else policy.max_chunk_retries
-                )
-                if counts[index] >= threshold:
-                    quarantine(index, fault)
-                    return
+            verdict = work.nack(
+                job.lease_id, killed=killed, certain=certain, reason=reason
+            )
+            if verdict.action == "exhausted":
+                index, fault = verdict.items[0]
+                quarantine(index, fault)
+                return
             counter_inc("requeued_chunks")
-            counter_inc("retries", len(chunk.items))
+            counter_inc("retries", len(job.items))
             emit(
                 "chunk_requeued",
                 ts=now(),
-                experiments=len(chunk.items),
-                attempt=chunk.attempt,
+                experiments=len(job.items),
+                attempt=job.attempt,
                 killed=killed,
                 reason=reason,
             )
-            policy.sleep(backoff_seconds(chunk.attempt, policy))
-            suspect = chunk.suspect or killed
-            if len(chunk.items) > 1:
-                first, second = split_chunk(chunk.items)
-                queue.append(_PendingChunk(first, chunk.attempt + 1, suspect))
-                queue.append(_PendingChunk(second, chunk.attempt + 1, suspect))
-            else:
-                queue.append(_PendingChunk(chunk.items, chunk.attempt + 1, suspect))
+            emit(
+                "job_state",
+                ts=now(),
+                job=job.job_id,
+                state=verdict.action,
+                attempt=verdict.attempt,
+                experiments=len(job.items),
+                suspect=verdict.suspect,
+            )
+            # Pool mode owns the backoff sleep (the queue leaves the
+            # requeued job immediately available), so tests can inject a
+            # no-op sleep exactly as before.
+            policy.sleep(verdict.delay)
 
-        def submit_chunk(chunk: _PendingChunk) -> bool:
-            """Submit one chunk; False when the pool turned out broken."""
+        def submit_job(job: LeasedJob) -> bool:
+            """Submit one leased job; False when the pool turned out broken."""
             nonlocal submission
             submission += 1
             shard = (
                 telemetry.shard_path(submission) if telemetry is not None else None
             )
             args = (
-                chunk.items,
+                job.items,
                 submission,
                 shard,
                 metrics_enabled,
@@ -1260,9 +1289,21 @@ class ScifiCampaign:
             try:
                 future = pool.submit(_run_chunk, args)
             except BrokenProcessPool:
-                queue.appendleft(chunk)
+                # The job never ran: hand its lease back untouched so it
+                # keeps its place at the front of the queue.
+                work.release(job.lease_id)
                 return False
-            active[future] = (chunk, submission, shard)
+            active[future] = (job, submission, shard)
+            emit(
+                "lease_granted",
+                ts=now(),
+                job=job.job_id,
+                lease=job.lease_id,
+                worker=submission,
+                experiments=len(job.items),
+                attempt=job.attempt,
+                suspect=job.suspect,
+            )
             return True
 
         try:
@@ -1275,21 +1316,30 @@ class ScifiCampaign:
                     ts=now(),
                     reason=pool.last_respawn_reason,
                 )
-            while (queue or reservoir or active) and not fallback:
+            while (work.pending(topic) or reservoir or active) and not fallback:
                 broken = False
-                # Suspect chunks (in flight during an earlier pool break)
-                # run in isolation — one in flight at a time — so a
-                # repeat break has certain attribution.  Everything else
-                # fans out normally.
-                while queue and not broken and not active:
-                    suspect = next((c for c in queue if c.suspect), None)
-                    if suspect is None:
+                # Suspect jobs (in flight during an earlier pool break —
+                # a break takes down *every* in-flight future, so which
+                # chunk killed the worker is unknowable from the
+                # exception alone) run in isolation, one in flight at a
+                # time, so a repeat break has certain attribution; only
+                # certain kills count toward quarantine.  Without this,
+                # innocent experiments that happened to share the pool
+                # with a poison one would accumulate its kills and get
+                # quarantined alongside it.
+                while not broken and not active:
+                    job = work.lease(
+                        lease_worker, topic=topic, suspect_only=True
+                    )
+                    if job is None:
                         break
-                    queue.remove(suspect)
-                    broken = not submit_chunk(suspect)
+                    broken = not submit_job(job)
                 if not active:
-                    while queue and not broken:
-                        broken = not submit_chunk(queue.popleft())
+                    while not broken:
+                        job = work.lease(lease_worker, topic=topic)
+                        if job is None:
+                            break
+                        broken = not submit_job(job)
                 # Draw fresh chunks from the sorted reservoir to keep
                 # every worker busy — but never alongside a suspect,
                 # whose isolation is what makes a repeat pool break
@@ -1302,14 +1352,20 @@ class ScifiCampaign:
                             reservoir.popleft()
                             for _ in range(min(chunk_size, len(reservoir)))
                         ]
-                        broken = not submit_chunk(_PendingChunk(items))
+                        job_id = work.enqueue(items, topic=topic)
+                        job = work.lease(
+                            lease_worker, topic=topic, job_id=job_id
+                        )
+                        if job is None:
+                            break
+                        broken = not submit_job(job)
                 if active and not broken:
                     in_flight = len(active)
                     done_set, _pending = concurrent.futures.wait(
                         list(active), return_when=concurrent.futures.FIRST_COMPLETED
                     )
                     for future in done_set:
-                        chunk, chunk_submission, shard = active.pop(future)
+                        job, chunk_submission, shard = active.pop(future)
                         try:
                             (_sub, chunk_result, registry_dict, seconds) = (
                                 future.result()
@@ -1317,7 +1373,7 @@ class ScifiCampaign:
                         except BrokenProcessPool:
                             broken = True
                             handle_failure(
-                                chunk,
+                                job,
                                 shard,
                                 killed=True,
                                 reason="worker process died (pool broken)",
@@ -1325,10 +1381,23 @@ class ScifiCampaign:
                             )
                         except Exception as exc:
                             handle_failure(
-                                chunk, shard, killed=False, reason=repr(exc)
+                                job, shard, killed=False, reason=repr(exc)
                             )
                         else:
+                            # The ack is idempotent by plan index: only
+                            # newly acked indices are recorded, so a
+                            # result that arrives twice (e.g. a future
+                            # that completed in the same instant its
+                            # pool broke and was requeued) counts once.
+                            newly = set(
+                                work.ack(
+                                    job.lease_id,
+                                    [i for i, _run, _outcome in chunk_result],
+                                )
+                            )
                             for index, run, outcome in chunk_result:
+                                if index not in newly:
+                                    continue
                                 record_result(index, run, outcome)
                                 replay_members(index, run, outcome)
                             if sink is not None:
@@ -1379,10 +1448,10 @@ class ScifiCampaign:
                     # lost.  Requeue them as suspects (any of them may
                     # have killed the worker) and rebuild, degrading to
                     # serial when the budget is out.
-                    for future, (chunk, _sub, shard) in list(active.items()):
+                    for future, (job, _sub, shard) in list(active.items()):
                         future.cancel()
                         handle_failure(
-                            chunk,
+                            job,
                             shard,
                             killed=True,
                             reason="chunk lost to a broken worker pool",
@@ -1417,10 +1486,11 @@ class ScifiCampaign:
                 pool.close()
 
         try:
-            if fallback and (queue or reservoir):
-                leftover = [item for chunk in queue for item in chunk.items]
+            if fallback and (work.pending(topic) or reservoir):
+                # Graceful degradation: pull every still-pending job out
+                # of the queue and run the remainder in this process.
+                leftover = work.drain(topic)
                 leftover.extend(reservoir)
-                queue.clear()
                 reservoir.clear()
                 emit("serial_fallback", ts=now(), experiments=len(leftover))
                 pending = deque(leftover)
@@ -1453,6 +1523,7 @@ class ScifiCampaign:
             raise
 
         self._merge_worker_shards(telemetry, shards)
+        work.close()
         if telemetry is not None:
             # Restores the *parent* target performed (the serial
             # fallback); zero in a healthy parallel run.

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.analysis.classify import Outcome, OutcomeCategory
 from repro.analysis.report import CampaignSummary, ClassifiedExperiment
 from repro.errors import DatabaseError
+from repro.goofi.workqueue import QUEUE_SCHEMA, WorkQueue
 
 #: Version stamped into newly stored campaign rows.  Version 1 is the
 #: original schema (no version/timestamp columns); version 2 added
@@ -50,8 +51,16 @@ from repro.errors import DatabaseError
 #: provenance value for experiments replayed from an outcome-equivalent
 #: class representative, and ``experiments.representative_index`` (the
 #: representative's plan index; NULL for every other provenance and for
-#: migrated rows).
-DB_SCHEMA_VERSION = 5
+#: migrated rows);
+#: version 6 made the database the campaign-service substrate: the
+#: work-queue tables (``jobs``/``leases``/``job_acks``, see
+#: :mod:`repro.goofi.workqueue`), ``experiments.detected_iteration`` and
+#: ``experiments.detection_latency`` (NULL for migrated rows) so an
+#: ``experiment_finished`` event can be rebuilt bit-for-bit from its row
+#: after a worker SIGKILL tore the event log, and ``PRAGMA
+#: user_version`` now tracks the schema version (0 in every earlier
+#: database, since none of them set it).
+DB_SCHEMA_VERSION = 6
 
 #: Milliseconds a writer waits on a locked database before failing.
 BUSY_TIMEOUT_MS = 5_000
@@ -86,7 +95,9 @@ CREATE TABLE IF NOT EXISTS experiments (
     instructions_executed INTEGER NOT NULL,
     provenance TEXT NOT NULL DEFAULT 'simulated',
     plan_index INTEGER,
-    representative_index INTEGER
+    representative_index INTEGER,
+    detected_iteration INTEGER,
+    detection_latency INTEGER
 );
 """
 
@@ -102,8 +113,8 @@ _EXPERIMENT_INSERT = (
     " time, category, mechanism, first_failure_iteration,"
     " max_deviation, early_exit_iteration, timed_out,"
     " instructions_executed, provenance, plan_index,"
-    " representative_index)"
-    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+    " representative_index, detected_iteration, detection_latency)"
+    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
 )
 
 
@@ -119,6 +130,10 @@ def _provenance(run) -> str:
 
 
 def _experiment_row(campaign_id: int, plan_index: Optional[int], run, outcome) -> Tuple:
+    detection = getattr(run, "detection", None)
+    detection_latency = (
+        detection.instruction_index - run.fault.time if detection is not None else None
+    )
     return (
         campaign_id,
         run.fault.target.partition,
@@ -135,6 +150,8 @@ def _experiment_row(campaign_id: int, plan_index: Optional[int], run, outcome) -
         _provenance(run),
         plan_index,
         getattr(run, "representative_index", None),
+        getattr(run, "detected_iteration", None),
+        detection_latency,
     )
 
 
@@ -153,6 +170,8 @@ class StoredExperiment:
     instructions_executed: int
     provenance: str
     representative_index: Optional[int] = None
+    detected_iteration: Optional[int] = None
+    detection_latency: Optional[int] = None
 
 
 class CampaignDatabase:
@@ -168,8 +187,10 @@ class CampaignDatabase:
         self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
+        self._conn.executescript(QUEUE_SCHEMA)
         self._migrate()
         self._conn.execute(_PLAN_INDEX_UNIQUE)
+        self._conn.execute(f"PRAGMA user_version = {DB_SCHEMA_VERSION}")
         self._conn.commit()
 
     def _migrate(self) -> None:
@@ -180,8 +201,11 @@ class CampaignDatabase:
         ``schema_version``/``created_at`` columns, ones written before
         version 3 lack ``experiments.provenance``, ones written before
         version 4 lack ``campaigns.status``/``config_json`` and
-        ``experiments.plan_index``, and ones written before version 5
-        lack ``experiments.representative_index``; add them in place.
+        ``experiments.plan_index``, ones written before version 5
+        lack ``experiments.representative_index``, and ones written
+        before version 6 lack ``experiments.detected_iteration`` /
+        ``detection_latency`` (their queue tables were already created
+        by the ``IF NOT EXISTS`` schema above); add them in place.
         Existing rows keep the defaults (version 1, NULL timestamp,
         ``'simulated'`` provenance, ``'complete'`` status, NULL
         fingerprint, plan index and representative index — correct,
@@ -226,10 +250,29 @@ class CampaignDatabase:
             self._conn.execute(
                 "ALTER TABLE experiments ADD COLUMN representative_index INTEGER"
             )
+        if "detected_iteration" not in experiment_columns:
+            self._conn.execute(
+                "ALTER TABLE experiments ADD COLUMN detected_iteration INTEGER"
+            )
+        if "detection_latency" not in experiment_columns:
+            self._conn.execute(
+                "ALTER TABLE experiments ADD COLUMN detection_latency INTEGER"
+            )
 
     def close(self) -> None:
         """Close the underlying connection."""
         self._conn.close()
+
+    def work_queue(self, policy=None) -> WorkQueue:
+        """A :class:`~repro.goofi.workqueue.WorkQueue` over this database.
+
+        The queue tables live in the campaign database since schema v6,
+        so a file-backed campaign's chunk queue survives the process and
+        is inspectable next to its results.  The queue shares this
+        connection (a second connection to ``:memory:`` would see a
+        different database), so closing the database closes the queue.
+        """
+        return WorkQueue(policy=policy, conn=self._conn)
 
     def __enter__(self) -> "CampaignDatabase":
         return self
@@ -388,7 +431,8 @@ class CampaignDatabase:
             "SELECT plan_index, partition, element, bit, time, category,"
             " mechanism, first_failure_iteration, max_deviation,"
             " early_exit_iteration, timed_out, instructions_executed,"
-            " provenance, representative_index FROM experiments"
+            " provenance, representative_index, detected_iteration,"
+            " detection_latency FROM experiments"
             " WHERE campaign_id = ? AND plan_index IS NOT NULL"
             " ORDER BY plan_index",
             (campaign_id,),
@@ -399,6 +443,7 @@ class CampaignDatabase:
                 plan_index, partition, element, bit, time, category,
                 mechanism, first_fail, max_dev, early_exit, timed_out,
                 instructions, provenance, representative_index,
+                detected_iteration, detection_latency,
             ) = row
             completed[int(plan_index)] = StoredExperiment(
                 plan_index=int(plan_index),
@@ -421,8 +466,62 @@ class CampaignDatabase:
                     if representative_index is not None
                     else None
                 ),
+                detected_iteration=(
+                    int(detected_iteration)
+                    if detected_iteration is not None
+                    else None
+                ),
+                detection_latency=(
+                    int(detection_latency) if detection_latency is not None else None
+                ),
             )
         return completed
+
+    def finished_event_records(self, campaign_id: int) -> List[Dict[str, object]]:
+        """Rebuild every ``experiment_finished`` payload from stored rows.
+
+        Since schema v6 a row carries every field of
+        :func:`repro.obs.telemetry.experiment_event`, so the service's
+        event-log repair can reconstruct records a SIGKILL tore out of
+        the log — bit-identical to the originals, because the payload is
+        a pure function of the experiment.  Rows are returned in plan
+        order; legacy rows without a plan index are skipped.
+        """
+        cursor = self._conn.execute(
+            "SELECT plan_index, partition, element, bit, time, category,"
+            " mechanism, early_exit_iteration, timed_out,"
+            " instructions_executed, provenance, detected_iteration,"
+            " detection_latency FROM experiments"
+            " WHERE campaign_id = ? AND plan_index IS NOT NULL"
+            " ORDER BY plan_index",
+            (campaign_id,),
+        )
+        records: List[Dict[str, object]] = []
+        for row in cursor.fetchall():
+            (
+                plan_index, partition, element, bit, time, category,
+                mechanism, early_exit, timed_out, instructions,
+                provenance, detected_iteration, detection_latency,
+            ) = row
+            records.append(
+                {
+                    "index": int(plan_index),
+                    "partition": str(partition),
+                    "element": str(element),
+                    "bit": int(bit),
+                    "injection_time": int(time),
+                    "category": str(category),
+                    "mechanism": mechanism,
+                    "detected_iteration": detected_iteration,
+                    "detection_latency": detection_latency,
+                    "early_exit_iteration": early_exit,
+                    "timed_out": bool(timed_out),
+                    "instructions": int(instructions),
+                    "pruned": provenance == "predicted",
+                    "equivalent": provenance == "equivalent",
+                }
+            )
+        return records
 
     def load_summary(self, campaign_id: int) -> CampaignSummary:
         """Rebuild a :class:`CampaignSummary` from stored rows.

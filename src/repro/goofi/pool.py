@@ -163,6 +163,11 @@ class ReferencePool:
         #: Why the last :meth:`prepare` had to tear down a warm pool
         #: (the incompatible payload field), or ``None``.
         self.last_respawn_reason: Optional[str] = None
+        #: Bumped every time a fresh executor is spawned.  Futures from
+        #: generation N are worthless once generation N+1 exists; the
+        #: dispatch loop uses this to tell a result from the current
+        #: pool apart from a straggler of a torn-down one.
+        self.generation: int = 0
 
     def _incompatibility(self, payload: WorkerPayload) -> Optional[str]:
         """The first payload field that makes the warm workers unusable,
@@ -217,6 +222,7 @@ class ReferencePool:
             initializer=_initialize_worker,
             initargs=(payload,),
         )
+        self.generation += 1
         return respawn
 
     def submit(self, fn, *args) -> Future:

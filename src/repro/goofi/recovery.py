@@ -66,6 +66,12 @@ class RecoveryPolicy:
             overhead over larger ones.
         min_chunk_size: lower bound on an adaptively sized chunk.
         max_chunk_size: upper bound on an adaptively sized chunk.
+        lease_ttl: default work-queue lease lifetime in seconds — how
+            long a leased job may go without a heartbeat before
+            :meth:`~repro.goofi.workqueue.WorkQueue.expire_due` requeues
+            it.  Generous by default: the in-process pool dispatcher
+            holds its own leases and must never self-expire mid-chunk;
+            service workers pass a tight ttl explicitly.
         sleep: injectable delay function (tests replace it to avoid
             real waiting); never part of the campaign fingerprint.
     """
@@ -80,6 +86,7 @@ class RecoveryPolicy:
     target_chunk_seconds: float = 1.0
     min_chunk_size: int = 4
     max_chunk_size: int = 128
+    lease_ttl: float = 600.0
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
 

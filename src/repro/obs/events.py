@@ -39,6 +39,18 @@ crash-safety machinery acts:
 * ``serial_fallback`` — pool rebuilds were exhausted and the remaining
   experiments ran serially in the parent.
 
+Work-queue events (the lease-based dispatch layer shared by the
+in-process pool and the campaign service, see
+:mod:`repro.goofi.workqueue`):
+
+* ``lease_granted`` — a job was leased to a worker (``job``, ``lease``,
+  ``worker``, ``experiments``, ``attempt``, ``suspect``);
+* ``lease_expired`` — a lease missed its heartbeat deadline and the job
+  was requeued (``job``, ``expiries``, and ``worker`` when known);
+* ``job_state`` — a queue job changed state on failure handling
+  (``job``, ``state`` of ``requeued``/``split``/``exhausted``,
+  ``attempt``, ``experiments``).
+
 Data-plane diagnostics (``docs/performance.md``) are schedule-dependent
 and therefore live in the event stream, never in the metrics registry
 (whose serial/parallel equality is a tested invariant):
@@ -84,6 +96,9 @@ EVENT_TYPES = (
     "worker_pool_respawned",
     "dataplane_stats",
     "chunk_resized",
+    "lease_granted",
+    "lease_expired",
+    "job_state",
 )
 
 

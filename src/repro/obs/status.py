@@ -122,6 +122,11 @@ class CampaignStatus:
     full_restores: int = 0
     dataplane_reports: int = 0
     chunks_resized: int = 0
+    leases_granted: int = 0
+    stale_leases: int = 0
+    jobs_requeued: int = 0
+    jobs_split: int = 0
+    jobs_exhausted: int = 0
     manifest: Optional[Dict[str, object]] = None
 
     @property
@@ -161,6 +166,13 @@ class CampaignStatus:
                 "full_restores": self.full_restores,
                 "reports": self.dataplane_reports,
                 "chunks_resized": self.chunks_resized,
+            },
+            "queue": {
+                "leases_granted": self.leases_granted,
+                "stale_leases": self.stale_leases,
+                "jobs_requeued": self.jobs_requeued,
+                "jobs_split": self.jobs_split,
+                "jobs_exhausted": self.jobs_exhausted,
             },
             "manifest": self.manifest,
         }
@@ -215,6 +227,11 @@ class CampaignStatusReducer:
         # so the summed counters stay exact (same idempotence rule as
         # experiments and heartbeats above).
         self._seen_dataplane: set = set()
+        # Lease events are keyed too: a service campaign's log survives
+        # worker crashes and repairs, so the same grant/expiry may be
+        # folded more than once.
+        self._seen_leases: set = set()
+        self._seen_expiries: set = set()
 
     # -- folding ---------------------------------------------------------------
     def fold_many(self, records: Sequence[Dict[str, object]]) -> None:
@@ -297,6 +314,26 @@ class CampaignStatusReducer:
             status.full_restores += int(record.get("full_restores", 0))
         elif kind == "chunk_resized":
             status.chunks_resized += 1
+        elif kind == "lease_granted":
+            key = (record.get("job"), record.get("lease"))
+            if key in self._seen_leases:
+                return
+            self._seen_leases.add(key)
+            status.leases_granted += 1
+        elif kind == "lease_expired":
+            key = (record.get("job"), record.get("expiries"))
+            if key in self._seen_expiries:
+                return
+            self._seen_expiries.add(key)
+            status.stale_leases += 1
+        elif kind == "job_state":
+            state = record.get("state")
+            if state == "requeued":
+                status.jobs_requeued += 1
+            elif state == "split":
+                status.jobs_split += 1
+            elif state == "exhausted":
+                status.jobs_exhausted += 1
 
     # -- snapshots -------------------------------------------------------------
     def status(self, now: Optional[float] = None) -> CampaignStatus:
@@ -446,6 +483,17 @@ def render_status(status: CampaignStatus) -> str:
         recovery.append(f"{status.serial_fallbacks} serial fallbacks")
     if recovery:
         lines.append(f"  recovery    {', '.join(recovery)}")
+    queue = []
+    if status.leases_granted:
+        queue.append(f"{status.leases_granted} leases granted")
+    if status.stale_leases:
+        queue.append(f"{status.stale_leases} stale leases expired")
+    if status.jobs_split:
+        queue.append(f"{status.jobs_split} jobs split")
+    if status.jobs_exhausted:
+        queue.append(f"{status.jobs_exhausted} jobs exhausted")
+    if queue:
+        lines.append(f"  queue       {', '.join(queue)}")
     if status.dataplane_reports or status.chunks_resized:
         plane = (
             f"{status.restore_words_touched} words touched,"

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -120,3 +122,85 @@ class TestCommands:
         )
         with pytest.raises(SystemExit):
             main(["run", "--source", str(source)])
+
+
+class TestAbortExitCodes:
+    """Only an operator interrupt gets a signal exit code; queue-driven
+    aborts exit 75 (EX_TEMPFAIL) so wrappers can retry or resume."""
+
+    @pytest.mark.parametrize(
+        "reason,expected",
+        [("sigint", 130), ("sigterm", 143), ("cancel", 75), ("lease", 75)],
+    )
+    def test_abort_reason_maps_to_exit_code(
+        self, monkeypatch, capsys, reason, expected
+    ):
+        from repro.errors import CampaignAborted
+        from repro.goofi import ScifiCampaign
+
+        def aborting_run(self, **_kw):
+            raise CampaignAborted("interrupted", campaign_id=None, reason=reason)
+
+        monkeypatch.setattr(ScifiCampaign, "run", aborting_run)
+        code = main(["campaign", "--faults", "4", "--iterations", "20"])
+        assert code == expected
+        assert f"({reason})" in capsys.readouterr().err
+
+
+class TestServiceCommands:
+    def test_submit_serve_status_roundtrip(self, capsys, tmp_path):
+        root = str(tmp_path / "svc")
+        common = ["--root", root]
+        assert (
+            main(
+                ["submit", *common, "--faults", "8", "--iterations", "25"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "campaign 1 queued" in out
+        assert main(["status", *common]) == 0
+        assert "campaign 1: pending" in capsys.readouterr().out
+        assert main(["serve", *common, "--once"]) == 0
+        assert "resolved 1 campaign job(s)" in capsys.readouterr().out
+        assert main(["status", *common, "--campaign", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign 1: done" in out
+        assert "finished" in out
+        assert main(["status", *common, "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing["campaigns"][0]["status"] == "done"
+        assert listing["stale_leases"] == 0
+
+    def test_cancel_pending_and_unknown(self, capsys, tmp_path):
+        root = str(tmp_path / "svc")
+        assert main(["submit", "--root", root, "--faults", "4"]) == 0
+        capsys.readouterr()
+        assert main(["cancel", "--root", root, "--campaign", "1"]) == 0
+        assert "cancelled" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            main(["cancel", "--root", root, "--campaign", "99"])
+        # Draining an all-cancelled queue is a no-op, not an error.
+        assert main(["serve", "--root", root, "--once"]) == 0
+
+    def test_status_unknown_campaign_exits(self, tmp_path):
+        root = str(tmp_path / "svc")
+        main(["submit", "--root", root, "--faults", "4"])
+        with pytest.raises(SystemExit):
+            main(["status", "--root", root, "--campaign", "42"])
+
+    def test_serve_multiple_worker_threads(self, capsys, tmp_path):
+        root = str(tmp_path / "svc")
+        for _ in range(2):
+            assert main(["submit", "--root", root, "--faults", "6"]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--root", root, "--once", "--workers", "2"]) == 0
+        assert "resolved 2 campaign job(s)" in capsys.readouterr().out
+
+    def test_submit_shares_campaign_config_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "--root", "r", "--algorithm", "II", "--prune"]
+        )
+        assert args.algorithm == "II" and args.prune
+        args = build_parser().parse_args(["campaign", "--no-delta-dataplane"])
+        assert not args.delta_dataplane

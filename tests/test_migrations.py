@@ -1,0 +1,168 @@
+"""Schema migration chain: every historical database version converges.
+
+Each helper below builds a database exactly as the given schema version
+wrote it (the v1 originals had no version column at all; the queue
+tables only arrived in v6).  Opening any of them with
+:class:`CampaignDatabase` must migrate in place to the current schema:
+identical ``PRAGMA user_version``, identical table set and identical
+per-table column sets as a freshly created database — and the seeded
+rows must survive with the documented defaults.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.goofi import CampaignDatabase
+from repro.goofi.database import DB_SCHEMA_VERSION
+
+_V1_SCHEMA = """
+CREATE TABLE campaigns (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    name TEXT NOT NULL,
+    faults INTEGER NOT NULL,
+    seed INTEGER NOT NULL,
+    iterations INTEGER NOT NULL,
+    partition_sizes TEXT NOT NULL,
+    wall_seconds REAL NOT NULL
+);
+CREATE TABLE experiments (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    partition TEXT NOT NULL,
+    element TEXT NOT NULL,
+    bit INTEGER NOT NULL,
+    time INTEGER NOT NULL,
+    category TEXT NOT NULL,
+    mechanism TEXT,
+    first_failure_iteration INTEGER,
+    max_deviation REAL NOT NULL,
+    early_exit_iteration INTEGER,
+    timed_out INTEGER NOT NULL,
+    instructions_executed INTEGER NOT NULL
+);
+"""
+
+#: Column additions per historical version, applied cumulatively on top
+#: of the v1 schema to reconstruct any version's on-disk shape.
+_VERSION_STEPS = {
+    2: [
+        "ALTER TABLE campaigns ADD COLUMN schema_version INTEGER NOT NULL DEFAULT 1",
+        "ALTER TABLE campaigns ADD COLUMN created_at TEXT",
+    ],
+    3: [
+        "ALTER TABLE experiments"
+        " ADD COLUMN provenance TEXT NOT NULL DEFAULT 'simulated'",
+    ],
+    4: [
+        "ALTER TABLE campaigns ADD COLUMN status TEXT NOT NULL DEFAULT 'complete'",
+        "ALTER TABLE campaigns ADD COLUMN config_json TEXT",
+        "ALTER TABLE experiments ADD COLUMN plan_index INTEGER",
+        "CREATE UNIQUE INDEX idx_experiments_campaign_plan"
+        " ON experiments(campaign_id, plan_index)",
+    ],
+    5: [
+        "ALTER TABLE experiments ADD COLUMN representative_index INTEGER",
+    ],
+}
+
+
+def _build_historical(path, version):
+    """A database file exactly as schema ``version`` wrote it, with one
+    campaign and one experiment row seeded."""
+    conn = sqlite3.connect(path)
+    conn.executescript(_V1_SCHEMA)
+    for step in range(2, version + 1):
+        for statement in _VERSION_STEPS.get(step, []):
+            conn.execute(statement)
+    conn.execute(
+        "INSERT INTO campaigns (name, faults, seed, iterations,"
+        " partition_sizes, wall_seconds) VALUES ('legacy', 5, 1, 30, '{}', 0.5)"
+    )
+    conn.execute(
+        "INSERT INTO experiments (campaign_id, partition, element, bit,"
+        " time, category, mechanism, first_failure_iteration, max_deviation,"
+        " early_exit_iteration, timed_out, instructions_executed)"
+        " VALUES (1, 'register', 'r1', 3, 10, 'no_effect', NULL, NULL,"
+        " 0.0, NULL, 0, 100)"
+    )
+    conn.commit()
+    conn.close()
+
+
+def _shape(path):
+    """(user_version, {table: frozenset(columns)}) for a database file."""
+    conn = sqlite3.connect(path)
+    try:
+        user_version = conn.execute("PRAGMA user_version").fetchone()[0]
+        tables = [
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+                " AND name NOT LIKE 'sqlite_%'"
+            ).fetchall()
+        ]
+        columns = {
+            table: frozenset(
+                row[1]
+                for row in conn.execute(f"PRAGMA table_info({table})").fetchall()
+            )
+            for table in tables
+        }
+        return user_version, columns
+    finally:
+        conn.close()
+
+
+@pytest.fixture
+def fresh_shape(tmp_path):
+    path = str(tmp_path / "fresh.db")
+    CampaignDatabase(path).close()
+    return _shape(path)
+
+
+@pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+def test_historical_version_migrates_to_current_shape(
+    tmp_path, fresh_shape, version
+):
+    path = str(tmp_path / f"v{version}.db")
+    _build_historical(path, version)
+    db = CampaignDatabase(path)
+    db.close()
+    user_version, columns = _shape(path)
+    fresh_version, fresh_columns = fresh_shape
+    assert user_version == fresh_version == DB_SCHEMA_VERSION
+    assert set(columns) == set(fresh_columns)
+    for table in fresh_columns:
+        assert columns[table] == fresh_columns[table], table
+
+
+@pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+def test_migrated_rows_keep_documented_defaults(tmp_path, version):
+    path = str(tmp_path / f"v{version}.db")
+    _build_historical(path, version)
+    db = CampaignDatabase(path)
+    try:
+        assert db.list_campaigns() == [(1, "legacy", 5)]
+        # Pre-v4 rows were only written for finished campaigns.
+        assert db.campaign_status(1) == "complete"
+        row = db._conn.execute(
+            "SELECT provenance, plan_index, representative_index,"
+            " detected_iteration, detection_latency FROM experiments"
+        ).fetchone()
+        assert row == ("simulated", None, None, None, None)
+        # The migrated database is immediately queue-capable.
+        queue = db.work_queue()
+        job_id = queue.enqueue([(0, "fault")])
+        assert queue.lease("w0").job_id == job_id
+    finally:
+        db.close()
+
+
+def test_migration_is_idempotent(tmp_path):
+    path = str(tmp_path / "twice.db")
+    _build_historical(path, 1)
+    CampaignDatabase(path).close()
+    first = _shape(path)
+    CampaignDatabase(path).close()
+    assert _shape(path) == first
